@@ -1,0 +1,126 @@
+//! TRR-evasion search: find the smallest many-sided pattern that defeats
+//! a tracking-based mitigation.
+//!
+//! The DDR4 discussion of §II-B implies an arms race: in-DRAM TRR tracks
+//! a few aggressors, and attackers respond with patterns wide enough to
+//! overflow the tracker. This module automates the attacker's side — a
+//! sweep over the aggressor count `k` that reports, per `k`, whether the
+//! attack still flips bits under a given mitigation. Research tooling for
+//! exactly the question the paper poses ("how principled is this
+//! defence?").
+
+use crate::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_ctrl::mitigation::Mitigation;
+use densemem_ctrl::{CtrlError, MemoryController};
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
+
+/// One row of an evasion sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvasionPoint {
+    /// Aggressor count of the many-sided pattern.
+    pub k: usize,
+    /// Victim flips achieved under the mitigation.
+    pub flips: usize,
+    /// Mitigation trigger events.
+    pub mitigation_triggers: u64,
+}
+
+/// Sweeps many-sided aggressor counts `ks` against fresh controllers with
+/// the mitigation produced by `make_mitigation`, running each attack for
+/// `deadline_ns` of simulated time.
+///
+/// Every victim row between aggressors carries an injected weak cell at
+/// the model's minimum threshold, so the sweep measures the *mitigation's*
+/// coverage rather than the luck of the weak-cell draw.
+///
+/// # Errors
+///
+/// Returns [`CtrlError`] if a pattern addresses invalid rows (cannot
+/// happen for the built-in geometry).
+pub fn sweep_many_sided<F>(
+    ks: &[usize],
+    make_mitigation: F,
+    deadline_ns: u64,
+) -> Result<Vec<EvasionPoint>, CtrlError>
+where
+    F: Fn() -> Box<dyn Mitigation>,
+{
+    let mut out = Vec::with_capacity(ks.len());
+    for &k in ks {
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        let mut module =
+            Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 4096 + k as u64);
+        let base = 300usize;
+        let pattern = HammerPattern::many_sided(0, base, k.max(2));
+        // Weak cell in every sandwiched victim.
+        for i in 0..k.max(2) - 1 {
+            let victim = base + 2 * i + 1;
+            module
+                .bank_mut(0)
+                .inject_disturb_cell(BitAddr { row: victim, word: 0, bit: 1 }, 190_000.0)
+                .expect("address in range");
+        }
+        let mut ctrl = MemoryController::new(module, Default::default())
+            .with_mitigation(make_mitigation());
+        ctrl.fill(0xFF);
+        for &r in pattern.rows() {
+            ctrl.module_mut()
+                .bank_mut(0)
+                .fill_row(r, 0, 0)
+                .map_err(CtrlError::from)?;
+        }
+        let kernel = HammerKernel::new(pattern, AccessMode::Read);
+        kernel.run_until(&mut ctrl, deadline_ns)?;
+        out.push(EvasionPoint {
+            k,
+            flips: kernel.victim_flips(&mut ctrl),
+            mitigation_triggers: ctrl.stats().mitigation_triggers,
+        });
+    }
+    Ok(out)
+}
+
+/// The smallest `k` in the sweep results that flipped at least one bit,
+/// if any.
+pub fn min_evading_k(points: &[EvasionPoint]) -> Option<usize> {
+    points.iter().filter(|p| p.flips > 0).map(|p| p.k).min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemem_ctrl::mitigation::{InDramTrr, NoMitigation};
+
+    const WINDOW: u64 = 96_000_000;
+
+    #[test]
+    fn no_mitigation_flips_at_every_k_with_budget() {
+        let points =
+            sweep_many_sided(&[2, 4], || Box::new(NoMitigation), WINDOW).unwrap();
+        assert!(points.iter().all(|p| p.flips > 0), "{points:?}");
+        assert_eq!(min_evading_k(&points), Some(2));
+    }
+
+    #[test]
+    fn trr_is_evaded_only_beyond_its_table() {
+        let points = sweep_many_sided(
+            &[2, 12],
+            || Box::new(InDramTrr::ddr4_like()),
+            WINDOW,
+        )
+        .unwrap();
+        let p2 = points.iter().find(|p| p.k == 2).unwrap();
+        let p12 = points.iter().find(|p| p.k == 12).unwrap();
+        assert_eq!(p2.flips, 0, "double-sided must be blocked: {p2:?}");
+        assert!(p12.flips > 0, "12-sided must evade: {p12:?}");
+        assert_eq!(min_evading_k(&points), Some(12));
+    }
+
+    #[test]
+    fn min_evading_k_of_clean_sweep_is_none() {
+        assert_eq!(min_evading_k(&[]), None);
+        let pts = vec![EvasionPoint { k: 2, flips: 0, mitigation_triggers: 5 }];
+        assert_eq!(min_evading_k(&pts), None);
+    }
+}

@@ -1,0 +1,61 @@
+//! Attack layer: the user-level programs and exploits of §II.
+//!
+//! * [`kernels`] — hammering access-pattern kernels (single-, double-,
+//!   many-sided; read and write variants; random baseline) issued through
+//!   the memory controller like the paper's released user-level test
+//!   program.
+//! * [`invariants`] — the two memory-isolation invariants the paper states
+//!   ("a read should not modify data at any address"; "a write should
+//!   modify only its target"), checked against a shadow memory.
+//! * [`vm`] — a small virtual-memory substrate: frames, page tables stored
+//!   *in* the simulated DRAM, address translation.
+//! * [`exploit`] — the Project-Zero-style PTE-spray privilege-escalation
+//!   Monte Carlo built on [`vm`].
+//! * [`scenarios`] — higher-level attack scenarios: the dedup-merge
+//!   (Flip-Feng-Shui / Dedup-Est-Machina) class.
+//! * [`timing_channel`] — the row-conflict timing side channel attackers
+//!   use to discover same-bank address pairs without knowing the
+//!   controller's address mapping.
+//! * [`evasion`] — many-sided sweep tooling that finds the smallest
+//!   pattern defeating a tracking-based mitigation.
+//! * [`templating`] — flip templating: profile a module for reproducible
+//!   (aggressor-pair → victim-bit) flips, the exploit's targeting stage.
+//! * [`workloads`] — benign request generators for false-positive and
+//!   throughput studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+//! use densemem_ctrl::MemoryController;
+//! use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+//! use densemem_dram::module::RowRemap;
+//!
+//! let profile = VintageProfile::new(Manufacturer::A, 2013);
+//! let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 8);
+//! let mut ctrl = MemoryController::new(module, Default::default());
+//! ctrl.fill(0xFF);
+//! let kernel = HammerKernel::new(HammerPattern::double_sided(0, 101), AccessMode::Read);
+//! let report = kernel.run(&mut ctrl, 200_000).unwrap();
+//! assert_eq!(report.activations, 400_000);
+//! ```
+
+pub mod evasion;
+pub mod exploit;
+pub mod invariants;
+pub mod kernels;
+pub mod scenarios;
+pub mod templating;
+pub mod timing_channel;
+pub mod vm;
+pub mod workloads;
+
+pub use evasion::{min_evading_k, sweep_many_sided, EvasionPoint};
+pub use exploit::{ExploitConfig, ExploitOutcome, PteSprayExploit};
+pub use invariants::{InvariantChecker, InvariantReport};
+pub use kernels::{AccessMode, HammerKernel, HammerPattern, KernelReport};
+pub use scenarios::{DedupAttack, DedupAttackConfig, DedupOutcome};
+pub use templating::{pfn_templates, scan_templates, FlipTemplate};
+pub use timing_channel::{discover_conflict_pairs, TimingProbe};
+pub use vm::{Pte, VirtualMemory, PTE_FLAG_PRESENT, PTE_FLAG_USER, PTE_FLAG_WRITE};
+pub use workloads::{random_trace, sequential_trace, zipf_hot_trace};

@@ -1,0 +1,165 @@
+//! Higher-level attack scenarios from §II-B of the paper.
+//!
+//! [`DedupAttack`] models the Flip-Feng-Shui / Dedup-Est-Machina class:
+//! memory deduplication merges an attacker page with a victim page that
+//! has identical contents, so both virtual pages map the *same physical
+//! frame*. The attacker cannot write to it any more (copy-on-write), but
+//! can (a) place the merged frame by massaging allocation and (b) hammer
+//! its physical neighbours — corrupting the victim's data without ever
+//! having write access to it. The canonical target is key material
+//! (e.g. an RSA modulus), where a single bit flip makes the key
+//! factorable.
+
+use crate::kernels::{AccessMode, HammerKernel, HammerPattern};
+use crate::vm::VirtualMemory;
+use densemem_ctrl::CtrlError;
+
+/// Configuration of the dedup-merge attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DedupAttackConfig {
+    /// Bank holding the merged frame.
+    pub bank: usize,
+    /// Physical row of the merged (victim) frame — placed there by the
+    /// attacker's allocation massaging.
+    pub victim_row: usize,
+    /// Hammer iterations (each activates both neighbours once).
+    pub iterations: u64,
+}
+
+impl Default for DedupAttackConfig {
+    fn default() -> Self {
+        Self { bank: 0, victim_row: 301, iterations: 1_400_000 }
+    }
+}
+
+/// Outcome of a dedup attack run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DedupOutcome {
+    /// Bits of the victim page that flipped.
+    pub victim_bits_flipped: usize,
+    /// Whether the attacker ever wrote to the merged frame (must stay
+    /// false: the attack's defining property).
+    pub attacker_wrote_victim: bool,
+}
+
+impl DedupOutcome {
+    /// Whether the attack corrupted the victim's data.
+    pub fn succeeded(&self) -> bool {
+        self.victim_bits_flipped > 0 && !self.attacker_wrote_victim
+    }
+}
+
+/// The dedup-merge + hammer attack.
+///
+/// # Examples
+///
+/// See `dedup_attack_corrupts_merged_page` in the module tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DedupAttack {
+    config: DedupAttackConfig,
+}
+
+impl DedupAttack {
+    /// Creates the attack.
+    pub fn new(config: DedupAttackConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the attack: writes the victim "key" page (as the *victim*
+    /// would), simulates the dedup merge (attacker's duplicate page maps
+    /// to the same frame read-only), hammers the physical neighbours, and
+    /// reports corruption of the merged page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] for invalid configuration addresses.
+    pub fn run(&self, vm: &mut VirtualMemory, key_page: &[u64]) -> Result<DedupOutcome, CtrlError> {
+        let bank = self.config.bank;
+        let row = self.config.victim_row;
+        let words = vm.words_per_frame().min(key_page.len());
+        // The victim stores its key page (this is the victim's write, not
+        // the attacker's).
+        for (w, &val) in key_page.iter().take(words).enumerate() {
+            vm.ctrl_mut().write(bank, row, w, val)?;
+        }
+        // Dedup merge: the attacker's duplicate page now maps to the same
+        // frame, read-only. The attacker reads it to confirm the merge.
+        let merged_ok = (0..words).try_fold(true, |ok, w| {
+            Ok::<bool, CtrlError>(ok && vm.ctrl_mut().read(bank, row, w)? == key_page[w])
+        })?;
+        debug_assert!(merged_ok, "merge must alias the victim frame");
+
+        // Attacker fills its own neighbouring pages with the stress
+        // pattern and hammers.
+        for r in [row - 1, row + 1] {
+            vm.ctrl_mut()
+                .module_mut()
+                .bank_mut(bank)
+                .fill_row(r, !key_page[0], 0)
+                .map_err(CtrlError::from)?;
+        }
+        let kernel =
+            HammerKernel::new(HammerPattern::double_sided(bank, row), AccessMode::Read);
+        kernel.run(vm.ctrl_mut(), self.config.iterations)?;
+
+        // Count corrupted bits in the merged page.
+        let now = vm.ctrl().now_ns();
+        let data = vm.ctrl_mut().module_mut().inspect_row(bank, row, now)?;
+        let victim_bits_flipped = data
+            .iter()
+            .take(words)
+            .zip(key_page)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum();
+        Ok(DedupOutcome { victim_bits_flipped, attacker_wrote_victim: false })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemem_ctrl::MemoryController;
+    use densemem_dram::module::RowRemap;
+    use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
+
+    fn vm(weak: bool) -> VirtualMemory {
+        let profile = VintageProfile::new(Manufacturer::A, if weak { 2013 } else { 2008 });
+        let mut module =
+            Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 222);
+        if weak {
+            module
+                .bank_mut(0)
+                .inject_disturb_cell(BitAddr { row: 301, word: 2, bit: 13 }, 230_000.0)
+                .unwrap();
+        }
+        VirtualMemory::new(MemoryController::new(module, Default::default()))
+    }
+
+    fn key_page() -> Vec<u64> {
+        // A synthetic "RSA modulus": all bits set so true-cell flips are
+        // visible.
+        vec![u64::MAX; 128]
+    }
+
+    #[test]
+    fn dedup_attack_corrupts_merged_page() {
+        let mut vm = vm(true);
+        let outcome = DedupAttack::new(DedupAttackConfig::default())
+            .run(&mut vm, &key_page())
+            .unwrap();
+        assert!(outcome.succeeded(), "{outcome:?}");
+        assert!(!outcome.attacker_wrote_victim);
+    }
+
+    #[test]
+    fn dedup_attack_fails_on_robust_memory() {
+        let mut vm = vm(false);
+        let outcome = DedupAttack::new(DedupAttackConfig {
+            iterations: 200_000,
+            ..Default::default()
+        })
+        .run(&mut vm, &key_page())
+        .unwrap();
+        assert!(!outcome.succeeded());
+    }
+}

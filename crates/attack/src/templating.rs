@@ -1,0 +1,165 @@
+//! Flip templating: the profiling stage of practical RowHammer exploits.
+//!
+//! Before an attack like Flip Feng Shui can place a victim page, it must
+//! know *which* aggressor pairs flip *which* bits, in *which* direction —
+//! the "template". This module sweeps double-sided sites across a module,
+//! records every reproducible flip as a [`FlipTemplate`], and feeds the
+//! exploit stage (e.g. [`crate::scenarios::DedupAttack`]) with usable
+//! targets.
+
+use crate::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_ctrl::{CtrlError, MemoryController};
+
+/// One profiled flip: hammering `(victim−1, victim+1)` reproducibly flips
+/// `bit` of `word` in `victim` towards `flips_to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipTemplate {
+    /// Bank of the site.
+    pub bank: usize,
+    /// Victim row.
+    pub victim: usize,
+    /// Word within the victim row.
+    pub word: usize,
+    /// Bit within the word.
+    pub bit: u8,
+    /// Value the bit flips to (the cell's discharged value).
+    pub flips_to: bool,
+}
+
+/// Sweeps double-sided sites over `rows` (victims `start+1, start+3, …`)
+/// and returns every template found. Each site is hammered for
+/// `iterations` pattern passes with the worst-case data pattern
+/// (victim charged, aggressors inverted).
+///
+/// # Errors
+///
+/// Returns [`CtrlError`] if the row range is invalid for the device.
+pub fn scan_templates(
+    ctrl: &mut MemoryController,
+    bank: usize,
+    start: usize,
+    rows: usize,
+    iterations: u64,
+) -> Result<Vec<FlipTemplate>, CtrlError> {
+    let mut templates = Vec::new();
+    let mut victim = start + 1;
+    while victim + 1 < start + rows {
+        // Charged victim pattern depends on the region's cell orientation;
+        // the attacker discovers it empirically by trying both patterns —
+        // here we use orientation ground truth as shorthand for that loop.
+        let charged = densemem_dram::cell::orientation_of_row(victim).charged_value();
+        let victim_fill = if charged { u64::MAX } else { 0 };
+        let now = ctrl.now_ns();
+        ctrl.module_mut()
+            .bank_mut(bank)
+            .fill_row(victim, victim_fill, now)
+            .map_err(CtrlError::from)?;
+        for aggressor in [victim - 1, victim + 1] {
+            ctrl.module_mut()
+                .bank_mut(bank)
+                .fill_row(aggressor, !victim_fill, now)
+                .map_err(CtrlError::from)?;
+        }
+        let kernel =
+            HammerKernel::new(HammerPattern::double_sided(bank, victim), AccessMode::Read);
+        kernel.run(ctrl, iterations)?;
+        let now = ctrl.now_ns();
+        let data = ctrl
+            .module_mut()
+            .bank_mut(bank)
+            .inspect_row(victim, now)
+            .map_err(CtrlError::from)?;
+        for (word, &w) in data.iter().enumerate() {
+            let mut diff = w ^ victim_fill;
+            while diff != 0 {
+                let bit = diff.trailing_zeros() as u8;
+                templates.push(FlipTemplate {
+                    bank,
+                    victim,
+                    word,
+                    bit,
+                    flips_to: !charged,
+                });
+                diff &= diff - 1;
+            }
+        }
+        victim += 2;
+    }
+    Ok(templates)
+}
+
+/// Filters templates to those useful for a page-table attack: flips in
+/// the PFN bit range that move the mapping to a *lower* or *higher* frame
+/// the attacker can occupy. (For the dedup/key-corruption attack any
+/// template works.)
+pub fn pfn_templates(templates: &[FlipTemplate]) -> Vec<FlipTemplate> {
+    templates
+        .iter()
+        .copied()
+        .filter(|t| {
+            let b = u32::from(t.bit);
+            (crate::vm::PTE_PFN_SHIFT..crate::vm::PTE_PFN_SHIFT + crate::vm::PTE_PFN_BITS)
+                .contains(&b)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemem_dram::module::RowRemap;
+    use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
+
+    fn controller_with_cells() -> MemoryController {
+        let profile = VintageProfile::new(Manufacturer::B, 2008); // quiet background
+        let mut module =
+            Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 71);
+        // Two plantable templates, one per orientation region.
+        module
+            .bank_mut(0)
+            .inject_disturb_cell(BitAddr { row: 101, word: 3, bit: 17 }, 200_000.0)
+            .unwrap();
+        module
+            .bank_mut(0)
+            .inject_disturb_cell(BitAddr { row: 601, word: 7, bit: 20 }, 200_000.0)
+            .unwrap();
+        MemoryController::new(module, Default::default())
+    }
+
+    #[test]
+    fn scan_finds_planted_templates_with_direction() {
+        let mut ctrl = controller_with_cells();
+        ctrl.fill(0xFF);
+        let mut found = scan_templates(&mut ctrl, 0, 96, 16, 700_000).unwrap();
+        found.extend(scan_templates(&mut ctrl, 0, 596, 16, 700_000).unwrap());
+        let t1 = found
+            .iter()
+            .find(|t| t.victim == 101 && t.word == 3 && t.bit == 17)
+            .expect("true-cell template found");
+        assert!(!t1.flips_to, "true cell flips to 0");
+        let t2 = found
+            .iter()
+            .find(|t| t.victim == 601 && t.word == 7 && t.bit == 20)
+            .expect("anti-cell template found");
+        assert!(t2.flips_to, "anti cell flips to 1");
+    }
+
+    #[test]
+    fn pfn_filter_selects_frame_bits() {
+        let ts = [
+            FlipTemplate { bank: 0, victim: 1, word: 0, bit: 3, flips_to: true },
+            FlipTemplate { bank: 0, victim: 1, word: 0, bit: 20, flips_to: true },
+        ];
+        let useful = pfn_templates(&ts);
+        assert_eq!(useful.len(), 1);
+        assert_eq!(useful[0].bit, 20);
+    }
+
+    #[test]
+    fn clean_region_yields_no_templates() {
+        let mut ctrl = controller_with_cells();
+        ctrl.fill(0xFF);
+        let found = scan_templates(&mut ctrl, 0, 300, 12, 200_000).unwrap();
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -1,0 +1,175 @@
+//! The row-conflict timing side channel.
+//!
+//! Physical-address-to-bank mappings are undocumented, so a real
+//! RowHammer attacker first *discovers* same-bank address pairs by
+//! timing: alternating accesses to two addresses in the same bank but
+//! different rows forces a row conflict on every access (slow), while
+//! different banks or the same row stay fast. This is the first stage of
+//! every practical attack (and of the paper's released test program,
+//! which picks same-bank pairs the same way).
+
+use crate::kernels::HammerPattern;
+use densemem_ctrl::addrmap::AddressMapping;
+use densemem_ctrl::{CtrlError, MemoryController};
+
+/// A probe wrapping a controller whose address mapping is *hidden* from
+/// the measuring code: measurements go through physical addresses only.
+#[derive(Debug)]
+pub struct TimingProbe {
+    ctrl: MemoryController,
+    mapping: AddressMapping,
+}
+
+impl TimingProbe {
+    /// Wraps a controller and its (secret) mapping.
+    pub fn new(ctrl: MemoryController, mapping: AddressMapping) -> Self {
+        Self { ctrl, mapping }
+    }
+
+    /// Average nanoseconds per access when alternating `a` and `b` for
+    /// `rounds` rounds — the attacker's stopwatch loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] for out-of-range addresses.
+    pub fn measure_pair(&mut self, a: u64, b: u64, rounds: u32) -> Result<f64, CtrlError> {
+        let (bank_a, row_a, word_a) = self.mapping.decode(a);
+        let (bank_b, row_b, word_b) = self.mapping.decode(b);
+        let start = self.ctrl.now_ns();
+        for _ in 0..rounds {
+            self.ctrl.read(bank_a, row_a, word_a)?;
+            self.ctrl.read(bank_b, row_b, word_b)?;
+        }
+        Ok((self.ctrl.now_ns() - start) as f64 / (2.0 * f64::from(rounds)))
+    }
+
+    /// Ground truth for tests: whether two addresses share a bank but not
+    /// a row.
+    pub fn is_conflict_pair(&self, a: u64, b: u64) -> bool {
+        let (bank_a, row_a, _) = self.mapping.decode(a);
+        let (bank_b, row_b, _) = self.mapping.decode(b);
+        bank_a == bank_b && row_a != row_b
+    }
+
+    /// The wrapped controller.
+    pub fn ctrl(&self) -> &MemoryController {
+        &self.ctrl
+    }
+
+    /// Consumes the probe, returning the controller.
+    pub fn into_ctrl(self) -> MemoryController {
+        self.ctrl
+    }
+
+    /// Decodes an address (attacker code must NOT call this; tests and
+    /// post-discovery stages may).
+    pub fn decode(&self, addr: u64) -> (usize, usize, usize) {
+        self.mapping.decode(addr)
+    }
+}
+
+/// Classifies every pair among `addrs` by timing and returns the pairs
+/// measured above `threshold_ns` per access — the same-bank,
+/// different-row ("hammerable") pairs.
+///
+/// The DDR3 numbers make the channel easy: a row hit costs `t_CL`
+/// (~14 ns), a conflict costs `t_RC`-limited ~49 ns.
+///
+/// # Errors
+///
+/// Returns [`CtrlError`] for out-of-range addresses.
+pub fn discover_conflict_pairs(
+    probe: &mut TimingProbe,
+    addrs: &[u64],
+    rounds: u32,
+    threshold_ns: f64,
+) -> Result<Vec<(u64, u64)>, CtrlError> {
+    let mut pairs = Vec::new();
+    for (i, &a) in addrs.iter().enumerate() {
+        for &b in &addrs[i + 1..] {
+            if probe.measure_pair(a, b, rounds)? > threshold_ns {
+                pairs.push((a, b));
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+/// Builds a double-sided [`HammerPattern`] from a discovered same-bank
+/// pair by assuming the two rows sandwich victims — the second stage
+/// (templating) confirms by scanning for flips.
+pub fn pattern_from_pair(probe: &TimingProbe, a: u64, b: u64) -> HammerPattern {
+    let (bank, row_a, _) = probe.decode(a);
+    let (_, row_b, _) = probe.decode(b);
+    HammerPattern::single_sided(bank, row_a, row_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemem_dram::module::RowRemap;
+    use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+
+    fn probe() -> TimingProbe {
+        let profile = VintageProfile::new(Manufacturer::B, 2012);
+        let module = Module::new(2, BankGeometry::small(), profile, RowRemap::Identity, 888);
+        TimingProbe::new(
+            MemoryController::new(module, Default::default()),
+            AddressMapping::small_two_banks(),
+        )
+    }
+
+    #[test]
+    fn conflict_pairs_are_measurably_slower() {
+        let mut p = probe();
+        let m = AddressMapping::small_two_banks();
+        let conflict = (m.encode(0, 10, 0), m.encode(0, 500, 0));
+        let same_row = (m.encode(0, 10, 0), m.encode(0, 10, 5));
+        let cross_bank = (m.encode(0, 10, 0), m.encode(1, 500, 0));
+        let t_conflict = p.measure_pair(conflict.0, conflict.1, 200).unwrap();
+        let t_same_row = p.measure_pair(same_row.0, same_row.1, 200).unwrap();
+        let t_cross = p.measure_pair(cross_bank.0, cross_bank.1, 200).unwrap();
+        assert!(
+            t_conflict > t_same_row + 15.0,
+            "conflict {t_conflict} vs same-row {t_same_row}"
+        );
+        assert!(t_conflict > t_cross + 10.0, "conflict {t_conflict} vs cross {t_cross}");
+    }
+
+    #[test]
+    fn discovery_matches_ground_truth() {
+        let mut p = probe();
+        let m = AddressMapping::small_two_banks();
+        // A mixed bag of addresses across banks and rows.
+        let addrs: Vec<u64> = vec![
+            m.encode(0, 10, 0),
+            m.encode(0, 500, 3),
+            m.encode(1, 77, 0),
+            m.encode(1, 400, 9),
+            m.encode(0, 10, 4), // same row as [0]
+        ];
+        let found = discover_conflict_pairs(&mut p, &addrs, 50, 35.0).unwrap();
+        // Compare against ground truth over all pairs.
+        let mut expected = Vec::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            for &b in &addrs[i + 1..] {
+                if p.is_conflict_pair(a, b) {
+                    expected.push((a, b));
+                }
+            }
+        }
+        assert_eq!(found, expected);
+        assert!(!expected.is_empty(), "test needs at least one conflict pair");
+    }
+
+    #[test]
+    fn discovered_pair_drives_a_hammer_pattern() {
+        let p = probe();
+        let m = AddressMapping::small_two_banks();
+        let a = m.encode(0, 10, 0);
+        let b = m.encode(0, 500, 0);
+        let pattern = pattern_from_pair(&p, a, b);
+        assert_eq!(pattern.rows(), &[10, 500]);
+        assert_eq!(pattern.bank(), 0);
+    }
+}

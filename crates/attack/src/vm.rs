@@ -1,0 +1,234 @@
+//! A small virtual-memory substrate over the simulated DRAM.
+//!
+//! The exploit experiment needs page tables that *live in* the simulated
+//! memory, so a RowHammer bit flip can corrupt a PTE. We model a
+//! single-level page table per address space: one DRAM row is one page
+//! frame, and a page-table page is a frame whose 64-bit words are PTEs.
+
+use densemem_ctrl::{CtrlError, MemoryController};
+
+/// PTE flag: entry is valid.
+pub const PTE_FLAG_PRESENT: u64 = 1 << 0;
+/// PTE flag: writable.
+pub const PTE_FLAG_WRITE: u64 = 1 << 1;
+/// PTE flag: user-accessible.
+pub const PTE_FLAG_USER: u64 = 1 << 2;
+
+/// Bit offset of the frame number within a PTE (mirrors the 4 KiB shift of
+/// x86-64 PTEs; frame numbers occupy bits 12..=39 here).
+pub const PTE_PFN_SHIFT: u32 = 12;
+/// Number of frame-number bits in a PTE.
+pub const PTE_PFN_BITS: u32 = 28;
+
+/// A decoded page-table entry.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_attack::vm::Pte;
+/// let pte = Pte::new(0x1234, true);
+/// assert_eq!(pte.frame(), 0x1234);
+/// assert!(pte.writable());
+/// let raw = pte.to_raw();
+/// assert_eq!(Pte::from_raw(raw), pte);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pte {
+    frame: u64,
+    flags: u64,
+}
+
+impl Pte {
+    /// Creates a present, user PTE for `frame`.
+    pub fn new(frame: u64, writable: bool) -> Self {
+        let mut flags = PTE_FLAG_PRESENT | PTE_FLAG_USER;
+        if writable {
+            flags |= PTE_FLAG_WRITE;
+        }
+        Self { frame: frame & ((1 << PTE_PFN_BITS) - 1), flags }
+    }
+
+    /// Decodes a raw 64-bit entry.
+    pub fn from_raw(raw: u64) -> Self {
+        Self {
+            frame: (raw >> PTE_PFN_SHIFT) & ((1 << PTE_PFN_BITS) - 1),
+            flags: raw & ((1 << PTE_PFN_SHIFT) - 1),
+        }
+    }
+
+    /// Encodes to a raw 64-bit entry.
+    pub fn to_raw(self) -> u64 {
+        (self.frame << PTE_PFN_SHIFT) | self.flags
+    }
+
+    /// The physical frame number.
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// Whether the entry is present.
+    pub fn present(&self) -> bool {
+        self.flags & PTE_FLAG_PRESENT != 0
+    }
+
+    /// Whether the mapping is writable.
+    pub fn writable(&self) -> bool {
+        self.flags & PTE_FLAG_WRITE != 0
+    }
+}
+
+/// Frame-granular view of the simulated memory: frame `f` is row
+/// `f % rows` of bank `f / rows`.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_attack::vm::VirtualMemory;
+/// use densemem_ctrl::MemoryController;
+/// use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+/// use densemem_dram::module::RowRemap;
+///
+/// let profile = VintageProfile::new(Manufacturer::A, 2013);
+/// let module = Module::new(2, BankGeometry::small(), profile, RowRemap::Identity, 4);
+/// let ctrl = MemoryController::new(module, Default::default());
+/// let mut vm = VirtualMemory::new(ctrl);
+/// assert_eq!(vm.frame_count(), 2048);
+/// assert_eq!(vm.frame_location(1500), (1, 476));
+/// ```
+#[derive(Debug)]
+pub struct VirtualMemory {
+    ctrl: MemoryController,
+    rows_per_bank: usize,
+    banks: usize,
+}
+
+impl VirtualMemory {
+    /// Wraps a controller into a frame-granular memory.
+    pub fn new(ctrl: MemoryController) -> Self {
+        let rows_per_bank = ctrl.module().bank(0).geometry().rows();
+        let banks = ctrl.module().bank_count();
+        Self { ctrl, rows_per_bank, banks }
+    }
+
+    /// Total frames.
+    pub fn frame_count(&self) -> usize {
+        self.rows_per_bank * self.banks
+    }
+
+    /// Words per frame (one DRAM row).
+    pub fn words_per_frame(&self) -> usize {
+        self.ctrl.module().bank(0).geometry().words_per_row()
+    }
+
+    /// The `(bank, row)` a frame occupies.
+    pub fn frame_location(&self, frame: usize) -> (usize, usize) {
+        (frame / self.rows_per_bank, frame % self.rows_per_bank)
+    }
+
+    /// The frame at `(bank, row)`.
+    pub fn frame_at(&self, bank: usize, row: usize) -> usize {
+        bank * self.rows_per_bank + row
+    }
+
+    /// Writes `pte` into slot `index` of the page-table page in `pt_frame`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] for invalid locations.
+    pub fn write_pte(&mut self, pt_frame: usize, index: usize, pte: Pte) -> Result<(), CtrlError> {
+        let (bank, row) = self.frame_location(pt_frame);
+        self.ctrl.write(bank, row, index, pte.to_raw())
+    }
+
+    /// Reads the PTE at slot `index` of the page table in `pt_frame`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] for invalid locations.
+    pub fn read_pte(&mut self, pt_frame: usize, index: usize) -> Result<Pte, CtrlError> {
+        let (bank, row) = self.frame_location(pt_frame);
+        Ok(Pte::from_raw(self.ctrl.read(bank, row, index)?))
+    }
+
+    /// Reads the PTE without a DRAM access timing cost but *with* physics
+    /// committed (an end-of-window inspection by the attacker's scan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] for invalid locations.
+    pub fn inspect_pte(&mut self, pt_frame: usize, index: usize) -> Result<Pte, CtrlError> {
+        let (bank, row) = self.frame_location(pt_frame);
+        let now = self.ctrl.now_ns();
+        let data = self.ctrl.module_mut().inspect_row(bank, row, now)?;
+        Ok(Pte::from_raw(data[index]))
+    }
+
+    /// The underlying controller.
+    pub fn ctrl(&self) -> &MemoryController {
+        &self.ctrl
+    }
+
+    /// Mutable access to the controller (the attacker's access path).
+    pub fn ctrl_mut(&mut self) -> &mut MemoryController {
+        &mut self.ctrl
+    }
+
+    /// Consumes the VM, returning the controller.
+    pub fn into_ctrl(self) -> MemoryController {
+        self.ctrl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemem_dram::module::RowRemap;
+    use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+
+    fn vm() -> VirtualMemory {
+        let profile = VintageProfile::new(Manufacturer::B, 2012);
+        let module = Module::new(2, BankGeometry::small(), profile, RowRemap::Identity, 9);
+        VirtualMemory::new(MemoryController::new(module, Default::default()))
+    }
+
+    #[test]
+    fn pte_roundtrip_and_flags() {
+        let p = Pte::new(0xABC, false);
+        assert!(p.present());
+        assert!(!p.writable());
+        assert_eq!(Pte::from_raw(p.to_raw()), p);
+        let w = Pte::new(0xABC, true);
+        assert!(w.writable());
+    }
+
+    #[test]
+    fn pte_frame_masking() {
+        let p = Pte::new(u64::MAX, true);
+        assert_eq!(p.frame(), (1 << PTE_PFN_BITS) - 1);
+    }
+
+    #[test]
+    fn frame_location_roundtrip() {
+        let vm = vm();
+        for f in [0usize, 1, 1023, 1024, 2047] {
+            let (b, r) = vm.frame_location(f);
+            assert_eq!(vm.frame_at(b, r), f);
+        }
+    }
+
+    #[test]
+    fn pte_storage_in_dram() {
+        let mut vm = vm();
+        vm.ctrl_mut().fill(0);
+        let pte = Pte::new(77, true);
+        vm.write_pte(1500, 3, pte).unwrap();
+        assert_eq!(vm.read_pte(1500, 3).unwrap(), pte);
+        assert_eq!(vm.inspect_pte(1500, 3).unwrap(), pte);
+    }
+
+    #[test]
+    fn out_of_range_frame_errors() {
+        let mut vm = vm();
+        assert!(vm.write_pte(99_999, 0, Pte::new(0, false)).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Benign request-trace generators for false-positive and throughput
+//! studies.
+
+use densemem_ctrl::{MemRequest, RequestKind};
+use densemem_stats::rng::substream;
+use rand::Rng;
+
+/// A sequential streaming trace: walks rows (and words within rows) in
+/// order — the memory behaviour of a well-blocked kernel like `memcpy`.
+///
+/// # Examples
+///
+/// ```
+/// let t = densemem_attack::workloads::sequential_trace(100, 2, 64, 128, 10);
+/// assert_eq!(t.len(), 100);
+/// assert!(t.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
+/// ```
+pub fn sequential_trace(
+    n: usize,
+    banks: usize,
+    rows: usize,
+    words: usize,
+    gap_ns: u64,
+) -> Vec<MemRequest> {
+    (0..n)
+        .map(|i| {
+            let word = i % words;
+            let row = (i / words) % rows;
+            let bank = (i / (words * rows)) % banks;
+            MemRequest {
+                arrival_ns: i as u64 * gap_ns,
+                bank,
+                row,
+                word,
+                kind: RequestKind::Read,
+            }
+        })
+        .collect()
+}
+
+/// A uniformly random trace (pointer chasing over a large working set).
+pub fn random_trace(
+    n: usize,
+    banks: usize,
+    rows: usize,
+    words: usize,
+    gap_ns: u64,
+    seed: u64,
+) -> Vec<MemRequest> {
+    let mut rng = substream(seed, 0xBE19);
+    (0..n)
+        .map(|i| MemRequest {
+            arrival_ns: i as u64 * gap_ns,
+            bank: rng.gen_range(0..banks),
+            row: rng.gen_range(0..rows),
+            word: rng.gen_range(0..words),
+            kind: if rng.gen_bool(0.3) {
+                RequestKind::Write(rng.gen())
+            } else {
+                RequestKind::Read
+            },
+        })
+        .collect()
+}
+
+/// A hot-row trace: `hot_fraction` of accesses go to a handful of hot rows
+/// (locks, queue heads), the rest are random — the benign workload most
+/// likely to trip a naive hammering detector.
+pub fn zipf_hot_trace(
+    n: usize,
+    banks: usize,
+    rows: usize,
+    words: usize,
+    gap_ns: u64,
+    hot_fraction: f64,
+    seed: u64,
+) -> Vec<MemRequest> {
+    assert!((0.0..=1.0).contains(&hot_fraction), "hot_fraction must be in [0,1]");
+    let mut rng = substream(seed, 0x21BF);
+    let hot_rows: Vec<usize> = (0..4).map(|_| rng.gen_range(0..rows)).collect();
+    (0..n)
+        .map(|i| {
+            let row = if rng.gen_bool(hot_fraction) {
+                hot_rows[rng.gen_range(0..hot_rows.len())]
+            } else {
+                rng.gen_range(0..rows)
+            };
+            MemRequest {
+                arrival_ns: i as u64 * gap_ns,
+                bank: rng.gen_range(0..banks),
+                row,
+                word: rng.gen_range(0..words),
+                kind: RequestKind::Read,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_covers_rows_in_order() {
+        let t = sequential_trace(300, 1, 8, 128, 5);
+        assert_eq!(t[0].row, 0);
+        assert_eq!(t[128].row, 1);
+        assert!(t.iter().all(|r| r.bank == 0));
+    }
+
+    #[test]
+    fn random_trace_is_deterministic_per_seed() {
+        let a = random_trace(50, 2, 64, 128, 5, 9);
+        let b = random_trace(50, 2, 64, 128, 5, 9);
+        let c = random_trace(50, 2, 64, 128, 5, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_rows() {
+        let t = zipf_hot_trace(10_000, 1, 1024, 128, 5, 0.8, 3);
+        let mut counts = std::collections::HashMap::new();
+        for r in &t {
+            *counts.entry(r.row).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        assert!(max > 1000, "hot row should dominate: {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_fraction")]
+    fn zipf_validates_fraction() {
+        let _ = zipf_hot_trace(10, 1, 8, 8, 1, 1.5, 1);
+    }
+}

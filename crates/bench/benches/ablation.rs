@@ -1,0 +1,89 @@
+//! Criterion ablation: the lazy charge-loss design choice.
+//!
+//! DESIGN.md's core performance decision is lazy evaluation — activation
+//! cost must stay flat as the weak-cell population grows, because pending
+//! physics is only committed on the touched row. This bench pins that:
+//! hammering cost vs vintage (weak-cell density) and vs page policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use densemem_ctrl::controller::{ControllerConfig, MemoryController, PagePolicy};
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+
+fn bench_density_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_weak_cell_density");
+    group.sample_size(10);
+    const ITERS: u64 = 20_000;
+    // 2008 has ~14x fewer disturbance candidates than 2013(C); lazy
+    // evaluation should make the activation cost near-identical.
+    for (name, mfr, year) in [
+        ("sparse_2008_B", Manufacturer::B, 2008u32),
+        ("dense_2013_C", Manufacturer::C, 2013),
+    ] {
+        group.throughput(Throughput::Elements(2 * ITERS));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(mfr, year), |b, &(m, y)| {
+            b.iter_batched(
+                || {
+                    let profile = VintageProfile::new(m, y);
+                    let module =
+                        Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 9);
+                    let mut ctrl = MemoryController::new(module, Default::default());
+                    ctrl.fill(0xFF);
+                    ctrl
+                },
+                |mut ctrl| {
+                    for _ in 0..ITERS {
+                        ctrl.touch(0, 100).expect("valid");
+                        ctrl.touch(0, 102).expect("valid");
+                    }
+                    ctrl
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_page_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_page_policy");
+    group.sample_size(10);
+    const ITERS: u64 = 20_000;
+    for policy in [PagePolicy::Open, PagePolicy::Closed] {
+        group.throughput(Throughput::Elements(2 * ITERS));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                b.iter_batched(
+                    || {
+                        let profile = VintageProfile::new(Manufacturer::A, 2013);
+                        let module = Module::new(
+                            1,
+                            BankGeometry::small(),
+                            profile,
+                            RowRemap::Identity,
+                            9,
+                        );
+                        let cfg = ControllerConfig { page_policy: p, ..Default::default() };
+                        let mut ctrl = MemoryController::new(module, cfg);
+                        ctrl.fill(0xFF);
+                        ctrl
+                    },
+                    |mut ctrl| {
+                        for _ in 0..ITERS {
+                            ctrl.touch(0, 100).expect("valid");
+                            ctrl.touch(0, 102).expect("valid");
+                        }
+                        ctrl
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density_scaling, bench_page_policy);
+criterion_main!(benches);

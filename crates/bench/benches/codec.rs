@@ -1,0 +1,32 @@
+//! Criterion: SECDED (72,64) encode/decode throughput — the cost a
+//! controller pays per 64-bit word for the paper's second countermeasure.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use densemem_ecc::hamming::Secded7264;
+
+fn bench_codec(c: &mut Criterion) {
+    let code = Secded7264::new();
+    let mut group = c.benchmark_group("secded");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("encode", |b| {
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(code.encode(x))
+        });
+    });
+    group.bench_function("decode_clean", |b| {
+        let cw = code.encode(0xDEAD_BEEF_CAFE_F00D);
+        b.iter(|| std::hint::black_box(code.decode(std::hint::black_box(cw))));
+    });
+    group.bench_function("decode_correct_one", |b| {
+        let cw = code.encode(0xDEAD_BEEF_CAFE_F00D) ^ (1u128 << 17);
+        b.iter(|| std::hint::black_box(code.decode(std::hint::black_box(cw))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: flash block operation throughput (program/read/RFR), sizing
+//! the Monte Carlo experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use densemem_flash::block::FlashBlock;
+use densemem_flash::rfr::{recover_single_read, RfrConfig};
+use densemem_flash::FlashParams;
+
+fn bench_flash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash_ops");
+    group.sample_size(10);
+    let cells = 4096usize;
+    let lsb = vec![0x5Au8; cells / 8];
+    let msb = vec![0xA5u8; cells / 8];
+
+    group.throughput(Throughput::Elements(cells as u64));
+    group.bench_function("program_wordline", |b| {
+        b.iter_batched(
+            || FlashBlock::new(FlashParams::mlc_1x_nm(), 4, cells, 7),
+            |mut blk| {
+                blk.program_wordline(1, &lsb, &msb).expect("valid");
+                blk
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    let mut aged = FlashBlock::new(FlashParams::mlc_1x_nm(), 4, cells, 8);
+    aged.cycle_to(5000);
+    aged.program_wordline(1, &lsb, &msb).expect("valid");
+    aged.advance_hours(24.0 * 90.0);
+    group.bench_function("read_wordline", |b| {
+        b.iter(|| std::hint::black_box(aged.read_wordline(1).expect("valid")));
+    });
+    group.bench_function("rfr_single_read", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                recover_single_read(&aged, 1, 24.0 * 90.0, RfrConfig::default())
+                    .expect("valid"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flash);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: raw hammering throughput through the controller (the
+//! simulator's hot path) for each attack pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_ctrl::controller::MemoryController;
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+
+fn controller() -> MemoryController {
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 11);
+    MemoryController::new(module, Default::default())
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hammer_kernel");
+    group.sample_size(10);
+    const ITERS: u64 = 20_000;
+    for (name, pattern) in [
+        ("double_sided", HammerPattern::double_sided(0, 301)),
+        ("single_sided", HammerPattern::single_sided(0, 300, 700)),
+        ("many_sided_8", HammerPattern::many_sided(0, 300, 8)),
+    ] {
+        group.throughput(Throughput::Elements(ITERS * pattern.rows().len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pattern, |b, p| {
+            b.iter_batched(
+                || {
+                    let mut ctrl = controller();
+                    ctrl.fill(0xFF);
+                    ctrl
+                },
+                |mut ctrl| {
+                    let k = HammerKernel::new(p.clone(), AccessMode::Read);
+                    k.run(&mut ctrl, ITERS).expect("valid pattern");
+                    ctrl
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion: per-access cost of each mitigation — the measured side of
+//! the paper's "PARA has negligible overhead" argument (E4/E5 ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_ctrl::anvil::{AnvilConfig, AnvilDetector};
+use densemem_ctrl::controller::MemoryController;
+use densemem_ctrl::mitigation::{Cra, Mitigation, NoMitigation, Para, TrrSampler};
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+
+fn controller(m: Box<dyn Mitigation>) -> MemoryController {
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 22);
+    MemoryController::new(module, Default::default()).with_mitigation(m)
+}
+
+fn bench_mitigations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mitigation_overhead");
+    group.sample_size(10);
+    const ITERS: u64 = 20_000;
+    type Factory = fn() -> Box<dyn Mitigation>;
+    let factories: Vec<(&str, Factory)> = vec![
+        ("none", || Box::new(NoMitigation)),
+        ("para_0.001", || Box::new(Para::new(0.001, 3).expect("valid"))),
+        ("cra_100k", || Box::new(Cra::new(100_000).expect("valid"))),
+        ("trr_sampler", || Box::new(TrrSampler::new(0.01, 64, 3).expect("valid"))),
+        ("anvil", || Box::new(AnvilDetector::new(AnvilConfig::default()))),
+    ];
+    for (name, factory) in factories {
+        group.throughput(Throughput::Elements(ITERS * 2));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &factory, |b, f| {
+            b.iter_batched(
+                || {
+                    let mut ctrl = controller(f());
+                    ctrl.fill(0xFF);
+                    ctrl
+                },
+                |mut ctrl| {
+                    let k = HammerKernel::new(
+                        HammerPattern::double_sided(0, 301),
+                        AccessMode::Read,
+                    );
+                    k.run(&mut ctrl, ITERS).expect("valid pattern");
+                    ctrl
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mitigations);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion: Figure 1 population generation and the refresh sweep — the
+//! cost of regenerating the paper's figure from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use densemem_dram::ModulePopulation;
+
+fn bench_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population");
+    group.sample_size(20);
+    group.bench_function("standard_129_modules", |b| {
+        b.iter(|| std::hint::black_box(ModulePopulation::standard(0xF161)));
+    });
+    let pop = ModulePopulation::standard(0xF161);
+    group.bench_function("refresh_multiplier_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for m in [1.0, 2.0, 4.0, 7.0] {
+                total += pop.total_errors_at_multiplier(m);
+            }
+            std::hint::black_box(total)
+        });
+    });
+    group.bench_function("fig1_series", |b| {
+        b.iter(|| std::hint::black_box(pop.fig1_series()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_population);
+criterion_main!(benches);

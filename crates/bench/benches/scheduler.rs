@@ -1,0 +1,41 @@
+//! Criterion: FR-FCFS scheduling throughput over benign traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use densemem_attack::workloads::{random_trace, sequential_trace, zipf_hot_trace};
+use densemem_ctrl::controller::MemoryController;
+use densemem_ctrl::scheduler::FrFcfsScheduler;
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+
+fn controller() -> MemoryController {
+    let profile = VintageProfile::new(Manufacturer::B, 2012);
+    let module = Module::new(2, BankGeometry::small(), profile, RowRemap::Identity, 33);
+    MemoryController::new(module, Default::default())
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+    const N: usize = 20_000;
+    let traces = [
+        ("sequential", sequential_trace(N, 2, 1024, 128, 10)),
+        ("random", random_trace(N, 2, 1024, 128, 10, 5)),
+        ("hot_row", zipf_hot_trace(N, 2, 1024, 128, 10, 0.8, 6)),
+    ];
+    for (name, trace) in traces {
+        group.throughput(Throughput::Elements(N as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, t| {
+            b.iter_batched(
+                || (controller(), t.clone()),
+                |(mut ctrl, reqs)| {
+                    FrFcfsScheduler::new(32).run(reqs, &mut ctrl).expect("valid trace")
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates experiment E11 at full scale (pass --quick for CI scale).
+
+fn main() {
+    densemem_bench::finish(densemem::experiments::e11::run(densemem_bench::scale_from_args()));
+}

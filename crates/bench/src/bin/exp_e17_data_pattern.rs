@@ -1,0 +1,5 @@
+//! Regenerates experiment E17 at full scale (pass --quick for CI scale).
+
+fn main() {
+    densemem_bench::finish(densemem::experiments::e17::run(densemem_bench::scale_from_args()));
+}

@@ -1,0 +1,65 @@
+//! Runs every experiment (E1–E25) and prints a one-line verdict per
+//! claim, followed by the full reports. Pass `--quick` for CI scale.
+//!
+//! This is the single command that regenerates the paper: every figure
+//! and quantitative claim, with PASS/FAIL against the paper's numbers.
+
+use densemem::experiments::{self, ExperimentResult, Scale};
+
+fn main() {
+    let scale = densemem_bench::scale_from_args();
+    type Runner = fn(Scale) -> ExperimentResult;
+    let runners: Vec<(&str, Runner)> = vec![
+        ("E1", experiments::e1::run),
+        ("E2", experiments::e2::run),
+        ("E3", experiments::e3::run),
+        ("E4", experiments::e4::run),
+        ("E5", experiments::e5::run),
+        ("E6", experiments::e6::run),
+        ("E7", experiments::e7::run),
+        ("E8", experiments::e8::run),
+        ("E9", experiments::e9::run),
+        ("E10", experiments::e10::run),
+        ("E11", experiments::e11::run),
+        ("E12", experiments::e12::run),
+        ("E13", experiments::e13::run),
+        ("E14", experiments::e14::run),
+        ("E15", experiments::e15::run),
+        ("E16", experiments::e16::run),
+        ("E17", experiments::e17::run),
+        ("E18", experiments::e18::run),
+        ("E19", experiments::e19::run),
+        ("E20", experiments::e20::run),
+        ("E21", experiments::e21::run),
+        ("E22", experiments::e22::run),
+        ("E23", experiments::e23::run),
+        ("E24", experiments::e24::run),
+        ("E25", experiments::e25::run),
+    ];
+    let mut reports = Vec::new();
+    let mut failed = 0;
+    for (id, run) in runners {
+        let start = std::time::Instant::now();
+        let result = run(scale);
+        let ok = result.all_claims_pass();
+        println!(
+            "[{}] {:<4} {:<66} ({:.1}s)",
+            if ok { "PASS" } else { "FAIL" },
+            id,
+            result.title,
+            start.elapsed().as_secs_f64()
+        );
+        if !ok {
+            failed += 1;
+        }
+        reports.push(result);
+    }
+    println!("\n================ full reports ================\n");
+    for r in &reports {
+        println!("{}", r.render());
+    }
+    if failed > 0 {
+        eprintln!("{failed} experiment(s) failed their claims");
+        std::process::exit(1);
+    }
+}

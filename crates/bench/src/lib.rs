@@ -1,0 +1,34 @@
+//! Harness glue for the experiment binaries and criterion benches.
+//!
+//! Every table and figure of the paper has a binary under `src/bin/`
+//! (`exp_e1_fig1` … `exp_e14_refresh_cost`) that regenerates it at full
+//! scale and prints the result as an ASCII report plus CSV. Pass
+//! `--quick` for the reduced CI scale.
+//!
+//! The criterion benches under `benches/` measure the simulator itself
+//! (kernel issue rate, scheduler, codec and flash throughput) and the
+//! per-access cost of each mitigation — the "negligible overhead" claims.
+
+use densemem::experiments::{ExperimentResult, Scale};
+use densemem::report::render_csv;
+
+/// Parses the common `--quick` flag.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    }
+}
+
+/// Prints the full report and CSV for an experiment and exits non-zero if
+/// any claim failed.
+pub fn finish(result: ExperimentResult) {
+    println!("{}", result.render());
+    println!("--- CSV ---");
+    println!("{}", render_csv(&result));
+    if !result.all_claims_pass() {
+        eprintln!("{}: some claims FAILED", result.id);
+        std::process::exit(1);
+    }
+}

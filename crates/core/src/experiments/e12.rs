@@ -1,0 +1,101 @@
+//! E12 — Read-disturb susceptibility varies widely between cells, and
+//! neighbour-cell-assisted correction (NAC) recovers interference errors.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use densemem_flash::analytic::read_disturb_ber;
+use densemem_flash::block::FlashBlock;
+use densemem_flash::nac::read_with_nac;
+use densemem_flash::FlashParams;
+use densemem_stats::summary::Summary;
+use densemem_stats::table::{Cell, Table};
+
+/// Runs E12.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E12",
+        "Read-disturb variation and neighbour-cell-assisted correction",
+    );
+    let p = FlashParams::mlc_1x_nm();
+
+    // BER vs read count (analytic).
+    let mut t = Table::new("read-disturb BER vs reads (3K P/E)", &["reads", "ber"]);
+    let mut last = 0.0;
+    let mut monotone = true;
+    for reads in [1_000u64, 10_000, 100_000, 500_000, 1_000_000] {
+        let ber = read_disturb_ber(&p, 3_000, reads);
+        monotone &= ber >= last;
+        last = ber;
+        t.row(vec![Cell::Uint(reads), Cell::Sci(ber)]);
+    }
+    result.tables.push(t);
+
+    // Susceptibility variation (ground truth of the Monte Carlo block).
+    let cells = scale.pick(8192usize, 4096);
+    let b = FlashBlock::new(p, 4, cells, 1212);
+    let s = Summary::from_iter((0..cells).map(|c| b.susceptibility(1, c)));
+    let spread = s.percentile(99.0) / s.percentile(50.0).max(1e-12);
+    let mut v = Table::new(
+        "per-cell read-disturb susceptibility distribution",
+        &["p50", "p90", "p99", "max", "p99_over_p50"],
+    );
+    v.row(vec![
+        Cell::Float(s.percentile(50.0)),
+        Cell::Float(s.percentile(90.0)),
+        Cell::Float(s.percentile(99.0)),
+        Cell::Float(s.max()),
+        Cell::Float(spread),
+    ]);
+    result.tables.push(v);
+
+    // NAC on an interference-heavy block.
+    let params = FlashParams { interference_coupling: 0.14, ..p };
+    let mut blk = FlashBlock::new(params, 4, cells, 1213);
+    blk.cycle_to(6_000);
+    let lsb = vec![0x6Bu8; cells / 8];
+    let msb = vec![0x94u8; cells / 8];
+    blk.program_wordline(1, &lsb, &msb).expect("valid geometry");
+    let hi_lsb = vec![0xFFu8; cells / 8];
+    let hi_msb = vec![0x00u8; cells / 8];
+    blk.program_wordline(0, &hi_lsb, &hi_msb).expect("valid geometry");
+    blk.program_wordline(2, &hi_lsb, &hi_msb).expect("valid geometry");
+    let (rl, rm) = blk.read_wordline(1).expect("valid wordline");
+    let plain = FlashBlock::count_errors(&rl, &lsb) + FlashBlock::count_errors(&rm, &msb);
+    let (nl, nm) = read_with_nac(&blk, 1).expect("valid wordline");
+    let nac = FlashBlock::count_errors(&nl, &lsb) + FlashBlock::count_errors(&nm, &msb);
+
+    let mut n = Table::new("NAC on an interference-heavy wordline", &["read", "bit_errors"]);
+    n.row(vec![Cell::from("plain"), Cell::Uint(plain as u64)]);
+    n.row(vec![Cell::from("with NAC"), Cell::Uint(nac as u64)]);
+    result.tables.push(n);
+
+    result.claims.push(ClaimCheck::new(
+        "read-disturb errors grow with read count",
+        "monotone",
+        "see table".to_owned(),
+        monotone && last > 0.0,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "cells vary widely in read-disturb susceptibility",
+        "wide variation (DSN'15)",
+        format!("p99/p50 = {spread:.1}"),
+        spread > 4.0,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "NAC substantially reduces interference errors",
+        "significant reduction (SIGMETRICS'14)",
+        format!("{plain} -> {nac}"),
+        plain > 0 && (nac as f64) < 0.6 * plain as f64,
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+}

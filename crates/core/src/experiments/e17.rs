@@ -1,0 +1,117 @@
+//! E17 — Data-pattern dependence of RowHammer (the ISCA'14 analysis the
+//! paper's footnote 3 references): the stressing pattern (aggressor bits
+//! opposite the victim's) flips far more cells than the solid pattern, and
+//! distance-2 aggressors contribute a weak secondary coupling.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_ctrl::controller::MemoryController;
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+use densemem_stats::table::{Cell, Table};
+
+/// Hammers a block of victims with the given aggressor fill byte and
+/// returns (distance-1 victim flips, distance-2 victim flips).
+fn hammer_with_pattern(
+    aggressor_byte: Option<u8>,
+    scale: Scale,
+    seed: u64,
+) -> (usize, usize) {
+    let profile = VintageProfile::new(Manufacturer::C, 2013);
+    let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, seed);
+    let mut ctrl = MemoryController::new(module, Default::default());
+    ctrl.fill(0xFF);
+    // 16 double-sided sites: aggressors (v-1, v+1) for v = 101, 109, ...
+    let victims: Vec<usize> = (0..16).map(|i| 101 + 8 * i).collect();
+    if let Some(byte) = aggressor_byte {
+        let w = u64::from_ne_bytes([byte; 8]);
+        for &v in &victims {
+            ctrl.module_mut().bank_mut(0).fill_row(v - 1, w, 0).expect("row in range");
+            ctrl.module_mut().bank_mut(0).fill_row(v + 1, w, 0).expect("row in range");
+        }
+    }
+    for &v in &victims {
+        let k = HammerKernel::new(HammerPattern::double_sided(0, v), AccessMode::Read);
+        k.run(&mut ctrl, scale.iters(660_000, 2)).expect("valid pattern");
+    }
+    let flips = ctrl.scan_flips();
+    let d1 = flips
+        .iter()
+        .filter(|&&(_, row, _, _)| victims.contains(&row))
+        .count();
+    let d2 = flips
+        .iter()
+        .filter(|&&(_, row, _, _)| {
+            victims.iter().any(|&v| row == v - 3 || row == v + 3)
+        })
+        .count();
+    (d1, d2)
+}
+
+/// Runs E17.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E17",
+        "Data-pattern dependence: stress patterns flip far more cells",
+    );
+    // Solid: aggressors hold the same data as victims (0xFF everywhere).
+    let (solid_d1, _) = hammer_with_pattern(None, scale, 1700);
+    // RowStripe: aggressors hold the inverse (0x00 vs victims' 0xFF).
+    let (stripe_d1, stripe_d2) = hammer_with_pattern(Some(0x00), scale, 1700);
+    // Checkerboard: aggressors hold 0xAA (half the bits stress).
+    let (checker_d1, _) = hammer_with_pattern(Some(0xAA), scale, 1700);
+
+    let mut t = Table::new(
+        "victim flips by data pattern (16 double-sided sites, identical module)",
+        &["pattern", "aggressor_data", "distance1_flips", "distance2_flips"],
+    );
+    t.row(vec![
+        Cell::from("solid"),
+        Cell::from("same as victim"),
+        Cell::Uint(solid_d1 as u64),
+        Cell::from("-"),
+    ]);
+    t.row(vec![
+        Cell::from("rowstripe (worst case)"),
+        Cell::from("inverse of victim"),
+        Cell::Uint(stripe_d1 as u64),
+        Cell::Uint(stripe_d2 as u64),
+    ]);
+    t.row(vec![
+        Cell::from("checkerboard"),
+        Cell::from("alternating"),
+        Cell::Uint(checker_d1 as u64),
+        Cell::from("-"),
+    ]);
+    result.tables.push(t);
+
+    result.claims.push(ClaimCheck::new(
+        "RowHammer errors are data-pattern dependent",
+        "stress pattern >> solid pattern (ISCA'14)",
+        format!("rowstripe {stripe_d1} vs solid {solid_d1}"),
+        stripe_d1 > 2 * solid_d1.max(1) || (solid_d1 == 0 && stripe_d1 > 2),
+    ));
+    result.claims.push(ClaimCheck::new(
+        "checkerboard sits between solid and rowstripe",
+        "intermediate",
+        format!("solid {solid_d1} <= checker {checker_d1} <= stripe {stripe_d1}"),
+        solid_d1 <= checker_d1 && checker_d1 <= stripe_d1,
+    ));
+    result.notes.push(
+        "distance-2 victims see only 15% coupling, so their flips require the \
+         weakest cells; zero distance-2 flips at this scale is expected"
+            .to_owned(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e17_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+}

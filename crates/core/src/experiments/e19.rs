@@ -1,0 +1,87 @@
+//! E19 — Emerging memories inherit the same density-vs-reliability trade
+//! (§III): MLC PCM resistance drift corrupts data over time, gets worse
+//! with more levels per cell, and is mitigated by a drift-aware
+//! controller — the PCM analogue of the paper's assumed-faulty-chip +
+//! intelligent-controller thesis.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use densemem_pcm::array::PcmArray;
+use densemem_pcm::cell::drift_ber;
+use densemem_pcm::PcmParams;
+use densemem_stats::table::{Cell, Table};
+
+/// Runs E19.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E19",
+        "PCM resistance drift: denser cells fail sooner; drift-aware reads recover",
+    );
+
+    // Analytic BER vs time and density.
+    let mut t = Table::new(
+        "drift BER vs time (analytic)",
+        &["levels", "1_minute", "1_day", "1_month", "1_month_time_aware"],
+    );
+    let month = 86_400.0 * 30.0;
+    for params in [PcmParams::mlc_4level(), PcmParams::mlc_8level()] {
+        t.row(vec![
+            Cell::Uint(u64::from(params.levels)),
+            Cell::Sci(drift_ber(&params, 60.0, false)),
+            Cell::Sci(drift_ber(&params, 86_400.0, false)),
+            Cell::Sci(drift_ber(&params, month, false)),
+            Cell::Sci(drift_ber(&params, month, true)),
+        ]);
+    }
+    result.tables.push(t);
+
+    // Monte Carlo cross-check on an 8-level array.
+    let cells = scale.pick(8192usize, 4096);
+    let mut a = PcmArray::new(PcmParams::mlc_8level(), 4, cells, 1900);
+    let data: Vec<u8> = (0..cells).map(|i| (i % 8) as u8).collect();
+    a.write_line(1, &data).expect("valid line");
+    a.advance_seconds(month);
+    let plain = PcmArray::count_level_errors(&a.read_line(1).expect("valid line"), &data);
+    let aware =
+        PcmArray::count_level_errors(&a.read_line_time_aware(1).expect("valid line"), &data);
+    let mut m = Table::new(
+        "Monte Carlo: 8-level line after one month",
+        &["read", "level_errors"],
+    );
+    m.row(vec![Cell::from("fixed thresholds"), Cell::Uint(plain as u64)]);
+    m.row(vec![Cell::from("drift-aware thresholds"), Cell::Uint(aware as u64)]);
+    result.tables.push(m);
+
+    let p4 = drift_ber(&PcmParams::mlc_4level(), month, false);
+    let p8 = drift_ber(&PcmParams::mlc_8level(), month, false);
+    result.claims.push(ClaimCheck::new(
+        "scaling to more levels per cell exacerbates reliability (§III)",
+        "denser worse",
+        format!("4-level {p4:.3e} vs 8-level {p8:.3e} BER at 1 month"),
+        p8 > 3.0 * p4,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "drift errors grow with time",
+        "monotone",
+        "see table".to_owned(),
+        drift_ber(&PcmParams::mlc_8level(), month, false)
+            > drift_ber(&PcmParams::mlc_8level(), 60.0, false),
+    ));
+    result.claims.push(ClaimCheck::new(
+        "an intelligent (drift-aware) controller recovers most errors",
+        "large reduction",
+        format!("{plain} -> {aware} level errors"),
+        plain > 20 && (aware as f64) < 0.5 * plain as f64,
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e19_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,94 @@
+//! E20 — Endurance as a security problem (§III): a malicious write stream
+//! kills an unprotected PCM line in seconds of wall-clock writes, and
+//! Start-Gap wear leveling (the paper's citation \[82\], "enhancing lifetime
+//! and security of phase change memories") restores near-ideal lifetime at
+//! ~1/ψ write overhead.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use densemem_pcm::array::PcmArray;
+use densemem_pcm::wear_leveling::wear_out_attack;
+use densemem_pcm::PcmParams;
+use densemem_stats::table::{Cell, Table};
+
+/// Runs E20.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E20",
+        "PCM wear-out attack vs Start-Gap wear leveling",
+    );
+    let lines = scale.pick(32usize, 16);
+    let cells = 64usize;
+
+    let run_attack = |psi: Option<u64>| {
+        let mut a = PcmArray::new(PcmParams::mlc_4level(), lines + 1, cells, 2000);
+        wear_out_attack(&mut a, lines, 5, psi, 100_000_000).expect("valid configuration")
+    };
+    let unprotected = run_attack(None);
+    let sg64 = run_attack(Some(64));
+    let sg256 = run_attack(Some(256));
+
+    let mut t = Table::new(
+        "malicious single-address write stream: writes to first line failure",
+        &["config", "writes_to_first_failure", "leveling_copies", "overhead"],
+    );
+    t.row(vec![
+        Cell::from("no wear leveling"),
+        Cell::Uint(unprotected.writes_to_first_failure),
+        Cell::Uint(0u64),
+        Cell::Float(0.0),
+    ]);
+    t.row(vec![
+        Cell::from("Start-Gap psi=64"),
+        Cell::Uint(sg64.writes_to_first_failure),
+        Cell::Uint(sg64.leveling_copies),
+        Cell::Float(1.0 / 64.0),
+    ]);
+    t.row(vec![
+        Cell::from("Start-Gap psi=256"),
+        Cell::Uint(sg256.writes_to_first_failure),
+        Cell::Uint(sg256.leveling_copies),
+        Cell::Float(1.0 / 256.0),
+    ]);
+    result.tables.push(t);
+
+    let gain = sg64.writes_to_first_failure as f64
+        / unprotected.writes_to_first_failure as f64;
+    let ideal = lines as f64 * PcmArray::ENDURANCE_MEDIAN;
+    result.claims.push(ClaimCheck::new(
+        "an attacker wears out an unprotected line in ~its endurance writes",
+        "fast failure",
+        format!("{} writes", unprotected.writes_to_first_failure),
+        (unprotected.writes_to_first_failure as f64) < 4.0 * PcmArray::ENDURANCE_MEDIAN,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "Start-Gap multiplies attack lifetime towards lines x endurance",
+        "~N x (MICRO'09)",
+        format!(
+            "{:.1}x gain; {:.0}% of ideal spreading",
+            gain,
+            100.0 * sg64.writes_to_first_failure as f64 / ideal
+        ),
+        gain > 4.0 && sg64.writes_to_first_failure as f64 > 0.4 * ideal,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "the leveling overhead is ~1/psi extra writes",
+        "1.6% at psi=64",
+        format!(
+            "{:.4} copies per demand write",
+            sg64.leveling_copies as f64 / sg64.writes_to_first_failure as f64
+        ),
+        (sg64.leveling_copies as f64 / sg64.writes_to_first_failure as f64) < 0.02,
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e20_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,95 @@
+//! E23 — The large-scale field view (§IV's second data source, and the
+//! paper's field-study citations [76, 94–96]): in a simulated fleet built
+//! from the module population, memory errors are heavily skewed — a small
+//! fraction of modules produces the vast majority of errors, which is why
+//! both small-scale controlled testing *and* field telemetry are needed.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::DEFAULT_SEED;
+use densemem_dram::ModulePopulation;
+use densemem_stats::dist::Poisson;
+use densemem_stats::rng::substream;
+use densemem_stats::table::{Cell, Table};
+
+/// Runs E23.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E23",
+        "Fleet field study: errors concentrate in a few bad modules",
+    );
+    // A fleet of servers, each drawing one module from the population
+    // (with replacement), running a month at a field stress level equal to
+    // a small fraction of the worst-case test exposure.
+    let pop = ModulePopulation::standard(DEFAULT_SEED);
+    let servers = scale.pick(4000usize, 1000);
+    let mut rng = substream(DEFAULT_SEED, 0x2323);
+
+    // Field error intensity per module-month. Field workloads are far
+    // below adversarial stress, so only genuinely weak modules err at all:
+    // intensity grows superlinearly with the module's latent severity
+    // factor (weak cells cross field-level stress thresholds; strong
+    // modules only fail under worst-case exposure).
+    let base_rate_per_month = 5e-4;
+    let mut fleet_errors: Vec<u64> = Vec::with_capacity(servers);
+    for i in 0..servers {
+        let record = &pop.records()[(i * 37 + 11) % pop.len()];
+        let mean = base_rate_per_month * record.module_factor * record.module_factor;
+        let draw = Poisson::new(mean.min(1e9)).expect("finite mean").sample(&mut rng);
+        fleet_errors.push(draw);
+    }
+
+    let total: u64 = fleet_errors.iter().sum();
+    let affected = fleet_errors.iter().filter(|&&e| e > 0).count();
+    let mut sorted = fleet_errors.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let top1pct: u64 = sorted.iter().take(servers.div_ceil(100)).sum();
+    let top10pct: u64 = sorted.iter().take(servers.div_ceil(10)).sum();
+
+    let mut t = Table::new(
+        "one month of fleet telemetry",
+        &["servers", "servers_with_errors", "total_errors", "top1pct_share", "top10pct_share"],
+    );
+    t.row(vec![
+        Cell::Uint(servers as u64),
+        Cell::Uint(affected as u64),
+        Cell::Uint(total),
+        Cell::Float(top1pct as f64 / total.max(1) as f64),
+        Cell::Float(top10pct as f64 / total.max(1) as f64),
+    ]);
+    result.tables.push(t);
+
+    result.claims.push(ClaimCheck::new(
+        "a small fraction of machines sees memory errors at all",
+        "minority affected (DSN'15 field studies)",
+        format!("{affected} of {servers}"),
+        affected * 2 < servers,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "errors concentrate heavily in the worst modules",
+        "top 10% of servers >> 90% of errors",
+        format!(
+            "top 1%: {:.1}%, top 10%: {:.1}%",
+            100.0 * top1pct as f64 / total.max(1) as f64,
+            100.0 * top10pct as f64 / total.max(1) as f64
+        ),
+        total > 0 && top10pct as f64 > 0.9 * total as f64,
+    ));
+    result.notes.push(
+        "the skew comes straight from the log-normal module severity spread the \
+         controlled tests measured — small-scale and large-scale data tell one story \
+         (the paper's §IV methodological point)"
+            .to_owned(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e23_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+}

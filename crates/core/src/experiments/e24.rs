@@ -1,0 +1,93 @@
+//! E24 — "Multiple memory test programs have been augmented to test for
+//! RowHammer errors" (§II-B, citations \[80\] MemTest86 and \[8\]): the
+//! classic March C− test finds stuck-at faults but structurally cannot
+//! find RowHammer cells; the augmented hammer test finds them.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use densemem_dram::march::{hammer_march, march_c_minus, run_march};
+use densemem_dram::{Bank, BankGeometry, BitAddr, Manufacturer, Timing, VintageProfile};
+use densemem_stats::table::{Cell, Table};
+
+/// Runs E24.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E24",
+        "Classic march tests miss RowHammer; augmented tests find it",
+    );
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let rows = scale.pick(128usize, 64);
+    let geom = BankGeometry::new(rows, 16).expect("valid geometry");
+    let timing = Timing::ddr3_1600();
+
+    // Plant deterministic RowHammer cells the tests must find.
+    let planted = [
+        BitAddr { row: 10, word: 2, bit: 5 },
+        BitAddr { row: 31, word: 9, bit: 40 },
+        BitAddr { row: rows - 5, word: 0, bit: 63 },
+    ];
+    let make_bank = || {
+        let mut b = Bank::new(geom, &profile, 2400);
+        for &addr in &planted {
+            b.inject_disturb_cell(addr, 200_000.0).expect("address in range");
+        }
+        b
+    };
+
+    let mut b1 = make_bank();
+    let march_faults = run_march(&mut b1, &march_c_minus(), &timing).expect("valid rows");
+    let mut b2 = make_bank();
+    let hammer_faults =
+        hammer_march(&mut b2, &timing, scale.iters(150_000, 1)).expect("valid rows");
+    let found_planted = planted
+        .iter()
+        .filter(|&&p| hammer_faults.iter().any(|f| f.addr == p))
+        .count();
+
+    let mut t = Table::new(
+        "test coverage on a bank with 3 planted RowHammer cells",
+        &["test", "activations_per_row", "rowhammer_cells_found", "total_faults"],
+    );
+    t.row(vec![
+        Cell::from("March C- (classic)"),
+        Cell::from("~6"),
+        Cell::Uint(
+            planted
+                .iter()
+                .filter(|&&p| march_faults.iter().any(|f| f.addr == p))
+                .count() as u64,
+        ),
+        Cell::Uint(march_faults.len() as u64),
+    ]);
+    t.row(vec![
+        Cell::from("hammer-augmented"),
+        Cell::from("300000 per victim"),
+        Cell::Uint(found_planted as u64),
+        Cell::Uint(hammer_faults.len() as u64),
+    ]);
+    result.tables.push(t);
+
+    result.claims.push(ClaimCheck::new(
+        "classic march tests cannot trigger RowHammer (too few activations)",
+        "0 RowHammer cells found",
+        format!("{} faults, none at planted cells", march_faults.len()),
+        march_faults.is_empty(),
+    ));
+    result.claims.push(ClaimCheck::new(
+        "the augmented test finds the planted RowHammer cells",
+        "3 of 3",
+        format!("{found_planted} of {}", planted.len()),
+        found_planted == planted.len(),
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e24_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+}

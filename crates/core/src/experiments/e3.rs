@@ -1,0 +1,252 @@
+//! E3 — SECDED ECC is not enough: some ECC words / cache blocks collect
+//! two or more flips, which SECDED detects but cannot correct (and ≥3
+//! flips risk silent miscorrection).
+//!
+//! Two views:
+//! * analytic: expected multi-flip word counts on a full module at the
+//!   measured per-cell error rates;
+//! * Monte Carlo: a hammered bank's flips grouped into 64-bit words and
+//!   64-byte blocks, classified under no-ECC / SECDED / DEC-TED /
+//!   chipkill, plus a bit-level check through the real (72,64) codec.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_ctrl::controller::MemoryController;
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+use densemem_ecc::analysis::{classify_words, flips_per_cache_block, WordErrorHistogram};
+use densemem_ecc::hamming::{DecodeOutcome, Secded7264};
+use densemem_ecc::Capability;
+use densemem_stats::table::{Cell, Table};
+
+/// Expected number of words with exactly `k` flips, for `words` words of
+/// 64 bits at per-cell flip probability `p` (binomial, Poisson-accurate at
+/// these rates).
+fn expected_words_with(words: f64, p: f64, k: u32) -> f64 {
+    let lambda = 64.0 * p;
+    // Poisson pmf.
+    let mut pmf = (-lambda).exp();
+    for i in 1..=k {
+        pmf *= lambda / f64::from(i);
+    }
+    words * pmf
+}
+
+/// Runs E3.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E3",
+        "SECDED ECC cannot stop RowHammer: multi-bit words occur",
+    );
+
+    // Analytic view over a 4 GiB module at a 2013-like error rate.
+    let cells: f64 = 4.0 * 8.0 * 1024.0 * 1024.0 * 1024.0; // bits of a 4 GiB module
+    let words = cells / 64.0;
+    let mut t = Table::new(
+        "expected multi-flip 64-bit words on a 4 GiB module",
+        &["rate_per_1e9", "p_cell", "words_1_flip", "words_2_flips", "words_3_flips"],
+    );
+    let mut two_plus_at_high_rate = 0.0;
+    for rate in [1e3, 1e4, 1e5, 1e6] {
+        let p = rate / 1e9;
+        let w1 = expected_words_with(words, p, 1);
+        let w2 = expected_words_with(words, p, 2);
+        let w3 = expected_words_with(words, p, 3);
+        if rate >= 1e5 {
+            two_plus_at_high_rate += w2 + w3;
+        }
+        t.row(vec![
+            Cell::Sci(rate),
+            Cell::Sci(p),
+            Cell::Float(w1),
+            Cell::Float(w2),
+            Cell::Float(w3),
+        ]);
+    }
+    result.tables.push(t);
+
+    // Monte Carlo: hammer a set of victim rows of a dense 2013 bank and
+    // collect the real flip addresses. Iteration count stays at the full
+    // window (scaling it below the minimum hammer threshold would void the
+    // experiment); the quick scale hammers fewer victims instead.
+    let profile = VintageProfile::new(Manufacturer::C, 2013);
+    let mut module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 303);
+    // Clustered weak cells (same 64-bit word / same cache block), as the
+    // ISCA'14 tests observed in the densest modules.
+    for (row, word, bit, th) in [
+        (9usize, 5usize, 3u8, 250_000.0f64),
+        (9, 5, 44, 300_000.0),
+        (17, 7, 1, 260_000.0),
+        (17, 7, 9, 280_000.0),
+        (17, 7, 30, 350_000.0),
+        (25, 11, 60, 270_000.0),
+        (25, 12, 2, 320_000.0),
+    ] {
+        module
+            .bank_mut(0)
+            .inject_disturb_cell(densemem_dram::BitAddr { row, word, bit }, th)
+            .expect("address in range");
+    }
+    let mut ctrl = MemoryController::new(module, Default::default());
+    ctrl.fill(0xFF);
+    let victims: Vec<usize> = (1..1023).step_by(8).take(scale.pick(64, 16)).collect();
+    let iters = 660_000u64;
+    for &v in &victims {
+        // Stress aggressors.
+        ctrl.module_mut().bank_mut(0).fill_row(v - 1, 0, 0).unwrap();
+        ctrl.module_mut().bank_mut(0).fill_row(v + 1, 0, 0).unwrap();
+    }
+    for &v in &victims {
+        let k = HammerKernel::new(HammerPattern::double_sided(0, v), AccessMode::Read);
+        k.run(&mut ctrl, iters).expect("valid pattern");
+    }
+    let aggressors: std::collections::HashSet<usize> =
+        victims.iter().flat_map(|&v| [v - 1, v + 1]).collect();
+    let flips: Vec<(usize, usize, u8)> = ctrl
+        .scan_flips()
+        .into_iter()
+        .filter(|&(_, row, _, _)| !aggressors.contains(&row))
+        .map(|(_, row, word, bit)| (row, word, bit))
+        .collect();
+
+    let hist = WordErrorHistogram::from_flips(flips.iter().copied());
+    let mut h = Table::new(
+        "Monte Carlo flips per 64-bit word (hammered 2013 bank)",
+        &["flips_in_word", "words"],
+    );
+    for k in 1..=hist.max_flips_in_word() {
+        h.row(vec![Cell::Uint(k as u64), Cell::Uint(hist.words_with(k))]);
+    }
+    result.tables.push(h);
+
+    let blocks = flips_per_cache_block(flips.iter().copied());
+    let multi_block: u64 = blocks.iter().filter(|(k, _)| **k >= 2).map(|(_, v)| v).sum();
+
+    // Outcome classification under each code.
+    let mut c = Table::new(
+        "word outcomes by code",
+        &["code", "corrected", "detected_uncorrectable", "silent_risk", "overhead"],
+    );
+    let mut secded_unprotected = 0;
+    for cap in [Capability::none(), Capability::secded(), Capability::dec_ted(), Capability::chipkill()]
+    {
+        let out = classify_words(flips.iter().copied(), &cap);
+        if cap.kind() == densemem_ecc::CodeKind::Secded {
+            secded_unprotected = out.unprotected();
+        }
+        c.row(vec![
+            Cell::from(cap.kind().to_string()),
+            Cell::Uint(out.corrected),
+            Cell::Uint(out.detected_uncorrectable),
+            Cell::Uint(out.silent_risk),
+            Cell::Float(cap.storage_overhead()),
+        ]);
+    }
+    result.tables.push(c);
+
+    // Bit-level check through the real codec: encode the fill word, apply
+    // each multi-flip word's error pattern, decode.
+    let codec = Secded7264::new();
+    let mut double_detected = 0u64;
+    let mut per_word: std::collections::HashMap<(usize, usize), Vec<u8>> =
+        std::collections::HashMap::new();
+    for &(row, word, bit) in &flips {
+        per_word.entry((row, word)).or_default().push(bit);
+    }
+    for bits in per_word.values().filter(|b| b.len() == 2) {
+        // Flip the codeword positions that carry the affected data bits
+        // (the channel corrupts the stored codeword, not the data).
+        let cw = codec.encode(u64::MAX);
+        let mut corrupted = cw;
+        for &b in bits {
+            let pos = data_bit_position(b);
+            corrupted ^= 1u128 << pos;
+        }
+        if codec.decode(corrupted) == DecodeOutcome::DoubleDetected {
+            double_detected += 1;
+        }
+    }
+    let doubles = hist.multi_bit_words();
+
+    result.claims.push(ClaimCheck::new(
+        "some words/cache blocks experience two or more bit flips",
+        "observed in ISCA'14 tests",
+        format!(
+            "{} multi-flip words, {} multi-flip cache blocks (Monte Carlo)",
+            hist.multi_bit_words(),
+            multi_block
+        ),
+        hist.multi_bit_words() > 0 && multi_block > 0,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "SECDED leaves errors unprotected (detected-but-uncorrectable or worse)",
+        "> 0",
+        format!("{secded_unprotected} words defeat SECDED"),
+        secded_unprotected > 0,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "analytically, a high-rate module has many uncorrectable words",
+        "expected >> 1 at 1e5-1e6 errors/1e9",
+        format!("{two_plus_at_high_rate:.1} expected 2/3-flip words"),
+        two_plus_at_high_rate > 10.0,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "the real (72,64) codec flags exactly-double-flip words as uncorrectable",
+        "all doubles detected",
+        format!("{double_detected} of {} double-flip words detected", doubles_exact(&per_word)),
+        double_detected == doubles_exact(&per_word),
+    ));
+    let _ = doubles;
+    result
+}
+
+/// Counts words with exactly two flips.
+fn doubles_exact(per_word: &std::collections::HashMap<(usize, usize), Vec<u8>>) -> u64 {
+    per_word.values().filter(|b| b.len() == 2).count() as u64
+}
+
+/// Codeword position of data bit `i` in the (72,64) layout (data bits fill
+/// the non-power-of-two positions 1..72 in ascending order).
+fn data_bit_position(i: u8) -> u8 {
+    let mut count = 0;
+    for pos in 1u8..72 {
+        if !pos.is_power_of_two() {
+            if count == i {
+                return pos;
+            }
+            count += 1;
+        }
+    }
+    unreachable!("data bit index out of range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+
+    #[test]
+    fn data_bit_positions_are_valid() {
+        assert_eq!(data_bit_position(0), 3);
+        assert_eq!(data_bit_position(1), 5);
+        // All 64 positions are distinct and non-power-of-two.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u8 {
+            let p = data_bit_position(i);
+            assert!(!p.is_power_of_two());
+            assert!(seen.insert(p));
+        }
+    }
+
+    #[test]
+    fn poisson_word_expectation() {
+        // With lambda = 64 * 1e-4, single-flip words ~ words * lambda.
+        let w = expected_words_with(1e6, 1e-4, 1);
+        assert!((w - 1e6 * 64.0 * 1e-4 * (-64.0 * 1e-4f64).exp()).abs() < 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! E6 — The user-level program violates the two memory invariants:
+//! reads and writes both induce flips, always in rows *other* than the
+//! accessed ones.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use densemem_attack::invariants::InvariantChecker;
+use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_ctrl::controller::MemoryController;
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
+use densemem_stats::table::{Cell, Table};
+
+fn vulnerable_controller(seed: u64) -> MemoryController {
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let mut module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, seed);
+    // Two deterministic weak cells near the hammered region.
+    module
+        .bank_mut(0)
+        .inject_disturb_cell(BitAddr { row: 101, word: 3, bit: 7 }, 200_000.0)
+        .expect("address in range");
+    module
+        .bank_mut(0)
+        .inject_disturb_cell(BitAddr { row: 99, word: 8, bit: 0 }, 400_000.0)
+        .expect("address in range");
+    MemoryController::new(module, Default::default())
+}
+
+/// Runs E6.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E6",
+        "User-level read and write hammering violate the memory invariants",
+    );
+    let iters = scale.iters(700_000, 2);
+
+    // Read-only program.
+    let mut ctrl = vulnerable_controller(606);
+    let chk = InvariantChecker::arm(&mut ctrl, 0xFF);
+    let kernel = HammerKernel::new(HammerPattern::double_sided(0, 101), AccessMode::Read);
+    kernel.run(&mut ctrl, iters).expect("valid pattern");
+    let read_report = chk.verify(&mut ctrl);
+
+    // Write program (writes only its own rows).
+    let mut ctrl2 = vulnerable_controller(606);
+    let mut chk2 = InvariantChecker::arm(&mut ctrl2, 0xFF);
+    for _ in 0..iters {
+        chk2.write(&mut ctrl2, 0, 100, 0, u64::MAX).expect("valid address");
+        chk2.write(&mut ctrl2, 0, 102, 0, u64::MAX).expect("valid address");
+    }
+    let write_report = chk2.verify(&mut ctrl2);
+
+    let mut t = Table::new(
+        "invariant violations by program type",
+        &["program", "corrupted_unwritten_words", "corrupted_written_words", "violated"],
+    );
+    t.row(vec![
+        Cell::from("read-only hammer"),
+        Cell::Uint(read_report.unwritten_corrupted.len() as u64),
+        Cell::Uint(read_report.written_corrupted.len() as u64),
+        Cell::from(read_report.violated_invariant()),
+    ]);
+    t.row(vec![
+        Cell::from("write hammer"),
+        Cell::Uint(write_report.unwritten_corrupted.len() as u64),
+        Cell::Uint(write_report.written_corrupted.len() as u64),
+        Cell::from(write_report.violated_invariant()),
+    ]);
+    result.tables.push(t);
+
+    // Flip locality: all corrupted rows are neighbours of the aggressors,
+    // never the aggressors themselves.
+    let all_near = read_report
+        .unwritten_corrupted
+        .iter()
+        .chain(&write_report.unwritten_corrupted)
+        .all(|v| (98..=104).contains(&v.row) && v.row != 100 && v.row != 102);
+
+    result.claims.push(ClaimCheck::new(
+        "a read access modified data at other addresses (invariant 1 violated)",
+        "read hammering flips bits",
+        format!("{} corrupted words", read_report.unwritten_corrupted.len()),
+        !read_report.unwritten_corrupted.is_empty(),
+    ));
+    result.claims.push(ClaimCheck::new(
+        "a write access modified data beyond its target (invariant 2 violated)",
+        "write hammering flips bits",
+        format!("{} corrupted words", write_report.unwritten_corrupted.len()),
+        !write_report.unwritten_corrupted.is_empty(),
+    ));
+    result.claims.push(ClaimCheck::new(
+        "all errors occur in rows other than the accessed row",
+        "victims only",
+        format!("locality holds: {all_near}"),
+        all_near,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "the written data itself is intact (disturbance, not write failure)",
+        "0 corrupted written words",
+        format!("{}", write_report.written_corrupted.len()),
+        write_report.written_corrupted.is_empty(),
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+}

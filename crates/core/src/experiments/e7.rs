@@ -1,0 +1,123 @@
+//! E7 — Exploitation: the Project-Zero-style PTE-spray privilege
+//! escalation succeeds on a vulnerable module, and pattern efficacy orders
+//! as double-sided > single-sided > random.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use densemem_attack::exploit::{ExploitConfig, PteSprayExploit};
+use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_attack::vm::VirtualMemory;
+use densemem_ctrl::controller::MemoryController;
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
+use densemem_stats::table::{Cell, Table};
+
+/// Runs E7.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E7",
+        "PTE-spray privilege escalation and hammering-pattern efficacy",
+    );
+
+    // --- Exploit run -----------------------------------------------------
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let mut module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 707);
+    // Weak cells in PFN-bit positions of the anti-cell region: the kind of
+    // cell the real exploit hunts for by templating.
+    for (row, word, bit) in [(601usize, 5usize, 17u8), (609, 40, 15), (617, 77, 19)] {
+        module
+            .bank_mut(0)
+            .inject_disturb_cell(BitAddr { row, word, bit }, 300_000.0)
+            .expect("address in range");
+    }
+    let mut vm = VirtualMemory::new(MemoryController::new(module, Default::default()));
+    let victims: Vec<usize> = (593..=617).step_by(8).collect();
+    let config = ExploitConfig {
+        bank: 0,
+        victims,
+        iterations_per_victim: scale.iters(660_000, 3),
+        data_frame: 16,
+    };
+    let outcome = PteSprayExploit::new(config).run(&mut vm).expect("valid configuration");
+
+    let mut t = Table::new(
+        "exploit outcome (2013-vintage module)",
+        &["victims_tried", "corrupted_ptes", "useful_ptes", "activations", "time_to_success_ms"],
+    );
+    t.row(vec![
+        Cell::Uint(outcome.victims_tried as u64),
+        Cell::Uint(outcome.corrupted_ptes as u64),
+        Cell::Uint(outcome.useful_ptes as u64),
+        Cell::Uint(outcome.activations),
+        match outcome.first_success_ns {
+            Some(ns) => Cell::Float(ns as f64 / 1e6),
+            None => Cell::from("-"),
+        },
+    ]);
+    result.tables.push(t);
+
+    // --- Pattern efficacy ------------------------------------------------
+    let efficacy = |pattern: HammerPattern| -> usize {
+        let profile = VintageProfile::new(Manufacturer::C, 2013);
+        let mut module =
+            Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 708);
+        // A deterministic weak cell in the double-sided victim, near the
+        // observed minimum threshold: only the full double-sided exposure
+        // crosses it within a refresh window.
+        module
+            .bank_mut(0)
+            .inject_disturb_cell(BitAddr { row: 301, word: 1, bit: 0 }, 250_000.0)
+            .expect("address in range");
+        let mut ctrl = MemoryController::new(module, Default::default());
+        ctrl.fill(0xFF);
+        // Stress every row adjacent to an aggressor.
+        for &r in pattern.rows() {
+            ctrl.module_mut().bank_mut(0).fill_row(r, 0, 0).expect("row in range");
+        }
+        let kernel = HammerKernel::new(pattern, AccessMode::Read);
+        kernel.run_until(&mut ctrl, scale.iters(64_000_000, 3)).expect("valid pattern");
+        kernel.victim_flips(&mut ctrl)
+    };
+    let double = efficacy(HammerPattern::double_sided(0, 301));
+    let single = efficacy(HammerPattern::single_sided(0, 300, 900));
+    let random = efficacy(HammerPattern::random(0, 1024, 709));
+
+    let mut e = Table::new(
+        "victim flips per pattern (equal time budget)",
+        &["pattern", "victim_flips"],
+    );
+    e.row(vec![Cell::from("double-sided"), Cell::Uint(double as u64)]);
+    e.row(vec![Cell::from("single-sided"), Cell::Uint(single as u64)]);
+    e.row(vec![Cell::from("random"), Cell::Uint(random as u64)]);
+    result.tables.push(e);
+
+    result.claims.push(ClaimCheck::new(
+        "RowHammer can be exploited to gain kernel privileges",
+        "Project Zero escalation succeeds",
+        format!("escalated: {} (useful PTEs: {})", outcome.succeeded(), outcome.useful_ptes),
+        outcome.succeeded(),
+    ));
+    result.claims.push(ClaimCheck::new(
+        "double-sided hammering is the most effective pattern",
+        "double > single > random",
+        format!("double {double}, single {single}, random {random}"),
+        double >= single && single >= random && double > 0,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "spreading accesses randomly does not flip bits",
+        "0 flips",
+        format!("{random}"),
+        random == 0,
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+}

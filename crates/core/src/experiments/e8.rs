@@ -1,0 +1,113 @@
+//! E8 — ANVIL-style software detection: counter-sampled detection catches
+//! hammering and prevents flips via selective refresh, with no false
+//! positives on benign workloads.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_attack::workloads::{random_trace, sequential_trace, zipf_hot_trace};
+use densemem_ctrl::anvil::{AnvilConfig, AnvilDetector};
+use densemem_ctrl::controller::MemoryController;
+use densemem_ctrl::scheduler::FrFcfsScheduler;
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
+use densemem_stats::table::{Cell, Table};
+
+fn controller_with_anvil(seed: u64) -> MemoryController {
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let mut module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, seed);
+    module
+        .bank_mut(0)
+        .inject_disturb_cell(BitAddr { row: 201, word: 0, bit: 0 }, 250_000.0)
+        .expect("address in range");
+    MemoryController::new(module, Default::default())
+        .with_mitigation(Box::new(AnvilDetector::new(AnvilConfig::default())))
+}
+
+/// Runs E8.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E8",
+        "ANVIL-style detection: catches attacks, spares benign workloads",
+    );
+
+    // Attack under ANVIL.
+    let mut ctrl = controller_with_anvil(808);
+    ctrl.fill(0xFF);
+    ctrl.module_mut().bank_mut(0).fill_row(200, 0, 0).unwrap();
+    ctrl.module_mut().bank_mut(0).fill_row(202, 0, 0).unwrap();
+    let kernel = HammerKernel::new(HammerPattern::double_sided(0, 201), AccessMode::Read);
+    kernel.run(&mut ctrl, scale.iters(1_400_000, 4)).expect("valid pattern");
+    let attack_detections = ctrl.stats().mitigation_triggers;
+    let attack_flips = kernel.victim_flips(&mut ctrl);
+
+    // Benign workloads under ANVIL (through the FR-FCFS scheduler).
+    let mut benign_rows = Vec::new();
+    let n = scale.pick(40_000usize, 10_000);
+    let traces = [
+        ("sequential stream", sequential_trace(n, 1, 1024, 128, 10)),
+        ("random", random_trace(n, 1, 1024, 128, 10, 809)),
+        // Hot-row reuse arrives at cache-filtered rates (a real hot lock
+        // is served from SRAM most of the time), i.e. ~5 MHz, an order of
+        // magnitude below the hammering line rate.
+        ("hot-row (80% to 4 rows)", zipf_hot_trace(n, 1, 1024, 128, 200, 0.8, 810)),
+    ];
+    let mut total_fp = 0u64;
+    for (name, trace) in traces {
+        let mut c = controller_with_anvil(811);
+        c.fill(0xFF);
+        FrFcfsScheduler::new(32).run(trace, &mut c).expect("valid trace");
+        let fp = c.stats().mitigation_triggers;
+        total_fp += fp;
+        benign_rows.push((name, fp));
+    }
+
+    let mut t = Table::new(
+        "ANVIL detections by workload",
+        &["workload", "detections", "victim_flips"],
+    );
+    t.row(vec![
+        Cell::from("double-sided attack"),
+        Cell::Uint(attack_detections),
+        Cell::Uint(attack_flips as u64),
+    ]);
+    for (name, fp) in &benign_rows {
+        t.row(vec![Cell::from(*name), Cell::Uint(*fp), Cell::from("-")]);
+    }
+    result.tables.push(t);
+
+    result.claims.push(ClaimCheck::new(
+        "software counter sampling detects hammering",
+        "detected",
+        format!("{attack_detections} detections"),
+        attack_detections > 0,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "selective refresh of victim rows prevents the flips",
+        "0 flips under ANVIL",
+        format!("{attack_flips}"),
+        attack_flips == 0,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "benign workloads (streaming/random/hot-row) trigger no detections",
+        "0 false positives",
+        format!("{total_fp} across three workloads"),
+        total_fp == 0,
+    ));
+    result.notes.push(
+        "ANVIL is intrusive to system software in reality; here only the detection \
+         quality is modelled (paper: 'a promising area of research')."
+            .to_owned(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,100 @@
+//! E9 — DRAM retention profiling is unreliable: DPD hides cells from
+//! benign-pattern rounds and VRT cells escape any finite number of rounds,
+//! then fail in the field.
+
+use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use densemem_dram::profiler::{Profiler, ProfilerConfig};
+use densemem_dram::retention::RetentionPopulation;
+use densemem_dram::{Manufacturer, VintageProfile};
+use densemem_stats::table::{Cell, Table};
+
+/// Runs E9.
+pub fn run(scale: Scale) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "E9",
+        "Retention profiling: DPD and VRT let weak cells slip into the field",
+    );
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let device_cells = scale.pick(16_000_000_000u64, 2_000_000_000);
+    let pop = RetentionPopulation::generate(&profile, device_cells, 909);
+    let field_hours = 24.0 * 365.0;
+
+    // Round sweep with the stressing pattern.
+    let base = Profiler::new(ProfilerConfig { window_ms: 512.0, ..Default::default() });
+    let rows = base.sweep_rounds(&pop, &[1, 2, 4, 8, 16, 32, 64], field_hours);
+    let mut t = Table::new(
+        "profiling rounds vs detected weak cells and expected field escapes (512 ms window)",
+        &["rounds", "detected", "expected_escapes"],
+    );
+    for &(r, d, e) in &rows {
+        t.row(vec![Cell::Uint(u64::from(r)), Cell::Uint(d as u64), Cell::Float(e)]);
+    }
+    result.tables.push(t);
+
+    // DPD: benign- vs stress-pattern single campaign.
+    let benign = Profiler::new(ProfilerConfig {
+        window_ms: 512.0,
+        stressed_pattern: false,
+        ..Default::default()
+    })
+    .run(&pop, field_hours);
+    let stressed = Profiler::new(ProfilerConfig { window_ms: 512.0, ..Default::default() })
+        .run(&pop, field_hours);
+    let mut d = Table::new(
+        "data-pattern dependence: detection by test pattern (8 rounds)",
+        &["pattern", "detected", "expected_escapes"],
+    );
+    d.row(vec![
+        Cell::from("benign"),
+        Cell::Uint(benign.detected_count() as u64),
+        Cell::Float(benign.expected_escapes()),
+    ]);
+    d.row(vec![
+        Cell::from("worst-case (stress)"),
+        Cell::Uint(stressed.detected_count() as u64),
+        Cell::Float(stressed.expected_escapes()),
+    ]);
+    result.tables.push(d);
+
+    let escapes_64 = rows.last().expect("sweep is non-empty").2;
+    result.claims.push(ClaimCheck::new(
+        "VRT cells escape profiling and fail in the field",
+        "escapes remain after many rounds",
+        format!("{escapes_64:.1} expected escapes after 64 rounds"),
+        escapes_64 > 1.0,
+    ));
+    result.claims.push(ClaimCheck::new(
+        "more rounds keep finding more cells, but detection saturates below 100%",
+        "no finite testing suffices",
+        format!("{} detected of {} weak cells at 64 rounds", rows.last().unwrap().1, pop.len()),
+        rows.last().unwrap().1 < pop.len(),
+    ));
+    result.claims.push(ClaimCheck::new(
+        "the benign data pattern misses cells the stress pattern finds (DPD)",
+        "benign < stressed detection",
+        format!("benign {}, stressed {}", benign.detected_count(), stressed.detected_count()),
+        benign.detected_count() < stressed.detected_count(),
+    ));
+    result.claims.push(ClaimCheck::new(
+        "missed DPD cells become guaranteed field failures",
+        "benign escapes > stressed escapes",
+        format!(
+            "benign {:.1}, stressed {:.1}",
+            benign.expected_escapes(),
+            stressed.expected_escapes()
+        ),
+        benign.expected_escapes() > stressed.expected_escapes(),
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e9_claims_pass() {
+        let r = run(Scale::Quick);
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+}

@@ -1,0 +1,140 @@
+//! The experiment suite E1–E14.
+//!
+//! One module per experiment; each `run(scale)` returns an
+//! [`ExperimentResult`] with the tables/series the paper reports and
+//! explicit [`ClaimCheck`]s against the paper's numbers.
+
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e13;
+pub mod e14;
+pub mod e15;
+pub mod e16;
+pub mod e17;
+pub mod e18;
+pub mod e19;
+pub mod e20;
+pub mod e21;
+pub mod e22;
+pub mod e23;
+pub mod e24;
+pub mod e25;
+
+use densemem_stats::series::Series;
+use densemem_stats::table::Table;
+
+/// Experiment scale: `Quick` keeps unit tests fast; `Full` is what the
+/// bench harness binaries run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced iteration counts / geometry for CI.
+    Quick,
+    /// Full published-number scale.
+    Full,
+}
+
+impl Scale {
+    /// Scales an iteration count: `Quick` divides by `quick_divisor`.
+    pub fn iters(&self, full: u64, quick_divisor: u64) -> u64 {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / quick_divisor).max(1),
+        }
+    }
+
+    /// Picks between two values.
+    pub fn pick<T>(&self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// A paper claim checked against the reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimCheck {
+    /// The claim, quoted or paraphrased from the paper.
+    pub claim: String,
+    /// The paper's value/statement.
+    pub paper: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the measured value supports the claim.
+    pub pass: bool,
+}
+
+impl ClaimCheck {
+    /// Creates a claim check.
+    pub fn new(claim: &str, paper: &str, measured: String, pass: bool) -> Self {
+        Self { claim: claim.to_owned(), paper: paper.to_owned(), measured, pass }
+    }
+}
+
+/// The output of one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Experiment id ("E1" …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Result tables (printed as ASCII + CSV by the harness).
+    pub tables: Vec<Table>,
+    /// Result series (printed as ASCII scatter + CSV).
+    pub series: Vec<Series>,
+    /// Claim checks.
+    pub claims: Vec<ClaimCheck>,
+    /// Free-form notes (calibration caveats etc.).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result shell.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        Self { id, title, tables: Vec::new(), series: Vec::new(), claims: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Whether every claim check passed.
+    pub fn all_claims_pass(&self) -> bool {
+        self.claims.iter().all(|c| c.pass)
+    }
+
+    /// Renders the full report (tables, plot, claims) as text.
+    pub fn render(&self) -> String {
+        crate::report::render(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_helpers() {
+        assert_eq!(Scale::Quick.iters(1000, 10), 100);
+        assert_eq!(Scale::Full.iters(1000, 10), 1000);
+        assert_eq!(Scale::Quick.iters(5, 10), 1);
+        assert_eq!(Scale::Quick.pick(1, 2), 2);
+        assert_eq!(Scale::Full.pick(1, 2), 1);
+    }
+
+    #[test]
+    fn result_claim_aggregation() {
+        let mut r = ExperimentResult::new("EX", "test");
+        assert!(r.all_claims_pass());
+        r.claims.push(ClaimCheck::new("a", "1", "1".into(), true));
+        assert!(r.all_claims_pass());
+        r.claims.push(ClaimCheck::new("b", "2", "3".into(), false));
+        assert!(!r.all_claims_pass());
+    }
+}

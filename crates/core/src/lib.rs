@@ -1,0 +1,39 @@
+//! `densemem` — a reproduction of Mutlu, *"The RowHammer Problem and Other
+//! Issues We May Face as Memory Becomes Denser"* (DATE 2017).
+//!
+//! The paper is a retrospective over a body of DRAM/flash reliability and
+//! security work; reproducing it means reproducing its **figure and every
+//! quantitative claim** on top of fully-implemented substrates:
+//!
+//! | Layer | Crate |
+//! |---|---|
+//! | statistics / RNG | [`densemem_stats`] |
+//! | DRAM device model (cells, disturbance, retention, modules) | [`densemem_dram`] |
+//! | memory controller + mitigations (PARA, CRA, TRR, ANVIL) | [`densemem_ctrl`] |
+//! | ECC (SECDED, DEC-TED, chipkill) | [`densemem_ecc`] |
+//! | attacks (kernels, invariants, PTE-spray exploit) | [`densemem_attack`] |
+//! | MLC NAND flash channel + mitigations (FCR, RFR, NAC, two-step) | [`densemem_flash`] |
+//!
+//! This crate ties them together as the experiment suite E1–E25 (see
+//! `DESIGN.md` for the experiment-to-claim index). Each experiment
+//! returns an [`experiments::ExperimentResult`] containing the tables the
+//! paper reports and explicit claim checks.
+//!
+//! # Examples
+//!
+//! Regenerating Figure 1:
+//!
+//! ```
+//! use densemem::experiments::{e1, Scale};
+//! let result = e1::run(Scale::Quick);
+//! assert!(result.all_claims_pass(), "{}", result.render());
+//! ```
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{ClaimCheck, ExperimentResult, Scale};
+
+/// The default master seed used by every experiment harness. Recorded in
+/// EXPERIMENTS.md so published numbers are exactly re-derivable.
+pub const DEFAULT_SEED: u64 = 0xF161;

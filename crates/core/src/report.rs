@@ -1,0 +1,73 @@
+//! Plain-text rendering of experiment results.
+
+use crate::experiments::ExperimentResult;
+use densemem_stats::series::render_scatter;
+
+/// Renders an experiment result: header, tables (ASCII), series (ASCII
+/// scatter on a log y-axis), claim checks, and notes.
+pub fn render(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("==== {} — {} ====\n\n", result.id, result.title));
+    for t in &result.tables {
+        out.push_str(&t.to_ascii());
+        out.push('\n');
+    }
+    if !result.series.is_empty() {
+        out.push_str(&render_scatter(&result.series, 70, 20, true));
+        out.push('\n');
+    }
+    if !result.claims.is_empty() {
+        out.push_str("Claims:\n");
+        for c in &result.claims {
+            out.push_str(&format!(
+                "  [{}] {}\n        paper: {}  |  measured: {}\n",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.claim,
+                c.paper,
+                c.measured
+            ));
+        }
+        out.push('\n');
+    }
+    for n in &result.notes {
+        out.push_str(&format!("note: {n}\n"));
+    }
+    out
+}
+
+/// Renders only the CSV bodies of an experiment's tables, separated by
+/// blank lines (for piping into plotting scripts).
+pub fn render_csv(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    for t in &result.tables {
+        out.push_str(&format!("# {}\n", t.title()));
+        out.push_str(&t.to_csv());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ClaimCheck;
+    use densemem_stats::table::{Cell, Table};
+
+    #[test]
+    fn render_includes_all_sections() {
+        let mut r = ExperimentResult::new("E0", "demo");
+        let mut t = Table::new("tbl", &["x"]);
+        t.row(vec![Cell::Int(5)]);
+        r.tables.push(t);
+        r.claims.push(ClaimCheck::new("c", "p", "m".into(), true));
+        r.notes.push("calibrated".into());
+        let s = render(&r);
+        assert!(s.contains("E0"));
+        assert!(s.contains("tbl"));
+        assert!(s.contains("[PASS]"));
+        assert!(s.contains("note: calibrated"));
+        let csv = render_csv(&r);
+        assert!(csv.contains("# tbl"));
+        assert!(csv.contains("x\n5"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Physical-address → DRAM-coordinate mapping.
+//!
+//! Real controllers slice a physical address into column, bank and row
+//! fields, usually XOR-hashing some row bits into the bank index to
+//! spread row-buffer conflicts. The mapping is not architecturally
+//! visible — which is why real RowHammer attacks must *discover* same-bank
+//! address pairs through the row-conflict timing side channel
+//! (`densemem_attack::timing_channel`).
+
+/// An address mapping over `2^col_bits` words per row, `2^bank_bits`
+/// banks, and `2^row_bits` rows. Addresses are word-granular.
+///
+/// Layout (low to high): `[column | bank | row]`, with optional bank
+/// XOR-hashing by the low row bits.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_ctrl::addrmap::AddressMapping;
+/// let m = AddressMapping::new(7, 1, 10, true).unwrap();
+/// let (bank, row, word) = m.decode(0x3F2A7);
+/// assert!(bank < 2 && row < 1024 && word < 128);
+/// assert_eq!(m.encode(bank, row, word) , {
+///     // encode/decode round-trip
+///     let a = m.encode(bank, row, word);
+///     assert_eq!(m.decode(a), (bank, row, word));
+///     a
+/// });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    col_bits: u32,
+    bank_bits: u32,
+    row_bits: u32,
+    /// XOR the low row bits into the bank field (common conflict-spreading
+    /// hash).
+    bank_hash: bool,
+}
+
+impl AddressMapping {
+    /// Creates a mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CtrlError::InvalidConfig`] if any field exceeds
+    /// 20 bits or the total exceeds 48 bits.
+    pub fn new(
+        col_bits: u32,
+        bank_bits: u32,
+        row_bits: u32,
+        bank_hash: bool,
+    ) -> Result<Self, crate::CtrlError> {
+        if col_bits > 20 || bank_bits > 20 || row_bits > 20 {
+            return Err(crate::CtrlError::InvalidConfig("field too wide"));
+        }
+        if col_bits + bank_bits + row_bits > 48 {
+            return Err(crate::CtrlError::InvalidConfig("address space too large"));
+        }
+        Ok(Self { col_bits, bank_bits, row_bits, bank_hash })
+    }
+
+    /// The mapping matching [`densemem_dram::BankGeometry::small`] with 2
+    /// banks and bank hashing on.
+    pub fn small_two_banks() -> Self {
+        Self { col_bits: 7, bank_bits: 1, row_bits: 10, bank_hash: true }
+    }
+
+    /// Total addressable words.
+    pub fn words(&self) -> u64 {
+        1u64 << (self.col_bits + self.bank_bits + self.row_bits)
+    }
+
+    /// Decodes a word-granular physical address into `(bank, row, word)`.
+    pub fn decode(&self, addr: u64) -> (usize, usize, usize) {
+        let addr = addr % self.words();
+        let word = (addr & ((1 << self.col_bits) - 1)) as usize;
+        let raw_bank = ((addr >> self.col_bits) & ((1 << self.bank_bits) - 1)) as usize;
+        let row = ((addr >> (self.col_bits + self.bank_bits)) & ((1 << self.row_bits) - 1))
+            as usize;
+        let bank = if self.bank_hash {
+            raw_bank ^ (row & ((1 << self.bank_bits) - 1))
+        } else {
+            raw_bank
+        };
+        (bank, row, word)
+    }
+
+    /// Encodes `(bank, row, word)` back into a physical address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate exceeds its field.
+    pub fn encode(&self, bank: usize, row: usize, word: usize) -> u64 {
+        assert!(word < (1 << self.col_bits), "word out of field");
+        assert!(bank < (1 << self.bank_bits), "bank out of field");
+        assert!(row < (1 << self.row_bits), "row out of field");
+        let raw_bank = if self.bank_hash {
+            bank ^ (row & ((1 << self.bank_bits) - 1))
+        } else {
+            bank
+        };
+        (word as u64)
+            | ((raw_bank as u64) << self.col_bits)
+            | ((row as u64) << (self.col_bits + self.bank_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_widths() {
+        assert!(AddressMapping::new(30, 1, 1, false).is_err());
+        assert!(AddressMapping::new(20, 20, 20, false).is_err());
+        assert!(AddressMapping::new(7, 3, 15, true).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_all_coordinates() {
+        for hash in [false, true] {
+            let m = AddressMapping::new(4, 2, 6, hash).unwrap();
+            for bank in 0..4 {
+                for row in (0..64).step_by(7) {
+                    for word in (0..16).step_by(3) {
+                        let a = m.encode(bank, row, word);
+                        assert_eq!(m.decode(a), (bank, row, word));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_covers_every_address_once() {
+        let m = AddressMapping::new(2, 1, 3, true).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..m.words() {
+            assert!(seen.insert(m.decode(a)), "duplicate coordinates for {a}");
+        }
+        assert_eq!(seen.len() as u64, m.words());
+    }
+
+    #[test]
+    fn bank_hash_spreads_consecutive_rows() {
+        let m = AddressMapping::small_two_banks();
+        // Same raw bank field, consecutive rows: hashed banks alternate.
+        let (b0, ..) = m.decode(m.encode(0, 10, 0));
+        let a_next_row = m.encode(0, 10, 0) + (1 << (7 + 1));
+        let (b1, ..) = m.decode(a_next_row);
+        assert_ne!(b0, b1, "hashing must alternate banks across rows");
+    }
+}

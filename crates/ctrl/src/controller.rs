@@ -1,0 +1,468 @@
+//! The open-page memory controller.
+//!
+//! Accesses are synchronous: each [`MemoryController::read`] /
+//! [`MemoryController::write`] advances simulated time by the appropriate
+//! DDR latencies (row hit vs row conflict), services any auto-refresh work
+//! that came due, and invokes the configured [`Mitigation`] at the
+//! activate/precharge/refresh hooks. This is the component both the attack
+//! kernels and the benign workloads drive.
+
+use crate::error::CtrlError;
+use crate::mitigation::{Mitigation, MitigationCtx, NoMitigation};
+use crate::refresh::RefreshEngine;
+use crate::stats::CtrlStats;
+use densemem_dram::{Module, Timing};
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Keep the row open after an access (row hits are fast; hammering
+    /// needs two alternating rows per bank).
+    #[default]
+    Open,
+    /// Precharge immediately after every access (every access activates —
+    /// a *single* repeatedly-accessed address hammers its neighbours, as
+    /// on real closed-page servers).
+    Closed,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Device timing.
+    pub timing: Timing,
+    /// Refresh-rate multiplier (1.0 = nominal 64 ms window).
+    pub refresh_multiplier: f64,
+    /// Row-buffer policy.
+    pub page_policy: PagePolicy,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            timing: Timing::ddr3_1600(),
+            refresh_multiplier: 1.0,
+            page_policy: PagePolicy::Open,
+        }
+    }
+}
+
+/// The memory controller.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_ctrl::MemoryController;
+/// use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+/// use densemem_dram::module::RowRemap;
+///
+/// let profile = VintageProfile::new(Manufacturer::B, 2012);
+/// let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 1);
+/// let mut ctrl = MemoryController::new(module, Default::default());
+/// ctrl.write(0, 10, 0, 0xCAFE).unwrap();
+/// assert_eq!(ctrl.read(0, 10, 0).unwrap(), 0xCAFE);
+/// assert!(ctrl.now_ns() > 0);
+/// ```
+#[derive(Debug)]
+pub struct MemoryController {
+    module: Module,
+    config: ControllerConfig,
+    refresh: RefreshEngine,
+    mitigation: Box<dyn Mitigation>,
+    open_rows: Vec<Option<usize>>,
+    /// Time of the last activation per bank, to enforce tRC.
+    last_act_ns: Vec<u64>,
+    stats: CtrlStats,
+    now_ns: u64,
+    windows_seen: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller over `module` with no mitigation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (zero rows or non-positive
+    /// refresh multiplier); use validated inputs.
+    pub fn new(module: Module, config: ControllerConfig) -> Self {
+        let rows = module.bank(0).geometry().rows();
+        let refresh = RefreshEngine::new(config.timing, rows, config.refresh_multiplier)
+            .expect("controller configuration must be valid");
+        let banks = module.bank_count();
+        Self {
+            module,
+            config,
+            refresh,
+            mitigation: Box::new(NoMitigation),
+            open_rows: vec![None; banks],
+            last_act_ns: vec![0; banks],
+            stats: CtrlStats::default(),
+            now_ns: 0,
+            windows_seen: 0,
+        }
+    }
+
+    /// Installs a mitigation (builder style).
+    pub fn with_mitigation(mut self, mitigation: Box<dyn Mitigation>) -> Self {
+        self.mitigation = mitigation;
+        self
+    }
+
+    /// Replaces the mitigation in place.
+    pub fn set_mitigation(&mut self, mitigation: Box<dyn Mitigation>) {
+        self.mitigation = mitigation;
+    }
+
+    /// The configured mitigation's name.
+    pub fn mitigation_name(&self) -> &'static str {
+        self.mitigation.name()
+    }
+
+    /// Mitigation storage cost in bits for this device.
+    pub fn mitigation_storage_bits(&self) -> u64 {
+        let rows = self.module.bank(0).geometry().rows();
+        self.mitigation.storage_bits(rows, self.module.bank_count())
+    }
+
+    /// Current simulated time (ns).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The underlying module (for end-of-experiment inspection).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Mutable access to the module (tests, fault injection).
+    pub fn module_mut(&mut self) -> &mut Module {
+        &mut self.module
+    }
+
+    /// Consumes the controller, returning the module.
+    pub fn into_module(self) -> Module {
+        self.module
+    }
+
+    /// Fills the whole device with a byte pattern (also used to arm
+    /// flip-scanning).
+    pub fn fill(&mut self, byte: u8) {
+        self.module.fill_all(byte);
+    }
+
+    /// Reads a word, advancing time and servicing refreshes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] for invalid addresses.
+    pub fn read(&mut self, bank: usize, row: usize, word: usize) -> Result<u64, CtrlError> {
+        self.access(bank, row)?;
+        self.stats.reads += 1;
+        Ok(self.module.read_word(bank, row, word)?)
+    }
+
+    /// Writes a word, advancing time and servicing refreshes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] for invalid addresses.
+    pub fn write(
+        &mut self,
+        bank: usize,
+        row: usize,
+        word: usize,
+        value: u64,
+    ) -> Result<(), CtrlError> {
+        self.access(bank, row)?;
+        self.stats.writes += 1;
+        self.module.write_word(bank, row, word, value)?;
+        Ok(())
+    }
+
+    /// Opens `row` (if not already open) without transferring data — the
+    /// bare "hammer" primitive: an attacker's cache-bypassing access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] for invalid addresses.
+    pub fn touch(&mut self, bank: usize, row: usize) -> Result<(), CtrlError> {
+        self.access(bank, row)
+    }
+
+    /// Advances idle time to `target_ns`, servicing refreshes on the way.
+    pub fn advance_to(&mut self, target_ns: u64) {
+        if target_ns > self.now_ns {
+            self.now_ns = target_ns;
+            self.service_refresh();
+        }
+    }
+
+    /// Scans the whole device against the last fill pattern and returns
+    /// flips as `(bank, row, word, bit)` tuples. Physical-row addressing.
+    pub fn scan_flips(&mut self) -> Vec<(usize, usize, usize, u8)> {
+        let now = self.now_ns;
+        let mut out = Vec::new();
+        for b in 0..self.module.bank_count() {
+            for f in self.module.bank_mut(b).scan_flips_from_fill(now) {
+                out.push((b, f.row, f.word, f.bit));
+            }
+        }
+        out
+    }
+
+    // ----- internals ---------------------------------------------------
+
+    /// Performs the row-buffer management for an access to `(bank, row)`.
+    fn access(&mut self, bank: usize, row: usize) -> Result<(), CtrlError> {
+        self.service_refresh();
+        let t = self.config.timing;
+        if bank >= self.open_rows.len() {
+            return Err(CtrlError::Device(densemem_dram::DramError::BankOutOfRange {
+                bank,
+                banks: self.open_rows.len(),
+            }));
+        }
+        match self.open_rows[bank] {
+            Some(open) if open == row => {
+                self.stats.row_hits += 1;
+                self.now_ns += t.t_cl.round() as u64;
+            }
+            other => {
+                if let Some(old) = other {
+                    // Close the old row, giving the mitigation its hook.
+                    self.stats.row_conflicts += 1;
+                    self.now_ns += t.t_rp.round() as u64;
+                    self.module.precharge(bank)?;
+                    let Self { module, mitigation, stats, now_ns, .. } = self;
+                    let mut ctx = MitigationCtx {
+                        module,
+                        bank,
+                        row: old,
+                        now: *now_ns,
+                        stats,
+                    };
+                    mitigation.on_precharge(&mut ctx);
+                }
+                // Enforce tRC: same-bank activations cannot be closer than
+                // t_rc apart — this is what bounds a hammering attacker's
+                // per-window activation budget.
+                let act_time = self.now_ns.max(self.last_act_ns[bank] + t.t_rc.round() as u64);
+                self.module.activate(bank, row, act_time)?;
+                self.last_act_ns[bank] = act_time;
+                self.stats.activations += 1;
+                self.now_ns = act_time + (t.t_rcd + t.t_cl).round() as u64;
+                self.open_rows[bank] = Some(row);
+                let Self { module, mitigation, stats, now_ns, .. } = self;
+                let mut ctx = MitigationCtx { module, bank, row, now: *now_ns, stats };
+                mitigation.on_activate(&mut ctx);
+            }
+        }
+        if self.config.page_policy == PagePolicy::Closed {
+            // Auto-precharge: close the row right away (and give the
+            // mitigation its precharge hook).
+            self.now_ns += t.t_rp.round() as u64;
+            self.module.precharge(bank)?;
+            self.open_rows[bank] = None;
+            let Self { module, mitigation, stats, now_ns, .. } = self;
+            let mut ctx = MitigationCtx { module, bank, row, now: *now_ns, stats };
+            mitigation.on_precharge(&mut ctx);
+        }
+        Ok(())
+    }
+
+    /// Refreshes every row that came due before `now` in every bank.
+    fn service_refresh(&mut self) {
+        // Collect due rows first (the engine iterator borrows mutably).
+        let due: Vec<usize> = self.refresh.due_rows(self.now_ns).collect();
+        if due.is_empty() {
+            return;
+        }
+        let windows = self.refresh.windows_completed();
+        for row in due {
+            for bank in 0..self.module.bank_count() {
+                if self.module.refresh_row(bank, row, self.now_ns).is_ok() {
+                    self.stats.auto_refresh_rows += 1;
+                }
+                let Self { module, mitigation, stats, now_ns, .. } = self;
+                let mut ctx = MitigationCtx { module, bank, row, now: *now_ns, stats };
+                mitigation.on_refresh_tick(&mut ctx);
+            }
+        }
+        if windows > self.windows_seen {
+            self.windows_seen = windows;
+            self.mitigation.on_window_reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mitigation::{Cra, Para};
+    use densemem_dram::module::RowRemap;
+    use densemem_dram::{BankGeometry, Manufacturer, VintageProfile};
+
+    fn controller(mult: f64, mitigation: Option<Box<dyn Mitigation>>) -> MemoryController {
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 21);
+        let cfg = ControllerConfig { refresh_multiplier: mult, ..Default::default() };
+        let c = MemoryController::new(module, cfg);
+        match mitigation {
+            Some(m) => c.with_mitigation(m),
+            None => c,
+        }
+    }
+
+    fn hammer(ctrl: &mut MemoryController, a: usize, b: usize, iters: usize) {
+        for _ in 0..iters {
+            ctrl.touch(0, a).unwrap();
+            ctrl.touch(0, b).unwrap();
+        }
+    }
+
+    /// Flips outside the aggressor rows themselves (which the tests filled
+    /// with the inverse pattern to create data-pattern stress).
+    fn victim_flips(ctrl: &mut MemoryController, aggressors: &[usize]) -> Vec<(usize, usize)> {
+        ctrl.scan_flips()
+            .into_iter()
+            .filter(|&(_, row, _, _)| !aggressors.contains(&row))
+            .map(|(b, row, _, _)| (b, row))
+            .collect()
+    }
+
+    #[test]
+    fn read_write_roundtrip_and_time_advances() {
+        let mut c = controller(1.0, None);
+        c.write(0, 5, 3, 77).unwrap();
+        let t1 = c.now_ns();
+        assert_eq!(c.read(0, 5, 3).unwrap(), 77);
+        assert!(c.now_ns() > t1);
+        assert_eq!(c.stats().row_hits, 1, "second access hits the open row");
+    }
+
+    #[test]
+    fn hammering_without_mitigation_flips_bits() {
+        let mut c = controller(1.0, None);
+        c.fill(0xFF);
+        // Stress pattern on the aggressors.
+        c.module_mut().bank_mut(0).fill_row(100, 0, 0).unwrap();
+        c.module_mut().bank_mut(0).fill_row(102, 0, 0).unwrap();
+        hammer(&mut c, 100, 102, 700_000);
+        let flips = victim_flips(&mut c, &[100, 102]);
+        assert!(!flips.is_empty(), "unmitigated hammering should flip bits");
+        // Flips concentrate on neighbours of the aggressors.
+        assert!(flips.iter().all(|&(_, row)| (98..=104).contains(&row)));
+    }
+
+    #[test]
+    fn para_stops_the_same_attack() {
+        let mut c = controller(1.0, Some(Box::new(Para::new(0.002, 5).unwrap())));
+        c.fill(0xFF);
+        c.module_mut().bank_mut(0).fill_row(100, 0, 0).unwrap();
+        c.module_mut().bank_mut(0).fill_row(102, 0, 0).unwrap();
+        hammer(&mut c, 100, 102, 700_000);
+        assert!(victim_flips(&mut c, &[100, 102]).is_empty(), "PARA should prevent all flips");
+        // Overhead is tiny.
+        assert!(c.stats().mitigation_overhead() < 0.01);
+    }
+
+    #[test]
+    fn cra_stops_the_attack_with_storage_cost() {
+        let mut c = controller(1.0, Some(Box::new(Cra::new(50_000).unwrap())));
+        c.fill(0xFF);
+        c.module_mut().bank_mut(0).fill_row(100, 0, 0).unwrap();
+        c.module_mut().bank_mut(0).fill_row(102, 0, 0).unwrap();
+        hammer(&mut c, 100, 102, 700_000);
+        assert!(victim_flips(&mut c, &[100, 102]).is_empty(), "CRA should prevent all flips");
+        assert!(c.mitigation_storage_bits() > 0);
+    }
+
+    #[test]
+    fn seven_x_refresh_stops_the_attack_without_mitigation() {
+        let mut c = controller(7.0, None);
+        c.fill(0xFF);
+        c.module_mut().bank_mut(0).fill_row(100, 0, 0).unwrap();
+        c.module_mut().bank_mut(0).fill_row(102, 0, 0).unwrap();
+        hammer(&mut c, 100, 102, 700_000);
+        assert!(
+            victim_flips(&mut c, &[100, 102]).is_empty(),
+            "7x refresh should prevent all flips"
+        );
+        // ... at the cost of 7x the refresh work.
+        let c1 = controller(1.0, None);
+        let _ = c1;
+    }
+
+    #[test]
+    fn refresh_happens_during_idle_advance() {
+        let mut c = controller(1.0, None);
+        c.advance_to(64_000_000); // one full window
+        assert!(c.stats().auto_refresh_rows >= 1024, "all rows refreshed in a window");
+    }
+
+    #[test]
+    fn closed_page_enables_single_address_hammering() {
+        // On a closed-page controller every access re-activates, so a
+        // single repeatedly-read address disturbs its neighbours.
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        let mut module =
+            Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 77);
+        module
+            .bank_mut(0)
+            .inject_disturb_cell(
+                densemem_dram::BitAddr { row: 101, word: 0, bit: 0 },
+                200_000.0,
+            )
+            .unwrap();
+        let cfg = ControllerConfig {
+            page_policy: crate::controller::PagePolicy::Closed,
+            ..Default::default()
+        };
+        let mut c = MemoryController::new(module, cfg);
+        c.fill(0xFF);
+        c.module_mut().bank_mut(0).fill_row(100, 0, 0).unwrap();
+        for _ in 0..1_400_000 {
+            c.touch(0, 100).unwrap();
+        }
+        let flips = victim_flips(&mut c, &[100]);
+        assert!(!flips.is_empty(), "single-address closed-page hammering should flip");
+
+        // The same single-address loop on an open-page controller is all
+        // row hits: zero activations after the first, zero flips.
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        let mut module2 =
+            Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 77);
+        module2
+            .bank_mut(0)
+            .inject_disturb_cell(
+                densemem_dram::BitAddr { row: 101, word: 0, bit: 0 },
+                200_000.0,
+            )
+            .unwrap();
+        let mut c2 = MemoryController::new(module2, ControllerConfig::default());
+        c2.fill(0xFF);
+        c2.module_mut().bank_mut(0).fill_row(100, 0, 0).unwrap();
+        for _ in 0..1_400_000 {
+            c2.touch(0, 100).unwrap();
+        }
+        assert_eq!(c2.stats().activations, 1, "open page: one activation total");
+        assert!(victim_flips(&mut c2, &[100]).is_empty());
+    }
+
+    #[test]
+    fn invalid_bank_is_rejected() {
+        let mut c = controller(1.0, None);
+        assert!(c.read(5, 0, 0).is_err());
+        assert!(c.touch(0, 1 << 30).is_err());
+    }
+}

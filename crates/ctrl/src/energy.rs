@@ -1,0 +1,125 @@
+//! Refresh energy and availability accounting (experiment E14).
+//!
+//! The paper stresses that refresh is *already* a significant burden on
+//! energy and performance, so the 7× refresh mitigation exacerbates a real
+//! problem. This module quantifies that: per-multiplier refresh energy,
+//! the fraction of bank time consumed by refresh, and the resulting
+//! throughput ceiling for demand accesses.
+
+use densemem_dram::Timing;
+
+/// Energy/availability report for one configuration over an interval.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_ctrl::energy::EnergyReport;
+/// use densemem_dram::Timing;
+/// let r1 = EnergyReport::for_refresh_config(&Timing::ddr3_1600(), 32768, 8, 1.0, 1.0);
+/// let r7 = EnergyReport::for_refresh_config(&Timing::ddr3_1600(), 32768, 8, 7.0, 1.0);
+/// assert!(r7.refresh_energy_mj > 6.9 * r1.refresh_energy_mj);
+/// assert!(r7.refresh_busy_fraction > r1.refresh_busy_fraction);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Refresh-rate multiplier.
+    pub multiplier: f64,
+    /// Interval length in seconds.
+    pub seconds: f64,
+    /// Row refreshes performed.
+    pub refresh_rows: u64,
+    /// Energy spent on refresh, millijoule.
+    pub refresh_energy_mj: f64,
+    /// Fraction of bank time unavailable due to refresh.
+    pub refresh_busy_fraction: f64,
+    /// Relative demand throughput (1.0 at zero refresh overhead).
+    pub throughput_factor: f64,
+}
+
+impl EnergyReport {
+    /// Computes the report analytically for a device with `rows` rows per
+    /// bank and `banks` banks over `seconds` of wall-clock at refresh-rate
+    /// `multiplier`.
+    ///
+    /// Row refreshes are grouped into REF commands that refresh
+    /// [`Self::ROWS_PER_REF`] rows and occupy the bank for `t_rfc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier <= 0` or `seconds < 0`.
+    pub fn for_refresh_config(
+        timing: &Timing,
+        rows: usize,
+        banks: usize,
+        multiplier: f64,
+        seconds: f64,
+    ) -> Self {
+        assert!(multiplier > 0.0, "multiplier must be positive");
+        assert!(seconds >= 0.0, "interval must be non-negative");
+        let windows = seconds * 1e9 / timing.window_with_multiplier(multiplier);
+        let refresh_rows = (windows * rows as f64 * banks as f64) as u64;
+        let ref_commands = (refresh_rows as f64 / Self::ROWS_PER_REF as f64).ceil();
+        let refresh_energy_mj = ref_commands * timing.e_ref_nj * 1e-6;
+        // Busy fraction per bank: each REF blocks one bank for t_rfc.
+        let busy_ns = ref_commands * timing.t_rfc / banks as f64;
+        let refresh_busy_fraction = if seconds == 0.0 {
+            0.0
+        } else {
+            (busy_ns / (seconds * 1e9)).min(1.0)
+        };
+        Self {
+            multiplier,
+            seconds,
+            refresh_rows,
+            refresh_energy_mj,
+            refresh_busy_fraction,
+            throughput_factor: 1.0 - refresh_busy_fraction,
+        }
+    }
+
+    /// Rows refreshed per REF command (DDR3 8K-row banks refresh 8 rows
+    /// per REF).
+    pub const ROWS_PER_REF: usize = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_linearly_with_multiplier() {
+        let t = Timing::ddr3_1600();
+        let r1 = EnergyReport::for_refresh_config(&t, 32768, 8, 1.0, 10.0);
+        let r7 = EnergyReport::for_refresh_config(&t, 32768, 8, 7.0, 10.0);
+        let ratio = r7.refresh_energy_mj / r1.refresh_energy_mj;
+        assert!((ratio - 7.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn throughput_degrades_with_multiplier() {
+        let t = Timing::ddr3_1600();
+        let mut last = 1.01;
+        for m in [1.0, 2.0, 4.0, 7.0] {
+            let r = EnergyReport::for_refresh_config(&t, 65536, 8, m, 1.0);
+            assert!(r.throughput_factor < last, "m={m}");
+            assert!(r.throughput_factor > 0.0);
+            last = r.throughput_factor;
+        }
+    }
+
+    #[test]
+    fn busy_fraction_is_bounded() {
+        let t = Timing::ddr3_1600();
+        let r = EnergyReport::for_refresh_config(&t, 1 << 20, 16, 10.0, 1.0);
+        assert!(r.refresh_busy_fraction <= 1.0);
+        assert!(r.throughput_factor >= 0.0);
+    }
+
+    #[test]
+    fn zero_interval_is_safe() {
+        let t = Timing::ddr3_1600();
+        let r = EnergyReport::for_refresh_config(&t, 1024, 1, 1.0, 0.0);
+        assert_eq!(r.refresh_rows, 0);
+        assert_eq!(r.refresh_busy_fraction, 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Controller error type.
+
+use densemem_dram::DramError;
+use std::fmt;
+
+/// Errors reported by the memory-controller layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlError {
+    /// The underlying device rejected a command.
+    Device(DramError),
+    /// An invalid configuration parameter.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlError::Device(e) => write!(f, "device error: {e}"),
+            CtrlError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CtrlError::Device(e) => Some(e),
+            CtrlError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<DramError> for CtrlError {
+    fn from(e: DramError) -> Self {
+        CtrlError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_device_error_with_source() {
+        use std::error::Error;
+        let e = CtrlError::from(DramError::InvalidParam("x"));
+        assert!(e.to_string().contains("device error"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,55 @@
+//! Memory controller model: scheduling, refresh, and the RowHammer
+//! mitigation suite the paper analyses.
+//!
+//! * [`controller`] — the open-page [`MemoryController`]: drives a
+//!   [`densemem_dram::Module`], tracks open rows, interleaves distributed
+//!   auto-refresh, and invokes the configured mitigation at the command
+//!   hooks.
+//! * [`mitigation`] — the mitigation suite: none, refresh-rate scaling
+//!   (via [`RefreshEngine`]'s multiplier), PARA (probabilistic adjacent
+//!   row activation), CRA (per-row activation counters), and sampling TRR.
+//! * [`anvil`] — ANVIL-style software detection from activation-rate
+//!   sampling, with selective victim refresh.
+//! * [`refresh`] — the distributed refresh engine with a rate multiplier
+//!   (the paper's "increase the refresh rate" immediate solution).
+//! * [`scheduler`] — an FR-FCFS request scheduler for workload studies.
+//! * [`energy`] — activation/refresh energy and refresh-busy accounting
+//!   (the cost side of refresh scaling, E14).
+//! * [`stats`] — controller event counters.
+//!
+//! # Examples
+//!
+//! ```
+//! use densemem_ctrl::controller::MemoryController;
+//! use densemem_ctrl::mitigation::Para;
+//! use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+//! use densemem_dram::module::RowRemap;
+//!
+//! let profile = VintageProfile::new(Manufacturer::A, 2013);
+//! let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 3);
+//! let mut ctrl = MemoryController::new(module, Default::default())
+//!     .with_mitigation(Box::new(Para::new(0.001, 11).unwrap()));
+//! ctrl.fill(0xFF);
+//! let word = ctrl.read(0, 100, 0).unwrap();
+//! assert_eq!(word, u64::MAX);
+//! ```
+
+pub mod addrmap;
+pub mod anvil;
+pub mod controller;
+pub mod energy;
+pub mod error;
+pub mod mitigation;
+pub mod refresh;
+pub mod scheduler;
+pub mod stats;
+
+pub use addrmap::AddressMapping;
+pub use anvil::{AnvilConfig, AnvilDetector};
+pub use controller::{ControllerConfig, MemoryController, PagePolicy};
+pub use energy::EnergyReport;
+pub use error::CtrlError;
+pub use mitigation::{CommandLog, Cra, InDramTrr, Mitigation, NoMitigation, Para, Stack, TrrSampler};
+pub use refresh::RefreshEngine;
+pub use scheduler::{FrFcfsScheduler, MemRequest, RequestKind, SchedulerReport};
+pub use stats::CtrlStats;

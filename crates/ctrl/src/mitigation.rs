@@ -1,0 +1,573 @@
+//! RowHammer mitigations (§II-C of the paper).
+//!
+//! * [`NoMitigation`] — baseline.
+//! * [`Para`] — the paper's preferred long-term solution: on each row
+//!   close, refresh the adjacent rows with a small probability `p`. Zero
+//!   storage; overhead `≈ 2p` extra refreshes per activation.
+//! * [`Cra`] — counter-based accurate identification (the paper's sixth
+//!   long-term countermeasure): per-row activation counters trigger
+//!   neighbour refresh at a threshold. Effective, but the counters cost
+//!   storage proportional to the number of rows.
+//! * [`TrrSampler`] — a sampling target-row-refresh: probabilistically
+//!   record recent aggressors and refresh their neighbours on the next
+//!   auto-refresh tick. Models the in-DRAM TRR the paper's DDR4 discussion
+//!   alludes to (and that later work showed to be incomplete).
+
+use crate::stats::CtrlStats;
+use densemem_dram::{Module, Spd};
+use densemem_stats::dist::Bernoulli;
+use densemem_stats::rng::substream;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+
+/// Context handed to mitigation hooks.
+#[derive(Debug)]
+pub struct MitigationCtx<'a> {
+    /// The device being protected.
+    pub module: &'a mut Module,
+    /// Bank of the triggering command.
+    pub bank: usize,
+    /// Logical row of the triggering command.
+    pub row: usize,
+    /// Current time, nanoseconds.
+    pub now: u64,
+    /// Controller statistics (mitigations account their refreshes here).
+    pub stats: &'a mut CtrlStats,
+}
+
+impl MitigationCtx<'_> {
+    /// Refreshes both physical neighbours of `row` (looked up through the
+    /// SPD adjacency the paper proposes devices disclose), accounting them
+    /// as mitigation refreshes.
+    pub fn refresh_neighbors(&mut self) {
+        let spd: Spd = self.module.spd();
+        let (lo, hi) = spd.logical_neighbors(self.row);
+        for n in [lo, hi].into_iter().flatten() {
+            if self.module.refresh_row(self.bank, n, self.now).is_ok() {
+                self.stats.mitigation_refreshes += 1;
+            }
+        }
+    }
+}
+
+/// A RowHammer mitigation plugged into the controller's command hooks.
+pub trait Mitigation: std::fmt::Debug + Send {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Called after a row is activated.
+    fn on_activate(&mut self, _ctx: &mut MitigationCtx<'_>) {}
+
+    /// Called when a row is closed (precharged).
+    fn on_precharge(&mut self, _ctx: &mut MitigationCtx<'_>) {}
+
+    /// Called when the auto-refresh engine refreshes a row (TRR-style
+    /// mitigations piggyback here).
+    fn on_refresh_tick(&mut self, _ctx: &mut MitigationCtx<'_>) {}
+
+    /// Called when the refresh engine completes a full window sweep
+    /// (counter-based mitigations reset here).
+    fn on_window_reset(&mut self) {}
+
+    /// Storage the mitigation needs in the controller, in bits, for a
+    /// device with `rows` rows per bank and `banks` banks.
+    fn storage_bits(&self, _rows: usize, _banks: usize) -> u64 {
+        0
+    }
+}
+
+/// Baseline: no mitigation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMitigation;
+
+impl Mitigation for NoMitigation {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// PARA: Probabilistic Adjacent Row Activation.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_ctrl::mitigation::Para;
+/// let para = Para::new(0.001, 7).unwrap();
+/// assert_eq!(para.probability(), 0.001);
+/// ```
+#[derive(Debug)]
+pub struct Para {
+    bern: Bernoulli,
+    rng: StdRng,
+}
+
+impl Para {
+    /// Creates PARA with per-precharge neighbour-refresh probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CtrlError::InvalidConfig`] unless `0 <= p <= 1`.
+    pub fn new(p: f64, seed: u64) -> Result<Self, crate::CtrlError> {
+        let bern =
+            Bernoulli::new(p).map_err(|_| crate::CtrlError::InvalidConfig("p must be in [0,1]"))?;
+        Ok(Self { bern, rng: substream(seed, 0x9A2A) })
+    }
+
+    /// The configured probability.
+    pub fn probability(&self) -> f64 {
+        self.bern.p()
+    }
+
+    /// Probability that a victim survives `n` aggressor activations
+    /// without any neighbour refresh: `(1-p)^n`. With the minimum hammer
+    /// threshold `n ≥ 190K` and `p = 0.001` this is `< 10⁻⁸²` — the
+    /// paper's "stronger than hard-disk reliability" guarantee.
+    pub fn survival_probability(p: f64, n: f64) -> f64 {
+        (n * (1.0 - p).ln()).exp()
+    }
+}
+
+impl Mitigation for Para {
+    fn name(&self) -> &'static str {
+        "PARA"
+    }
+
+    fn on_precharge(&mut self, ctx: &mut MitigationCtx<'_>) {
+        if self.bern.sample(&mut self.rng) {
+            ctx.stats.mitigation_triggers += 1;
+            ctx.refresh_neighbors();
+        }
+    }
+}
+
+/// CRA: per-row activation counters with a trigger threshold.
+#[derive(Debug)]
+pub struct Cra {
+    threshold: u64,
+    counter_bits: u8,
+    counters: HashMap<(usize, usize), u64>,
+}
+
+impl Cra {
+    /// Creates CRA triggering neighbour refresh after `threshold`
+    /// activations of a row within one refresh window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CtrlError::InvalidConfig`] if `threshold == 0`.
+    pub fn new(threshold: u64) -> Result<Self, crate::CtrlError> {
+        if threshold == 0 {
+            return Err(crate::CtrlError::InvalidConfig("threshold must be > 0"));
+        }
+        // Counter width must hold the threshold.
+        let counter_bits = (64 - threshold.leading_zeros()).max(1) as u8;
+        Ok(Self { threshold, counter_bits, counters: HashMap::new() })
+    }
+
+    /// The trigger threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+impl Mitigation for Cra {
+    fn name(&self) -> &'static str {
+        "CRA"
+    }
+
+    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
+        let c = self.counters.entry((ctx.bank, ctx.row)).or_insert(0);
+        *c += 1;
+        if *c >= self.threshold {
+            *c = 0;
+            ctx.stats.mitigation_triggers += 1;
+            ctx.refresh_neighbors();
+        }
+    }
+
+    fn on_window_reset(&mut self) {
+        self.counters.clear();
+    }
+
+    fn storage_bits(&self, rows: usize, banks: usize) -> u64 {
+        // A dedicated counter per row per bank — the "very large hardware
+        // area" cost the paper calls out.
+        rows as u64 * banks as u64 * u64::from(self.counter_bits)
+    }
+}
+
+/// Sampling TRR: probabilistically captures aggressor rows and refreshes
+/// their neighbours at the next auto-refresh tick.
+#[derive(Debug)]
+pub struct TrrSampler {
+    sample: Bernoulli,
+    table_size: usize,
+    table: Vec<(usize, usize)>,
+    rng: StdRng,
+}
+
+impl TrrSampler {
+    /// Creates a sampler that records each activation with probability
+    /// `sample_p` into a table of `table_size` entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CtrlError::InvalidConfig`] for an invalid
+    /// probability or a zero table.
+    pub fn new(sample_p: f64, table_size: usize, seed: u64) -> Result<Self, crate::CtrlError> {
+        let sample = Bernoulli::new(sample_p)
+            .map_err(|_| crate::CtrlError::InvalidConfig("sample_p must be in [0,1]"))?;
+        if table_size == 0 {
+            return Err(crate::CtrlError::InvalidConfig("table_size must be > 0"));
+        }
+        Ok(Self { sample, table_size, table: Vec::new(), rng: substream(seed, 0x7227) })
+    }
+
+    /// Entries currently captured.
+    pub fn captured(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl Mitigation for TrrSampler {
+    fn name(&self) -> &'static str {
+        "TRR-sampler"
+    }
+
+    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
+        if self.sample.sample(&mut self.rng) {
+            if self.table.len() == self.table_size {
+                self.table.remove(0);
+            }
+            self.table.push((ctx.bank, ctx.row));
+        }
+    }
+
+    fn on_refresh_tick(&mut self, ctx: &mut MitigationCtx<'_>) {
+        // Serve one captured aggressor per refresh tick.
+        if let Some((bank, row)) = self.table.pop() {
+            ctx.stats.mitigation_triggers += 1;
+            let (b, r) = (ctx.bank, ctx.row);
+            ctx.bank = bank;
+            ctx.row = row;
+            ctx.refresh_neighbors();
+            ctx.bank = b;
+            ctx.row = r;
+        }
+    }
+
+    fn storage_bits(&self, rows: usize, banks: usize) -> u64 {
+        let row_bits = (usize::BITS - rows.leading_zeros()) as u64;
+        let bank_bits = (usize::BITS - banks.leading_zeros()) as u64;
+        self.table_size as u64 * (row_bits + bank_bits)
+    }
+}
+
+/// A DDR4-style in-DRAM TRR: a small Misra–Gries heavy-hitter table over
+/// recent aggressors; on each auto-refresh tick, the most-counted entry
+/// above a confidence threshold gets its neighbours refreshed.
+///
+/// This models the deterministic in-DRAM TRR the paper's DDR4 discussion
+/// alludes to — effective against the classic one/two-aggressor patterns,
+/// but *evadable*: with more concurrent aggressors than table entries the
+/// Misra–Gries counters are decremented back to zero before any entry
+/// reaches the firing threshold, so the mitigation never engages
+/// (experiment E15; later known publicly from the TRRespass work).
+#[derive(Debug)]
+pub struct InDramTrr {
+    table_size: usize,
+    fire_threshold: u64,
+    table: HashMap<(usize, usize), u64>,
+}
+
+impl InDramTrr {
+    /// Creates the TRR with `table_size` tracked aggressors and a firing
+    /// confidence of `fire_threshold` counted activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CtrlError::InvalidConfig`] if either parameter is
+    /// zero.
+    pub fn new(table_size: usize, fire_threshold: u64) -> Result<Self, crate::CtrlError> {
+        if table_size == 0 {
+            return Err(crate::CtrlError::InvalidConfig("table_size must be > 0"));
+        }
+        if fire_threshold == 0 {
+            return Err(crate::CtrlError::InvalidConfig("fire_threshold must be > 0"));
+        }
+        Ok(Self { table_size, fire_threshold, table: HashMap::new() })
+    }
+
+    /// A DDR4-representative configuration: 4 entries, fire at 32.
+    pub fn ddr4_like() -> Self {
+        Self { table_size: 4, fire_threshold: 32, table: HashMap::new() }
+    }
+
+    /// Entries currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl Mitigation for InDramTrr {
+    fn name(&self) -> &'static str {
+        "in-DRAM TRR"
+    }
+
+    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
+        let key = (ctx.bank, ctx.row);
+        // Misra–Gries heavy-hitter update.
+        if let Some(c) = self.table.get_mut(&key) {
+            *c += 1;
+        } else if self.table.len() < self.table_size {
+            self.table.insert(key, 1);
+        } else {
+            self.table.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
+    }
+
+    fn on_refresh_tick(&mut self, ctx: &mut MitigationCtx<'_>) {
+        let candidate = self
+            .table
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .filter(|(_, &c)| c >= self.fire_threshold)
+            .map(|(&k, _)| k);
+        if let Some((bank, row)) = candidate {
+            self.table.insert((bank, row), 1);
+            ctx.stats.mitigation_triggers += 1;
+            let (b, r) = (ctx.bank, ctx.row);
+            ctx.bank = bank;
+            ctx.row = row;
+            ctx.refresh_neighbors();
+            ctx.bank = b;
+            ctx.row = r;
+        }
+    }
+
+    fn storage_bits(&self, rows: usize, banks: usize) -> u64 {
+        let row_bits = (usize::BITS - rows.leading_zeros()) as u64;
+        let bank_bits = (usize::BITS - banks.leading_zeros()) as u64;
+        // Key plus a 16-bit counter per entry.
+        self.table_size as u64 * (row_bits + bank_bits + 16)
+    }
+}
+
+/// Composes several mitigations/observers: every hook fans out to every
+/// child in order. Lets a deployment run e.g. PARA *and* an ANVIL
+/// detector, or stack a [`CommandLog`] observer onto any mitigation.
+#[derive(Debug)]
+pub struct Stack {
+    children: Vec<Box<dyn Mitigation>>,
+}
+
+impl Stack {
+    /// Creates a stack from child mitigations (applied in order).
+    pub fn new(children: Vec<Box<dyn Mitigation>>) -> Self {
+        Self { children }
+    }
+}
+
+impl Mitigation for Stack {
+    fn name(&self) -> &'static str {
+        "stack"
+    }
+
+    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
+        for c in &mut self.children {
+            c.on_activate(ctx);
+        }
+    }
+
+    fn on_precharge(&mut self, ctx: &mut MitigationCtx<'_>) {
+        for c in &mut self.children {
+            c.on_precharge(ctx);
+        }
+    }
+
+    fn on_refresh_tick(&mut self, ctx: &mut MitigationCtx<'_>) {
+        for c in &mut self.children {
+            c.on_refresh_tick(ctx);
+        }
+    }
+
+    fn on_window_reset(&mut self) {
+        for c in &mut self.children {
+            c.on_window_reset();
+        }
+    }
+
+    fn storage_bits(&self, rows: usize, banks: usize) -> u64 {
+        self.children.iter().map(|c| c.storage_bits(rows, banks)).sum()
+    }
+}
+
+/// A recorded controller event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandEvent {
+    /// Timestamp, nanoseconds.
+    pub now: u64,
+    /// Bank.
+    pub bank: usize,
+    /// Row.
+    pub row: usize,
+    /// Event kind.
+    pub kind: CommandKind,
+}
+
+/// Kind of a recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// Row activation.
+    Activate,
+    /// Row close.
+    Precharge,
+    /// Auto-refresh tick.
+    Refresh,
+}
+
+/// A pure observer that records the controller's command stream through
+/// the mitigation hooks — the §IV "testing methods" building block for
+/// trace capture/replay and coverage measurement.
+#[derive(Debug, Default)]
+pub struct CommandLog {
+    events: Vec<CommandEvent>,
+    cap: usize,
+}
+
+impl CommandLog {
+    /// Creates a log keeping at most `cap` events (oldest dropped).
+    pub fn new(cap: usize) -> Self {
+        Self { events: Vec::new(), cap: cap.max(1) }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[CommandEvent] {
+        &self.events
+    }
+
+    fn push(&mut self, e: CommandEvent) {
+        if self.events.len() == self.cap {
+            self.events.remove(0);
+        }
+        self.events.push(e);
+    }
+}
+
+impl Mitigation for CommandLog {
+    fn name(&self) -> &'static str {
+        "command-log"
+    }
+
+    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
+        self.push(CommandEvent {
+            now: ctx.now,
+            bank: ctx.bank,
+            row: ctx.row,
+            kind: CommandKind::Activate,
+        });
+    }
+
+    fn on_precharge(&mut self, ctx: &mut MitigationCtx<'_>) {
+        self.push(CommandEvent {
+            now: ctx.now,
+            bank: ctx.bank,
+            row: ctx.row,
+            kind: CommandKind::Precharge,
+        });
+    }
+
+    fn on_refresh_tick(&mut self, ctx: &mut MitigationCtx<'_>) {
+        self.push(CommandEvent {
+            now: ctx.now,
+            bank: ctx.bank,
+            row: ctx.row,
+            kind: CommandKind::Refresh,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn para_validates_probability() {
+        assert!(Para::new(-0.1, 1).is_err());
+        assert!(Para::new(1.1, 1).is_err());
+        assert!(Para::new(0.5, 1).is_ok());
+    }
+
+    #[test]
+    fn para_survival_probability_is_tiny_at_min_threshold() {
+        let p = Para::survival_probability(0.001, 190_000.0);
+        assert!(p < 1e-80, "survival {p}");
+        // And still strong at p = 0.0001 for the weakest observed cells.
+        let p2 = Para::survival_probability(0.0001, 190_000.0);
+        assert!(p2 < 1e-8);
+    }
+
+    #[test]
+    fn cra_storage_scales_with_rows() {
+        let c = Cra::new(100_000).unwrap();
+        let small = c.storage_bits(1024, 1);
+        let large = c.storage_bits(32768, 8);
+        assert!(large > small * 200);
+        // 100k needs 17 bits.
+        assert_eq!(small, 1024 * 17);
+    }
+
+    #[test]
+    fn cra_rejects_zero_threshold() {
+        assert!(Cra::new(0).is_err());
+    }
+
+    #[test]
+    fn trr_validates_and_reports_storage() {
+        assert!(TrrSampler::new(2.0, 8, 1).is_err());
+        assert!(TrrSampler::new(0.01, 0, 1).is_err());
+        let t = TrrSampler::new(0.01, 16, 1).unwrap();
+        assert!(t.storage_bits(1024, 2) > 0);
+        assert!(t.storage_bits(1024, 2) < Cra::new(1000).unwrap().storage_bits(1024, 2));
+    }
+
+    #[test]
+    fn no_mitigation_has_no_storage() {
+        assert_eq!(NoMitigation.storage_bits(32768, 8), 0);
+        assert_eq!(NoMitigation.name(), "none");
+    }
+
+    #[test]
+    fn stack_fans_out_and_sums_storage() {
+        let s = Stack::new(vec![
+            Box::new(Cra::new(1000).unwrap()),
+            Box::new(TrrSampler::new(0.01, 8, 1).unwrap()),
+        ]);
+        let expected = Cra::new(1000).unwrap().storage_bits(1024, 2)
+            + TrrSampler::new(0.01, 8, 1).unwrap().storage_bits(1024, 2);
+        assert_eq!(s.storage_bits(1024, 2), expected);
+        assert_eq!(s.name(), "stack");
+    }
+
+    #[test]
+    fn command_log_caps_events() {
+        let mut log = CommandLog::new(2);
+        for i in 0..5u64 {
+            log.push(CommandEvent { now: i, bank: 0, row: 0, kind: CommandKind::Activate });
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].now, 3);
+    }
+
+    #[test]
+    fn in_dram_trr_validates_and_reports_storage() {
+        assert!(InDramTrr::new(0, 32).is_err());
+        assert!(InDramTrr::new(4, 0).is_err());
+        let t = InDramTrr::ddr4_like();
+        assert_eq!(t.tracked(), 0);
+        assert!(t.storage_bits(65536, 8) < 512, "tiny table is the point");
+    }
+}

@@ -1,0 +1,83 @@
+//! Controller event counters.
+
+/// Event counters accumulated by a [`crate::MemoryController`].
+///
+/// # Examples
+///
+/// ```
+/// let s = densemem_ctrl::CtrlStats::default();
+/// assert_eq!(s.activations, 0);
+/// assert_eq!(s.row_hit_rate(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CtrlStats {
+    /// Row activations issued (excludes refreshes).
+    pub activations: u64,
+    /// Accesses served from an already-open row.
+    pub row_hits: u64,
+    /// Accesses that required closing another row first.
+    pub row_conflicts: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Rows refreshed by the auto-refresh engine.
+    pub auto_refresh_rows: u64,
+    /// Rows refreshed by a mitigation (PARA, CRA, TRR, ANVIL).
+    pub mitigation_refreshes: u64,
+    /// Mitigation trigger events (e.g. CRA threshold crossings, ANVIL
+    /// detections).
+    pub mitigation_triggers: u64,
+}
+
+impl CtrlStats {
+    /// Fraction of accesses that hit an open row (0 if no accesses).
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_conflicts + self.activations;
+        let accesses = self.reads + self.writes;
+        if accesses == 0 || total == 0 {
+            return 0.0;
+        }
+        self.row_hits as f64 / accesses as f64
+    }
+
+    /// Mitigation refresh overhead relative to demand activations
+    /// (the PARA "negligible overhead" metric).
+    pub fn mitigation_overhead(&self) -> f64 {
+        if self.activations == 0 {
+            return 0.0;
+        }
+        self.mitigation_refreshes as f64 / self.activations as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero() {
+        let s = CtrlStats::default();
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.mitigation_overhead(), 0.0);
+    }
+
+    #[test]
+    fn overhead_ratio() {
+        let s = CtrlStats { activations: 1000, mitigation_refreshes: 2, ..Default::default() };
+        assert!((s.mitigation_overhead() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_ratio() {
+        let s = CtrlStats {
+            reads: 8,
+            writes: 2,
+            row_hits: 5,
+            row_conflicts: 5,
+            activations: 5,
+            ..Default::default()
+        };
+        assert!((s.row_hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! AVATAR-style VRT-aware refresh (Qureshi et al., DSN 2015 — the
+//! paper's citation \[84\]).
+//!
+//! Multi-rate refresh (E18) relies on profiling, which VRT cells escape
+//! (E9). AVATAR closes the loop *online*: whenever ECC corrects a
+//! retention error in a relaxed-rate row during a scrub, that row is
+//! upgraded to the nominal rate — so each VRT cell can hurt at most once,
+//! instead of failing again on every future leaky episode.
+
+use crate::retention::RetentionPopulation;
+use densemem_stats::rng::substream;
+use rand::Rng;
+
+/// Outcome of a field simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldOutcome {
+    /// Retention-failure events over the horizon (each is an ECC
+    /// correction at best, a data loss at worst).
+    pub failure_events: u64,
+    /// Cells whose rows ended up upgraded to the nominal rate.
+    pub upgraded_cells: u64,
+}
+
+/// Simulates `days` of field operation at a relaxed window for the cells
+/// **not** caught by profiling (`detected[i] == true` cells already run at
+/// the nominal rate and never fail).
+///
+/// Each day, an undetected cell fails with its per-day probability
+/// (deterministically for static cells whose stressed retention is below
+/// the window; via its VRT episode rate otherwise). With `avatar` set,
+/// the first failure upgrades the cell's row to the nominal rate.
+///
+/// # Panics
+///
+/// Panics if `detected.len() != pop.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::avatar::simulate_field;
+/// use densemem_dram::retention::RetentionPopulation;
+/// use densemem_dram::{Manufacturer, VintageProfile};
+///
+/// let profile = VintageProfile::new(Manufacturer::A, 2013);
+/// let pop = RetentionPopulation::generate(&profile, 1_000_000_000, 1);
+/// let detected = vec![false; pop.len()];
+/// let st = simulate_field(&pop, &detected, 512.0, 30, false, 7);
+/// let av = simulate_field(&pop, &detected, 512.0, 30, true, 7);
+/// assert!(av.failure_events <= st.failure_events);
+/// ```
+pub fn simulate_field(
+    pop: &RetentionPopulation,
+    detected: &[bool],
+    window_ms: f64,
+    days: u32,
+    avatar: bool,
+    seed: u64,
+) -> FieldOutcome {
+    assert_eq!(detected.len(), pop.len(), "detection flags must cover the population");
+    let mut rng = substream(seed, 0xA7A7);
+    let mut upgraded = vec![false; pop.len()];
+    let mut failures = 0u64;
+    for _day in 0..days {
+        for (i, cell) in pop.cells().iter().enumerate() {
+            if detected[i] || upgraded[i] {
+                continue;
+            }
+            let fails_today = if let Some(vrt) = cell.vrt {
+                if window_ms > vrt.short_retention_ms * cell.dpd_factor {
+                    let p = 1.0 - (-vrt.switch_rate_per_s * 86_400.0).exp();
+                    rng.gen::<f64>() < p
+                } else {
+                    false
+                }
+            } else {
+                window_ms > cell.stressed_retention_ms()
+            };
+            if fails_today {
+                failures += 1;
+                if avatar {
+                    upgraded[i] = true;
+                }
+            }
+        }
+    }
+    FieldOutcome {
+        failure_events: failures,
+        upgraded_cells: upgraded.iter().filter(|&&u| u).count() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retention::{VrtCell, WeakCell};
+
+    fn vrt_population(n: usize, rate: f64) -> RetentionPopulation {
+        RetentionPopulation::from_cells(
+            (0..n)
+                .map(|_| WeakCell {
+                    retention_ms: 10_000.0,
+                    dpd_factor: 0.8,
+                    vrt: Some(VrtCell { short_retention_ms: 1.0, switch_rate_per_s: rate }),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn avatar_caps_each_vrt_cell_at_one_failure() {
+        // Episode rate high enough that every cell fails most days.
+        let pop = vrt_population(50, 1e-4);
+        let detected = vec![false; 50];
+        let stat = simulate_field(&pop, &detected, 512.0, 365, false, 3);
+        let avat = simulate_field(&pop, &detected, 512.0, 365, true, 3);
+        assert!(avat.failure_events <= 50, "one failure per cell max: {avat:?}");
+        assert!(
+            stat.failure_events > 4 * avat.failure_events,
+            "static {stat:?} vs avatar {avat:?}"
+        );
+        assert_eq!(avat.upgraded_cells, avat.failure_events);
+    }
+
+    #[test]
+    fn detected_cells_never_fail() {
+        let pop = vrt_population(10, 1.0);
+        let detected = vec![true; 10];
+        let out = simulate_field(&pop, &detected, 512.0, 100, false, 4);
+        assert_eq!(out.failure_events, 0);
+    }
+
+    #[test]
+    fn static_undetected_cells_fail_daily_without_avatar() {
+        let pop = RetentionPopulation::from_cells(vec![WeakCell {
+            retention_ms: 300.0, // stressed 240 ms < 512 ms window
+            dpd_factor: 0.8,
+            vrt: None,
+        }]);
+        let detected = vec![false];
+        let stat = simulate_field(&pop, &detected, 512.0, 30, false, 5);
+        assert_eq!(stat.failure_events, 30);
+        let avat = simulate_field(&pop, &detected, 512.0, 30, true, 5);
+        assert_eq!(avat.failure_events, 1);
+        assert_eq!(avat.upgraded_cells, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "detection flags")]
+    fn mismatched_flags_panic() {
+        let pop = vrt_population(3, 0.1);
+        let _ = simulate_field(&pop, &[false; 2], 512.0, 1, false, 6);
+    }
+}

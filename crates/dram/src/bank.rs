@@ -1,0 +1,750 @@
+//! The DRAM bank state machine with lazy charge-loss evaluation.
+//!
+//! Physics summary (see DESIGN.md §3): every activation of a row disturbs
+//! its physical neighbours. For each victim row we track the cumulative
+//! activation counts of its ±1 and ±2 neighbours, snapshotted whenever the
+//! victim's charge was last restored (by its own activation or a refresh).
+//! Whenever the victim is next touched — activated, refreshed, or
+//! inspected — the accumulated *exposure* is compared against each of the
+//! row's sparse disturbance-candidate cells; cells whose threshold was
+//! crossed commit a flip towards their discharged value. Retention-weak
+//! cells likewise fail when the time since the last restore exceeds their
+//! (data-pattern- and VRT-modulated) retention time.
+//!
+//! Lazy evaluation is exact for this model because exposure is monotone
+//! between restores and flips are idempotent (a flipped cell is already at
+//! its discharged value).
+
+use crate::cell::{
+    orientation_of_row, DisturbCell, RetentionCell, VrtParams, ORIENTATION_BLOCK_ROWS,
+};
+use crate::error::DramError;
+use crate::geometry::{BankGeometry, BitAddr};
+use crate::vintage::VintageProfile;
+use densemem_stats::dist::{Bernoulli, Poisson};
+use densemem_stats::rng::substream;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// One DRAM bank: dense data array plus sparse weak-cell state.
+///
+/// The bank does not enforce open-row discipline (the memory controller
+/// does); it faithfully models the charge consequences of whatever command
+/// sequence it is given.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::{Bank, BankGeometry, Manufacturer, VintageProfile};
+///
+/// let profile = VintageProfile::new(Manufacturer::A, 2013);
+/// let mut bank = Bank::new(BankGeometry::small(), &profile, 1);
+/// bank.fill_rows(0xAA);
+/// bank.activate(5, 0);
+/// assert_eq!(bank.read_word(5, 0).unwrap(), 0xAAAA_AAAA_AAAA_AAAA);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bank {
+    geom: BankGeometry,
+    data: Vec<u64>,
+    disturb: HashMap<usize, Vec<DisturbCell>>,
+    ret: HashMap<usize, Vec<RetentionCell>>,
+    /// Cumulative activation count per row.
+    acts: Vec<u64>,
+    /// Neighbour activation counts `[r-1, r+1, r-2, r+2]` snapshotted at
+    /// each row's last charge restore.
+    snap: Vec<[u64; 4]>,
+    last_restore_ns: Vec<u64>,
+    open_row: Option<usize>,
+    fill_word: Option<u64>,
+    /// Stuck-at faults: per (row, word), (mask, value) — bits in `mask`
+    /// always read as the corresponding bits of `value`.
+    stuck: HashMap<(usize, usize), (u64, u64)>,
+    total_activations: u64,
+    min_threshold: f64,
+    rng: StdRng,
+}
+
+impl Bank {
+    /// Builds a bank for the given geometry and vintage profile, seeding
+    /// the weak-cell population deterministically from `seed`.
+    pub fn new(geom: BankGeometry, profile: &VintageProfile, seed: u64) -> Self {
+        let mut gen_rng = substream(seed, 0xD15B);
+        let mut disturb: HashMap<usize, Vec<DisturbCell>> = HashMap::new();
+        let mut ret: HashMap<usize, Vec<RetentionCell>> = HashMap::new();
+        let bits = geom.bits_per_row();
+        let disturb_per_row = Poisson::new(profile.candidate_density() * bits as f64)
+            .expect("density is finite and non-negative");
+        let ret_per_row = Poisson::new(profile.retention_weak_density() * bits as f64)
+            .expect("density is finite and non-negative");
+        let th_dist = profile.threshold_dist();
+        let ret_median_ns = profile.retention_median_ms() * 1e6;
+        let ret_dist = densemem_stats::dist::LogNormal::from_median_sigma(
+            ret_median_ns,
+            profile.retention_sigma(),
+        );
+        let vrt_bern = Bernoulli::new(profile.vrt_fraction()).expect("fraction in [0,1]");
+        for row in 0..geom.rows() {
+            let nd = disturb_per_row.sample(&mut gen_rng);
+            if nd > 0 {
+                let cells: Vec<DisturbCell> = (0..nd)
+                    .map(|_| DisturbCell {
+                        word: gen_rng.gen_range(0..geom.words_per_row()) as u32,
+                        bit: gen_rng.gen_range(0..64u8),
+                        threshold: th_dist
+                            .sample(&mut gen_rng)
+                            .max(VintageProfile::MIN_THRESHOLD),
+                    })
+                    .collect();
+                disturb.insert(row, cells);
+            }
+            let nr = ret_per_row.sample(&mut gen_rng);
+            if nr > 0 {
+                let cells: Vec<RetentionCell> = (0..nr)
+                    .map(|_| {
+                        let base = ret_dist.sample(&mut gen_rng);
+                        let vrt = if vrt_bern.sample(&mut gen_rng) {
+                            Some(VrtParams {
+                                // Leaky-state retention is orders of
+                                // magnitude shorter than the baseline, but
+                                // never below 0.1 ms.
+                                short_retention_ns: (base / 1e4).max(1e5),
+                                switch_rate_per_s: 10f64
+                                    .powf(gen_rng.gen_range(-4.0..-1.0f64)),
+                            })
+                        } else {
+                            None
+                        };
+                        RetentionCell {
+                            word: gen_rng.gen_range(0..geom.words_per_row()) as u32,
+                            bit: gen_rng.gen_range(0..64u8),
+                            // The weak tail sits below the median but above
+                            // the nominal 64 ms window: cells failing inside
+                            // the window were mapped out at manufacture.
+                            retention_ns: (base / 20.0).max(1e8),
+                            vrt,
+                        }
+                    })
+                    .collect();
+                ret.insert(row, cells);
+            }
+        }
+        Self {
+            geom,
+            data: vec![0; geom.rows() * geom.words_per_row()],
+            disturb,
+            ret,
+            acts: vec![0; geom.rows()],
+            snap: vec![[0; 4]; geom.rows()],
+            last_restore_ns: vec![0; geom.rows()],
+            open_row: None,
+            fill_word: None,
+            stuck: HashMap::new(),
+            total_activations: 0,
+            min_threshold: VintageProfile::MIN_THRESHOLD,
+            rng: substream(seed, 0x7EB7),
+        }
+    }
+
+    /// The bank geometry.
+    pub fn geometry(&self) -> BankGeometry {
+        self.geom
+    }
+
+    /// Fills every row with `byte` repeated, resetting charge bookkeeping
+    /// (a fresh write fully charges every cell).
+    pub fn fill_rows(&mut self, byte: u8) {
+        let w = u64::from_ne_bytes([byte; 8]);
+        self.data.fill(w);
+        self.fill_word = Some(w);
+        self.snap = vec![[0; 4]; self.geom.rows()];
+        self.acts.fill(0);
+        self.last_restore_ns.fill(0);
+        self.total_activations = 0;
+    }
+
+    /// Fills one row with a 64-bit pattern and restores its charge at time
+    /// `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] for an invalid row.
+    pub fn fill_row(&mut self, row: usize, word: u64, now: u64) -> Result<(), DramError> {
+        self.check_row(row)?;
+        let w = self.geom.words_per_row();
+        self.data[row * w..(row + 1) * w].fill(word);
+        self.restore(row, now);
+        Ok(())
+    }
+
+    /// Opens `row` at time `now`: commits any pending charge loss on the
+    /// row, restores its charge, and counts one activation (disturbing the
+    /// physical neighbours).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range (activations are on the hot path;
+    /// controllers validate addresses on entry).
+    pub fn activate(&mut self, row: usize, now: u64) {
+        assert!(self.geom.contains_row(row), "activate: row {row} out of range");
+        self.commit_pending(row, now);
+        self.restore(row, now);
+        self.acts[row] += 1;
+        self.total_activations += 1;
+        self.open_row = Some(row);
+    }
+
+    /// Closes the open row, if any.
+    pub fn precharge(&mut self) {
+        self.open_row = None;
+    }
+
+    /// The currently open row.
+    pub fn open_row(&self) -> Option<usize> {
+        self.open_row
+    }
+
+    /// Refreshes `row` at time `now`: commits pending charge loss, then
+    /// restores charge. Does not count as an activation (refresh does not
+    /// disturb neighbours in this model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] for an invalid row.
+    pub fn refresh_row(&mut self, row: usize, now: u64) -> Result<(), DramError> {
+        self.check_row(row)?;
+        self.commit_pending(row, now);
+        self.restore(row, now);
+        Ok(())
+    }
+
+    /// Reads a word from a row.
+    ///
+    /// The read reflects all charge loss committed so far; call through the
+    /// controller (which activates first) or use [`Bank::inspect_row`] for
+    /// physics-accurate standalone reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] for out-of-range indices.
+    pub fn read_word(&self, row: usize, word: usize) -> Result<u64, DramError> {
+        self.check_row(row)?;
+        self.check_word(word)?;
+        let mut v = self.data[row * self.geom.words_per_row() + word];
+        if let Some(&(mask, value)) = self.stuck.get(&(row, word)) {
+            v = (v & !mask) | (value & mask);
+        }
+        Ok(v)
+    }
+
+    /// Writes a word into a row (the written cells become fully charged at
+    /// their new values; bookkeeping for the rest of the row is unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] for out-of-range indices.
+    pub fn write_word(&mut self, row: usize, word: usize, value: u64) -> Result<(), DramError> {
+        self.check_row(row)?;
+        self.check_word(word)?;
+        self.data[row * self.geom.words_per_row() + word] = value;
+        Ok(())
+    }
+
+    /// Commits pending charge loss on `row` (as a real read would), restores
+    /// its charge, and returns a copy of the row data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::RowOutOfRange`] for an invalid row.
+    pub fn inspect_row(&mut self, row: usize, now: u64) -> Result<Vec<u64>, DramError> {
+        self.check_row(row)?;
+        self.commit_pending(row, now);
+        self.restore(row, now);
+        let w = self.geom.words_per_row();
+        let mut out = self.data[row * w..(row + 1) * w].to_vec();
+        for (&(r, word), &(mask, value)) in &self.stuck {
+            if r == row {
+                out[word] = (out[word] & !mask) | (value & mask);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Counts bits in `row` that differ from the pattern of the last
+    /// [`Bank::fill_rows`], committing pending physics first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill_rows` was never called or `row` is out of range.
+    pub fn count_flips_from_fill(&mut self, row: usize, now: u64) -> usize {
+        let fill = self.fill_word.expect("count_flips_from_fill requires a prior fill_rows");
+        let data = self.inspect_row(row, now).expect("row validated by caller");
+        data.iter().map(|w| (w ^ fill).count_ones() as usize).sum()
+    }
+
+    /// Scans the whole bank against the last fill pattern, returning every
+    /// flipped bit. Commits pending physics row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fill_rows` was never called.
+    pub fn scan_flips_from_fill(&mut self, now: u64) -> Vec<BitAddr> {
+        let fill = self.fill_word.expect("scan_flips_from_fill requires a prior fill_rows");
+        let mut out = Vec::new();
+        for row in 0..self.geom.rows() {
+            let data = self.inspect_row(row, now).expect("row in range");
+            for (word, w) in data.iter().enumerate() {
+                let mut diff = w ^ fill;
+                while diff != 0 {
+                    let bit = diff.trailing_zeros() as u8;
+                    out.push(BitAddr { row, word, bit });
+                    diff &= diff - 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Current weighted disturbance exposure of `row` (aggressor
+    /// activations since the row's last charge restore).
+    pub fn exposure(&self, row: usize) -> f64 {
+        let s = self.snap[row];
+        let d1 = self.neighbor_acts(row, -1).saturating_sub(s[0])
+            + self.neighbor_acts(row, 1).saturating_sub(s[1]);
+        let d2 = self.neighbor_acts(row, -2).saturating_sub(s[2])
+            + self.neighbor_acts(row, 2).saturating_sub(s[3]);
+        d1 as f64 + VintageProfile::DISTANCE2_COUPLING * d2 as f64
+    }
+
+    /// Cumulative activation count of `row`.
+    pub fn activation_count(&self, row: usize) -> u64 {
+        self.acts[row]
+    }
+
+    /// Total activations across the bank.
+    pub fn total_activations(&self) -> u64 {
+        self.total_activations
+    }
+
+    /// The disturbance-candidate cells of `row` (empty slice if none).
+    pub fn disturb_cells(&self, row: usize) -> &[DisturbCell] {
+        self.disturb.get(&row).map_or(&[], Vec::as_slice)
+    }
+
+    /// The weak-retention cells of `row` (empty slice if none).
+    pub fn retention_cells(&self, row: usize) -> &[RetentionCell] {
+        self.ret.get(&row).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of disturbance-candidate cells in the bank.
+    pub fn total_disturb_cells(&self) -> usize {
+        self.disturb.values().map(Vec::len).sum()
+    }
+
+    /// Raw row data without committing physics (for tests/debugging).
+    pub fn raw_row(&self, row: usize) -> &[u64] {
+        let w = self.geom.words_per_row();
+        &self.data[row * w..(row + 1) * w]
+    }
+
+    /// Injects a disturbance-candidate cell (used by tests and the ECC
+    /// experiment to place multi-bit clusters deterministically).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] if the address is out of range.
+    pub fn inject_disturb_cell(
+        &mut self,
+        addr: BitAddr,
+        threshold: f64,
+    ) -> Result<(), DramError> {
+        self.check_row(addr.row)?;
+        self.check_word(addr.word)?;
+        self.disturb.entry(addr.row).or_default().push(DisturbCell {
+            word: addr.word as u32,
+            bit: addr.bit,
+            threshold,
+        });
+        Ok(())
+    }
+
+    /// Injects a stuck-at fault: the bit always reads as `value`
+    /// regardless of what is written (a manufacturing hard fault — the
+    /// class classic march tests are designed to catch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] if the address is out of range.
+    pub fn inject_stuck_bit(&mut self, addr: BitAddr, value: bool) -> Result<(), DramError> {
+        self.check_row(addr.row)?;
+        self.check_word(addr.word)?;
+        let e = self.stuck.entry((addr.row, addr.word)).or_insert((0, 0));
+        e.0 |= 1u64 << addr.bit;
+        if value {
+            e.1 |= 1u64 << addr.bit;
+        } else {
+            e.1 &= !(1u64 << addr.bit);
+        }
+        Ok(())
+    }
+
+    // ----- internals ---------------------------------------------------
+
+    fn check_row(&self, row: usize) -> Result<(), DramError> {
+        if self.geom.contains_row(row) {
+            Ok(())
+        } else {
+            Err(DramError::RowOutOfRange { row, rows: self.geom.rows() })
+        }
+    }
+
+    fn check_word(&self, word: usize) -> Result<(), DramError> {
+        if word < self.geom.words_per_row() {
+            Ok(())
+        } else {
+            Err(DramError::WordOutOfRange { word, words: self.geom.words_per_row() })
+        }
+    }
+
+    fn neighbor_acts(&self, row: usize, delta: isize) -> u64 {
+        match row.checked_add_signed(delta) {
+            Some(r) if r < self.geom.rows() => self.acts[r],
+            _ => 0,
+        }
+    }
+
+    /// Snapshot neighbour counts and timestamp: the row is now fully
+    /// charged.
+    fn restore(&mut self, row: usize, now: u64) {
+        self.snap[row] = [
+            self.neighbor_acts(row, -1),
+            self.neighbor_acts(row, 1),
+            self.neighbor_acts(row, -2),
+            self.neighbor_acts(row, 2),
+        ];
+        self.last_restore_ns[row] = now;
+    }
+
+    /// Evaluates disturbance and retention loss accumulated on `row` since
+    /// its last restore and commits the resulting bit flips.
+    fn commit_pending(&mut self, row: usize, now: u64) {
+        let words_per_row = self.geom.words_per_row();
+        let orientation = orientation_of_row(row);
+        let charged = orientation.charged_value();
+        let exposure = self.exposure(row);
+
+        // Dominant aggressor for data-pattern dependence: prefer r-1, fall
+        // back to r+1 (edge rows).
+        let aggressor = if row > 0 { row - 1 } else { row + 1 };
+        let aggressor_in_range = aggressor < self.geom.rows() && aggressor != row;
+
+        let mut flips: Vec<(usize, u8)> = Vec::new();
+
+        if exposure >= self.min_threshold {
+            if let Some(cells) = self.disturb.get(&row) {
+                for c in cells {
+                    let idx = row * words_per_row + c.word as usize;
+                    let stored = (self.data[idx] >> c.bit) & 1 == 1;
+                    if stored != charged {
+                        continue; // already discharged: nothing to lose
+                    }
+                    let stressed = if aggressor_in_range {
+                        let abit = (self.data[aggressor * words_per_row + c.word as usize]
+                            >> c.bit)
+                            & 1
+                            == 1;
+                        abit != stored
+                    } else {
+                        true
+                    };
+                    let th = if stressed {
+                        c.threshold
+                    } else {
+                        c.threshold * VintageProfile::DPD_RESIST_FACTOR
+                    };
+                    if exposure >= th {
+                        flips.push((idx, c.bit));
+                    }
+                }
+            }
+        }
+
+        // Retention loss over the elapsed interval.
+        let dt_ns = now.saturating_sub(self.last_restore_ns[row]) as f64;
+        if dt_ns > 0.0 {
+            if let Some(cells) = self.ret.get(&row) {
+                for c in cells {
+                    let idx = row * words_per_row + c.word as usize;
+                    let stored = (self.data[idx] >> c.bit) & 1 == 1;
+                    if stored != charged {
+                        continue;
+                    }
+                    // Data-pattern dependence: a stressing neighbour makes
+                    // the cell leakier.
+                    let dpd = if aggressor_in_range {
+                        let abit = (self.data[aggressor * words_per_row + c.word as usize]
+                            >> c.bit)
+                            & 1
+                            == 1;
+                        if abit != stored {
+                            0.7
+                        } else {
+                            1.0
+                        }
+                    } else {
+                        1.0
+                    };
+                    let failed = if let Some(vrt) = c.vrt {
+                        // A leaky episode must both occur and outlast the
+                        // cell's short retention within the window.
+                        if dt_ns > vrt.short_retention_ns * dpd {
+                            let p = 1.0 - (-vrt.switch_rate_per_s * dt_ns / 1e9).exp();
+                            self.rng.gen::<f64>() < p
+                        } else {
+                            false
+                        }
+                    } else {
+                        dt_ns > c.retention_ns * dpd
+                    };
+                    if failed {
+                        flips.push((idx, c.bit));
+                    }
+                }
+            }
+        }
+
+        let discharged = orientation.discharged_value();
+        for (idx, bit) in flips {
+            if discharged {
+                self.data[idx] |= 1u64 << bit;
+            } else {
+                self.data[idx] &= !(1u64 << bit);
+            }
+        }
+    }
+}
+
+/// The orientation block size, re-exported for controller tests.
+pub const ORIENTATION_BLOCK: usize = ORIENTATION_BLOCK_ROWS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vintage::Manufacturer;
+
+    fn bank_2013(seed: u64) -> Bank {
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        Bank::new(BankGeometry::small(), &profile, seed)
+    }
+
+    #[test]
+    fn fill_and_read() {
+        let mut b = bank_2013(1);
+        b.fill_rows(0x5A);
+        assert_eq!(b.read_word(10, 3).unwrap(), 0x5A5A_5A5A_5A5A_5A5A);
+        assert!(b.read_word(4096, 0).is_err());
+        assert!(b.read_word(0, 4096).is_err());
+    }
+
+    #[test]
+    fn write_and_open_row_state() {
+        let mut b = bank_2013(1);
+        b.activate(7, 0);
+        assert_eq!(b.open_row(), Some(7));
+        b.write_word(7, 0, 0xDEAD).unwrap();
+        assert_eq!(b.read_word(7, 0).unwrap(), 0xDEAD);
+        b.precharge();
+        assert_eq!(b.open_row(), None);
+    }
+
+    #[test]
+    fn double_sided_hammer_flips_victim() {
+        let mut b = bank_2013(3);
+        b.fill_rows(0xFF); // true-cell rows charged everywhere
+        // Stress pattern: aggressor rows store the opposite data.
+        for k in 0..5usize {
+            b.fill_row(100 + 10 * k, 0, 0).unwrap();
+            b.fill_row(102 + 10 * k, 0, 0).unwrap();
+        }
+        let mut now = 0u64;
+        // ~1M activations per aggressor: exposure ~2M, above many
+        // thresholds of a 2013-vintage bank.
+        for _ in 0..1_000_000 {
+            for k in 0..5usize {
+                b.activate(100 + 10 * k, now);
+                now += 49;
+                b.activate(102 + 10 * k, now);
+                now += 49;
+            }
+        }
+        let flips: usize =
+            (0..5).map(|k| b.count_flips_from_fill(101 + 10 * k, now)).sum();
+        assert!(flips > 0, "expected flips in hammered victims");
+        // A far-away row is untouched.
+        assert_eq!(b.count_flips_from_fill(300, now), 0);
+    }
+
+    #[test]
+    fn refresh_prevents_flips() {
+        let mut b = bank_2013(3);
+        b.fill_rows(0xFF);
+        let mut now = 0u64;
+        // Hammer, but refresh the victim every 50k activations: exposure
+        // per window stays ~100k < MIN_THRESHOLD.
+        for i in 0..1_000_000u64 {
+            b.activate(100, now);
+            now += 49;
+            b.activate(102, now);
+            now += 49;
+            if i % 50_000 == 49_999 {
+                b.refresh_row(101, now).unwrap();
+            }
+        }
+        assert_eq!(b.count_flips_from_fill(101, now), 0);
+    }
+
+    #[test]
+    fn exposure_resets_on_restore() {
+        let mut b = bank_2013(4);
+        b.fill_rows(0x00);
+        for i in 0..1000 {
+            b.activate(10, i * 50);
+        }
+        assert!(b.exposure(11) >= 1000.0);
+        b.refresh_row(11, 50_000).unwrap();
+        assert_eq!(b.exposure(11), 0.0);
+    }
+
+    #[test]
+    fn flip_direction_follows_orientation() {
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        let mut b = Bank::new(BankGeometry::small(), &profile, 5);
+        // Inject guaranteed-weak cells in a true-cell row (0) and an
+        // anti-cell row (600).
+        b.inject_disturb_cell(BitAddr { row: 1, word: 0, bit: 0 }, 200_000.0).unwrap();
+        b.inject_disturb_cell(BitAddr { row: 601, word: 0, bit: 0 }, 200_000.0).unwrap();
+        b.fill_rows(0xFF);
+        // Write the anti-cell victim to 0 so it is "charged" there too.
+        b.write_word(601, 0, 0x0).unwrap();
+        let mut now = 0;
+        for _ in 0..600_000 {
+            b.activate(0, now);
+            now += 49;
+            b.activate(2, now);
+            now += 49;
+            b.activate(600, now);
+            now += 49;
+            b.activate(602, now);
+            now += 49;
+        }
+        // True cell: 1 -> 0.
+        assert_eq!(b.inspect_row(1, now).unwrap()[0] & 1, 0);
+        // Anti cell: 0 -> 1.
+        assert_eq!(b.inspect_row(601, now).unwrap()[0] & 1, 1);
+    }
+
+    #[test]
+    fn scan_finds_injected_flip() {
+        let profile = VintageProfile::new(Manufacturer::B, 2008); // no natural weak cells
+        let mut b = Bank::new(BankGeometry::small(), &profile, 6);
+        b.inject_disturb_cell(BitAddr { row: 50, word: 2, bit: 7 }, 195_000.0).unwrap();
+        b.fill_rows(0xFF);
+        let mut now = 0;
+        for _ in 0..400_000 {
+            b.activate(49, now);
+            now += 49;
+            b.activate(51, now);
+            now += 49;
+        }
+        let flips = b.scan_flips_from_fill(now);
+        assert_eq!(flips, vec![BitAddr { row: 50, word: 2, bit: 7 }]);
+    }
+
+    #[test]
+    fn retention_failure_after_long_idle() {
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        let mut b = Bank::new(BankGeometry::medium(), &profile, 8);
+        b.fill_rows(0xFF);
+        // Find a row that actually has a non-VRT weak-retention cell in a
+        // true-cell region, then idle for ~17 minutes of simulated time.
+        let target = (0..b.geometry().rows()).find(|&r| {
+            orientation_of_row(r).charged_value()
+                && b.retention_cells(r).iter().any(|c| c.vrt.is_none())
+        });
+        if let Some(row) = target {
+            let idle_ns = 1_000_000_000_000u64; // 1000 s
+            let flips = b.count_flips_from_fill(row, idle_ns);
+            assert!(flips > 0, "weak retention cell should have decayed");
+        }
+        // (If the sampled bank has no such cell the test is vacuous but
+        // does not fail: densities are probabilistic.)
+    }
+
+    #[test]
+    fn inject_validates_address() {
+        let mut b = bank_2013(9);
+        assert!(b
+            .inject_disturb_cell(BitAddr { row: 99_999, word: 0, bit: 0 }, 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn weak_cell_census_is_plausible() {
+        let b = bank_2013(10);
+        let total = b.total_disturb_cells();
+        // density 1e-3 over 8.4M cells => ~8400 expected.
+        assert!((6000..11000).contains(&total), "census {total}");
+    }
+
+    #[test]
+    fn scan_equals_union_of_per_row_counts() {
+        // Internal consistency: the whole-bank scan and the per-row counts
+        // agree after an arbitrary hammering session.
+        let profile = VintageProfile::new(Manufacturer::C, 2013);
+        let mut a = Bank::new(BankGeometry::new(128, 16).unwrap(), &profile, 31);
+        let mut b = a.clone();
+        a.fill_rows(0xFF);
+        b.fill_rows(0xFF);
+        let mut now = 0u64;
+        for i in 0..400_000u64 {
+            let r = 40 + (i % 3) as usize * 2;
+            a.activate(r, now);
+            b.activate(r, now);
+            now += 49;
+        }
+        let scan_count = a.scan_flips_from_fill(now).len();
+        let sum: usize = (0..128).map(|r| b.count_flips_from_fill(r, now)).sum();
+        assert_eq!(scan_count, sum);
+    }
+
+    #[test]
+    fn dpd_resistance_raises_threshold() {
+        let profile = VintageProfile::new(Manufacturer::B, 2008);
+        let mut b = Bank::new(BankGeometry::small(), &profile, 11);
+        // Threshold 300k: stressed flips at 300k, unstressed needs 750k.
+        b.inject_disturb_cell(BitAddr { row: 10, word: 0, bit: 0 }, 300_000.0).unwrap();
+        b.fill_rows(0xFF); // aggressor bits == victim bits => NOT stressed
+        let mut now = 0;
+        for _ in 0..200_000 {
+            b.activate(9, now);
+            now += 49;
+            b.activate(11, now);
+            now += 49;
+        }
+        // Exposure 400k >= 300k but unstressed threshold is 750k: no flip.
+        assert_eq!(b.count_flips_from_fill(10, now), 0);
+        // Now make the aggressor pattern stressing and continue hammering.
+        b.fill_rows(0xFF);
+        b.write_word(9, 0, 0x0).unwrap();
+        let mut now2 = now;
+        for _ in 0..200_000 {
+            b.activate(9, now2);
+            now2 += 49;
+            b.activate(11, now2);
+            now2 += 49;
+        }
+        let d = b.inspect_row(10, now2).unwrap();
+        assert_eq!(d[0] & 1, 0, "stressed cell should flip 1->0");
+    }
+}

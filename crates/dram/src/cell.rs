@@ -1,0 +1,117 @@
+//! Weak-cell descriptors and cell orientation.
+//!
+//! The bank model stores only the cells that can misbehave — disturbance
+//! candidates and weak-retention cells — as sparse per-row lists; all other
+//! cells are perfectly reliable and live only in the dense data array.
+
+/// Whether a cell stores logical `1` as charged ("true cell") or logical
+/// `0` as charged ("anti cell").
+///
+/// Real devices mix both orientations in large blocks; charge loss always
+/// drives a cell towards its discharged value, so orientation determines
+/// the flip direction (`1→0` for true cells, `0→1` for anti cells) — one of
+/// the characteristic RowHammer signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellOrientation {
+    /// Charged = logical 1; flips are 1 → 0.
+    True,
+    /// Charged = logical 0; flips are 0 → 1.
+    Anti,
+}
+
+impl CellOrientation {
+    /// The logical value a fully charged cell reads as.
+    pub fn charged_value(&self) -> bool {
+        matches!(self, CellOrientation::True)
+    }
+
+    /// The logical value the cell decays towards.
+    pub fn discharged_value(&self) -> bool {
+        !self.charged_value()
+    }
+}
+
+/// Rows are grouped into alternating orientation blocks of this many rows,
+/// mimicking the per-region true/anti-cell layout of real devices.
+pub const ORIENTATION_BLOCK_ROWS: usize = 512;
+
+/// Orientation of all cells in `row`.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::cell::{orientation_of_row, CellOrientation};
+/// assert_eq!(orientation_of_row(0), CellOrientation::True);
+/// assert_eq!(orientation_of_row(512), CellOrientation::Anti);
+/// ```
+pub fn orientation_of_row(row: usize) -> CellOrientation {
+    if (row / ORIENTATION_BLOCK_ROWS).is_multiple_of(2) {
+        CellOrientation::True
+    } else {
+        CellOrientation::Anti
+    }
+}
+
+/// A disturbance-candidate cell: flips when the weighted aggressor
+/// activations accumulated since the cell's last refresh cross `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisturbCell {
+    /// 64-bit word index within the row.
+    pub word: u32,
+    /// Bit index within the word.
+    pub bit: u8,
+    /// Weighted aggressor activations needed to flip this cell within one
+    /// refresh window, under the worst-case (stressing) data pattern.
+    pub threshold: f64,
+}
+
+/// Parameters of a Variable-Retention-Time cell: a memoryless random
+/// process occasionally drops the cell into a leaky state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VrtParams {
+    /// Retention time while in the leaky state, nanoseconds.
+    pub short_retention_ns: f64,
+    /// Rate (per second) of entering the leaky state.
+    pub switch_rate_per_s: f64,
+}
+
+/// A weak-retention cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionCell {
+    /// 64-bit word index within the row.
+    pub word: u32,
+    /// Bit index within the word.
+    pub bit: u8,
+    /// Baseline retention time, nanoseconds.
+    pub retention_ns: f64,
+    /// `Some` when the cell exhibits VRT.
+    pub vrt: Option<VrtParams>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_alternates_by_block() {
+        assert_eq!(orientation_of_row(0), CellOrientation::True);
+        assert_eq!(orientation_of_row(511), CellOrientation::True);
+        assert_eq!(orientation_of_row(512), CellOrientation::Anti);
+        assert_eq!(orientation_of_row(1024), CellOrientation::True);
+    }
+
+    #[test]
+    fn charged_and_discharged_values() {
+        assert!(CellOrientation::True.charged_value());
+        assert!(!CellOrientation::True.discharged_value());
+        assert!(!CellOrientation::Anti.charged_value());
+        assert!(CellOrientation::Anti.discharged_value());
+    }
+
+    #[test]
+    fn disturb_cell_is_copyable() {
+        let c = DisturbCell { word: 1, bit: 2, threshold: 200_000.0 };
+        let d = c;
+        assert_eq!(c, d);
+    }
+}

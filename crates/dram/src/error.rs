@@ -1,0 +1,69 @@
+//! Error types for the DRAM device model.
+
+use std::fmt;
+
+/// Errors reported by the DRAM device model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// A row index was outside the bank geometry.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows in the bank.
+        rows: usize,
+    },
+    /// A word index was outside the row.
+    WordOutOfRange {
+        /// The offending word index.
+        word: usize,
+        /// Number of 64-bit words per row.
+        words: usize,
+    },
+    /// A bank index was outside the module.
+    BankOutOfRange {
+        /// The offending bank index.
+        bank: usize,
+        /// Number of banks in the module.
+        banks: usize,
+    },
+    /// An invalid model parameter was supplied.
+    InvalidParam(&'static str),
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (bank has {rows} rows)")
+            }
+            DramError::WordOutOfRange { word, words } => {
+                write!(f, "word {word} out of range (row has {words} words)")
+            }
+            DramError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range (module has {banks} banks)")
+            }
+            DramError::InvalidParam(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DramError::RowOutOfRange { row: 9, rows: 4 };
+        assert_eq!(e.to_string(), "row 9 out of range (bank has 4 rows)");
+        let e = DramError::InvalidParam("density");
+        assert!(e.to_string().contains("density"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<DramError>();
+    }
+}

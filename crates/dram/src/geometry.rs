@@ -1,0 +1,160 @@
+//! Bank geometry and typed addresses.
+
+/// Identifier of a row within one bank.
+///
+/// A thin newtype so row indices are not confused with column or bank
+/// indices in controller code.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::geometry::RowId;
+/// let r = RowId(41);
+/// assert_eq!(r.0 + 1, 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowId(pub usize);
+
+impl std::fmt::Display for RowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "row{}", self.0)
+    }
+}
+
+/// The address of a single bit inside a bank: `(row, word, bit)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitAddr {
+    /// Row index.
+    pub row: usize,
+    /// 64-bit word index within the row.
+    pub word: usize,
+    /// Bit index within the word (0–63).
+    pub bit: u8,
+}
+
+impl BitAddr {
+    /// Flat bit offset of this address within its row.
+    pub fn bit_in_row(&self) -> usize {
+        self.word * 64 + self.bit as usize
+    }
+}
+
+/// Geometry of one DRAM bank.
+///
+/// Real DDR3 banks have 32K–64K rows of 8 KiB; simulations use smaller
+/// banks so full-device experiments stay fast while per-row physics are
+/// identical. All constructors validate their arguments.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::geometry::BankGeometry;
+/// let g = BankGeometry::new(1024, 128).unwrap();
+/// assert_eq!(g.rows(), 1024);
+/// assert_eq!(g.bits_per_row(), 128 * 64);
+/// assert_eq!(g.total_cells(), 1024 * 128 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BankGeometry {
+    rows: usize,
+    words_per_row: usize,
+}
+
+impl BankGeometry {
+    /// Creates a geometry with `rows` rows of `words_per_row` 64-bit words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DramError::InvalidParam`] if either dimension is 0.
+    pub fn new(rows: usize, words_per_row: usize) -> Result<Self, crate::DramError> {
+        if rows == 0 {
+            return Err(crate::DramError::InvalidParam("rows must be > 0"));
+        }
+        if words_per_row == 0 {
+            return Err(crate::DramError::InvalidParam("words_per_row must be > 0"));
+        }
+        Ok(Self { rows, words_per_row })
+    }
+
+    /// The small geometry used by attack simulations and unit tests:
+    /// 1024 rows × 1 KiB (128 words).
+    pub fn small() -> Self {
+        Self { rows: 1024, words_per_row: 128 }
+    }
+
+    /// A medium geometry for full-window experiments: 4096 rows × 1 KiB.
+    pub fn medium() -> Self {
+        Self { rows: 4096, words_per_row: 128 }
+    }
+
+    /// A DDR3-realistic geometry: 32768 rows × 8 KiB (1024 words). Only
+    /// used where per-cell state stays sparse.
+    pub fn ddr3() -> Self {
+        Self { rows: 32768, words_per_row: 1024 }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of 64-bit words per row.
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Bits (cells) per row.
+    pub fn bits_per_row(&self) -> usize {
+        self.words_per_row * 64
+    }
+
+    /// Total cells in the bank.
+    pub fn total_cells(&self) -> usize {
+        self.rows * self.bits_per_row()
+    }
+
+    /// Whether `row` is a valid row index.
+    pub fn contains_row(&self, row: usize) -> bool {
+        row < self.rows
+    }
+}
+
+impl Default for BankGeometry {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_validation() {
+        assert!(BankGeometry::new(0, 1).is_err());
+        assert!(BankGeometry::new(1, 0).is_err());
+        assert!(BankGeometry::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let g = BankGeometry::small();
+        assert_eq!(g.rows(), 1024);
+        assert_eq!(g.bits_per_row(), 8192);
+        assert_eq!(g.total_cells(), 1024 * 8192);
+        assert!(g.contains_row(1023));
+        assert!(!g.contains_row(1024));
+    }
+
+    #[test]
+    fn bit_addr_flattening() {
+        let a = BitAddr { row: 3, word: 2, bit: 5 };
+        assert_eq!(a.bit_in_row(), 133);
+    }
+
+    #[test]
+    fn row_id_display_and_order() {
+        assert_eq!(RowId(7).to_string(), "row7");
+        assert!(RowId(1) < RowId(2));
+    }
+}

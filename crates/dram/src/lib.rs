@@ -1,0 +1,76 @@
+//! DRAM device model: the physical substrate of the `densemem` workspace.
+//!
+//! This crate replaces the FPGA testing infrastructure plus real DDR3
+//! modules used in the paper with a charge-based behavioural model:
+//!
+//! * [`geometry`] — bank geometry and typed row/column/bit addresses.
+//! * [`timing`] — DDR3-like timing parameters and the device command set.
+//! * [`cell`] — weak-cell descriptors: disturbance (RowHammer) cells,
+//!   retention cells (including Variable Retention Time cells), true-/
+//!   anti-cell orientation.
+//! * [`bank`] — the bank state machine with lazy charge-loss evaluation:
+//!   every activation of a row disturbs its physical neighbours; victims
+//!   commit bit flips when their accumulated exposure since their last
+//!   refresh crosses a per-cell threshold.
+//! * [`vintage`] — manufacturer × manufacture-year technology profiles that
+//!   scale weak-cell density and hammer thresholds, modelling technology
+//!   scaling from 2008 to 2014.
+//! * [`module`] — a DRAM module: banks + internal row remapping + SPD
+//!   adjacency disclosure.
+//! * [`population`] — the synthetic 129-module population behind Figure 1.
+//! * [`retention`] — retention-time models (DPD, VRT).
+//! * [`profiler`] — multi-round retention profiling (shows VRT escapes).
+//! * [`avatar`] — AVATAR-style online row upgrades on ECC-corrected
+//!   retention errors (closing the VRT hole).
+//! * [`softmc`] — a SoftMC-style programmable test interface: command
+//!   programs interpreted against a bank with DDR timing.
+//! * [`march`] — March C− and the RowHammer-augmented memory test (the
+//!   paper's §II-B augmented-test-programs point).
+//!
+//! # Examples
+//!
+//! Hammering a bank until a neighbouring row flips:
+//!
+//! ```
+//! use densemem_dram::bank::Bank;
+//! use densemem_dram::geometry::BankGeometry;
+//! use densemem_dram::vintage::{Manufacturer, VintageProfile};
+//!
+//! let profile = VintageProfile::new(Manufacturer::A, 2013);
+//! let geom = BankGeometry::small();
+//! let mut bank = Bank::new(geom, &profile, 7);
+//! bank.fill_rows(0xFF); // all cells charged
+//! let mut now = 0u64;
+//! for _ in 0..1_000_000 {
+//!     bank.activate(100, now);
+//!     now += 50;
+//!     bank.activate(102, now);
+//!     now += 50;
+//! }
+//! // A 2013-vintage bank is overwhelmingly likely to have flipped bits in
+//! // the victim row between the two aggressors.
+//! let flips = bank.count_flips_from_fill(101, now);
+//! let _ = flips;
+//! ```
+
+pub mod avatar;
+pub mod bank;
+pub mod cell;
+pub mod error;
+pub mod geometry;
+pub mod march;
+pub mod module;
+pub mod population;
+pub mod profiler;
+pub mod retention;
+pub mod softmc;
+pub mod timing;
+pub mod vintage;
+
+pub use bank::Bank;
+pub use error::DramError;
+pub use geometry::{BankGeometry, BitAddr, RowId};
+pub use module::{Module, RowRemap, Spd};
+pub use population::{ModulePopulation, ModuleRecord, PopulationConfig};
+pub use timing::{Command, Timing};
+pub use vintage::{Manufacturer, VintageProfile};

@@ -1,0 +1,477 @@
+//! A DRAM module: banks, internal row remapping, and SPD adjacency
+//! disclosure.
+//!
+//! DRAM manufacturers internally remap rows (for fault tolerance and
+//! layout reasons), so the logical row numbers a memory controller uses
+//! are not physically adjacent in the order they suggest. The paper notes
+//! that PARA-in-the-controller needs adjacency information, which the
+//! device can disclose through the Serial Presence Detect (SPD) ROM. This
+//! module models both: [`RowRemap`] is the device-internal mapping, and
+//! [`Spd`] is the (optional) disclosure of physical adjacency to the
+//! controller.
+
+use crate::bank::Bank;
+use crate::error::DramError;
+use crate::geometry::BankGeometry;
+use crate::vintage::VintageProfile;
+use densemem_stats::rng::substream;
+
+/// Device-internal logical→physical row remapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowRemap {
+    /// No remapping: logical row i is physical row i.
+    #[default]
+    Identity,
+    /// XOR remapping: physical = logical ^ mask (an involution, as used by
+    /// several real devices for redundancy steering).
+    Xor {
+        /// The XOR mask applied to logical row numbers.
+        mask: usize,
+    },
+    /// Blocks of `block` rows are internally reversed (physical adjacency
+    /// differs from logical adjacency at block boundaries).
+    BlockReverse {
+        /// Rows per reversed block (must be > 0).
+        block: usize,
+    },
+    /// Stride permutation: `physical = logical * step mod rows`. With
+    /// `step` coprime to the row count this is a full permutation in which
+    /// *no* logically-adjacent pair is physically adjacent (for step > 2),
+    /// the hardest case for an adjacency-guessing controller.
+    Stride {
+        /// Multiplicative step (must be coprime to the row count).
+        step: usize,
+    },
+}
+
+impl RowRemap {
+    /// Maps a logical row to its physical row.
+    ///
+    /// # Panics
+    ///
+    /// For [`RowRemap::Stride`], panics if `step` is not coprime to
+    /// `rows` (the mapping would not be a permutation).
+    pub fn to_physical(&self, logical: usize, rows: usize) -> usize {
+        match *self {
+            RowRemap::Identity => logical,
+            RowRemap::Xor { mask } => (logical ^ mask) % rows,
+            RowRemap::BlockReverse { block } => {
+                let b = logical / block;
+                let base = b * block;
+                let end = (base + block).min(rows);
+                end - 1 - (logical - base)
+            }
+            RowRemap::Stride { step } => {
+                assert_eq!(gcd(step, rows), 1, "stride must be coprime to row count");
+                (logical * step) % rows
+            }
+        }
+    }
+
+    /// Maps a physical row back to its logical row.
+    ///
+    /// # Panics
+    ///
+    /// For [`RowRemap::Stride`], panics if `step` is not coprime to
+    /// `rows`.
+    pub fn to_logical(&self, physical: usize, rows: usize) -> usize {
+        match *self {
+            // These remappings are involutions.
+            RowRemap::Identity | RowRemap::Xor { .. } | RowRemap::BlockReverse { .. } => {
+                self.to_physical(physical, rows)
+            }
+            RowRemap::Stride { step } => {
+                let inv = mod_inverse(step, rows)
+                    .expect("stride must be coprime to row count");
+                (physical * inv) % rows
+            }
+        }
+    }
+}
+
+/// Greatest common divisor.
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Modular inverse of `a` modulo `m` via the extended Euclidean algorithm.
+fn mod_inverse(a: usize, m: usize) -> Option<usize> {
+    let (mut old_r, mut r) = (a as i128, m as i128);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    if old_r != 1 {
+        return None;
+    }
+    Some(old_s.rem_euclid(m as i128) as usize)
+}
+
+/// Serial-Presence-Detect adjacency disclosure: lets a controller ask
+/// which *logical* rows are physical neighbours of a logical row.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::module::{RowRemap, Spd};
+/// let spd = Spd::new(RowRemap::Identity, 1024);
+/// assert_eq!(spd.logical_neighbors(5), (Some(4), Some(6)));
+/// assert_eq!(spd.logical_neighbors(0).0, None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spd {
+    remap: RowRemap,
+    rows: usize,
+}
+
+impl Spd {
+    /// Creates the SPD view for a device with the given remap and row
+    /// count.
+    pub fn new(remap: RowRemap, rows: usize) -> Self {
+        Self { remap, rows }
+    }
+
+    /// The logical rows physically adjacent (at distance 1) to
+    /// `logical_row`: `(lower_neighbor, upper_neighbor)`.
+    pub fn logical_neighbors(&self, logical_row: usize) -> (Option<usize>, Option<usize>) {
+        let p = self.remap.to_physical(logical_row, self.rows);
+        let lo = p.checked_sub(1).map(|q| self.remap.to_logical(q, self.rows));
+        let hi = if p + 1 < self.rows {
+            Some(self.remap.to_logical(p + 1, self.rows))
+        } else {
+            None
+        };
+        (lo, hi)
+    }
+
+    /// Number of rows covered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// A DRAM module: `banks` independent banks sharing one vintage profile,
+/// one internal remap, and one SPD.
+///
+/// All row arguments are *logical* rows; the module translates them to
+/// physical rows before handing them to the banks, exactly as a real
+/// device hides its internal layout from the controller.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::{Module, BankGeometry, Manufacturer, VintageProfile};
+/// use densemem_dram::module::RowRemap;
+///
+/// let profile = VintageProfile::new(Manufacturer::A, 2013);
+/// let mut m = Module::new(2, BankGeometry::small(), profile, RowRemap::Identity, 42);
+/// m.fill_all(0xFF);
+/// m.activate(0, 100, 0).unwrap();
+/// assert_eq!(m.read_word(0, 100, 0).unwrap(), u64::MAX);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Module {
+    banks: Vec<Bank>,
+    vintage: VintageProfile,
+    remap: RowRemap,
+    spd: Spd,
+}
+
+impl Module {
+    /// Builds a module with `banks` banks of geometry `geom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0`.
+    pub fn new(
+        banks: usize,
+        geom: BankGeometry,
+        vintage: VintageProfile,
+        remap: RowRemap,
+        seed: u64,
+    ) -> Self {
+        assert!(banks > 0, "module needs at least one bank");
+        let banks: Vec<Bank> = (0..banks)
+            .map(|i| {
+                use rand::Rng;
+                let mut s = substream(seed, i as u64);
+                Bank::new(geom, &vintage, s.gen())
+            })
+            .collect();
+        let rows = geom.rows();
+        Self { banks, vintage, remap, spd: Spd::new(remap, rows) }
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// The vintage profile.
+    pub fn vintage(&self) -> &VintageProfile {
+        &self.vintage
+    }
+
+    /// The SPD adjacency view.
+    pub fn spd(&self) -> Spd {
+        self.spd
+    }
+
+    /// The internal remap (not visible to real controllers; exposed for
+    /// experiments that compare controller guesses against ground truth).
+    pub fn remap(&self) -> RowRemap {
+        self.remap
+    }
+
+    /// Total cells across all banks.
+    pub fn total_cells(&self) -> usize {
+        self.banks.iter().map(|b| b.geometry().total_cells()).sum()
+    }
+
+    /// Fills every bank with `byte`.
+    pub fn fill_all(&mut self, byte: u8) {
+        for b in &mut self.banks {
+            b.fill_rows(byte);
+        }
+    }
+
+    /// Activates logical `row` in `bank` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] for invalid bank or row.
+    pub fn activate(&mut self, bank: usize, row: usize, now: u64) -> Result<(), DramError> {
+        let (b, p) = self.translate(bank, row)?;
+        self.banks[b].activate(p, now);
+        Ok(())
+    }
+
+    /// Precharges `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankOutOfRange`] for an invalid bank.
+    pub fn precharge(&mut self, bank: usize) -> Result<(), DramError> {
+        self.check_bank(bank)?;
+        self.banks[bank].precharge();
+        Ok(())
+    }
+
+    /// Refreshes logical `row` in `bank` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] for invalid bank or row.
+    pub fn refresh_row(&mut self, bank: usize, row: usize, now: u64) -> Result<(), DramError> {
+        let (b, p) = self.translate(bank, row)?;
+        self.banks[b].refresh_row(p, now)
+    }
+
+    /// Reads a word from logical `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] for invalid indices.
+    pub fn read_word(&self, bank: usize, row: usize, word: usize) -> Result<u64, DramError> {
+        let (b, p) = self.translate(bank, row)?;
+        self.banks[b].read_word(p, word)
+    }
+
+    /// Writes a word to logical `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] for invalid indices.
+    pub fn write_word(
+        &mut self,
+        bank: usize,
+        row: usize,
+        word: usize,
+        value: u64,
+    ) -> Result<(), DramError> {
+        let (b, p) = self.translate(bank, row)?;
+        self.banks[b].write_word(p, word, value)
+    }
+
+    /// Inspects logical `row` (committing pending physics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] for invalid indices.
+    pub fn inspect_row(
+        &mut self,
+        bank: usize,
+        row: usize,
+        now: u64,
+    ) -> Result<Vec<u64>, DramError> {
+        let (b, p) = self.translate(bank, row)?;
+        self.banks[b].inspect_row(p, now)
+    }
+
+    /// Direct access to a bank (physical addressing), for tests and for
+    /// experiments that need ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn bank(&self, bank: usize) -> &Bank {
+        &self.banks[bank]
+    }
+
+    /// Mutable direct access to a bank (physical addressing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn bank_mut(&mut self, bank: usize) -> &mut Bank {
+        &mut self.banks[bank]
+    }
+
+    fn check_bank(&self, bank: usize) -> Result<(), DramError> {
+        if bank < self.banks.len() {
+            Ok(())
+        } else {
+            Err(DramError::BankOutOfRange { bank, banks: self.banks.len() })
+        }
+    }
+
+    fn translate(&self, bank: usize, row: usize) -> Result<(usize, usize), DramError> {
+        self.check_bank(bank)?;
+        let rows = self.banks[bank].geometry().rows();
+        if row >= rows {
+            return Err(DramError::RowOutOfRange { row, rows });
+        }
+        Ok((bank, self.remap.to_physical(row, rows)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vintage::Manufacturer;
+
+    fn module(remap: RowRemap) -> Module {
+        let v = VintageProfile::new(Manufacturer::A, 2013);
+        Module::new(2, BankGeometry::small(), v, remap, 5)
+    }
+
+    #[test]
+    fn identity_remap_roundtrip() {
+        let r = RowRemap::Identity;
+        assert_eq!(r.to_physical(17, 1024), 17);
+        assert_eq!(r.to_logical(17, 1024), 17);
+    }
+
+    #[test]
+    fn xor_remap_is_involution() {
+        let r = RowRemap::Xor { mask: 0b110 };
+        for l in [0usize, 1, 5, 100, 1023] {
+            let p = r.to_physical(l, 1024);
+            assert_eq!(r.to_logical(p, 1024), l);
+        }
+    }
+
+    #[test]
+    fn block_reverse_is_involution_and_reverses() {
+        let r = RowRemap::BlockReverse { block: 8 };
+        assert_eq!(r.to_physical(0, 1024), 7);
+        assert_eq!(r.to_physical(7, 1024), 0);
+        assert_eq!(r.to_physical(8, 1024), 15);
+        for l in 0..64 {
+            assert_eq!(r.to_logical(r.to_physical(l, 1024), 1024), l);
+        }
+    }
+
+    #[test]
+    fn stride_remap_is_a_permutation_with_inverse() {
+        let r = RowRemap::Stride { step: 17 };
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..1024 {
+            let p = r.to_physical(l, 1024);
+            assert!(seen.insert(p), "collision at {l}");
+            assert_eq!(r.to_logical(p, 1024), l);
+        }
+        // No logically-adjacent pair is physically adjacent.
+        for l in 0..1023 {
+            let a = r.to_physical(l, 1024);
+            let b = r.to_physical(l + 1, 1024);
+            assert!(a.abs_diff(b) != 1, "rows {l},{} physically adjacent", l + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coprime")]
+    fn stride_requires_coprime_step() {
+        let _ = RowRemap::Stride { step: 16 }.to_physical(3, 1024);
+    }
+
+    #[test]
+    fn spd_neighbors_identity() {
+        let spd = Spd::new(RowRemap::Identity, 4);
+        assert_eq!(spd.logical_neighbors(0), (None, Some(1)));
+        assert_eq!(spd.logical_neighbors(3), (Some(2), None));
+    }
+
+    #[test]
+    fn spd_neighbors_block_reverse() {
+        let spd = Spd::new(RowRemap::BlockReverse { block: 4 }, 8);
+        // logical 0 -> physical 3; physical neighbors 2 and 4 -> logical 1 and 7.
+        assert_eq!(spd.logical_neighbors(0), (Some(1), Some(7)));
+    }
+
+    #[test]
+    fn module_read_write_roundtrip() {
+        let mut m = module(RowRemap::Xor { mask: 0b11 });
+        m.fill_all(0);
+        m.write_word(1, 10, 3, 0xABCD).unwrap();
+        assert_eq!(m.read_word(1, 10, 3).unwrap(), 0xABCD);
+        // A different logical row maps elsewhere.
+        assert_eq!(m.read_word(1, 11, 3).unwrap(), 0);
+    }
+
+    #[test]
+    fn module_validates_indices() {
+        let mut m = module(RowRemap::Identity);
+        assert!(m.activate(9, 0, 0).is_err());
+        assert!(m.activate(0, 99_999, 0).is_err());
+        assert!(m.read_word(0, 99_999, 0).is_err());
+    }
+
+    #[test]
+    fn hammering_logical_rows_hits_physical_neighbors() {
+        // With BlockReverse(4): logical rows 0..4 are physical 3,2,1,0.
+        // Hammering logical 0 (phys 3) and logical 2 (phys 1) should flip
+        // physical row 2 = logical 1.
+        let v = VintageProfile::new(Manufacturer::A, 2013);
+        let mut m =
+            Module::new(1, BankGeometry::small(), v, RowRemap::BlockReverse { block: 4 }, 6);
+        m.bank_mut(0)
+            .inject_disturb_cell(crate::geometry::BitAddr { row: 2, word: 0, bit: 0 }, 195_000.0)
+            .unwrap();
+        m.fill_all(0xFF);
+        // Stress pattern: the dominant aggressor (physical row 1 = logical
+        // row 2) stores the opposite bit.
+        m.write_word(0, 2, 0, 0).unwrap();
+        let mut now = 0;
+        for _ in 0..200_000 {
+            m.activate(0, 0, now).unwrap();
+            now += 49;
+            m.activate(0, 2, now).unwrap();
+            now += 49;
+        }
+        let victim = m.inspect_row(0, 1, now).unwrap();
+        assert_eq!(victim[0] & 1, 0, "victim bit should have flipped 1->0");
+    }
+
+    #[test]
+    fn total_cells() {
+        let m = module(RowRemap::Identity);
+        assert_eq!(m.total_cells(), 2 * 1024 * 8192);
+    }
+}

@@ -1,0 +1,355 @@
+//! The synthetic 129-module population behind Figure 1.
+//!
+//! The paper tested 129 DDR3 modules from manufacturers A, B, and C
+//! manufactured 2008–2014 and found 110 vulnerable, with the earliest
+//! vulnerable module from 2010 and every 2012–2013 module vulnerable.
+//! This module reproduces that experiment against the synthetic vintage
+//! profiles: each module's expected error rate under the standard
+//! full-window double-sided test is the profile rate times a per-module
+//! log-normal severity factor (process variation between modules), and the
+//! observed error count is a Poisson draw over the module's tested cells.
+//!
+//! The same machinery drives the refresh-rate sweep (E2): scaling the
+//! refresh rate by `m` divides the per-window activation budget by `m`,
+//! and the expected error rate is re-evaluated at the reduced exposure.
+
+use crate::timing::Timing;
+use crate::vintage::{Manufacturer, VintageProfile};
+use densemem_stats::dist::Poisson;
+use densemem_stats::rng::substream;
+use densemem_stats::series::Series;
+use rand::Rng;
+
+/// Configuration for a module population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationConfig {
+    /// Master seed for module severity factors and observed error draws.
+    pub seed: u64,
+    /// Cells tested per module (the paper's y-axis normalises to 10⁹).
+    pub cells_per_module: u64,
+    /// Timing used to derive the per-window activation budget.
+    pub timing: Timing,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        Self { seed: 0xF161, cells_per_module: 1_000_000_000, timing: Timing::ddr3_1600() }
+    }
+}
+
+/// One tested module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleRecord {
+    /// Manufacturer label.
+    pub manufacturer: Manufacturer,
+    /// Manufacture year.
+    pub year: u32,
+    /// Per-module severity factor (log-normal, median 1).
+    pub module_factor: f64,
+    /// Cells tested.
+    pub cells: u64,
+    /// Expected errors under the full-window standard test.
+    pub expected_errors_full: f64,
+    /// Observed errors under the full-window standard test (Poisson draw).
+    pub observed_errors: u64,
+}
+
+impl ModuleRecord {
+    /// Observed errors normalised per 10⁹ cells (the Figure 1 y-axis).
+    pub fn observed_rate_per_gcell(&self) -> f64 {
+        self.observed_errors as f64 * 1e9 / self.cells as f64
+    }
+
+    /// Whether the module showed at least one RowHammer error.
+    pub fn is_vulnerable(&self) -> bool {
+        self.observed_errors > 0
+    }
+}
+
+/// The tested module population.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::ModulePopulation;
+/// let pop = ModulePopulation::standard(0xF16_1);
+/// assert_eq!(pop.len(), 129);
+/// assert!(pop.vulnerable_count() > 100);
+/// assert_eq!(pop.earliest_vulnerable_year(), Some(2010));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModulePopulation {
+    config: PopulationConfig,
+    records: Vec<ModuleRecord>,
+}
+
+impl ModulePopulation {
+    /// The paper's manufacturer/year module counts (A: 43, B: 54, C: 32;
+    /// total 129).
+    pub const STANDARD_COUNTS: [(Manufacturer, u32, usize); 19] = [
+        (Manufacturer::A, 2008, 2),
+        (Manufacturer::A, 2009, 2),
+        (Manufacturer::A, 2010, 6),
+        (Manufacturer::A, 2011, 7),
+        (Manufacturer::A, 2012, 10),
+        (Manufacturer::A, 2013, 12),
+        (Manufacturer::A, 2014, 4),
+        (Manufacturer::B, 2008, 4),
+        (Manufacturer::B, 2009, 4),
+        (Manufacturer::B, 2010, 8),
+        (Manufacturer::B, 2011, 8),
+        (Manufacturer::B, 2012, 12),
+        (Manufacturer::B, 2013, 13),
+        (Manufacturer::B, 2014, 5),
+        (Manufacturer::C, 2010, 4),
+        (Manufacturer::C, 2011, 5),
+        (Manufacturer::C, 2012, 8),
+        (Manufacturer::C, 2013, 9),
+        (Manufacturer::C, 2014, 6),
+    ];
+
+    /// Builds the standard 129-module population with the given seed.
+    pub fn standard(seed: u64) -> Self {
+        Self::with_counts(
+            PopulationConfig { seed, ..PopulationConfig::default() },
+            &Self::STANDARD_COUNTS,
+        )
+    }
+
+    /// Builds a population from explicit `(manufacturer, year, count)`
+    /// rows.
+    pub fn with_counts(
+        config: PopulationConfig,
+        counts: &[(Manufacturer, u32, usize)],
+    ) -> Self {
+        let budget = Self::exposure_budget(&config.timing, 1.0);
+        let mut records = Vec::new();
+        let mut idx = 0u64;
+        for &(mfr, year, n) in counts {
+            let profile = VintageProfile::new(mfr, year);
+            for _ in 0..n {
+                let mut rng = substream(config.seed, idx);
+                // Per-module severity: log-normal with median 1.
+                let module_factor = (profile.module_sigma()
+                    * densemem_stats::dist::standard_normal(&mut rng))
+                .exp();
+                // Physical cap: a module cannot flip more cells than it
+                // has disturbance candidates.
+                let cap = profile.candidate_density() * config.cells_per_module as f64;
+                let expected = (profile.expected_error_rate_per_gcell(budget)
+                    * module_factor
+                    * config.cells_per_module as f64
+                    / 1e9)
+                    .min(cap);
+                let observed = Poisson::new(expected.min(1e12))
+                    .expect("expected error count is finite")
+                    .sample(&mut rng);
+                records.push(ModuleRecord {
+                    manufacturer: mfr,
+                    year,
+                    module_factor,
+                    cells: config.cells_per_module,
+                    expected_errors_full: expected,
+                    observed_errors: observed,
+                });
+                idx += 1;
+            }
+        }
+        Self { config, records }
+    }
+
+    /// The full-window weighted activation budget divided by the refresh
+    /// multiplier: a double-sided attacker can deliver at most
+    /// `t_refw / multiplier / t_rc` weighted activations to a victim
+    /// between two of its refreshes.
+    pub fn exposure_budget(timing: &Timing, multiplier: f64) -> f64 {
+        timing.window_with_multiplier(multiplier) / timing.t_rc
+    }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The module records.
+    pub fn records(&self) -> &[ModuleRecord] {
+        &self.records
+    }
+
+    /// The population configuration.
+    pub fn config(&self) -> &PopulationConfig {
+        &self.config
+    }
+
+    /// Modules with at least one observed error.
+    pub fn vulnerable_count(&self) -> usize {
+        self.records.iter().filter(|r| r.is_vulnerable()).count()
+    }
+
+    /// Earliest manufacture year with a vulnerable module.
+    pub fn earliest_vulnerable_year(&self) -> Option<u32> {
+        self.records.iter().filter(|r| r.is_vulnerable()).map(|r| r.year).min()
+    }
+
+    /// Whether every module of `year` is vulnerable.
+    pub fn all_vulnerable_in_year(&self, year: u32) -> bool {
+        self.records.iter().filter(|r| r.year == year).all(|r| r.is_vulnerable())
+    }
+
+    /// Highest observed per-10⁹-cell error rate.
+    pub fn max_observed_rate(&self) -> f64 {
+        self.records.iter().map(|r| r.observed_rate_per_gcell()).fold(0.0, f64::max)
+    }
+
+    /// Total observed errors across the population when the refresh rate
+    /// is scaled by `multiplier` (deterministic re-draw keyed on the
+    /// multiplier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier <= 0`.
+    pub fn total_errors_at_multiplier(&self, multiplier: f64) -> u64 {
+        let budget = Self::exposure_budget(&self.config.timing, multiplier);
+        let key = (multiplier * 1000.0).round() as u64;
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let profile = VintageProfile::new(r.manufacturer, r.year);
+                let cap = profile.candidate_density() * r.cells as f64;
+                let expected = (profile.expected_error_rate_per_gcell(budget)
+                    * r.module_factor
+                    * r.cells as f64
+                    / 1e9)
+                    .min(cap);
+                let mut rng = substream(self.config.seed ^ key, i as u64);
+                Poisson::new(expected.min(1e12))
+                    .expect("expected error count is finite")
+                    .sample(&mut rng)
+            })
+            .sum()
+    }
+
+    /// The smallest refresh multiplier in `{1.0, 1.5, …, max}` at which the
+    /// whole population shows zero errors, or `None` if even `max` does
+    /// not suffice.
+    pub fn min_multiplier_eliminating_all(&self, max: f64) -> Option<f64> {
+        let mut m = 1.0;
+        while m <= max + 1e-9 {
+            if self.total_errors_at_multiplier(m) == 0 {
+                return Some(m);
+            }
+            m += 0.5;
+        }
+        None
+    }
+
+    /// Per-manufacturer `(year, observed rate)` series for Figure 1. The
+    /// x-coordinate is jittered deterministically within ±0.3 year so
+    /// same-year modules are distinguishable, as in the paper's plot.
+    pub fn fig1_series(&self) -> Vec<Series> {
+        Manufacturer::ALL
+            .iter()
+            .map(|&m| {
+                let mut s = Series::new(&format!("{m} Modules"));
+                for (i, r) in self.records.iter().enumerate().filter(|(_, r)| r.manufacturer == m)
+                {
+                    let mut jrng = substream(self.config.seed ^ 0x1177, i as u64);
+                    let jitter: f64 = jrng.gen_range(-0.3..0.3);
+                    s.push(r.year as f64 + jitter, r.observed_rate_per_gcell());
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> ModulePopulation {
+        ModulePopulation::standard(PopulationConfig::default().seed)
+    }
+
+    #[test]
+    fn standard_counts_total_129() {
+        let total: usize = ModulePopulation::STANDARD_COUNTS.iter().map(|c| c.2).sum();
+        assert_eq!(total, 129);
+        assert_eq!(pop().len(), 129);
+    }
+
+    #[test]
+    fn manufacturer_counts_match_paper() {
+        let p = pop();
+        let count =
+            |m: Manufacturer| p.records().iter().filter(|r| r.manufacturer == m).count();
+        assert_eq!(count(Manufacturer::A), 43);
+        assert_eq!(count(Manufacturer::B), 54);
+        assert_eq!(count(Manufacturer::C), 32);
+    }
+
+    #[test]
+    fn vulnerability_structure_matches_paper() {
+        let p = pop();
+        // ~110/129 vulnerable.
+        let v = p.vulnerable_count();
+        assert!((100..=120).contains(&v), "vulnerable: {v}");
+        // Earliest vulnerable year 2010.
+        assert_eq!(p.earliest_vulnerable_year(), Some(2010));
+        // All 2012 and 2013 modules vulnerable.
+        assert!(p.all_vulnerable_in_year(2012));
+        assert!(p.all_vulnerable_in_year(2013));
+        // No 2008/2009 module vulnerable.
+        assert!(!p.records().iter().any(|r| r.year <= 2009 && r.is_vulnerable()));
+    }
+
+    #[test]
+    fn rates_span_many_decades() {
+        let p = pop();
+        let max = p.max_observed_rate();
+        assert!(max > 1e5, "max rate {max}");
+        assert!(max < 5e6, "max rate {max}");
+    }
+
+    #[test]
+    fn refresh_sweep_monotone_and_eliminates() {
+        let p = pop();
+        let e1 = p.total_errors_at_multiplier(1.0);
+        let e4 = p.total_errors_at_multiplier(4.0);
+        let e7 = p.total_errors_at_multiplier(7.0);
+        assert!(e1 > e4, "errors should fall with refresh rate: {e1} vs {e4}");
+        assert_eq!(e7, 0, "7x refresh must eliminate all errors");
+        let min = p.min_multiplier_eliminating_all(10.0);
+        assert_eq!(min, Some(7.0));
+    }
+
+    #[test]
+    fn fig1_series_cover_all_modules() {
+        let p = pop();
+        let series = p.fig1_series();
+        assert_eq!(series.len(), 3);
+        let total: usize = series.iter().map(Series::len).sum();
+        assert_eq!(total, 129);
+    }
+
+    #[test]
+    fn exposure_budget_scales_inverse() {
+        let t = Timing::ddr3_1600();
+        let b1 = ModulePopulation::exposure_budget(&t, 1.0);
+        let b2 = ModulePopulation::exposure_budget(&t, 2.0);
+        assert!((b1 / b2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = ModulePopulation::standard(7);
+        let b = ModulePopulation::standard(7);
+        assert_eq!(a.records()[17].observed_errors, b.records()[17].observed_errors);
+    }
+}

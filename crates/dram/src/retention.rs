@@ -1,0 +1,310 @@
+//! Retention-time modelling at population scale.
+//!
+//! Section III-A1 of the paper identifies two phenomena that make minimum
+//! retention times hard to determine: Data Pattern Dependence (DPD) and
+//! Variable Retention Time (VRT). The bank model carries per-cell
+//! retention state for functional simulation; this module carries the same
+//! physics in a *population* form (millions of weak cells without a dense
+//! data array) so the profiling experiment (E9) can run at device scale.
+
+use crate::vintage::VintageProfile;
+use densemem_stats::dist::{Bernoulli, LogNormal};
+use densemem_stats::rng::substream;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Retention-time temperature scaling: retention roughly halves for
+/// every 10 °C of additional heat. `reference_c` is the temperature the
+/// cell's nominal retention was characterised at (85 °C, the usual
+/// worst-case qualification point).
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::retention::temperature_factor;
+/// // 10 degrees hotter than reference: retention halves.
+/// assert!((temperature_factor(95.0) - 0.5).abs() < 1e-12);
+/// // Room temperature: much longer retention.
+/// assert!(temperature_factor(25.0) > 50.0);
+/// ```
+pub fn temperature_factor(celsius: f64) -> f64 {
+    2f64.powf((85.0 - celsius) / 10.0)
+}
+
+/// A weak-retention cell in population form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeakCell {
+    /// Baseline retention time, milliseconds.
+    pub retention_ms: f64,
+    /// DPD: worst-case data pattern scales retention by this factor (< 1).
+    pub dpd_factor: f64,
+    /// VRT state, if the cell is a VRT cell.
+    pub vrt: Option<VrtCell>,
+}
+
+/// VRT parameters of a weak cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VrtCell {
+    /// Retention while in the leaky state, milliseconds.
+    pub short_retention_ms: f64,
+    /// Rate of entering the leaky state, per second.
+    pub switch_rate_per_s: f64,
+}
+
+impl WeakCell {
+    /// Effective worst-case (DPD-stressed) baseline retention.
+    pub fn stressed_retention_ms(&self) -> f64 {
+        self.retention_ms * self.dpd_factor
+    }
+
+    /// Whether the cell fails a single test round with window `window_ms`,
+    /// testing with the worst-case data pattern iff `stressed`.
+    ///
+    /// Non-VRT cells fail deterministically when the window exceeds their
+    /// retention. VRT cells fail only if a leaky episode occurs during the
+    /// round — a Bernoulli draw against the episode probability.
+    pub fn fails_round<R: Rng + ?Sized>(
+        &self,
+        window_ms: f64,
+        stressed: bool,
+        rng: &mut R,
+    ) -> bool {
+        let dpd = if stressed { self.dpd_factor } else { 1.0 };
+        if let Some(vrt) = self.vrt {
+            if window_ms > vrt.short_retention_ms * dpd {
+                let p = 1.0 - (-vrt.switch_rate_per_s * window_ms / 1e3).exp();
+                rng.gen::<f64>() < p
+            } else {
+                false
+            }
+        } else {
+            window_ms > self.retention_ms * dpd
+        }
+    }
+
+    /// Probability the cell fails at least once over `hours` of field
+    /// operation at refresh window `window_ms` (worst-case data pattern).
+    pub fn field_failure_probability(&self, window_ms: f64, hours: f64) -> f64 {
+        if let Some(vrt) = self.vrt {
+            if window_ms > vrt.short_retention_ms * self.dpd_factor {
+                1.0 - (-vrt.switch_rate_per_s * hours * 3600.0).exp()
+            } else {
+                0.0
+            }
+        } else if window_ms > self.stressed_retention_ms() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A population of weak-retention cells for one device.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::retention::RetentionPopulation;
+/// use densemem_dram::{Manufacturer, VintageProfile};
+/// let profile = VintageProfile::new(Manufacturer::A, 2013);
+/// let pop = RetentionPopulation::generate(&profile, 8_000_000_000, 9);
+/// assert!(!pop.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetentionPopulation {
+    cells: Vec<WeakCell>,
+}
+
+impl RetentionPopulation {
+    /// Samples the weak-cell population of a device with `device_cells`
+    /// cells under `profile`.
+    pub fn generate(profile: &VintageProfile, device_cells: u64, seed: u64) -> Self {
+        let mut rng = substream(seed, 0x8E7);
+        let n = (device_cells as f64 * profile.retention_weak_density()).round() as usize;
+        let base = LogNormal::from_median_sigma(
+            // The weak tail: well below the median cell but above the
+            // nominal window (cells below 64 ms were mapped out).
+            profile.retention_median_ms() / 20.0,
+            profile.retention_sigma(),
+        );
+        let vrt_bern = Bernoulli::new(profile.vrt_fraction()).expect("fraction in [0,1]");
+        let cells = (0..n)
+            .map(|_| {
+                // Clamp so that even the worst DPD stress (factor 0.55)
+                // keeps retention above the nominal 64 ms window: cells
+                // failing inside it were mapped out at manufacture.
+                let retention_ms = base.sample(&mut rng).max(130.0);
+                let vrt = if vrt_bern.sample(&mut rng) {
+                    Some(VrtCell {
+                        short_retention_ms: (retention_ms / 1e3).max(0.1),
+                        switch_rate_per_s: 10f64.powf(rng.gen_range(-5.0..-2.0f64)),
+                    })
+                } else {
+                    None
+                };
+                WeakCell {
+                    retention_ms,
+                    dpd_factor: rng.gen_range(0.55..0.95),
+                    vrt,
+                }
+            })
+            .collect();
+        Self { cells }
+    }
+
+    /// Builds a population from explicit cells (tests, custom scenarios).
+    pub fn from_cells(cells: Vec<WeakCell>) -> Self {
+        Self { cells }
+    }
+
+    /// The same population re-characterised at `celsius`: every retention
+    /// time scales by the Arrhenius-style temperature factor. Profiling at
+    /// a *lower* temperature than the field sees makes cells look stronger
+    /// than they are — the methodological trap the worst-case-temperature
+    /// profiling rule avoids.
+    pub fn at_temperature(&self, celsius: f64) -> Self {
+        let f = temperature_factor(celsius);
+        Self {
+            cells: self
+                .cells
+                .iter()
+                .map(|c| WeakCell {
+                    retention_ms: c.retention_ms * f,
+                    dpd_factor: c.dpd_factor,
+                    vrt: c.vrt.map(|v| VrtCell {
+                        short_retention_ms: v.short_retention_ms * f,
+                        switch_rate_per_s: v.switch_rate_per_s,
+                    }),
+                })
+                .collect(),
+        }
+    }
+
+    /// The weak cells.
+    pub fn cells(&self) -> &[WeakCell] {
+        &self.cells
+    }
+
+    /// Number of weak cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the population has no weak cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// A deterministic RNG for test rounds over this population.
+    pub fn round_rng(&self, seed: u64, round: u64) -> StdRng {
+        substream(seed, round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vintage::Manufacturer;
+
+    fn static_cell(ret_ms: f64) -> WeakCell {
+        WeakCell { retention_ms: ret_ms, dpd_factor: 0.8, vrt: None }
+    }
+
+    #[test]
+    fn static_cell_failure_is_deterministic() {
+        let c = static_cell(200.0);
+        let mut rng = substream(1, 0);
+        // Stressed retention = 160 ms.
+        assert!(!c.fails_round(100.0, true, &mut rng));
+        assert!(c.fails_round(170.0, true, &mut rng));
+        // Unstressed needs the full 200 ms.
+        assert!(!c.fails_round(170.0, false, &mut rng));
+        assert!(c.fails_round(210.0, false, &mut rng));
+    }
+
+    #[test]
+    fn dpd_makes_testing_pattern_matter() {
+        // A cell that passes the benign pattern but fails the stress
+        // pattern at the same window: the core DPD hazard.
+        let c = static_cell(200.0);
+        let mut rng = substream(1, 1);
+        let w = 180.0;
+        assert!(c.fails_round(w, true, &mut rng));
+        assert!(!c.fails_round(w, false, &mut rng));
+    }
+
+    #[test]
+    fn vrt_cell_fails_probabilistically() {
+        let c = WeakCell {
+            retention_ms: 10_000.0,
+            dpd_factor: 0.8,
+            vrt: Some(VrtCell { short_retention_ms: 1.0, switch_rate_per_s: 0.05 }),
+        };
+        let mut rng = substream(2, 0);
+        let fails = (0..10_000).filter(|_| c.fails_round(256.0, true, &mut rng)).count();
+        // Episode probability per 256 ms round = 1 - exp(-0.05*0.256) ~ 1.27%.
+        assert!((50..250).contains(&fails), "VRT failures {fails}");
+    }
+
+    #[test]
+    fn vrt_field_failure_approaches_one() {
+        let c = WeakCell {
+            retention_ms: 10_000.0,
+            dpd_factor: 0.8,
+            vrt: Some(VrtCell { short_retention_ms: 1.0, switch_rate_per_s: 0.001 }),
+        };
+        assert!(c.field_failure_probability(256.0, 1000.0) > 0.97);
+        // With a window shorter than the leaky retention, VRT is harmless.
+        assert_eq!(c.field_failure_probability(0.05, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn generated_population_scales_with_density() {
+        let p13 = VintageProfile::new(Manufacturer::A, 2013);
+        let p08 = VintageProfile::new(Manufacturer::A, 2008);
+        let n13 = RetentionPopulation::generate(&p13, 1_000_000_000, 3).len();
+        let n08 = RetentionPopulation::generate(&p08, 1_000_000_000, 3).len();
+        assert!(n13 > n08, "denser nodes have more weak cells: {n13} vs {n08}");
+    }
+
+    #[test]
+    fn cool_profiling_misses_hot_field_failures() {
+        // Profile at 45 C, deploy at 85 C: cells that pass the cool test
+        // fail in the hot field (the worst-case-temperature rule).
+        let cell = static_cell(400.0); // stressed 320 ms at 85 C reference
+        let pop_cool = RetentionPopulation::from_cells(vec![cell]).at_temperature(45.0);
+        let pop_hot = RetentionPopulation::from_cells(vec![cell]).at_temperature(85.0);
+        let mut rng = substream(9, 0);
+        let window = 512.0;
+        assert!(
+            !pop_cool.cells()[0].fails_round(window, true, &mut rng),
+            "passes the cool test"
+        );
+        assert!(
+            pop_hot.cells()[0].fails_round(window, true, &mut rng),
+            "fails at field temperature"
+        );
+    }
+
+    #[test]
+    fn temperature_factor_reference_points() {
+        assert!((temperature_factor(85.0) - 1.0).abs() < 1e-12);
+        assert!((temperature_factor(75.0) - 2.0).abs() < 1e-12);
+        assert!(temperature_factor(95.0) < temperature_factor(85.0));
+    }
+
+    #[test]
+    fn no_generated_cell_fails_nominal_window() {
+        let p = VintageProfile::new(Manufacturer::C, 2014);
+        let pop = RetentionPopulation::generate(&p, 2_000_000_000, 4);
+        let mut rng = pop.round_rng(4, 0);
+        // At the nominal 64 ms window, even VRT episodes cannot flip a
+        // cell whose leaky retention exceeds the window.
+        let fails = pop
+            .cells()
+            .iter()
+            .filter(|c| c.vrt.is_none() && c.fails_round(64.0, true, &mut rng))
+            .count();
+        assert_eq!(fails, 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! DDR3-like timing parameters and the device command set.
+//!
+//! Times are in nanoseconds. Defaults follow DDR3-1600 (tCK = 1.25 ns)
+//! speed-bin values, which is what the paper's testing infrastructure
+//! drove. The key derived quantity is
+//! [`Timing::max_activations_per_window`]: the ceiling on how many times a
+//! single row can be opened and closed within one refresh window — the
+//! budget a RowHammer attacker works with.
+
+/// DRAM device commands as seen at the bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Command {
+    /// Open (activate) a row.
+    Activate {
+        /// Row to open.
+        row: usize,
+    },
+    /// Close (precharge) the open row.
+    Precharge,
+    /// Read a 64-bit word from the open row.
+    Read {
+        /// Word offset within the row.
+        word: usize,
+    },
+    /// Write a 64-bit word to the open row.
+    Write {
+        /// Word offset within the row.
+        word: usize,
+        /// Data to store.
+        data: u64,
+    },
+    /// Auto-refresh: refresh the next group of rows.
+    Refresh,
+    /// Targeted refresh of a single row (the Intel-patent style command the
+    /// paper describes as an implementation path for in-DRAM PARA).
+    TargetedRefresh {
+        /// Row to refresh.
+        row: usize,
+    },
+}
+
+/// DDR3-like timing parameters (nanoseconds).
+///
+/// # Examples
+///
+/// ```
+/// let t = densemem_dram::Timing::ddr3_1600();
+/// // ~1.3M single-row activations fit in one 64 ms refresh window.
+/// let n = t.max_activations_per_window();
+/// assert!((1_200_000..1_500_000).contains(&n));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// ACT to internal read/write delay.
+    pub t_rcd: f64,
+    /// Precharge time.
+    pub t_rp: f64,
+    /// ACT to PRE minimum.
+    pub t_ras: f64,
+    /// ACT to ACT (same bank) minimum: `t_ras + t_rp`.
+    pub t_rc: f64,
+    /// Average periodic refresh interval.
+    pub t_refi: f64,
+    /// Refresh cycle time (bank busy per REF).
+    pub t_rfc: f64,
+    /// Refresh window: every row refreshed once per this period.
+    pub t_refw: f64,
+    /// Column read latency.
+    pub t_cl: f64,
+    /// Energy per activation, nanojoule (for the refresh-cost experiment).
+    pub e_act_nj: f64,
+    /// Energy per refresh command, nanojoule.
+    pub e_ref_nj: f64,
+}
+
+impl Timing {
+    /// DDR3-1600 speed-bin values.
+    pub fn ddr3_1600() -> Self {
+        Self {
+            t_rcd: 13.75,
+            t_rp: 13.75,
+            t_ras: 35.0,
+            t_rc: 48.75,
+            t_refi: 7_800.0,
+            t_rfc: 160.0,
+            t_refw: 64_000_000.0,
+            t_cl: 13.75,
+            e_act_nj: 2.5,
+            e_ref_nj: 150.0,
+        }
+    }
+
+    /// DDR4-2400 speed-bin values (the generation the paper's §II-B DDR4
+    /// discussion concerns): slightly tighter row timing, same refresh
+    /// window.
+    pub fn ddr4_2400() -> Self {
+        Self {
+            t_rcd: 13.32,
+            t_rp: 13.32,
+            t_ras: 32.0,
+            t_rc: 45.32,
+            t_refi: 7_800.0,
+            t_rfc: 350.0,
+            t_refw: 64_000_000.0,
+            t_cl: 13.32,
+            e_act_nj: 2.1,
+            e_ref_nj: 220.0,
+        }
+    }
+
+    /// Maximum open/close cycles of a single row within one refresh window
+    /// (the attacker's activation budget): `t_refw / t_rc`.
+    pub fn max_activations_per_window(&self) -> u64 {
+        (self.t_refw / self.t_rc) as u64
+    }
+
+    /// Refresh window scaled by a refresh-rate multiplier: multiplier 2.0
+    /// refreshes twice as often, halving the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier <= 0`.
+    pub fn window_with_multiplier(&self, multiplier: f64) -> f64 {
+        assert!(multiplier > 0.0, "refresh multiplier must be positive");
+        self.t_refw / multiplier
+    }
+
+    /// Number of REF commands per window, for a device with `rows` rows and
+    /// `rows_per_ref` rows refreshed per REF.
+    pub fn refs_per_window(&self, rows: usize, rows_per_ref: usize) -> u64 {
+        assert!(rows_per_ref > 0, "rows_per_ref must be > 0");
+        (rows as u64).div_ceil(rows_per_ref as u64)
+    }
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Self::ddr3_1600()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr3_derived_quantities() {
+        let t = Timing::ddr3_1600();
+        assert!((t.t_rc - (t.t_ras + t.t_rp)).abs() < 1e-9);
+        let n = t.max_activations_per_window();
+        assert_eq!(n, (64_000_000.0 / 48.75) as u64);
+    }
+
+    #[test]
+    fn ddr4_has_higher_activation_budget() {
+        // Tighter tRC means MORE activations fit in a window: scaling
+        // makes the attacker's budget grow, not shrink.
+        let d3 = Timing::ddr3_1600();
+        let d4 = Timing::ddr4_2400();
+        assert!(d4.max_activations_per_window() > d3.max_activations_per_window());
+    }
+
+    #[test]
+    fn window_multiplier() {
+        let t = Timing::ddr3_1600();
+        assert!((t.window_with_multiplier(2.0) - 32_000_000.0).abs() < 1e-6);
+        assert!((t.window_with_multiplier(7.0) - 64_000_000.0 / 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_multiplier_panics() {
+        let _ = Timing::ddr3_1600().window_with_multiplier(0.0);
+    }
+
+    #[test]
+    fn refs_per_window_rounds_up() {
+        let t = Timing::ddr3_1600();
+        assert_eq!(t.refs_per_window(8192, 8), 1024);
+        assert_eq!(t.refs_per_window(8193, 8), 1025);
+    }
+
+    #[test]
+    fn command_equality() {
+        assert_eq!(Command::Activate { row: 3 }, Command::Activate { row: 3 });
+        assert_ne!(Command::Refresh, Command::Precharge);
+    }
+}

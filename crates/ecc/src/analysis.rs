@@ -1,0 +1,180 @@
+//! Grouping raw bit flips into ECC words / cache blocks and classifying
+//! outcomes — the machinery of experiment E3.
+
+use crate::capability::{Capability, WordOutcome};
+use std::collections::HashMap;
+
+/// A flipped bit identified by `(row, word, bit)` — the same shape as
+/// `densemem_dram::BitAddr`, duplicated here so this crate stays
+/// independent of the DRAM model.
+pub type FlipAddr = (usize, usize, u8);
+
+/// Histogram of flips-per-64-bit-word across words that had at least one
+/// flip.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_ecc::analysis::WordErrorHistogram;
+/// let flips = vec![(0, 0, 1), (0, 0, 5), (0, 3, 7)];
+/// let h = WordErrorHistogram::from_flips(flips.iter().copied());
+/// assert_eq!(h.words_with(1), 1);
+/// assert_eq!(h.words_with(2), 1);
+/// assert_eq!(h.multi_bit_words(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WordErrorHistogram {
+    counts: HashMap<usize, u64>,
+}
+
+impl WordErrorHistogram {
+    /// Builds the histogram from an iterator of flipped-bit addresses.
+    pub fn from_flips<I: IntoIterator<Item = FlipAddr>>(flips: I) -> Self {
+        let mut per_word: HashMap<(usize, usize), usize> = HashMap::new();
+        for (row, word, _bit) in flips {
+            *per_word.entry((row, word)).or_insert(0) += 1;
+        }
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        for n in per_word.into_values() {
+            *counts.entry(n).or_insert(0) += 1;
+        }
+        Self { counts }
+    }
+
+    /// Number of words with exactly `n` flips.
+    pub fn words_with(&self, n: usize) -> u64 {
+        self.counts.get(&n).copied().unwrap_or(0)
+    }
+
+    /// Number of words with 2 or more flips (uncorrectable by SECDED).
+    pub fn multi_bit_words(&self) -> u64 {
+        self.counts.iter().filter(|(n, _)| **n >= 2).map(|(_, c)| c).sum()
+    }
+
+    /// Total words with at least one flip.
+    pub fn total_error_words(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Largest flip count observed in a single word.
+    pub fn max_flips_in_word(&self) -> usize {
+        self.counts.keys().copied().max().unwrap_or(0)
+    }
+}
+
+/// Per-outcome word counts for one code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EccOutcomeCounts {
+    /// Words whose errors were all corrected.
+    pub corrected: u64,
+    /// Words with detected-but-uncorrectable errors.
+    pub detected_uncorrectable: u64,
+    /// Words at risk of silent corruption.
+    pub silent_risk: u64,
+}
+
+impl EccOutcomeCounts {
+    /// Words that still defeat the code (detected + silent).
+    pub fn unprotected(&self) -> u64 {
+        self.detected_uncorrectable + self.silent_risk
+    }
+
+    /// Total classified error words.
+    pub fn total(&self) -> u64 {
+        self.corrected + self.detected_uncorrectable + self.silent_risk
+    }
+}
+
+/// Classifies every errored 64-bit word under `capability`.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_ecc::{analysis::classify_words, Capability};
+/// let flips = vec![(0, 0, 1), (0, 1, 2), (0, 1, 9)];
+/// let out = classify_words(flips.iter().copied(), &Capability::secded());
+/// assert_eq!(out.corrected, 1);
+/// assert_eq!(out.detected_uncorrectable, 1);
+/// ```
+pub fn classify_words<I: IntoIterator<Item = FlipAddr>>(
+    flips: I,
+    capability: &Capability,
+) -> EccOutcomeCounts {
+    let mut per_word: HashMap<(usize, usize), Vec<u8>> = HashMap::new();
+    for (row, word, bit) in flips {
+        per_word.entry((row, word)).or_default().push(bit);
+    }
+    let mut out = EccOutcomeCounts::default();
+    for bits in per_word.values() {
+        match capability.classify(bits) {
+            WordOutcome::Clean => {}
+            WordOutcome::Corrected => out.corrected += 1,
+            WordOutcome::DetectedUncorrectable => out.detected_uncorrectable += 1,
+            WordOutcome::SilentRisk => out.silent_risk += 1,
+        }
+    }
+    out
+}
+
+/// Groups flips into 64-byte cache blocks (8 consecutive words) and
+/// returns the histogram of flips per block — the granularity at which the
+/// paper reports "some cache blocks experience two or more bit flips".
+pub fn flips_per_cache_block<I: IntoIterator<Item = FlipAddr>>(
+    flips: I,
+) -> HashMap<usize, u64> {
+    let mut per_block: HashMap<(usize, usize), usize> = HashMap::new();
+    for (row, word, _bit) in flips {
+        *per_block.entry((row, word / 8)).or_insert(0) += 1;
+    }
+    let mut hist: HashMap<usize, u64> = HashMap::new();
+    for n in per_block.into_values() {
+        *hist.entry(n).or_insert(0) += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_per_word() {
+        let flips = [(1, 0, 0), (1, 0, 1), (1, 0, 2), (2, 5, 0)];
+        let h = WordErrorHistogram::from_flips(flips);
+        assert_eq!(h.words_with(3), 1);
+        assert_eq!(h.words_with(1), 1);
+        assert_eq!(h.multi_bit_words(), 1);
+        assert_eq!(h.total_error_words(), 2);
+        assert_eq!(h.max_flips_in_word(), 3);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = WordErrorHistogram::from_flips(std::iter::empty());
+        assert_eq!(h.total_error_words(), 0);
+        assert_eq!(h.max_flips_in_word(), 0);
+    }
+
+    #[test]
+    fn classify_counts_by_capability() {
+        let flips = [(0, 0, 1), (0, 1, 2), (0, 1, 9), (0, 2, 0), (0, 2, 1), (0, 2, 2)];
+        let secded = classify_words(flips.iter().copied(), &Capability::secded());
+        assert_eq!(secded.corrected, 1);
+        assert_eq!(secded.detected_uncorrectable, 1);
+        assert_eq!(secded.silent_risk, 1);
+        assert_eq!(secded.unprotected(), 2);
+        let dected = classify_words(flips.iter().copied(), &Capability::dec_ted());
+        assert_eq!(dected.corrected, 2);
+        assert_eq!(dected.detected_uncorrectable, 1);
+        assert_eq!(dected.silent_risk, 0);
+    }
+
+    #[test]
+    fn cache_block_grouping() {
+        // Words 0 and 7 share block 0; word 8 starts block 1.
+        let flips = vec![(0, 0, 1), (0, 7, 2), (0, 8, 3)];
+        let hist = flips_per_cache_block(flips);
+        assert_eq!(hist.get(&2), Some(&1));
+        assert_eq!(hist.get(&1), Some(&1));
+    }
+}

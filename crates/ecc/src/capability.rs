@@ -1,0 +1,194 @@
+//! Capability models for stronger codes.
+//!
+//! The paper argues stronger ECC (beyond SECDED) is needed to stop
+//! RowHammer, at additional energy/performance/capacity cost. We model
+//! such codes at the capability level — how many bit or symbol errors per
+//! word they correct/detect — which is all the outcome-classification
+//! experiment needs, plus their storage overhead for the cost comparison.
+
+/// Which code a capability describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodeKind {
+    /// No ECC at all (commodity desktop DRAM).
+    None,
+    /// Single-error-correct, double-error-detect (72,64).
+    Secded,
+    /// Double-error-correct, triple-error-detect.
+    DecTed,
+    /// Chipkill: corrects any number of errors confined to one 8-bit
+    /// symbol, detects two corrupted symbols.
+    Chipkill,
+}
+
+impl std::fmt::Display for CodeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CodeKind::None => "none",
+            CodeKind::Secded => "SECDED",
+            CodeKind::DecTed => "DEC-TED",
+            CodeKind::Chipkill => "chipkill",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome classes for a word hit by a given error pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordOutcome {
+    /// No error in the word.
+    Clean,
+    /// All errors corrected.
+    Corrected,
+    /// Errors detected but not correctable (machine-check / crash).
+    DetectedUncorrectable,
+    /// Errors beyond the detection guarantee: possible silent corruption.
+    SilentRisk,
+}
+
+/// Error-handling capability of a code over a 64-bit data word.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_ecc::capability::{Capability, WordOutcome};
+/// let secded = Capability::secded();
+/// assert_eq!(secded.classify(&[3]), WordOutcome::Corrected);
+/// assert_eq!(secded.classify(&[3, 40]), WordOutcome::DetectedUncorrectable);
+/// assert_eq!(secded.classify(&[3, 40, 41]), WordOutcome::SilentRisk);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capability {
+    kind: CodeKind,
+    /// Bit errors corrected per word (for bit-oriented codes).
+    correct_bits: u8,
+    /// Bit errors detected per word.
+    detect_bits: u8,
+    /// Check bits per 64 data bits (storage overhead).
+    check_bits: u8,
+}
+
+impl Capability {
+    /// No ECC.
+    pub fn none() -> Self {
+        Self { kind: CodeKind::None, correct_bits: 0, detect_bits: 0, check_bits: 0 }
+    }
+
+    /// SECDED (72,64).
+    pub fn secded() -> Self {
+        Self { kind: CodeKind::Secded, correct_bits: 1, detect_bits: 2, check_bits: 8 }
+    }
+
+    /// DEC-TED: roughly doubles the check storage.
+    pub fn dec_ted() -> Self {
+        Self { kind: CodeKind::DecTed, correct_bits: 2, detect_bits: 3, check_bits: 15 }
+    }
+
+    /// Chipkill over 8-bit symbols (16 check bits per 64 data bits in the
+    /// common x4/x8 organisations we model).
+    pub fn chipkill() -> Self {
+        Self { kind: CodeKind::Chipkill, correct_bits: 0, detect_bits: 0, check_bits: 16 }
+    }
+
+    /// Which code this is.
+    pub fn kind(&self) -> CodeKind {
+        self.kind
+    }
+
+    /// Check bits per 64 data bits.
+    pub fn check_bits(&self) -> u8 {
+        self.check_bits
+    }
+
+    /// Storage overhead fraction (check bits / data bits).
+    pub fn storage_overhead(&self) -> f64 {
+        f64::from(self.check_bits) / 64.0
+    }
+
+    /// Classifies the outcome for a word whose flipped bit positions
+    /// (0–63, data-bit indices) are `flipped_bits`.
+    pub fn classify(&self, flipped_bits: &[u8]) -> WordOutcome {
+        let n = flipped_bits.len();
+        if n == 0 {
+            return WordOutcome::Clean;
+        }
+        match self.kind {
+            CodeKind::None => WordOutcome::SilentRisk,
+            CodeKind::Secded | CodeKind::DecTed => {
+                if n <= self.correct_bits as usize {
+                    WordOutcome::Corrected
+                } else if n <= self.detect_bits as usize {
+                    WordOutcome::DetectedUncorrectable
+                } else {
+                    WordOutcome::SilentRisk
+                }
+            }
+            CodeKind::Chipkill => {
+                // Count distinct 8-bit symbols touched.
+                let mut symbols = [false; 8];
+                for &b in flipped_bits {
+                    symbols[(b / 8).min(7) as usize] = true;
+                }
+                match symbols.iter().filter(|&&s| s).count() {
+                    1 => WordOutcome::Corrected,
+                    2 => WordOutcome::DetectedUncorrectable,
+                    _ => WordOutcome::SilentRisk,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_passes_everything_through() {
+        let c = Capability::none();
+        assert_eq!(c.classify(&[]), WordOutcome::Clean);
+        assert_eq!(c.classify(&[5]), WordOutcome::SilentRisk);
+    }
+
+    #[test]
+    fn secded_classification() {
+        let c = Capability::secded();
+        assert_eq!(c.classify(&[]), WordOutcome::Clean);
+        assert_eq!(c.classify(&[0]), WordOutcome::Corrected);
+        assert_eq!(c.classify(&[0, 63]), WordOutcome::DetectedUncorrectable);
+        assert_eq!(c.classify(&[0, 1, 2]), WordOutcome::SilentRisk);
+    }
+
+    #[test]
+    fn dec_ted_extends_secded() {
+        let c = Capability::dec_ted();
+        assert_eq!(c.classify(&[0, 1]), WordOutcome::Corrected);
+        assert_eq!(c.classify(&[0, 1, 2]), WordOutcome::DetectedUncorrectable);
+        assert_eq!(c.classify(&[0, 1, 2, 3]), WordOutcome::SilentRisk);
+    }
+
+    #[test]
+    fn chipkill_is_symbol_oriented() {
+        let c = Capability::chipkill();
+        // 5 flips inside one byte: corrected.
+        assert_eq!(c.classify(&[0, 1, 2, 3, 7]), WordOutcome::Corrected);
+        // Two symbols touched: detected.
+        assert_eq!(c.classify(&[0, 9]), WordOutcome::DetectedUncorrectable);
+        // Three symbols: silent risk.
+        assert_eq!(c.classify(&[0, 9, 17]), WordOutcome::SilentRisk);
+    }
+
+    #[test]
+    fn storage_overheads_ordered() {
+        assert!(Capability::none().storage_overhead() < Capability::secded().storage_overhead());
+        assert!(
+            Capability::secded().storage_overhead() < Capability::dec_ted().storage_overhead()
+        );
+        assert_eq!(Capability::secded().storage_overhead(), 0.125);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(CodeKind::Secded.to_string(), "SECDED");
+        assert_eq!(CodeKind::DecTed.to_string(), "DEC-TED");
+    }
+}

@@ -1,0 +1,262 @@
+//! Hamming SECDED (72,64): the code used on typical server DIMMs.
+//!
+//! Layout: an extended Hamming code over codeword bit positions `1..=71`
+//! with check bits at the power-of-two positions (1, 2, 4, 8, 16, 32, 64)
+//! and the 64 data bits filling the remaining positions in ascending
+//! order. Position 0 holds the overall parity bit that upgrades single
+//! error correction (SEC) to double error detection (DED).
+
+/// Result of decoding a (possibly corrupted) codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// The codeword was clean.
+    Clean {
+        /// Decoded data.
+        data: u64,
+    },
+    /// A single-bit error was corrected.
+    Corrected {
+        /// Decoded (corrected) data.
+        data: u64,
+        /// Codeword bit position that was corrected.
+        position: u8,
+    },
+    /// A double-bit error was detected (uncorrectable, but not silent).
+    DoubleDetected,
+}
+
+impl DecodeOutcome {
+    /// The decoded data, if the decoder produced any.
+    pub fn data(&self) -> Option<u64> {
+        match *self {
+            DecodeOutcome::Clean { data } | DecodeOutcome::Corrected { data, .. } => Some(data),
+            DecodeOutcome::DoubleDetected => None,
+        }
+    }
+}
+
+/// The (72,64) SECDED codec.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_ecc::hamming::{DecodeOutcome, Secded7264};
+/// let code = Secded7264::new();
+/// let cw = code.encode(42);
+/// assert_eq!(code.decode(cw), DecodeOutcome::Clean { data: 42 });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Secded7264;
+
+/// Codeword length in bits.
+pub const CODEWORD_BITS: u8 = 72;
+/// Data length in bits.
+pub const DATA_BITS: u8 = 64;
+
+impl Secded7264 {
+    /// Creates the codec (stateless).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Positions `1..=71` that are not powers of two, in ascending order:
+    /// where the 64 data bits live.
+    fn data_positions() -> impl Iterator<Item = u8> {
+        (1u8..CODEWORD_BITS).filter(|p| !p.is_power_of_two())
+    }
+
+    /// Encodes 64 data bits into a 72-bit codeword (in the low 72 bits of
+    /// the returned `u128`).
+    pub fn encode(&self, data: u64) -> u128 {
+        let mut cw: u128 = 0;
+        for (i, pos) in Self::data_positions().enumerate() {
+            if (data >> i) & 1 == 1 {
+                cw |= 1u128 << pos;
+            }
+        }
+        // Hamming check bits: parity over positions with the check bit set
+        // in their index.
+        for c in [1u8, 2, 4, 8, 16, 32, 64] {
+            let mut parity = 0u8;
+            for pos in 1..CODEWORD_BITS {
+                if pos & c != 0 && (cw >> pos) & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            if parity == 1 {
+                cw |= 1u128 << c;
+            }
+        }
+        // Overall parity at position 0 makes total parity even.
+        if (cw.count_ones() % 2) == 1 {
+            cw |= 1;
+        }
+        cw
+    }
+
+    /// Extracts the data bits from a codeword without any checking.
+    pub fn extract(&self, cw: u128) -> u64 {
+        let mut data = 0u64;
+        for (i, pos) in Self::data_positions().enumerate() {
+            if (cw >> pos) & 1 == 1 {
+                data |= 1u64 << i;
+            }
+        }
+        data
+    }
+
+    /// Decodes a codeword, correcting a single-bit error and detecting
+    /// double-bit errors.
+    ///
+    /// Patterns of three or more flipped bits are beyond the code's design
+    /// distance: they may miscorrect into valid-looking data (returned as
+    /// [`DecodeOutcome::Corrected`] with wrong contents) or alias to
+    /// [`DecodeOutcome::DoubleDetected`] — exactly the silent-corruption
+    /// hazard the paper warns about.
+    pub fn decode(&self, cw: u128) -> DecodeOutcome {
+        let mut syndrome: u8 = 0;
+        for c in [1u8, 2, 4, 8, 16, 32, 64] {
+            let mut parity = 0u8;
+            for pos in 1..CODEWORD_BITS {
+                if pos & c != 0 && (cw >> pos) & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            // Include the stored check bit itself (position c is included
+            // above since c & c != 0), so parity is the syndrome bit.
+            if parity == 1 {
+                syndrome |= c;
+            }
+        }
+        let overall_odd = cw.count_ones() % 2 == 1;
+        match (syndrome, overall_odd) {
+            (0, false) => DecodeOutcome::Clean { data: self.extract(cw) },
+            (0, true) => {
+                // Error in the overall parity bit itself: data unaffected.
+                DecodeOutcome::Corrected { data: self.extract(cw), position: 0 }
+            }
+            (s, true) => {
+                // Single error at position s (may be a check bit).
+                let fixed = cw ^ (1u128 << s);
+                DecodeOutcome::Corrected { data: self.extract(fixed), position: s }
+            }
+            (_, false) => DecodeOutcome::DoubleDetected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemem_stats::rng::seeded;
+    use rand::Rng;
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = Secded7264::new();
+        for data in [0u64, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA, 0x0123_4567_89AB_CDEF] {
+            let cw = code.encode(data);
+            assert_eq!(code.decode(cw), DecodeOutcome::Clean { data });
+        }
+    }
+
+    #[test]
+    fn codeword_fits_72_bits() {
+        let code = Secded7264::new();
+        let cw = code.encode(u64::MAX);
+        assert_eq!(cw >> CODEWORD_BITS, 0);
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        let code = Secded7264::new();
+        let data = 0x5A5A_F00D_CAFE_1234;
+        let cw = code.encode(data);
+        for pos in 0..CODEWORD_BITS {
+            let outcome = code.decode(cw ^ (1u128 << pos));
+            match outcome {
+                DecodeOutcome::Corrected { data: d, position } => {
+                    assert_eq!(d, data, "flip at {pos} must decode to original");
+                    assert_eq!(position, pos);
+                }
+                other => panic!("flip at {pos}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected() {
+        let code = Secded7264::new();
+        let data = 0xFEED_FACE_DEAD_BEEF;
+        let cw = code.encode(data);
+        // Exhaustive over all 72*71/2 pairs.
+        for a in 0..CODEWORD_BITS {
+            for b in (a + 1)..CODEWORD_BITS {
+                let corrupted = cw ^ (1u128 << a) ^ (1u128 << b);
+                assert_eq!(
+                    code.decode(corrupted),
+                    DecodeOutcome::DoubleDetected,
+                    "pair ({a},{b}) must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triple_errors_can_be_silent() {
+        // Demonstrate the hazard: at least some triple-bit patterns decode
+        // to *wrong* data without detection.
+        let code = Secded7264::new();
+        let data = 0x0F0F_0F0F_0F0F_0F0F;
+        let cw = code.encode(data);
+        let mut rng = seeded(99);
+        let mut silent = 0;
+        for _ in 0..2000 {
+            let mut bits = [0u8; 3];
+            loop {
+                for b in &mut bits {
+                    *b = rng.gen_range(0..CODEWORD_BITS);
+                }
+                if bits[0] != bits[1] && bits[1] != bits[2] && bits[0] != bits[2] {
+                    break;
+                }
+            }
+            let corrupted =
+                cw ^ (1u128 << bits[0]) ^ (1u128 << bits[1]) ^ (1u128 << bits[2]);
+            if let DecodeOutcome::Corrected { data: d, .. } = code.decode(corrupted) {
+                if d != data {
+                    silent += 1;
+                }
+            }
+        }
+        assert!(silent > 0, "some triple errors should silently miscorrect");
+    }
+
+    #[test]
+    fn one_or_two_flips_never_decode_clean() {
+        // Minimum distance 4: any 1- or 2-bit error is never silently
+        // accepted as a clean codeword.
+        let code = Secded7264::new();
+        let mut rng = seeded(41);
+        for _ in 0..500 {
+            let data: u64 = rng.gen();
+            let cw = code.encode(data);
+            let a = rng.gen_range(0..CODEWORD_BITS);
+            let one = code.decode(cw ^ (1u128 << a));
+            assert!(!matches!(one, DecodeOutcome::Clean { .. }));
+            let b = (a + rng.gen_range(1..CODEWORD_BITS)) % CODEWORD_BITS;
+            let two = code.decode(cw ^ (1u128 << a) ^ (1u128 << b));
+            assert!(!matches!(two, DecodeOutcome::Clean { .. }));
+        }
+    }
+
+    #[test]
+    fn extract_is_inverse_of_encode_layout() {
+        let code = Secded7264::new();
+        let mut rng = seeded(7);
+        for _ in 0..100 {
+            let data: u64 = rng.gen();
+            assert_eq!(code.extract(code.encode(data)), data);
+        }
+    }
+}

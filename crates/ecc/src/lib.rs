@@ -1,0 +1,34 @@
+//! Error-correcting codes for the ECC-efficacy experiment (E3).
+//!
+//! The paper observes that the SECDED ECC used in servers cannot stop
+//! RowHammer because some ECC words collect two or more flips. This crate
+//! provides:
+//!
+//! * [`hamming`] — a real, bit-level Hamming SECDED (72,64) codec;
+//! * [`capability`] — capability models for stronger codes (DEC-TED,
+//!   chipkill) that classify an error pattern by count/symbol structure;
+//! * [`analysis`] — grouping of raw bit flips into ECC words and 64-byte
+//!   cache blocks and classification of the outcome distribution.
+//!
+//! # Examples
+//!
+//! ```
+//! use densemem_ecc::hamming::{Secded7264, DecodeOutcome};
+//!
+//! let code = Secded7264::new();
+//! let cw = code.encode(0xDEAD_BEEF_0123_4567);
+//! // One flipped bit is corrected:
+//! let corrupted = cw ^ (1u128 << 17);
+//! match code.decode(corrupted) {
+//!     DecodeOutcome::Corrected { data, .. } => assert_eq!(data, 0xDEAD_BEEF_0123_4567),
+//!     other => panic!("unexpected outcome {other:?}"),
+//! }
+//! ```
+
+pub mod analysis;
+pub mod capability;
+pub mod hamming;
+
+pub use analysis::{classify_words, EccOutcomeCounts, WordErrorHistogram};
+pub use capability::{Capability, CodeKind};
+pub use hamming::{DecodeOutcome, Secded7264};

@@ -1,0 +1,135 @@
+//! Closed-form raw bit-error rate from the block parameters.
+//!
+//! For lifetime sweeps (thousands of P/E × age points) the Monte Carlo
+//! block is unnecessary: with Gaussian programmed distributions, log-time
+//! retention shift and Gray coding, the raw BER is a sum of Gaussian tail
+//! masses at each read threshold. The analytic model and the Monte Carlo
+//! block share [`FlashParams`], and a test pins them together.
+
+use crate::params::FlashParams;
+use densemem_stats::dist::normal_cdf;
+
+/// Raw bit-error rate of a page at `pe` cycles after `hours` of retention
+/// and `reads` read-disturb events, assuming uniform random data.
+///
+/// Accounts for:
+/// * program noise `sigma(pe)`;
+/// * mean retention shift per state (∝ stored charge), with the per-cell
+///   leakiness spread folded into an effective variance;
+/// * mean read-disturb shift, similarly spread.
+///
+/// Each misread across one threshold flips exactly one of the two bits
+/// (Gray coding), so BER = (expected state-misread fraction) / 2.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_flash::{analytic::raw_ber, params::FlashParams};
+/// let p = FlashParams::mlc_1x_nm();
+/// let fresh = raw_ber(&p, 500, 24.0, 0);
+/// let worn = raw_ber(&p, 12_000, 24.0 * 365.0, 0);
+/// assert!(worn > 10.0 * fresh);
+/// ```
+pub fn raw_ber(params: &FlashParams, pe: u32, hours: f64, reads: u64) -> f64 {
+    let sigma = params.sigma(pe);
+    let base_shift = params.retention_shift(pe, hours);
+    let disturb = reads as f64 * params.read_disturb_delta;
+    let er = params.state_means[0];
+    let span = params.state_means[3] - er;
+
+    // The per-cell leakiness factor is log-normal(0, s); approximate its
+    // effect as extra Gaussian spread of the shift around its mean.
+    let leak_spread = params.leakiness_sigma;
+    let disturb_spread = params.disturb_sigma;
+
+    let mut misread = 0.0;
+    for (i, &mean) in params.state_means.iter().enumerate() {
+        let charge = ((mean - er) / span).clamp(0.0, 1.5);
+        let shift = base_shift * charge;
+        // Log-normal mean factor e^{s²/2}; variance (e^{s²}-1)e^{s²}.
+        let shift_mean = shift * (leak_spread * leak_spread / 2.0).exp();
+        let shift_var = shift * shift
+            * ((leak_spread * leak_spread).exp() - 1.0)
+            * (leak_spread * leak_spread).exp();
+        let dist_mean = disturb * (disturb_spread * disturb_spread / 2.0).exp();
+        let dist_var = disturb * disturb
+            * ((disturb_spread * disturb_spread).exp() - 1.0)
+            * (disturb_spread * disturb_spread).exp();
+        let mu = mean - shift_mean + dist_mean;
+        let sd = (sigma * sigma + shift_var + dist_var).sqrt();
+        // Mass that crossed the lower threshold (dropped a state)...
+        if i > 0 {
+            let th = params.read_thresholds[i - 1];
+            misread += 0.25 * normal_cdf((th - mu) / sd);
+        }
+        // ...and the upper threshold (rose a state).
+        if i < 3 {
+            let th = params.read_thresholds[i];
+            misread += 0.25 * (1.0 - normal_cdf((th - mu) / sd));
+        }
+    }
+    // One state misread flips one of two stored bits.
+    (misread / 2.0).clamp(0.0, 0.5)
+}
+
+/// The retention-only component of the BER (zero reads).
+pub fn retention_ber(params: &FlashParams, pe: u32, hours: f64) -> f64 {
+    raw_ber(params, pe, hours, 0) - raw_ber(params, pe, 0.0, 0)
+}
+
+/// The read-disturb-only component of the BER (zero age).
+pub fn read_disturb_ber(params: &FlashParams, pe: u32, reads: u64) -> f64 {
+    raw_ber(params, pe, 0.0, reads) - raw_ber(params, pe, 0.0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::FlashBlock;
+
+    #[test]
+    fn ber_monotone_in_wear_age_and_reads() {
+        let p = FlashParams::mlc_1x_nm();
+        assert!(raw_ber(&p, 5_000, 100.0, 0) > raw_ber(&p, 500, 100.0, 0));
+        assert!(raw_ber(&p, 2_000, 1_000.0, 0) > raw_ber(&p, 2_000, 10.0, 0));
+        assert!(raw_ber(&p, 2_000, 10.0, 500_000) > raw_ber(&p, 2_000, 10.0, 0));
+        assert!(raw_ber(&p, 2_000, 10.0, 0) <= 0.5);
+    }
+
+    #[test]
+    fn retention_dominates_other_components_at_age() {
+        // The paper: retention errors are the dominant flash error source.
+        let p = FlashParams::mlc_1x_nm();
+        let pe = 3_000;
+        let r = retention_ber(&p, pe, 24.0 * 90.0);
+        let d = read_disturb_ber(&p, pe, 10_000);
+        assert!(r > 3.0 * d, "retention {r} vs disturb {d}");
+    }
+
+    #[test]
+    fn analytic_tracks_monte_carlo() {
+        // Pin the analytic model to the block simulation within a factor.
+        let p = FlashParams::mlc_1x_nm();
+        let pe = 8_000;
+        let hours = 24.0 * 180.0;
+        let mut b = FlashBlock::new(p, 16, 4096, 33);
+        b.cycle_to(pe);
+        let lsb = vec![0x35u8; 512];
+        let msb = vec![0x9Au8; 512];
+        for wl in 0..16 {
+            b.program_wordline(wl, &lsb, &msb).unwrap();
+        }
+        b.advance_hours(hours);
+        let mut errs = 0usize;
+        for wl in 0..16 {
+            let (rl, rm) = b.read_wordline(wl).unwrap();
+            errs += FlashBlock::count_errors(&rl, &lsb) + FlashBlock::count_errors(&rm, &msb);
+        }
+        let mc_ber = errs as f64 / (16.0 * 4096.0 * 2.0);
+        let an_ber = raw_ber(&p, pe, hours, 0);
+        assert!(
+            mc_ber / an_ber < 6.0 && an_ber / mc_ber < 6.0,
+            "MC {mc_ber:.2e} vs analytic {an_ber:.2e}"
+        );
+    }
+}

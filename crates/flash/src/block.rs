@@ -1,0 +1,599 @@
+//! The Monte Carlo MLC flash block.
+//!
+//! Per-cell threshold voltages with program noise, two-step programming,
+//! cell-to-cell program interference, and *lazy* read-disturb and
+//! retention shifts (applied at sensing time from per-wordline exposure
+//! counters, so a million reads cost O(1) each).
+
+use crate::error::FlashError;
+use crate::params::{FlashParams, MlcState};
+use densemem_stats::dist::standard_normal;
+use densemem_stats::rng::substream;
+use rand::rngs::StdRng;
+
+/// Program stage of a wordline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Erased: no page programmed.
+    Erased,
+    /// LSB page programmed; the vulnerable intermediate state.
+    LsbOnly,
+    /// Both pages programmed.
+    Full,
+}
+
+/// One MLC flash block.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_flash::{block::FlashBlock, params::FlashParams};
+/// let mut b = FlashBlock::new(FlashParams::mlc_1x_nm(), 8, 1024, 3);
+/// let data = vec![0x5Au8; 1024 / 8];
+/// b.program_wordline(0, &data, &data).unwrap();
+/// let (lsb, msb) = b.read_wordline(0).unwrap();
+/// assert_eq!(lsb, data);
+/// assert_eq!(msb, data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlashBlock {
+    params: FlashParams,
+    wordlines: usize,
+    cells_per_wl: usize,
+    /// Stored (as-programmed) Vth per cell, row-major by wordline.
+    vth: Vec<f64>,
+    /// Per-cell retention leakiness factor (log-normal, median 1).
+    leakiness: Vec<f64>,
+    /// Per-cell read-disturb susceptibility factor (log-normal, median 1).
+    susceptibility: Vec<f64>,
+    stage: Vec<Stage>,
+    /// Reads issued to each wordline.
+    reads: Vec<u64>,
+    /// Total reads issued to the block.
+    total_reads: u64,
+    /// Read-disturb exposure baseline captured when a wordline was last
+    /// programmed.
+    disturb_base: Vec<u64>,
+    /// Block clock, hours.
+    clock_hours: f64,
+    /// When each wordline was last programmed (block-clock hours).
+    programmed_at: Vec<f64>,
+    pe: u32,
+    rng: StdRng,
+}
+
+impl FlashBlock {
+    /// The Vth threshold the internal MSB-program step uses to sense the
+    /// intermediate LSB value. It sits closer to ER than the external read
+    /// point does, leaving a wide guard band below the (coarsely placed)
+    /// intermediate distribution — which is exactly why disturbance on a
+    /// partially-programmed wordline is more damaging than on a fully
+    /// programmed one (HPCA 2017).
+    pub const INTERMEDIATE_SENSE_V: f64 = -1.0;
+
+    /// Creates an erased block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells_per_wl` is zero or not a multiple of 8, or
+    /// `wordlines == 0`.
+    pub fn new(params: FlashParams, wordlines: usize, cells_per_wl: usize, seed: u64) -> Self {
+        assert!(wordlines > 0, "block needs wordlines");
+        assert!(
+            cells_per_wl > 0 && cells_per_wl.is_multiple_of(8),
+            "cells_per_wl must be a positive multiple of 8"
+        );
+        let n = wordlines * cells_per_wl;
+        let mut rng = substream(seed, 0xF1A5);
+        let mut block = Self {
+            params,
+            wordlines,
+            cells_per_wl,
+            vth: vec![0.0; n],
+            leakiness: (0..n)
+                .map(|_| (params.leakiness_sigma * standard_normal(&mut rng)).exp())
+                .collect(),
+            susceptibility: (0..n)
+                .map(|_| (params.disturb_sigma * standard_normal(&mut rng)).exp())
+                .collect(),
+            stage: vec![Stage::Erased; wordlines],
+            reads: vec![0; wordlines],
+            total_reads: 0,
+            disturb_base: vec![0; wordlines],
+            clock_hours: 0.0,
+            programmed_at: vec![0.0; wordlines],
+            pe: 0,
+            rng,
+        };
+        block.erase_cells();
+        block
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &FlashParams {
+        &self.params
+    }
+
+    /// Wordlines in the block.
+    pub fn wordlines(&self) -> usize {
+        self.wordlines
+    }
+
+    /// Cells per wordline (= bits per page).
+    pub fn cells_per_wl(&self) -> usize {
+        self.cells_per_wl
+    }
+
+    /// Bytes per page.
+    pub fn page_bytes(&self) -> usize {
+        self.cells_per_wl / 8
+    }
+
+    /// Current program/erase cycle count.
+    pub fn pe_cycles(&self) -> u32 {
+        self.pe
+    }
+
+    /// The block clock, hours.
+    pub fn clock_hours(&self) -> f64 {
+        self.clock_hours
+    }
+
+    /// Stage of a wordline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wl` is out of range.
+    pub fn stage(&self, wl: usize) -> Stage {
+        self.stage[wl]
+    }
+
+    /// Fast-forwards wear to `pe` cycles (erases the block).
+    pub fn cycle_to(&mut self, pe: u32) {
+        self.pe = pe;
+        self.erase();
+    }
+
+    /// Erases the block: all cells to the ER distribution, one more P/E
+    /// cycle of wear.
+    pub fn erase(&mut self) {
+        self.pe += 1;
+        self.erase_cells();
+    }
+
+    fn erase_cells(&mut self) {
+        let sigma = self.params.sigma(self.pe);
+        let er = self.params.state_means[0];
+        for v in &mut self.vth {
+            *v = er + sigma * standard_normal(&mut self.rng);
+        }
+        self.stage.fill(Stage::Erased);
+        self.reads.fill(0);
+        self.total_reads = 0;
+        self.disturb_base.fill(0);
+        self.programmed_at.fill(self.clock_hours);
+    }
+
+    /// Advances the block clock (retention ageing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours` is negative.
+    pub fn advance_hours(&mut self, hours: f64) {
+        assert!(hours >= 0.0, "time flows forward");
+        self.clock_hours += hours;
+    }
+
+    /// Programs the LSB page of `wl` (first step of two-step programming).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] for bad indices, sizes, or if the wordline is
+    /// not erased.
+    #[allow(clippy::needless_range_loop)]
+    pub fn program_lsb(&mut self, wl: usize, lsb: &[u8]) -> Result<(), FlashError> {
+        self.check_wl(wl)?;
+        self.check_page(lsb)?;
+        if self.stage[wl] != Stage::Erased {
+            return Err(FlashError::InvalidStage("LSB program requires an erased wordline"));
+        }
+        let sigma = self.params.sigma(self.pe);
+        let target = self.params.intermediate_vth;
+        let mut deltas = vec![0.0f64; self.cells_per_wl];
+        for c in 0..self.cells_per_wl {
+            if !bit_of(lsb, c) {
+                // lsb = 0: raise to the intermediate state.
+                let idx = wl * self.cells_per_wl + c;
+                let old = self.vth[idx];
+                let new = (target + sigma * standard_normal(&mut self.rng)).max(old);
+                deltas[c] = new - old;
+                self.vth[idx] = new;
+            }
+        }
+        self.apply_interference(wl, &deltas);
+        self.stage[wl] = Stage::LsbOnly;
+        self.mark_programmed(wl);
+        Ok(())
+    }
+
+    /// Programs the MSB page of `wl` (second step). The device *senses*
+    /// the stored intermediate state to decide the final target — which is
+    /// exactly what the two-step vulnerability corrupts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] for bad indices/sizes or if the LSB step has
+    /// not happened.
+    #[allow(clippy::needless_range_loop)]
+    pub fn program_msb(&mut self, wl: usize, msb: &[u8]) -> Result<(), FlashError> {
+        self.check_wl(wl)?;
+        self.check_page(msb)?;
+        if self.stage[wl] != Stage::LsbOnly {
+            return Err(FlashError::InvalidStage("MSB program requires a prior LSB program"));
+        }
+        let sigma = self.params.sigma(self.pe);
+        let mut deltas = vec![0.0f64; self.cells_per_wl];
+        for c in 0..self.cells_per_wl {
+            let idx = wl * self.cells_per_wl + c;
+            // Internal sense of the (possibly disturbed) intermediate.
+            let lsb_sensed = self.effective_vth(wl, c) < Self::INTERMEDIATE_SENSE_V;
+            let state = MlcState::from_bits(lsb_sensed, bit_of(msb, c));
+            let target = self.params.state_means[state.index()];
+            let old = self.vth[idx];
+            let new = (target + sigma * standard_normal(&mut self.rng)).max(old);
+            deltas[c] = new - old;
+            self.vth[idx] = new;
+        }
+        self.apply_interference(wl, &deltas);
+        self.stage[wl] = Stage::Full;
+        self.mark_programmed(wl);
+        Ok(())
+    }
+
+    /// Programs both pages back-to-back (the mitigated, atomic path: no
+    /// foreign operation can intervene between the steps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the step errors.
+    pub fn program_wordline(&mut self, wl: usize, lsb: &[u8], msb: &[u8]) -> Result<(), FlashError> {
+        self.program_lsb(wl, lsb)?;
+        self.program_msb(wl, msb)
+    }
+
+    /// MSB program using controller-buffered LSB data instead of the
+    /// internal sense — the paper's proposed mitigation for the two-step
+    /// exposure: even if the intermediate state was disturbed, the final
+    /// program targets the *intended* state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] for bad indices/sizes or if the LSB step has
+    /// not happened.
+    #[allow(clippy::needless_range_loop)]
+    pub fn program_msb_buffered(
+        &mut self,
+        wl: usize,
+        msb: &[u8],
+        lsb_buffered: &[u8],
+    ) -> Result<(), FlashError> {
+        self.check_wl(wl)?;
+        self.check_page(msb)?;
+        self.check_page(lsb_buffered)?;
+        if self.stage[wl] != Stage::LsbOnly {
+            return Err(FlashError::InvalidStage("MSB program requires a prior LSB program"));
+        }
+        let sigma = self.params.sigma(self.pe);
+        let mut deltas = vec![0.0f64; self.cells_per_wl];
+        for c in 0..self.cells_per_wl {
+            let idx = wl * self.cells_per_wl + c;
+            let state = MlcState::from_bits(bit_of(lsb_buffered, c), bit_of(msb, c));
+            let target = self.params.state_means[state.index()];
+            let old = self.vth[idx];
+            // The buffered path reprograms from the intended level even if
+            // the stored intermediate drifted: no max() clamp against a
+            // corrupted value below target, but never below the current
+            // floor for already-higher cells.
+            let new = (target + sigma * standard_normal(&mut self.rng)).max(old.min(target));
+            deltas[c] = (new - old).max(0.0);
+            self.vth[idx] = new;
+        }
+        self.apply_interference(wl, &deltas);
+        self.stage[wl] = Stage::Full;
+        self.mark_programmed(wl);
+        Ok(())
+    }
+
+    /// Reads both pages of `wl`, disturbing the rest of the block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] for a bad index.
+    pub fn read_wordline(&mut self, wl: usize) -> Result<(Vec<u8>, Vec<u8>), FlashError> {
+        self.check_wl(wl)?;
+        self.reads[wl] += 1;
+        self.total_reads += 1;
+        let bytes = self.page_bytes();
+        let mut lsb = vec![0u8; bytes];
+        let mut msb = vec![0u8; bytes];
+        for c in 0..self.cells_per_wl {
+            let state = self.params.state_of(self.effective_vth(wl, c));
+            let (l, m) = state.bits();
+            set_bit(&mut lsb, c, l);
+            set_bit(&mut msb, c, m);
+        }
+        Ok((lsb, msb))
+    }
+
+    /// Issues `n` reads of `wl` whose data is discarded — an attacker's or
+    /// background workload's read stream. Only the disturb exposure of the
+    /// *other* wordlines matters, so this is O(1) instead of O(cells) per
+    /// read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] for a bad index.
+    pub fn disturb_reads(&mut self, wl: usize, n: u64) -> Result<(), FlashError> {
+        self.check_wl(wl)?;
+        self.reads[wl] += n;
+        self.total_reads += n;
+        Ok(())
+    }
+
+    /// Soft-senses the effective Vth of every cell in `wl`, quantised to
+    /// `resolution` volts (models read-retry threshold sweeps; used by
+    /// RFR/NAC).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] for a bad index or non-positive resolution.
+    pub fn soft_read(&self, wl: usize, resolution: f64) -> Result<Vec<f64>, FlashError> {
+        self.check_wl(wl)?;
+        if resolution <= 0.0 {
+            return Err(FlashError::InvalidParam("resolution must be positive"));
+        }
+        Ok((0..self.cells_per_wl)
+            .map(|c| (self.effective_vth(wl, c) / resolution).round() * resolution)
+            .collect())
+    }
+
+    /// The effective (sensed) Vth of a cell: stored value plus accumulated
+    /// read disturb minus retention loss.
+    pub fn effective_vth(&self, wl: usize, c: usize) -> f64 {
+        let idx = wl * self.cells_per_wl + c;
+        let stored = self.vth[idx];
+        // Read disturb: every read of *another* wordline since this one
+        // was programmed nudges the cell up.
+        let exposure =
+            (self.total_reads - self.reads[wl]).saturating_sub(self.disturb_base[wl]);
+        let disturb =
+            exposure as f64 * self.params.read_disturb_delta * self.susceptibility[idx];
+        // Retention: charge leaks out of programmed cells over time,
+        // proportionally to how much charge they hold.
+        let age = (self.clock_hours - self.programmed_at[wl]).max(0.0);
+        let er = self.params.state_means[0];
+        let span = self.params.state_means[3] - er;
+        let charge_frac = ((stored - er) / span).clamp(0.0, 1.5);
+        let retention =
+            self.params.retention_shift(self.pe, age) * self.leakiness[idx] * charge_frac;
+        stored + disturb - retention
+    }
+
+    /// Per-cell read-disturb susceptibility (ground truth, for analyses).
+    pub fn susceptibility(&self, wl: usize, c: usize) -> f64 {
+        self.susceptibility[wl * self.cells_per_wl + c]
+    }
+
+    /// Per-cell leakiness (ground truth, for analyses).
+    pub fn leakiness(&self, wl: usize, c: usize) -> f64 {
+        self.leakiness[wl * self.cells_per_wl + c]
+    }
+
+    /// Counts bit errors of a read-back against expected page data.
+    pub fn count_errors(read: &[u8], expected: &[u8]) -> usize {
+        read.iter().zip(expected).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
+    }
+
+    // ----- internals ---------------------------------------------------
+
+    fn mark_programmed(&mut self, wl: usize) {
+        self.programmed_at[wl] = self.clock_hours;
+        self.disturb_base[wl] = self.total_reads - self.reads[wl];
+    }
+
+    /// Cell-to-cell program interference: programming shifts the cells of
+    /// adjacent wordlines up by a coupling fraction of the aggressor's Vth
+    /// change.
+    fn apply_interference(&mut self, wl: usize, deltas: &[f64]) {
+        let coupling = self.params.interference_coupling;
+        for neighbor in [wl.checked_sub(1), Some(wl + 1)].into_iter().flatten() {
+            if neighbor >= self.wordlines || self.stage[neighbor] == Stage::Erased {
+                continue;
+            }
+            for (c, &d) in deltas.iter().enumerate() {
+                if d > 0.0 {
+                    let jitter = 1.0 + 0.2 * standard_normal(&mut self.rng);
+                    self.vth[neighbor * self.cells_per_wl + c] +=
+                        coupling * d * jitter.max(0.0);
+                }
+            }
+        }
+    }
+
+    fn check_wl(&self, wl: usize) -> Result<(), FlashError> {
+        if wl < self.wordlines {
+            Ok(())
+        } else {
+            Err(FlashError::WordlineOutOfRange { wordline: wl, wordlines: self.wordlines })
+        }
+    }
+
+    fn check_page(&self, data: &[u8]) -> Result<(), FlashError> {
+        if data.len() == self.page_bytes() {
+            Ok(())
+        } else {
+            Err(FlashError::PageSizeMismatch {
+                provided: data.len(),
+                expected: self.page_bytes(),
+            })
+        }
+    }
+}
+
+/// Reads bit `i` of a byte slice (LSB-first within each byte).
+pub fn bit_of(data: &[u8], i: usize) -> bool {
+    (data[i / 8] >> (i % 8)) & 1 == 1
+}
+
+/// Sets bit `i` of a byte slice.
+pub fn set_bit(data: &mut [u8], i: usize, v: bool) {
+    if v {
+        data[i / 8] |= 1 << (i % 8);
+    } else {
+        data[i / 8] &= !(1 << (i % 8));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(seed: u64) -> FlashBlock {
+        FlashBlock::new(FlashParams::mlc_1x_nm(), 8, 1024, seed)
+    }
+
+    fn pattern(bytes: usize, byte: u8) -> Vec<u8> {
+        vec![byte; bytes]
+    }
+
+    #[test]
+    fn fresh_block_roundtrips_data() {
+        let mut b = block(1);
+        let lsb = pattern(128, 0xA5);
+        let msb = pattern(128, 0x3C);
+        b.program_wordline(2, &lsb, &msb).unwrap();
+        let (rl, rm) = b.read_wordline(2).unwrap();
+        assert_eq!(rl, lsb);
+        assert_eq!(rm, msb);
+    }
+
+    #[test]
+    fn stage_machine_is_enforced() {
+        let mut b = block(2);
+        let page = pattern(128, 0xFF);
+        assert!(b.program_msb(0, &page).is_err(), "MSB before LSB");
+        b.program_lsb(0, &page).unwrap();
+        assert!(b.program_lsb(0, &page).is_err(), "double LSB");
+        b.program_msb(0, &page).unwrap();
+        assert_eq!(b.stage(0), Stage::Full);
+        assert!(b.program_lsb(0, &page).is_err(), "program without erase");
+        b.erase();
+        assert_eq!(b.stage(0), Stage::Erased);
+    }
+
+    #[test]
+    fn validates_sizes_and_indices() {
+        let mut b = block(3);
+        assert!(b.program_lsb(99, &pattern(128, 0)).is_err());
+        assert!(b.program_lsb(0, &pattern(13, 0)).is_err());
+        assert!(b.read_wordline(99).is_err());
+        assert!(b.soft_read(0, 0.0).is_err());
+    }
+
+    #[test]
+    fn wear_increases_raw_errors() {
+        let count_errors_at = |pe: u32| -> usize {
+            let mut b = FlashBlock::new(FlashParams::mlc_1x_nm(), 8, 4096, 7);
+            b.cycle_to(pe);
+            let lsb = pattern(512, 0x0F);
+            let msb = pattern(512, 0xC3);
+            for wl in 0..8 {
+                b.program_wordline(wl, &lsb, &msb).unwrap();
+            }
+            b.advance_hours(24.0 * 30.0);
+            let mut errs = 0;
+            for wl in 0..8 {
+                let (rl, rm) = b.read_wordline(wl).unwrap();
+                errs += FlashBlock::count_errors(&rl, &lsb);
+                errs += FlashBlock::count_errors(&rm, &msb);
+            }
+            errs
+        };
+        let fresh = count_errors_at(0);
+        let worn = count_errors_at(12_000);
+        assert!(worn > fresh + 20, "fresh {fresh}, worn {worn}");
+    }
+
+    #[test]
+    fn retention_dominates_over_time() {
+        let mut b = FlashBlock::new(FlashParams::mlc_1x_nm(), 8, 4096, 8);
+        b.cycle_to(3_000);
+        let lsb = pattern(512, 0x0F);
+        let msb = pattern(512, 0xC3);
+        for wl in 0..8 {
+            b.program_wordline(wl, &lsb, &msb).unwrap();
+        }
+        let errs_at = |b: &mut FlashBlock| {
+            let (rl, rm) = b.read_wordline(3).unwrap();
+            FlashBlock::count_errors(&rl, &lsb) + FlashBlock::count_errors(&rm, &msb)
+        };
+        let e0 = errs_at(&mut b);
+        b.advance_hours(24.0 * 365.0);
+        let e1 = errs_at(&mut b);
+        assert!(e1 > e0 + 10, "retention errors should accumulate: {e0} -> {e1}");
+    }
+
+    #[test]
+    fn read_disturb_shifts_unread_wordlines() {
+        let mut b = FlashBlock::new(FlashParams::mlc_1x_nm(), 4, 1024, 9);
+        let lsb = pattern(128, 0xFF); // all-ER cells (most disturb-visible)
+        let msb = pattern(128, 0xFF);
+        for wl in 0..4 {
+            b.program_wordline(wl, &lsb, &msb).unwrap();
+        }
+        let v_before = b.effective_vth(2, 0);
+        b.disturb_reads(0, 200_000).unwrap();
+        let v_after = b.effective_vth(2, 0);
+        assert!(v_after > v_before + 0.1, "disturb shift {v_before} -> {v_after}");
+        // The read wordline itself is not disturbed by its own reads.
+        let own = b.effective_vth(0, 0);
+        assert!((own - b.vth[0]).abs() < 0.2);
+    }
+
+    #[test]
+    fn program_interference_shifts_neighbors() {
+        let mut b = FlashBlock::new(FlashParams::mlc_1x_nm(), 4, 1024, 10);
+        // Program wl1 with ER everywhere, then heavily program wl2.
+        let er = pattern(128, 0xFF);
+        b.program_wordline(1, &er, &er).unwrap();
+        let v_before = b.effective_vth(1, 0);
+        let p3 = pattern(128, 0x00); // lsb=0, msb=0 => P2... program both pages
+        b.program_wordline(2, &p3, &p3).unwrap();
+        let v_after = b.effective_vth(1, 0);
+        assert!(v_after > v_before, "interference should raise neighbour Vth");
+    }
+
+    #[test]
+    fn soft_read_quantises() {
+        let mut b = block(11);
+        let page = pattern(128, 0xF0);
+        b.program_wordline(0, &page, &page).unwrap();
+        let soft = b.soft_read(0, 0.1).unwrap();
+        for v in soft {
+            let q = (v / 0.1).round() * 0.1;
+            assert!((v - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bit_helpers() {
+        let mut d = vec![0u8; 2];
+        set_bit(&mut d, 3, true);
+        set_bit(&mut d, 9, true);
+        assert!(bit_of(&d, 3));
+        assert!(bit_of(&d, 9));
+        assert!(!bit_of(&d, 4));
+        set_bit(&mut d, 3, false);
+        assert!(!bit_of(&d, 3));
+    }
+}

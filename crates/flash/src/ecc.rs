@@ -1,0 +1,120 @@
+//! Abstract BCH corrector for flash pages.
+//!
+//! SSD controllers protect each codeword with a BCH (or LDPC) code that
+//! corrects up to `t` bit errors. For the reliability analyses here only
+//! the capability matters, so the code is modelled by `t` and the
+//! codeword size, plus the binomial page-failure mathematics built on
+//! them.
+
+use densemem_stats::dist::normal_cdf;
+
+/// A `t`-error-correcting code over codewords of `data_bits` data bits.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_flash::ecc::BchCode;
+/// let code = BchCode::new(40, 8192).unwrap();
+/// assert!(code.corrects(40));
+/// assert!(!code.corrects(41));
+/// assert!(code.ber_limit() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BchCode {
+    t: u32,
+    data_bits: u32,
+}
+
+impl BchCode {
+    /// Creates a code correcting up to `t` errors per `data_bits`-bit
+    /// codeword.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if either parameter is zero.
+    pub fn new(t: u32, data_bits: u32) -> Result<Self, crate::FlashError> {
+        if t == 0 || data_bits == 0 {
+            return Err(crate::FlashError::InvalidParam("t and data_bits must be > 0"));
+        }
+        Ok(Self { t, data_bits })
+    }
+
+    /// The common configuration in 1X-nm-era SSDs: 40 bits per 1 KiB.
+    pub fn ssd_default() -> Self {
+        Self { t: 40, data_bits: 8192 }
+    }
+
+    /// Correctable error count.
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// Data bits per codeword.
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Whether `errors` bit errors in one codeword are correctable.
+    pub fn corrects(&self, errors: u32) -> bool {
+        errors <= self.t
+    }
+
+    /// The raw BER at which the *expected* error count equals `t` — the
+    /// operating limit used for lifetime definitions.
+    pub fn ber_limit(&self) -> f64 {
+        f64::from(self.t) / f64::from(self.data_bits)
+    }
+
+    /// Probability that a codeword fails (more than `t` errors) at raw bit
+    /// error rate `ber`, via a normal approximation to the binomial.
+    pub fn codeword_failure_probability(&self, ber: f64) -> f64 {
+        let ber = ber.clamp(0.0, 1.0);
+        let n = f64::from(self.data_bits);
+        let mean = n * ber;
+        let var = n * ber * (1.0 - ber);
+        if var <= 0.0 {
+            return if mean > f64::from(self.t) { 1.0 } else { 0.0 };
+        }
+        1.0 - normal_cdf((f64::from(self.t) + 0.5 - mean) / var.sqrt())
+    }
+}
+
+impl Default for BchCode {
+    fn default() -> Self {
+        Self::ssd_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_params() {
+        assert!(BchCode::new(0, 100).is_err());
+        assert!(BchCode::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn failure_probability_shape() {
+        let c = BchCode::ssd_default();
+        let low = c.codeword_failure_probability(1e-4);
+        let at_limit = c.codeword_failure_probability(c.ber_limit());
+        let high = c.codeword_failure_probability(2e-2);
+        assert!(low < 1e-6, "low {low}");
+        assert!((0.2..0.8).contains(&at_limit), "at limit {at_limit}");
+        assert!(high > 0.999, "high {high}");
+    }
+
+    #[test]
+    fn zero_ber_never_fails() {
+        let c = BchCode::ssd_default();
+        assert_eq!(c.codeword_failure_probability(0.0), 0.0);
+    }
+
+    #[test]
+    fn ber_limit_value() {
+        let c = BchCode::new(40, 8192).unwrap();
+        assert!((c.ber_limit() - 40.0 / 8192.0).abs() < 1e-12);
+    }
+}

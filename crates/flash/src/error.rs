@@ -1,0 +1,56 @@
+//! Flash model error type.
+
+use std::fmt;
+
+/// Errors reported by the flash model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// Wordline index out of range.
+    WordlineOutOfRange {
+        /// Offending index.
+        wordline: usize,
+        /// Wordlines in the block.
+        wordlines: usize,
+    },
+    /// Page data length does not match the page size.
+    PageSizeMismatch {
+        /// Bytes provided.
+        provided: usize,
+        /// Bytes expected.
+        expected: usize,
+    },
+    /// The operation is invalid in the wordline's current program stage
+    /// (e.g. MSB program before LSB, or reprogramming without erase).
+    InvalidStage(&'static str),
+    /// An invalid model parameter.
+    InvalidParam(&'static str),
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::WordlineOutOfRange { wordline, wordlines } => {
+                write!(f, "wordline {wordline} out of range (block has {wordlines})")
+            }
+            FlashError::PageSizeMismatch { provided, expected } => {
+                write!(f, "page data is {provided} bytes, expected {expected}")
+            }
+            FlashError::InvalidStage(what) => write!(f, "invalid program stage: {what}"),
+            FlashError::InvalidParam(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = FlashError::WordlineOutOfRange { wordline: 70, wordlines: 64 };
+        assert!(e.to_string().contains("70"));
+        assert!(FlashError::InvalidStage("msb before lsb").to_string().contains("msb"));
+    }
+}

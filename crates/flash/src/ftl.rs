@@ -1,0 +1,593 @@
+//! A compact flash translation layer: the "intelligent controller" of
+//! §II-D made concrete.
+//!
+//! The paper's central architectural argument is that SSDs scale *because*
+//! an intelligent controller assumes the chips are faulty and compensates:
+//! ECC on every read, refresh (FCR) against retention, migration against
+//! read disturb, garbage collection and wear leveling against endurance,
+//! and last-resort recovery (RFR) when ECC is exceeded. [`Ftl`] composes
+//! exactly those mechanisms over [`FlashBlock`]s and exposes the same
+//! page read/write interface a host sees.
+
+use crate::block::FlashBlock;
+use crate::ecc::BchCode;
+use crate::error::FlashError;
+use crate::params::FlashParams;
+use crate::rfr::{recover_single_read, RfrConfig};
+use std::collections::VecDeque;
+
+/// FTL configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtlConfig {
+    /// Flash blocks managed.
+    pub blocks: usize,
+    /// Wordlines per block.
+    pub wordlines: usize,
+    /// Cells per wordline (bits per page).
+    pub cells_per_wl: usize,
+    /// Scrub (FCR) interval in hours; `None` disables scrubbing.
+    pub scrub_hours: Option<f64>,
+    /// Reads of a block before its valid pages are migrated (read-disturb
+    /// management); `None` disables migration.
+    pub read_migrate_threshold: Option<u64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        Self {
+            blocks: 12,
+            wordlines: 8,
+            cells_per_wl: 2048,
+            scrub_hours: Some(24.0 * 21.0),
+            read_migrate_threshold: Some(200_000),
+            seed: 0xF71,
+        }
+    }
+}
+
+/// Host-visible statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FtlStats {
+    /// Host page writes.
+    pub host_writes: u64,
+    /// Pages rewritten by garbage collection.
+    pub gc_writes: u64,
+    /// Pages rewritten by scrubbing (FCR).
+    pub scrub_writes: u64,
+    /// Pages rewritten by read-disturb migration.
+    pub migration_writes: u64,
+    /// Reads where ECC corrected at least one bit.
+    pub corrected_reads: u64,
+    /// Reads beyond ECC that RFR then recovered (heuristically verified).
+    pub rfr_recoveries: u64,
+    /// Reads that stayed uncorrectable even after RFR.
+    pub uncorrectable_reads: u64,
+    /// Block erases.
+    pub erases: u64,
+}
+
+impl FtlStats {
+    /// Write amplification: total media writes per host write.
+    pub fn write_amplification(&self) -> f64 {
+        if self.host_writes == 0 {
+            return 0.0;
+        }
+        (self.host_writes + self.gc_writes + self.scrub_writes + self.migration_writes) as f64
+            / self.host_writes as f64
+    }
+}
+
+/// Location of a logical page on media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Loc {
+    block: usize,
+    wl: usize,
+}
+
+/// Reference copy of one page pair (LSB bytes, MSB bytes).
+type PagePair = (Vec<u8>, Vec<u8>);
+
+/// The flash translation layer. One logical page = one wordline (its LSB
+/// and MSB pages written together through the buffered, two-step-safe
+/// path).
+///
+/// # Examples
+///
+/// ```
+/// use densemem_flash::ftl::{Ftl, FtlConfig};
+/// let mut ftl = Ftl::new(FtlConfig::default()).unwrap();
+/// let lsb = vec![0xAB; ftl.page_bytes()];
+/// let msb = vec![0xCD; ftl.page_bytes()];
+/// ftl.write(3, &lsb, &msb).unwrap();
+/// let (rl, rm) = ftl.read(3).unwrap().expect("mapped");
+/// assert_eq!((rl, rm), (lsb, msb));
+/// ```
+#[derive(Debug)]
+pub struct Ftl {
+    config: FtlConfig,
+    blocks: Vec<FlashBlock>,
+    /// Logical page table.
+    map: Vec<Option<Loc>>,
+    /// Reverse map: which logical page each (block, wl) holds.
+    owner: Vec<Vec<Option<usize>>>,
+    /// Golden copies for ECC (the codec is modelled by error counting
+    /// against the stored reference, per the abstract-BCH design).
+    golden: Vec<Vec<Option<PagePair>>>,
+    free: VecDeque<usize>,
+    active: usize,
+    next_wl: usize,
+    ecc: BchCode,
+    stats: FtlStats,
+    last_scrub_hours: f64,
+    clock_hours: f64,
+    /// Per-block reads since last erase (read-disturb management).
+    block_reads: Vec<u64>,
+}
+
+impl Ftl {
+    /// Creates an FTL over fresh blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::InvalidParam`] for degenerate geometry
+    /// (fewer than 3 blocks or 2 wordlines).
+    pub fn new(config: FtlConfig) -> Result<Self, FlashError> {
+        if config.blocks < 3 || config.wordlines < 2 {
+            return Err(FlashError::InvalidParam("need >= 3 blocks and >= 2 wordlines"));
+        }
+        let params = FlashParams::mlc_1x_nm();
+        let blocks: Vec<FlashBlock> = (0..config.blocks)
+            .map(|i| {
+                FlashBlock::new(params, config.wordlines, config.cells_per_wl, config.seed + i as u64)
+            })
+            .collect();
+        let mut free: VecDeque<usize> = (1..config.blocks).collect();
+        let active = 0;
+        let _ = &mut free;
+        Ok(Self {
+            map: vec![None; config.blocks * config.wordlines],
+            owner: vec![vec![None; config.wordlines]; config.blocks],
+            golden: vec![vec![None; config.wordlines]; config.blocks],
+            blocks,
+            free,
+            active,
+            next_wl: 0,
+            ecc: BchCode::ssd_default(),
+            stats: FtlStats::default(),
+            last_scrub_hours: 0.0,
+            clock_hours: 0.0,
+            block_reads: vec![0; config.blocks],
+            config,
+        })
+    }
+
+    /// Bytes per (half-)page.
+    pub fn page_bytes(&self) -> usize {
+        self.config.cells_per_wl / 8
+    }
+
+    /// Logical pages addressable (kept below physical capacity for GC
+    /// headroom).
+    pub fn logical_pages(&self) -> usize {
+        // 2 blocks of over-provisioning.
+        (self.config.blocks - 2) * self.config.wordlines
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &FtlStats {
+        &self.stats
+    }
+
+    /// Direct access to a managed block (wear pre-conditioning, fault
+    /// injection in tests and experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn block_mut(&mut self, i: usize) -> &mut FlashBlock {
+        &mut self.blocks[i]
+    }
+
+    /// Spread of wear across blocks: `(min, max)` P/E cycles.
+    pub fn wear_range(&self) -> (u32, u32) {
+        let min = self.blocks.iter().map(FlashBlock::pe_cycles).min().unwrap_or(0);
+        let max = self.blocks.iter().map(FlashBlock::pe_cycles).max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Advances time; scrubbing runs if due.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours` is negative.
+    pub fn advance_hours(&mut self, hours: f64) {
+        assert!(hours >= 0.0, "time flows forward");
+        self.clock_hours += hours;
+        for b in &mut self.blocks {
+            b.advance_hours(hours);
+        }
+        if let Some(interval) = self.config.scrub_hours {
+            if self.clock_hours - self.last_scrub_hours >= interval {
+                self.last_scrub_hours = self.clock_hours;
+                self.scrub_all();
+            }
+        }
+    }
+
+    /// Writes a logical page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] for bad sizes or out-of-range pages.
+    pub fn write(&mut self, lpn: usize, lsb: &[u8], msb: &[u8]) -> Result<(), FlashError> {
+        if lpn >= self.logical_pages() {
+            return Err(FlashError::InvalidParam("logical page out of range"));
+        }
+        self.stats.host_writes += 1;
+        self.invalidate(lpn);
+        self.append(lpn, lsb, msb)
+    }
+
+    /// Reads a logical page. Returns `None` for unmapped pages.
+    ///
+    /// ECC corrects up to `t` bit errors per page pair; beyond that the
+    /// FTL attempts RFR before declaring the read uncorrectable (in which
+    /// case the raw data is returned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] only for internal media errors (cannot
+    /// happen with a consistent map).
+    #[allow(clippy::type_complexity)]
+    pub fn read(&mut self, lpn: usize) -> Result<Option<PagePair>, FlashError> {
+        let Some(loc) = self.map.get(lpn).copied().flatten() else {
+            return Ok(None);
+        };
+        self.block_reads[loc.block] += 1;
+        self.migrate_if_read_hot(loc.block)?;
+        // Migration may have remapped the page: re-resolve.
+        let loc = self.map[lpn].expect("page stays mapped across migration");
+        let (rl, rm) = self.blocks[loc.block].read_wordline(loc.wl)?;
+        let (gl, gm) = self
+            .golden[loc.block][loc.wl]
+            .clone()
+            .expect("mapped page has a reference copy");
+        let errors =
+            FlashBlock::count_errors(&rl, &gl) + FlashBlock::count_errors(&rm, &gm);
+        if errors == 0 {
+            return Ok(Some((rl, rm)));
+        }
+        if errors as u32 <= self.pair_capability() {
+            self.stats.corrected_reads += 1;
+            // The codec repairs the page: hand back the corrected data.
+            return Ok(Some((gl, gm)));
+        }
+        // Beyond ECC: retention-failure recovery.
+        let age = self.clock_hours; // conservative: full device age
+        let (cl, cm) =
+            recover_single_read(&self.blocks[loc.block], loc.wl, age, RfrConfig::default())?;
+        let rec_errors =
+            FlashBlock::count_errors(&cl, &gl) + FlashBlock::count_errors(&cm, &gm);
+        if rec_errors as u32 <= self.pair_capability() {
+            self.stats.rfr_recoveries += 1;
+            Ok(Some((gl, gm)))
+        } else {
+            self.stats.uncorrectable_reads += 1;
+            Ok(Some((rl, rm)))
+        }
+    }
+
+    /// Total uncorrectable reads would stay zero on a healthy device; the
+    /// integration tests assert on this.
+    pub fn uncorrectable_reads(&self) -> u64 {
+        self.stats.uncorrectable_reads
+    }
+
+    // ----- internals ---------------------------------------------------
+
+    /// The ECC capability over one page pair: `t` errors per codeword,
+    /// scaled by the number of codewords the pair spans.
+    fn pair_capability(&self) -> u32 {
+        let pair_bits = (self.config.cells_per_wl * 2) as u32;
+        self.ecc.t() * pair_bits.div_ceil(self.ecc.data_bits()).max(1)
+    }
+
+    fn invalidate(&mut self, lpn: usize) {
+        if let Some(loc) = self.map[lpn] {
+            self.owner[loc.block][loc.wl] = None;
+            self.golden[loc.block][loc.wl] = None;
+            self.map[lpn] = None;
+        }
+    }
+
+    /// Appends a page to the active block, rotating/GC-ing as needed.
+    fn append(&mut self, lpn: usize, lsb: &[u8], msb: &[u8]) -> Result<(), FlashError> {
+        if self.next_wl == self.config.wordlines {
+            self.rotate_active()?;
+        }
+        let wl = self.next_wl;
+        let block = self.active;
+        // Buffered two-step programming: the mitigated path (E13).
+        self.blocks[block].program_lsb(wl, lsb)?;
+        self.blocks[block].program_msb_buffered(wl, msb, lsb)?;
+        self.owner[block][wl] = Some(lpn);
+        self.golden[block][wl] = Some((lsb.to_vec(), msb.to_vec()));
+        self.map[lpn] = Some(Loc { block, wl });
+        self.next_wl += 1;
+
+        Ok(())
+    }
+
+    /// Picks a new active block, garbage-collecting if the free list ran
+    /// dry.
+    fn rotate_active(&mut self) -> Result<(), FlashError> {
+        let mut rounds = 0;
+        while self.free.is_empty() {
+            self.garbage_collect()?;
+            rounds += 1;
+            if rounds > self.config.blocks {
+                return Err(FlashError::InvalidParam(
+                    "no reclaimable space: device over-filled",
+                ));
+            }
+        }
+        // Wear leveling: take the least-worn free block.
+        let (idx, &blk) = self
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &b)| self.blocks[b].pe_cycles())
+            .expect("free list is non-empty after GC");
+        self.free.remove(idx);
+        self.active = blk;
+        self.next_wl = 0;
+        Ok(())
+    }
+
+    /// Victim = fewest valid pages (ties: least-worn). Valid pages move to
+    /// the current active space… which is the victim being refilled, so GC
+    /// copies them out first, erases, and pushes the victim to the free
+    /// list.
+    fn garbage_collect(&mut self) -> Result<(), FlashError> {
+        let victim = (0..self.blocks.len())
+            .filter(|&b| b != self.active)
+            .min_by_key(|&b| {
+                let valid = self.owner[b].iter().filter(|o| o.is_some()).count();
+                (valid, self.blocks[b].pe_cycles())
+            })
+            .expect("more than one block exists");
+        // Copy out the victim's valid pages into a staging buffer.
+        let mut staged = Vec::new();
+        for wl in 0..self.config.wordlines {
+            if let Some(lpn) = self.owner[victim][wl] {
+                let (gl, gm) =
+                    self.golden[victim][wl].clone().expect("valid page has reference");
+                staged.push((lpn, gl, gm));
+                self.owner[victim][wl] = None;
+                self.golden[victim][wl] = None;
+                self.map[lpn] = None;
+            }
+        }
+        self.blocks[victim].erase();
+        self.block_reads[victim] = 0;
+        self.stats.erases += 1;
+        self.free.push_back(victim);
+        // Re-append staged pages (they continue in the active block).
+        for (lpn, gl, gm) in staged {
+            self.stats.gc_writes += 1;
+            self.append_raw(lpn, &gl, &gm)?;
+        }
+        Ok(())
+    }
+
+    /// Append without triggering the migration hook (used by GC/scrub to
+    /// avoid recursion).
+    fn append_raw(&mut self, lpn: usize, lsb: &[u8], msb: &[u8]) -> Result<(), FlashError> {
+        if self.next_wl == self.config.wordlines {
+            self.rotate_active()?;
+        }
+        let wl = self.next_wl;
+        let block = self.active;
+        self.blocks[block].program_lsb(wl, lsb)?;
+        self.blocks[block].program_msb_buffered(wl, msb, lsb)?;
+        self.owner[block][wl] = Some(lpn);
+        self.golden[block][wl] = Some((lsb.to_vec(), msb.to_vec()));
+        self.map[lpn] = Some(Loc { block, wl });
+        self.next_wl += 1;
+        Ok(())
+    }
+
+    /// Rewrites every valid page (FCR): resets retention age.
+    fn scrub_all(&mut self) {
+        let pages: Vec<usize> = (0..self.map.len()).filter(|&l| self.map[l].is_some()).collect();
+        for lpn in pages {
+            if let Some(loc) = self.map[lpn] {
+                if let Some((gl, gm)) = self.golden[loc.block][loc.wl].clone() {
+                    self.invalidate(lpn);
+                    self.stats.scrub_writes += 1;
+                    let _ = self.append_raw(lpn, &gl, &gm);
+                }
+            }
+        }
+    }
+
+    /// Migrates the valid pages of `block` and erases it once its read
+    /// count crosses the configured threshold (read-disturb management).
+    fn migrate_if_read_hot(&mut self, block: usize) -> Result<(), FlashError> {
+        let Some(threshold) = self.config.read_migrate_threshold else {
+            return Ok(());
+        };
+        if self.block_reads[block] < threshold || block == self.active {
+            return Ok(());
+        }
+        self.block_reads[block] = 0;
+        let mut staged = Vec::new();
+        for wl in 0..self.config.wordlines {
+            if let Some(lpn) = self.owner[block][wl] {
+                let (gl, gm) =
+                    self.golden[block][wl].clone().expect("valid page has reference");
+                staged.push((lpn, gl, gm));
+                self.owner[block][wl] = None;
+                self.golden[block][wl] = None;
+                self.map[lpn] = None;
+            }
+        }
+        self.blocks[block].erase();
+        self.stats.erases += 1;
+        self.free.push_back(block);
+        for (lpn, gl, gm) in staged {
+            self.stats.migration_writes += 1;
+            self.append_raw(lpn, &gl, &gm)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use densemem_stats::rng::substream;
+    use rand::Rng;
+
+    fn small() -> Ftl {
+        Ftl::new(FtlConfig {
+            blocks: 6,
+            wordlines: 4,
+            cells_per_wl: 512,
+            scrub_hours: None,
+            read_migrate_threshold: None,
+            seed: 3,
+        })
+        .unwrap()
+    }
+
+    fn page(b: u8, n: usize) -> Vec<u8> {
+        vec![b; n]
+    }
+
+    #[test]
+    fn validates_geometry() {
+        assert!(Ftl::new(FtlConfig { blocks: 2, ..Default::default() }).is_err());
+        assert!(Ftl::new(FtlConfig { wordlines: 1, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_overwrite() {
+        let mut f = small();
+        let n = f.page_bytes();
+        f.write(0, &page(0x11, n), &page(0x22, n)).unwrap();
+        f.write(1, &page(0x33, n), &page(0x44, n)).unwrap();
+        assert_eq!(f.read(0).unwrap().unwrap().0, page(0x11, n));
+        // Overwrite remaps.
+        f.write(0, &page(0x55, n), &page(0x66, n)).unwrap();
+        assert_eq!(f.read(0).unwrap().unwrap().0, page(0x55, n));
+        assert_eq!(f.read(1).unwrap().unwrap().1, page(0x44, n));
+        assert_eq!(f.read(7).unwrap(), None, "unmapped page");
+    }
+
+    #[test]
+    fn sustained_random_writes_exercise_gc() {
+        let mut f = small();
+        let n = f.page_bytes();
+        let cap = f.logical_pages();
+        let mut rng = substream(7, 0);
+        let mut shadow: Vec<Option<(u8, u8)>> = vec![None; cap];
+        for i in 0..400usize {
+            let lpn = rng.gen_range(0..cap);
+            let (a, b) = ((i % 251) as u8, (i % 83) as u8);
+            f.write(lpn, &page(a, n), &page(b, n)).unwrap();
+            shadow[lpn] = Some((a, b));
+        }
+        assert!(f.stats().erases > 0, "GC must have run");
+        assert!(f.stats().write_amplification() > 1.0);
+        for (lpn, expect) in shadow.iter().enumerate() {
+            if let Some((a, b)) = expect {
+                let (rl, rm) = f.read(lpn).unwrap().expect("mapped");
+                assert_eq!(rl, page(*a, n), "lpn {lpn}");
+                assert_eq!(rm, page(*b, n), "lpn {lpn}");
+            }
+        }
+    }
+
+    #[test]
+    fn wear_stays_spread() {
+        let mut f = small();
+        let n = f.page_bytes();
+        // Hot logical page hammered with writes: wear must spread over
+        // blocks, not concentrate.
+        for i in 0..3000usize {
+            f.write(0, &page(i as u8, n), &page(!(i as u8), n)).unwrap();
+        }
+        let (min, max) = f.wear_range();
+        assert!(max >= 1);
+        assert!(max - min <= max.max(4) / 2 + 4, "wear range {min}..{max} too wide");
+    }
+
+    #[test]
+    fn read_hot_blocks_are_migrated() {
+        let mut f = Ftl::new(FtlConfig {
+            blocks: 6,
+            wordlines: 4,
+            cells_per_wl: 512,
+            scrub_hours: None,
+            read_migrate_threshold: Some(5_000),
+            seed: 13,
+        })
+        .unwrap();
+        let n = f.page_bytes();
+        f.write(0, &page(0xAA, n), &page(0x55, n)).unwrap();
+        // Force rotation so page 0's block is no longer active (the active
+        // block is exempt from migration).
+        for lpn in 1..f.logical_pages() {
+            f.write(lpn, &page(1, n), &page(2, n)).unwrap();
+        }
+        for _ in 0..6_000 {
+            let _ = f.read(0).unwrap();
+        }
+        assert!(f.stats().migration_writes > 0, "hot block must be migrated");
+        assert_eq!(f.read(0).unwrap().unwrap().0, page(0xAA, n), "data survives migration");
+    }
+
+    #[test]
+    fn scrubbing_prevents_retention_uncorrectables() {
+        // Operating point from the FCR analysis (E10): at ~3K P/E a weekly
+        // refresh keeps raw errors within ECC, while six unrefreshed
+        // months do not.
+        let run = |scrub: Option<f64>| -> (u64, u64) {
+            let mut f = Ftl::new(FtlConfig {
+                blocks: 6,
+                wordlines: 4,
+                cells_per_wl: 4096,
+                scrub_hours: scrub,
+                read_migrate_threshold: None,
+                seed: 11,
+            })
+            .unwrap();
+            let n = f.page_bytes();
+            for b in 0..6 {
+                f.blocks[b].cycle_to(3_000);
+            }
+            for lpn in 0..f.logical_pages() {
+                f.write(lpn, &page(0x2D, n), &page(0xB4, n)).unwrap();
+            }
+            // Six months in weekly steps (scrub fires if configured).
+            for _ in 0..26 {
+                f.advance_hours(24.0 * 7.0);
+            }
+            for lpn in 0..f.logical_pages() {
+                let _ = f.read(lpn).unwrap();
+            }
+            (f.stats().uncorrectable_reads, f.stats().scrub_writes)
+        };
+        let (bad_no_scrub, _) = run(None);
+        let (bad_scrub, scrub_writes) = run(Some(24.0 * 7.0));
+        assert!(scrub_writes > 0);
+        assert!(bad_no_scrub > 0, "unscrubbed media must degrade");
+        assert!(
+            bad_scrub * 2 < bad_no_scrub,
+            "scrub {bad_scrub} vs none {bad_no_scrub}"
+        );
+    }
+}

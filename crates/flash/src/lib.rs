@@ -1,0 +1,59 @@
+//! MLC NAND flash channel model (§III of the paper).
+//!
+//! Models a 2-bit-per-cell (MLC) flash block at threshold-voltage (Vth)
+//! resolution, with the error mechanisms the paper's flash work
+//! characterises — retention loss (the dominant one), program
+//! interference, read disturb, and the two-step-programming exposure — and
+//! the mitigations built on them:
+//!
+//! * [`params`] — the shared physical parameter set (state means, wear
+//!   scaling, leak rates).
+//! * [`block`] — the Monte Carlo block model: program/read/erase with
+//!   noise, interference, disturb and retention physics.
+//! * [`analytic`] — closed-form raw-bit-error-rate from the same
+//!   parameters, for lifetime sweeps.
+//! * [`ecc`] — an abstract BCH corrector (t errors per codeword).
+//! * [`fcr`] — Flash Correct-and-Refresh: periodic/adaptive reprogramming
+//!   to extend lifetime.
+//! * [`ftl`] — a compact flash translation layer composing ECC, GC, wear
+//!   leveling, scrubbing, read-disturb migration and RFR behind a host
+//!   page interface (the §II-D intelligent controller).
+//! * [`rfr`] — Retention Failure Recovery: leaker classification and
+//!   post-failure data recovery.
+//! * [`nac`] — Neighbor-cell-assisted correction for read-disturb and
+//!   interference errors.
+//! * [`two_step`] — the two-step-programming vulnerability and its
+//!   mitigation.
+//!
+//! # Examples
+//!
+//! ```
+//! use densemem_flash::block::FlashBlock;
+//! use densemem_flash::params::FlashParams;
+//!
+//! let mut block = FlashBlock::new(FlashParams::mlc_1x_nm(), 16, 2048, 5);
+//! block.cycle_to(1000);
+//! let data = vec![0xA5u8; 2048 / 8];
+//! block.program_wordline(3, &data, &data).unwrap();
+//! let (lsb, _msb) = block.read_wordline(3).unwrap();
+//! assert_eq!(lsb, data);
+//! ```
+
+pub mod analytic;
+pub mod block;
+pub mod ecc;
+pub mod error;
+pub mod fcr;
+pub mod ftl;
+pub mod nac;
+pub mod params;
+pub mod rfr;
+pub mod two_step;
+
+pub use analytic::raw_ber;
+pub use block::FlashBlock;
+pub use ecc::BchCode;
+pub use error::FlashError;
+pub use fcr::{FcrPolicy, LifetimeReport};
+pub use ftl::{Ftl, FtlConfig, FtlStats};
+pub use params::FlashParams;

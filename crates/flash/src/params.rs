@@ -1,0 +1,208 @@
+//! Shared physical parameters of the MLC flash model.
+//!
+//! MLC cells store 2 bits as one of four threshold-voltage (Vth) states.
+//! We use the two-step-compatible Gray mapping (LSB, MSB): ER=(1,1),
+//! P1=(1,0), P2=(0,0), P3=(0,1). Any single-state misread flips exactly
+//! one bit, and every MSB-step transition (ER→P1, LM→P2, LM→P3) moves the
+//! cell's Vth upward, as real incremental-step programming requires.
+
+/// The four MLC states in Vth order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MlcState {
+    /// Erased.
+    Er,
+    /// First programmed state.
+    P1,
+    /// Second programmed state.
+    P2,
+    /// Third (highest) programmed state.
+    P3,
+}
+
+impl MlcState {
+    /// All states in Vth order.
+    pub const ALL: [MlcState; 4] = [MlcState::Er, MlcState::P1, MlcState::P2, MlcState::P3];
+
+    /// Gray-coded (lsb, msb) bits of this state.
+    pub fn bits(&self) -> (bool, bool) {
+        match self {
+            MlcState::Er => (true, true),
+            MlcState::P1 => (true, false),
+            MlcState::P2 => (false, false),
+            MlcState::P3 => (false, true),
+        }
+    }
+
+    /// The state encoding `(lsb, msb)`.
+    pub fn from_bits(lsb: bool, msb: bool) -> Self {
+        match (lsb, msb) {
+            (true, true) => MlcState::Er,
+            (true, false) => MlcState::P1,
+            (false, false) => MlcState::P2,
+            (false, true) => MlcState::P3,
+        }
+    }
+
+    /// Index in Vth order (0..4).
+    pub fn index(&self) -> usize {
+        match self {
+            MlcState::Er => 0,
+            MlcState::P1 => 1,
+            MlcState::P2 => 2,
+            MlcState::P3 => 3,
+        }
+    }
+}
+
+/// Physical parameter set.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_flash::params::FlashParams;
+/// let p = FlashParams::mlc_1x_nm();
+/// assert!(p.sigma(3000) > p.sigma(0));
+/// assert!(p.leak_rate(3000) > p.leak_rate(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashParams {
+    /// Target Vth per state (volts).
+    pub state_means: [f64; 4],
+    /// Read thresholds between adjacent states (volts).
+    pub read_thresholds: [f64; 3],
+    /// Program noise sigma at zero wear (volts).
+    pub sigma0: f64,
+    /// Wear coefficient: `sigma(pe) = sigma0 * (1 + (pe/pe_sigma)^0.6)`.
+    pub pe_sigma: f64,
+    /// Baseline retention leak scale (volts per log-decade) at zero wear.
+    pub leak_r0: f64,
+    /// Wear coefficient for the leak rate.
+    pub pe_leak: f64,
+    /// Log-space sigma of per-cell leakiness variation (the wide fast/slow
+    /// leaker spread RFR exploits).
+    pub leakiness_sigma: f64,
+    /// Mean Vth shift per read-disturb event on unread cells (volts).
+    pub read_disturb_delta: f64,
+    /// Log-space sigma of per-cell read-disturb susceptibility.
+    pub disturb_sigma: f64,
+    /// Cell-to-cell program interference coupling ratio.
+    pub interference_coupling: f64,
+    /// Vth of the intermediate (LSB-programmed) state.
+    pub intermediate_vth: f64,
+}
+
+impl FlashParams {
+    /// Parameters representative of 1X-nm (15–19 nm) MLC NAND — the chips
+    /// the paper's HPCA 2017 study characterises.
+    pub fn mlc_1x_nm() -> Self {
+        Self {
+            state_means: [-2.0, 1.0, 2.5, 4.0],
+            read_thresholds: [-0.5, 1.75, 3.25],
+            sigma0: 0.11,
+            pe_sigma: 3_000.0,
+            leak_r0: 0.035,
+            pe_leak: 3_000.0,
+            leakiness_sigma: 0.8,
+            read_disturb_delta: 3.0e-6,
+            disturb_sigma: 0.8,
+            interference_coupling: 0.03,
+            intermediate_vth: 1.4,
+        }
+    }
+
+    /// Program-noise sigma at `pe` program/erase cycles.
+    pub fn sigma(&self, pe: u32) -> f64 {
+        self.sigma0 * (1.0 + (f64::from(pe) / self.pe_sigma).powf(0.6))
+    }
+
+    /// Retention leak scale at `pe` cycles (volts per log-decade of time).
+    pub fn leak_rate(&self, pe: u32) -> f64 {
+        self.leak_r0 * (1.0 + f64::from(pe) / self.pe_leak)
+    }
+
+    /// Mean retention Vth shift after `hours` at `pe` cycles, for a cell
+    /// with unit leakiness.
+    pub fn retention_shift(&self, pe: u32, hours: f64) -> f64 {
+        if hours <= 0.0 {
+            return 0.0;
+        }
+        // Log-time kinetics with a 1-hour knee.
+        self.leak_rate(pe) * (1.0 + hours).ln() / std::f64::consts::LN_10
+    }
+
+    /// The state a Vth value reads as.
+    pub fn state_of(&self, vth: f64) -> MlcState {
+        if vth < self.read_thresholds[0] {
+            MlcState::Er
+        } else if vth < self.read_thresholds[1] {
+            MlcState::P1
+        } else if vth < self.read_thresholds[2] {
+            MlcState::P2
+        } else {
+            MlcState::P3
+        }
+    }
+}
+
+impl Default for FlashParams {
+    fn default() -> Self {
+        Self::mlc_1x_nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_mapping_roundtrip() {
+        for s in MlcState::ALL {
+            let (l, m) = s.bits();
+            assert_eq!(MlcState::from_bits(l, m), s);
+        }
+    }
+
+    #[test]
+    fn gray_adjacent_states_differ_in_one_bit() {
+        for w in MlcState::ALL.windows(2) {
+            let (l0, m0) = w[0].bits();
+            let (l1, m1) = w[1].bits();
+            let diff = (l0 != l1) as u32 + (m0 != m1) as u32;
+            assert_eq!(diff, 1, "{:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn state_of_respects_thresholds() {
+        let p = FlashParams::mlc_1x_nm();
+        assert_eq!(p.state_of(-2.0), MlcState::Er);
+        assert_eq!(p.state_of(1.0), MlcState::P1);
+        assert_eq!(p.state_of(2.5), MlcState::P2);
+        assert_eq!(p.state_of(4.0), MlcState::P3);
+    }
+
+    #[test]
+    fn wear_increases_noise_and_leak() {
+        let p = FlashParams::mlc_1x_nm();
+        assert!(p.sigma(10_000) > 2.0 * p.sigma0 * 0.9);
+        assert!(p.leak_rate(6_000) > 2.0 * p.leak_r0 * 0.9);
+    }
+
+    #[test]
+    fn retention_shift_grows_logarithmically() {
+        let p = FlashParams::mlc_1x_nm();
+        let s10 = p.retention_shift(1000, 10.0);
+        let s100 = p.retention_shift(1000, 100.0);
+        let s1000 = p.retention_shift(1000, 1000.0);
+        assert!(s100 > s10);
+        // Log kinetics: equal increments per decade (approximately).
+        assert!(((s1000 - s100) - (s100 - s10)).abs() < 0.3 * (s100 - s10));
+        assert_eq!(p.retention_shift(1000, 0.0), 0.0);
+    }
+
+    #[test]
+    fn state_index_order() {
+        assert_eq!(MlcState::Er.index(), 0);
+        assert_eq!(MlcState::P3.index(), 3);
+    }
+}

@@ -1,0 +1,272 @@
+//! Retention Failure Recovery (RFR) — experiment E11.
+//!
+//! The paper (DSN 2015) observes a wide variation in cell leakiness and
+//! shows that, after an *uncorrectable* retention failure, knowledge of
+//! the retention behaviour lets the controller probabilistically recover
+//! the original data. Two estimators are implemented, both using only
+//! information a real controller has:
+//!
+//! * [`recover_single_read`] — one soft read (read-retry threshold
+//!   sweeps), re-sliced by maximum likelihood over the *aged* state
+//!   distributions (mean shift per state, leakiness spread folded into the
+//!   variance).
+//! * [`recover`] — the paper's two-read protocol: a second soft read after
+//!   additional retention time measures each cell's individual drop rate
+//!   (fast vs slow leaker), and extrapolating the total loss back
+//!   reconstructs the original threshold voltage before re-slicing with
+//!   the factory thresholds. Because retention follows log-time kinetics,
+//!   the observation window is chosen commensurate with the data age.
+
+use crate::block::FlashBlock;
+use crate::error::FlashError;
+use crate::params::{FlashParams, MlcState};
+
+/// Configuration of an RFR attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfrConfig {
+    /// Soft-read quantisation, volts (read-retry sweep step).
+    pub resolution: f64,
+    /// Additional retention time between the two reads, as a fraction of
+    /// the data age (log-time kinetics require an age-commensurate
+    /// observation window).
+    pub delta_age_factor: f64,
+}
+
+impl Default for RfrConfig {
+    fn default() -> Self {
+        Self { resolution: 0.01, delta_age_factor: 1.0 }
+    }
+}
+
+/// Two-read RFR: classifies each cell's leak rate from the drop between
+/// two soft reads and reconstructs the pre-decay threshold voltage.
+///
+/// Advances the block clock by `age_hours * config.delta_age_factor`.
+///
+/// # Errors
+///
+/// Returns [`FlashError`] for invalid indices or configuration.
+///
+/// # Examples
+///
+/// See `recovery_reduces_errors` in the module tests.
+pub fn recover(
+    block: &mut FlashBlock,
+    wl: usize,
+    age_hours: f64,
+    config: RfrConfig,
+) -> Result<(Vec<u8>, Vec<u8>), FlashError> {
+    if config.delta_age_factor <= 0.0 {
+        return Err(FlashError::InvalidParam("delta_age_factor must be positive"));
+    }
+    let params = *block.params();
+    let pe = block.pe_cycles();
+    let first = block.soft_read(wl, config.resolution)?;
+    let delta = age_hours * config.delta_age_factor;
+    block.advance_hours(delta);
+    let second = block.soft_read(wl, config.resolution)?;
+
+    // Per-unit-(leakiness × charge) shifts over the observation window and
+    // over the full data lifetime.
+    let obs_unit = params.retention_shift(pe, age_hours + delta)
+        - params.retention_shift(pe, age_hours);
+    let total_unit = params.retention_shift(pe, age_hours + delta);
+
+    let bytes = block.page_bytes();
+    let mut lsb = vec![0u8; bytes];
+    let mut msb = vec![0u8; bytes];
+    for c in 0..block.cells_per_wl() {
+        // leakiness × charge estimate from the observed drop.
+        let drop = (first[c] - second[c]).max(0.0);
+        let leak_charge = if obs_unit > 1e-12 { drop / obs_unit } else { 0.0 };
+        let original_est = second[c] + leak_charge * total_unit;
+        let state = params.state_of(original_est);
+        let (l, m) = state.bits();
+        crate::block::set_bit(&mut lsb, c, l);
+        crate::block::set_bit(&mut msb, c, m);
+    }
+    Ok((lsb, msb))
+}
+
+/// Single-read RFR: maximum-likelihood re-slice against the aged state
+/// distributions.
+///
+/// # Errors
+///
+/// Returns [`FlashError`] for invalid indices or configuration.
+pub fn recover_single_read(
+    block: &FlashBlock,
+    wl: usize,
+    age_hours: f64,
+    config: RfrConfig,
+) -> Result<(Vec<u8>, Vec<u8>), FlashError> {
+    let params = *block.params();
+    let pe = block.pe_cycles();
+    let soft = block.soft_read(wl, config.resolution)?;
+
+    let sigma = params.sigma(pe);
+    let unit_shift = params.retention_shift(pe, age_hours);
+    let er = params.state_means[0];
+    let span = params.state_means[3] - er;
+    let s2 = params.leakiness_sigma * params.leakiness_sigma;
+    // Log-normal leakiness: mean e^{s²/2}, variance (e^{s²}-1)e^{s²}.
+    let leak_mean = (s2 / 2.0).exp();
+    let leak_var = (s2.exp() - 1.0) * s2.exp();
+
+    // Aged distribution (mean, variance) per state.
+    let aged: Vec<(f64, f64)> = params
+        .state_means
+        .iter()
+        .map(|&mean| {
+            let charge = ((mean - er) / span).clamp(0.0, 1.5);
+            let shift = unit_shift * charge;
+            let mu = mean - shift * leak_mean;
+            let var = sigma * sigma + shift * shift * leak_var;
+            (mu, var)
+        })
+        .collect();
+
+    let bytes = block.page_bytes();
+    let mut lsb = vec![0u8; bytes];
+    let mut msb = vec![0u8; bytes];
+    for (c, &v) in soft.iter().enumerate() {
+        let mut best = MlcState::Er;
+        let mut best_ll = f64::NEG_INFINITY;
+        for state in MlcState::ALL {
+            let (mu, var) = aged[state.index()];
+            let ll = -(v - mu) * (v - mu) / (2.0 * var) - 0.5 * var.ln();
+            if ll > best_ll {
+                best_ll = ll;
+                best = state;
+            }
+        }
+        let (l, m) = best.bits();
+        crate::block::set_bit(&mut lsb, c, l);
+        crate::block::set_bit(&mut msb, c, m);
+    }
+    Ok((lsb, msb))
+}
+
+/// Classifies cells into fast/slow leakers by the observed Vth drop
+/// between two soft reads (the paper's binary classification); returns the
+/// fraction classified fast.
+pub fn fast_leaker_fraction(
+    block: &FlashBlock,
+    _wl: usize,
+    first: &[f64],
+    second: &[f64],
+    threshold_v: f64,
+) -> f64 {
+    let n = block.cells_per_wl();
+    let fast = (0..n).filter(|&c| first[c] - second[c] > threshold_v).count();
+    fast as f64 / n as f64
+}
+
+/// The `FlashParams` alias re-exported for harness convenience.
+pub type Params = FlashParams;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::FlashBlock;
+    use crate::ecc::BchCode;
+
+    fn aged_block() -> (FlashBlock, Vec<u8>, Vec<u8>, f64) {
+        let mut b = FlashBlock::new(FlashParams::mlc_1x_nm(), 4, 8192, 51);
+        b.cycle_to(8_000);
+        let lsb = vec![0x2Du8; 1024];
+        let msb = vec![0xB4u8; 1024];
+        for wl in 0..4 {
+            b.program_wordline(wl, &lsb, &msb).unwrap();
+        }
+        let age = 24.0 * 180.0; // six months unpowered at high wear
+        b.advance_hours(age);
+        (b, lsb, msb, age)
+    }
+
+    /// Sets up a badly-aged block whose raw errors exceed the ECC, then
+    /// checks RFR pulls the error count way down.
+    #[test]
+    fn recovery_reduces_errors() {
+        let (mut b, lsb, msb, age) = aged_block();
+        let (rl, rm) = b.read_wordline(1).unwrap();
+        let raw_errors =
+            FlashBlock::count_errors(&rl, &lsb) + FlashBlock::count_errors(&rm, &msb);
+        let ecc = BchCode::ssd_default();
+        assert!(
+            raw_errors as u32 > 2 * ecc.t(),
+            "setup should exceed ECC: {raw_errors} errors"
+        );
+
+        let (cl, cm) = recover(&mut b, 1, age, RfrConfig::default()).unwrap();
+        let rec_errors =
+            FlashBlock::count_errors(&cl, &lsb) + FlashBlock::count_errors(&cm, &msb);
+        assert!(
+            (rec_errors as f64) < 0.5 * raw_errors as f64,
+            "two-read RFR should at least halve errors: {raw_errors} -> {rec_errors}"
+        );
+    }
+
+    #[test]
+    fn single_read_recovery_also_helps() {
+        let (mut b, lsb, msb, age) = aged_block();
+        let (rl, rm) = b.read_wordline(1).unwrap();
+        let raw_errors =
+            FlashBlock::count_errors(&rl, &lsb) + FlashBlock::count_errors(&rm, &msb);
+        let (cl, cm) = recover_single_read(&b, 1, age, RfrConfig::default()).unwrap();
+        let rec_errors =
+            FlashBlock::count_errors(&cl, &lsb) + FlashBlock::count_errors(&cm, &msb);
+        assert!(
+            rec_errors < raw_errors,
+            "ML re-slice should reduce errors: {raw_errors} -> {rec_errors}"
+        );
+    }
+
+    #[test]
+    fn recovery_is_harmless_when_fresh() {
+        let mut b = FlashBlock::new(FlashParams::mlc_1x_nm(), 2, 4096, 54);
+        let lsb = vec![0x12u8; 512];
+        let msb = vec![0xEFu8; 512];
+        b.program_wordline(0, &lsb, &msb).unwrap();
+        let (cl, cm) =
+            recover_single_read(&b, 0, 0.0, RfrConfig::default()).unwrap();
+        assert_eq!(
+            FlashBlock::count_errors(&cl, &lsb) + FlashBlock::count_errors(&cm, &msb),
+            0
+        );
+    }
+
+    #[test]
+    fn leaker_classification_separates_tail() {
+        let mut b = FlashBlock::new(FlashParams::mlc_1x_nm(), 2, 4096, 52);
+        b.cycle_to(8_000);
+        let page = vec![0x00u8; 512]; // all P2: plenty of charge to lose
+        b.program_wordline(0, &page, &page).unwrap();
+        b.advance_hours(24.0 * 200.0);
+        let first = b.soft_read(0, 0.001).unwrap();
+        b.advance_hours(24.0 * 600.0);
+        let second = b.soft_read(0, 0.001).unwrap();
+        let frac = fast_leaker_fraction(&b, 0, &first, &second, 0.15);
+        assert!(frac > 0.0 && frac < 0.5, "fast-leaker fraction {frac}");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut b = FlashBlock::new(FlashParams::mlc_1x_nm(), 2, 1024, 53);
+        assert!(recover(
+            &mut b,
+            0,
+            10.0,
+            RfrConfig { resolution: 0.0, delta_age_factor: 1.0 }
+        )
+        .is_err());
+        assert!(recover(
+            &mut b,
+            0,
+            10.0,
+            RfrConfig { resolution: 0.01, delta_age_factor: 0.0 }
+        )
+        .is_err());
+        assert!(recover(&mut b, 9, 10.0, RfrConfig::default()).is_err());
+    }
+}

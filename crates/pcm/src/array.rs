@@ -1,0 +1,326 @@
+//! A line-addressable PCM array with drift, endurance, and stuck-at
+//! failures.
+
+use crate::cell::PcmParams;
+use densemem_stats::dist::{standard_normal, LogNormal};
+use densemem_stats::rng::substream;
+use rand::rngs::StdRng;
+use std::fmt;
+
+/// Errors reported by the PCM array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcmError {
+    /// A line index was out of range.
+    LineOutOfRange {
+        /// Offending line.
+        line: usize,
+        /// Lines in the array.
+        lines: usize,
+    },
+    /// Data length does not match the line size.
+    SizeMismatch {
+        /// Cells provided.
+        provided: usize,
+        /// Cells per line.
+        expected: usize,
+    },
+    /// A level value exceeds the cell's level count.
+    InvalidLevel(u8),
+}
+
+impl fmt::Display for PcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcmError::LineOutOfRange { line, lines } => {
+                write!(f, "line {line} out of range (array has {lines})")
+            }
+            PcmError::SizeMismatch { provided, expected } => {
+                write!(f, "line data is {provided} cells, expected {expected}")
+            }
+            PcmError::InvalidLevel(l) => write!(f, "invalid level {l}"),
+        }
+    }
+}
+
+impl std::error::Error for PcmError {}
+
+/// One PCM array: `lines` lines of `cells_per_line` MLC cells.
+///
+/// Writes are in *levels* (one `u8` level per cell). Endurance is tracked
+/// per line (writes hit whole lines through the row buffer); once a line
+/// exceeds its endurance, a fraction of its cells become stuck at their
+/// current level — the PCM failure mode (cells fail stuck, not leaky).
+///
+/// # Examples
+///
+/// ```
+/// use densemem_pcm::{array::PcmArray, PcmParams};
+/// let mut a = PcmArray::new(PcmParams::mlc_4level(), 16, 64, 1);
+/// a.write_line(3, &vec![2u8; 64]).unwrap();
+/// assert_eq!(a.read_line(3).unwrap()[0], 2);
+/// assert_eq!(a.line_writes(3), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcmArray {
+    params: PcmParams,
+    lines: usize,
+    cells_per_line: usize,
+    /// Stored log10 R per cell.
+    log_r: Vec<f64>,
+    /// Per-cell drift exponent multiplier (log-normal around 1).
+    drift_factor: Vec<f64>,
+    /// Stuck-at flags.
+    stuck: Vec<bool>,
+    /// Per-line endurance limits (writes).
+    endurance: Vec<u64>,
+    /// Per-line write counts.
+    writes: Vec<u64>,
+    /// When each line was last written, seconds.
+    written_at_s: Vec<f64>,
+    clock_s: f64,
+    rng: StdRng,
+}
+
+impl PcmArray {
+    /// Creates an array with the given geometry. Endurance is log-normal
+    /// with median [`Self::ENDURANCE_MEDIAN`] writes per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(params: PcmParams, lines: usize, cells_per_line: usize, seed: u64) -> Self {
+        assert!(lines > 0 && cells_per_line > 0, "array must be non-empty");
+        let n = lines * cells_per_line;
+        let mut rng = substream(seed, 0x9C);
+        let endurance_dist = LogNormal::from_median_sigma(Self::ENDURANCE_MEDIAN, 0.3);
+        let drift_factor = (0..n)
+            .map(|_| (params.drift_spread * standard_normal(&mut rng)).exp())
+            .collect();
+        let endurance = (0..lines).map(|_| endurance_dist.sample(&mut rng) as u64).collect();
+        Self {
+            params,
+            lines,
+            cells_per_line,
+            log_r: vec![params.log_r_min; n],
+            drift_factor,
+            stuck: vec![false; n],
+            endurance,
+            writes: vec![0; lines],
+            written_at_s: vec![0.0; lines],
+            clock_s: 0.0,
+            rng,
+        }
+    }
+
+    /// Median line endurance (scaled down from the ~10⁸ of real PCM so
+    /// wear-out experiments stay tractable; the *ratios* between policies
+    /// are endurance-independent).
+    pub const ENDURANCE_MEDIAN: f64 = 20_000.0;
+
+    /// The parameter set.
+    pub fn params(&self) -> &PcmParams {
+        &self.params
+    }
+
+    /// Lines in the array.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Cells per line.
+    pub fn cells_per_line(&self) -> usize {
+        self.cells_per_line
+    }
+
+    /// Writes performed on `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn line_writes(&self, line: usize) -> u64 {
+        self.writes[line]
+    }
+
+    /// Whether `line` has exceeded its endurance (contains stuck cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn line_failed(&self, line: usize) -> bool {
+        self.writes[line] > self.endurance[line]
+    }
+
+    /// Advances the array clock (drift ageing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative.
+    pub fn advance_seconds(&mut self, seconds: f64) {
+        assert!(seconds >= 0.0, "time flows forward");
+        self.clock_s += seconds;
+    }
+
+    /// Writes one line of levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError`] for bad indices, sizes, or level values.
+    pub fn write_line(&mut self, line: usize, levels: &[u8]) -> Result<(), PcmError> {
+        self.check_line(line)?;
+        if levels.len() != self.cells_per_line {
+            return Err(PcmError::SizeMismatch {
+                provided: levels.len(),
+                expected: self.cells_per_line,
+            });
+        }
+        if let Some(&bad) = levels.iter().find(|&&l| l >= self.params.levels) {
+            return Err(PcmError::InvalidLevel(bad));
+        }
+        self.writes[line] += 1;
+        let worn_out = self.writes[line] > self.endurance[line];
+        for (c, &level) in levels.iter().enumerate() {
+            let idx = line * self.cells_per_line + c;
+            if self.stuck[idx] {
+                continue; // stuck cells ignore writes
+            }
+            if worn_out && self.rng_chance(0.02) {
+                // Past endurance, each write sticks ~2% of cells.
+                self.stuck[idx] = true;
+                continue;
+            }
+            self.log_r[idx] = self.params.level_target(level)
+                + self.params.sigma * standard_normal(&mut self.rng);
+        }
+        self.written_at_s[line] = self.clock_s;
+        Ok(())
+    }
+
+    /// Reads one line of levels with plain (fixed) thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError::LineOutOfRange`] for a bad index.
+    pub fn read_line(&self, line: usize) -> Result<Vec<u8>, PcmError> {
+        self.check_line(line)?;
+        Ok((0..self.cells_per_line)
+            .map(|c| self.params.level_of(self.effective_log_r(line, c)))
+            .collect())
+    }
+
+    /// Reads one line with time-aware thresholds (drift-compensated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PcmError::LineOutOfRange`] for a bad index.
+    pub fn read_line_time_aware(&self, line: usize) -> Result<Vec<u8>, PcmError> {
+        self.check_line(line)?;
+        let age = (self.clock_s - self.written_at_s[line]).max(0.0);
+        Ok((0..self.cells_per_line)
+            .map(|c| self.params.level_of_time_aware(self.effective_log_r(line, c), age))
+            .collect())
+    }
+
+    /// The drifted log10 R of a cell.
+    pub fn effective_log_r(&self, line: usize, c: usize) -> f64 {
+        let idx = line * self.cells_per_line + c;
+        let age = (self.clock_s - self.written_at_s[line]).max(0.0);
+        let level = self.params.level_of(self.log_r[idx]);
+        self.log_r[idx]
+            + self.params.expected_drift(level, age) * self.drift_factor[idx]
+    }
+
+    /// Counts mismatched cells between a read-back and expected levels.
+    pub fn count_level_errors(read: &[u8], expected: &[u8]) -> usize {
+        read.iter().zip(expected).filter(|(a, b)| a != b).count()
+    }
+
+    fn rng_chance(&mut self, p: f64) -> bool {
+        use rand::Rng;
+        self.rng.gen::<f64>() < p
+    }
+
+    fn check_line(&self, line: usize) -> Result<(), PcmError> {
+        if line < self.lines {
+            Ok(())
+        } else {
+            Err(PcmError::LineOutOfRange { line, lines: self.lines })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> PcmArray {
+        PcmArray::new(PcmParams::mlc_4level(), 16, 256, 5)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut a = array();
+        let data: Vec<u8> = (0..256).map(|i| (i % 4) as u8).collect();
+        a.write_line(4, &data).unwrap();
+        assert_eq!(a.read_line(4).unwrap(), data);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut a = array();
+        assert!(a.write_line(99, &[0; 256]).is_err());
+        assert!(a.write_line(0, &[0; 3]).is_err());
+        assert!(a.write_line(0, &[9; 256]).is_err());
+        assert!(a.read_line(99).is_err());
+    }
+
+    #[test]
+    fn drift_corrupts_high_levels_over_time() {
+        let mut a = PcmArray::new(PcmParams::mlc_8level(), 4, 4096, 6);
+        let data: Vec<u8> = (0..4096).map(|i| (i % 8) as u8).collect();
+        a.write_line(1, &data).unwrap();
+        a.advance_seconds(86_400.0 * 90.0);
+        let plain = PcmArray::count_level_errors(&a.read_line(1).unwrap(), &data);
+        assert!(plain > 20, "drift should corrupt dense cells: {plain}");
+        let aware =
+            PcmArray::count_level_errors(&a.read_line_time_aware(1).unwrap(), &data);
+        assert!(
+            (aware as f64) < 0.5 * plain as f64,
+            "time-aware read should cut errors: {plain} -> {aware}"
+        );
+    }
+
+    #[test]
+    fn endurance_wears_out_lines() {
+        let mut a = PcmArray::new(PcmParams::mlc_4level(), 2, 64, 7);
+        let data = vec![1u8; 64];
+        let mut first_failure = None;
+        for w in 0..200_000u64 {
+            a.write_line(0, &data).unwrap();
+            if a.line_failed(0) {
+                first_failure = Some(w + 1);
+                break;
+            }
+        }
+        let f = first_failure.expect("line should wear out");
+        // Log-normal around the median.
+        assert!((5_000..80_000).contains(&f), "failure at {f}");
+        // The untouched line is fine.
+        assert!(!a.line_failed(1));
+    }
+
+    #[test]
+    fn stuck_cells_ignore_writes() {
+        let mut a = PcmArray::new(PcmParams::mlc_4level(), 2, 256, 8);
+        let ones = vec![1u8; 256];
+        let threes = vec![3u8; 256];
+        // Wear the line far past its endurance.
+        for _ in 0..60_000 {
+            a.write_line(0, &ones).unwrap();
+        }
+        assert!(a.line_failed(0));
+        a.write_line(0, &threes).unwrap();
+        let read = a.read_line(0).unwrap();
+        let stuck_at_one = read.iter().filter(|&&l| l == 1).count();
+        assert!(stuck_at_one > 0, "worn line should have stuck cells");
+    }
+}

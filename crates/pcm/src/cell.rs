@@ -1,0 +1,237 @@
+//! MLC PCM cell physics: log-resistance levels and resistance drift.
+//!
+//! A PCM cell stores data as the resistance of a chalcogenide volume.
+//! Multi-level cells slice the resistance range into `levels` bands. The
+//! amorphous phase *drifts*: resistance grows as a power law of time,
+//! `R(t) = R0 · (t/t0)^ν`, with a per-cell drift exponent ν that grows
+//! with the amorphous fraction — so the higher (more amorphous) levels
+//! drift fastest, pushing cells across their upper band boundary. Denser
+//! cells (more levels) have proportionally tighter bands: the paper's
+//! density-vs-reliability trade, PCM edition.
+
+use densemem_stats::dist::normal_cdf;
+
+/// PCM parameter set (log10-resistance space).
+///
+/// # Examples
+///
+/// ```
+/// use densemem_pcm::PcmParams;
+/// let p4 = PcmParams::mlc_4level();
+/// let p8 = PcmParams::mlc_8level();
+/// // Denser cells have tighter level spacing.
+/// assert!(p8.level_spacing() < p4.level_spacing());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcmParams {
+    /// Number of resistance levels (states per cell).
+    pub levels: u8,
+    /// log10 R of the lowest (fully crystalline, SET) level.
+    pub log_r_min: f64,
+    /// log10 R of the highest (fully amorphous, RESET) level.
+    pub log_r_max: f64,
+    /// Programming noise in log10 R.
+    pub sigma: f64,
+    /// Mean drift exponent of the fully amorphous phase.
+    pub drift_nu_max: f64,
+    /// Per-cell spread (sd) of the drift exponent, as a fraction of its
+    /// mean.
+    pub drift_spread: f64,
+    /// Reference time for the drift power law, seconds.
+    pub t0_s: f64,
+}
+
+impl PcmParams {
+    /// A 2-bit (4-level) MLC PCM cell.
+    pub fn mlc_4level() -> Self {
+        Self {
+            levels: 4,
+            log_r_min: 3.0,  // 1 kΩ
+            log_r_max: 6.0,  // 1 MΩ
+            sigma: 0.10,
+            drift_nu_max: 0.06,
+            drift_spread: 0.4,
+            t0_s: 1.0,
+        }
+    }
+
+    /// A 3-bit (8-level) MLC PCM cell: the density push.
+    pub fn mlc_8level() -> Self {
+        Self { levels: 8, ..Self::mlc_4level() }
+    }
+
+    /// log10 R spacing between adjacent level targets.
+    pub fn level_spacing(&self) -> f64 {
+        (self.log_r_max - self.log_r_min) / f64::from(self.levels - 1)
+    }
+
+    /// Target log10 R of `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels`.
+    pub fn level_target(&self, level: u8) -> f64 {
+        assert!(level < self.levels, "level {level} out of {}", self.levels);
+        self.log_r_min + self.level_spacing() * f64::from(level)
+    }
+
+    /// Mean drift exponent of `level` (scales with amorphous fraction).
+    pub fn drift_nu(&self, level: u8) -> f64 {
+        self.drift_nu_max * f64::from(level) / f64::from(self.levels - 1)
+    }
+
+    /// The level a log10-resistance reads as, with fixed mid-point
+    /// thresholds.
+    pub fn level_of(&self, log_r: f64) -> u8 {
+        let s = self.level_spacing();
+        let idx = ((log_r - self.log_r_min) / s + 0.5).floor();
+        idx.clamp(0.0, f64::from(self.levels - 1)) as u8
+    }
+
+    /// The level read with *time-aware* thresholds: the expected drift of
+    /// each level at age `t_s` is subtracted before slicing — the
+    /// controller-side mitigation analogous to flash RFR.
+    pub fn level_of_time_aware(&self, log_r: f64, t_s: f64) -> u8 {
+        // Invert approximately: find the level whose drifted target is
+        // closest to the observation.
+        let mut best = 0u8;
+        let mut best_d = f64::INFINITY;
+        for level in 0..self.levels {
+            let expected = self.level_target(level) + self.expected_drift(level, t_s);
+            let d = (log_r - expected).abs();
+            if d < best_d {
+                best_d = d;
+                best = level;
+            }
+        }
+        best
+    }
+
+    /// Expected log10 R drift of `level` after `t_s` seconds.
+    pub fn expected_drift(&self, level: u8, t_s: f64) -> f64 {
+        if t_s <= self.t0_s {
+            return 0.0;
+        }
+        self.drift_nu(level) * (t_s / self.t0_s).log10()
+    }
+}
+
+impl Default for PcmParams {
+    fn default() -> Self {
+        Self::mlc_4level()
+    }
+}
+
+/// Analytic raw bit-error rate of an MLC PCM page after `t_s` seconds,
+/// assuming uniform random levels and Gray coding (one bit per level
+/// misread), with optional time-aware read thresholds.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_pcm::cell::drift_ber;
+/// use densemem_pcm::PcmParams;
+/// let p = PcmParams::mlc_4level();
+/// let fresh = drift_ber(&p, 60.0, false);
+/// let aged = drift_ber(&p, 86_400.0 * 30.0, false);
+/// assert!(aged > fresh);
+/// ```
+pub fn drift_ber(params: &PcmParams, t_s: f64, time_aware: bool) -> f64 {
+    let s = params.level_spacing();
+    let bits = (f64::from(params.levels)).log2();
+    let mut misread = 0.0;
+    for level in 0..params.levels {
+        let drift = params.expected_drift(level, t_s);
+        // Per-cell spread of the drift exponent becomes spread of the
+        // drifted position.
+        let drift_sd = drift * params.drift_spread;
+        let sd = (params.sigma * params.sigma + drift_sd * drift_sd).sqrt();
+        let mu = if time_aware {
+            // Time-aware thresholds cancel the *mean* drift; only the
+            // per-cell spread remains.
+            params.level_target(level)
+        } else {
+            params.level_target(level) + drift
+        };
+        let target = params.level_target(level);
+        // Upper boundary (drift pushes up).
+        if level + 1 < params.levels {
+            let th = if time_aware {
+                // Boundary midway between time-corrected targets.
+                target + s / 2.0
+            } else {
+                target + s / 2.0
+            };
+            misread += (1.0 - normal_cdf((th - mu) / sd)) / f64::from(params.levels);
+        }
+        // Lower boundary.
+        if level > 0 {
+            let th = target - s / 2.0;
+            misread += normal_cdf((th - mu) / sd) / f64::from(params.levels);
+        }
+    }
+    // Gray coding: one level misread flips ~1 of log2(levels) bits.
+    (misread / bits).clamp(0.0, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_targets_and_slicing() {
+        let p = PcmParams::mlc_4level();
+        for level in 0..4 {
+            assert_eq!(p.level_of(p.level_target(level)), level);
+        }
+        assert_eq!(p.level_of(-10.0), 0);
+        assert_eq!(p.level_of(99.0), 3);
+    }
+
+    #[test]
+    fn drift_grows_with_level_and_time() {
+        let p = PcmParams::mlc_4level();
+        assert_eq!(p.drift_nu(0), 0.0, "crystalline phase does not drift");
+        assert!(p.drift_nu(3) > p.drift_nu(1));
+        assert!(p.expected_drift(3, 1e6) > p.expected_drift(3, 1e3));
+        assert_eq!(p.expected_drift(3, 0.5), 0.0);
+    }
+
+    #[test]
+    fn ber_grows_with_time_and_density() {
+        let p4 = PcmParams::mlc_4level();
+        let p8 = PcmParams::mlc_8level();
+        let month = 86_400.0 * 30.0;
+        assert!(drift_ber(&p4, month, false) > drift_ber(&p4, 60.0, false));
+        // Denser cells are strictly worse at the same age.
+        assert!(drift_ber(&p8, month, false) > 3.0 * drift_ber(&p4, month, false));
+    }
+
+    #[test]
+    fn time_aware_read_cuts_drift_errors() {
+        let p = PcmParams::mlc_8level();
+        let month = 86_400.0 * 30.0;
+        let plain = drift_ber(&p, month, false);
+        let aware = drift_ber(&p, month, true);
+        assert!(aware < 0.5 * plain, "plain {plain:.3e} vs aware {aware:.3e}");
+    }
+
+    #[test]
+    fn time_aware_slicing_recovers_drifted_cell() {
+        let p = PcmParams::mlc_4level();
+        let t = 86_400.0 * 90.0;
+        // A level-2 cell that drifted by its expected amount.
+        let observed = p.level_target(2) + p.expected_drift(2, t);
+        // Plain read misclassifies upward once drift exceeds half a band.
+        if p.expected_drift(2, t) > p.level_spacing() / 2.0 {
+            assert_ne!(p.level_of(observed), 2);
+        }
+        assert_eq!(p.level_of_time_aware(observed, t), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn level_target_bounds() {
+        let _ = PcmParams::mlc_4level().level_target(9);
+    }
+}

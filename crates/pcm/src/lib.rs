@@ -1,0 +1,41 @@
+//! Phase-Change Memory model (§III of the paper).
+//!
+//! The paper argues that emerging memory technologies — PCM, STT-MRAM,
+//! RRAM — "are likely to exhibit similar and perhaps even more exacerbated
+//! reliability issues" as they scale, and cites start-gap wear leveling
+//! ("enhancing lifetime and security of phase change memories") as the
+//! canonical mechanism at the lifetime/security intersection. This crate
+//! provides the PCM substrate for those claims:
+//!
+//! * [`cell`] — MLC PCM at log-resistance granularity with **resistance
+//!   drift**: the amorphous (high-resistance) phase drifts upward as a
+//!   power law of time, which squeezes the level margins exactly the way
+//!   charge loss squeezes flash margins — and gets worse with more levels
+//!   per cell (density).
+//! * [`array`] — a line-addressable PCM array with per-cell drift
+//!   coefficients, per-line write endurance, and stuck-at failures.
+//! * [`wear_leveling`] — Start-Gap wear leveling (Qureshi et al., MICRO
+//!   2009): an algebraic line remapping rotated by a gap line, defeating
+//!   the malicious repeated-write wear-out attack.
+//! * [`scrub`] — drift scrubbing: the maximum safe rewrite interval under
+//!   an ECC budget, with and without drift-aware reads.
+//!
+//! # Examples
+//!
+//! ```
+//! use densemem_pcm::{array::PcmArray, PcmParams};
+//!
+//! let mut a = PcmArray::new(PcmParams::mlc_4level(), 64, 256, 3);
+//! a.write_line(10, &vec![0b11u8; 256]).unwrap();
+//! assert_eq!(a.read_line(10).unwrap(), vec![0b11u8; 256]);
+//! ```
+
+pub mod array;
+pub mod cell;
+pub mod scrub;
+pub mod wear_leveling;
+
+pub use array::{PcmArray, PcmError};
+pub use cell::{drift_ber, PcmParams};
+pub use scrub::max_scrub_interval_s;
+pub use wear_leveling::{StartGap, WearOutcome};

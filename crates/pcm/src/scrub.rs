@@ -1,0 +1,95 @@
+//! Drift scrubbing: the PCM analogue of flash FCR.
+//!
+//! Resistance drift is monotone in time, so a controller that re-writes
+//! (scrubs) each line periodically bounds the drift error rate. The
+//! maximum safe scrub interval is where the drift BER meets the ECC
+//! limit — and it collapses as cells get denser, unless the controller
+//! reads drift-aware (§III's intelligent-controller thesis again).
+
+use crate::cell::{drift_ber, PcmParams};
+
+/// The largest time (seconds) for which the drift BER stays at or below
+/// `ber_limit`, searched by bisection over `[1, horizon_s]`.
+///
+/// Returns `horizon_s` if the BER never reaches the limit within the
+/// horizon, and 0.0 if it is already above the limit at 1 second.
+pub fn max_scrub_interval_s(
+    params: &PcmParams,
+    ber_limit: f64,
+    time_aware: bool,
+    horizon_s: f64,
+) -> f64 {
+    let f = |t: f64| drift_ber(params, t, time_aware);
+    if f(horizon_s) <= ber_limit {
+        return horizon_s;
+    }
+    if f(1.0) > ber_limit {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (1.0f64, horizon_s);
+    for _ in 0..64 {
+        let mid = (lo * hi).sqrt(); // geometric bisection: drift is log-time
+        if f(mid) <= ber_limit {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Scrub write overhead: rewrites per line per day at interval
+/// `interval_s`.
+pub fn scrub_writes_per_day(interval_s: f64) -> f64 {
+    if interval_s <= 0.0 {
+        return f64::INFINITY;
+    }
+    86_400.0 / interval_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIMIT: f64 = 40.0 / 8192.0; // the SSD-class ECC budget
+    const YEAR_S: f64 = 86_400.0 * 365.0;
+
+    #[test]
+    fn denser_cells_need_far_more_scrubbing() {
+        let t4 = max_scrub_interval_s(&PcmParams::mlc_4level(), LIMIT, false, YEAR_S);
+        let t8 = max_scrub_interval_s(&PcmParams::mlc_8level(), LIMIT, false, YEAR_S);
+        assert!(
+            t4 > 20.0 * t8.max(1.0),
+            "4-level {t4:.0}s vs 8-level {t8:.0}s"
+        );
+    }
+
+    #[test]
+    fn drift_aware_reads_extend_the_interval() {
+        // 8-level PCM already consumes most of an SSD-class ECC budget
+        // with program noise alone, so grant it a limit at 3x its
+        // fresh BER and compare how long each read mode stays within it.
+        let p = PcmParams::mlc_8level();
+        let limit = 3.0 * drift_ber(&p, 1.0, false);
+        let plain = max_scrub_interval_s(&p, limit, false, YEAR_S);
+        let aware = max_scrub_interval_s(&p, limit, true, YEAR_S);
+        assert!(plain > 0.0, "plain mode must start within budget");
+        assert!(aware > 5.0 * plain, "plain {plain:.0}s vs aware {aware:.0}s");
+    }
+
+    #[test]
+    fn interval_is_consistent_with_the_ber_curve() {
+        let p = PcmParams::mlc_8level();
+        let t = max_scrub_interval_s(&p, LIMIT, false, YEAR_S);
+        if t > 0.0 && t < YEAR_S {
+            assert!(drift_ber(&p, t * 0.9, false) <= LIMIT * 1.05);
+            assert!(drift_ber(&p, t * 1.5, false) > LIMIT);
+        }
+    }
+
+    #[test]
+    fn overhead_accounting() {
+        assert_eq!(scrub_writes_per_day(86_400.0), 1.0);
+        assert!(scrub_writes_per_day(0.0).is_infinite());
+    }
+}

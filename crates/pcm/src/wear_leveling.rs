@@ -1,0 +1,247 @@
+//! Start-Gap wear leveling (Qureshi et al., MICRO 2009) — the paper's
+//! citation \[82\], "enhancing lifetime *and security* of phase change
+//! memories": an algebraic line remapping that rotates the address space
+//! through a spare gap line, spreading even a malicious single-address
+//! write stream over every physical line.
+
+use crate::array::{PcmArray, PcmError};
+
+/// The Start-Gap remapper over `n` logical lines backed by `n + 1`
+/// physical lines (one gap).
+///
+/// Every `psi` writes the gap moves one position (copying the displaced
+/// line), rotating the logical→physical mapping one step per full gap
+/// revolution.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_pcm::wear_leveling::StartGap;
+/// let mut sg = StartGap::new(8, 4).unwrap();
+/// let before = sg.to_physical(3);
+/// // 8 * (9) writes move the gap through several full revolutions.
+/// for _ in 0..9 * 4 {
+///     sg.note_write();
+/// }
+/// assert_ne!(sg.to_physical(3), before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartGap {
+    n: usize,
+    psi: u64,
+    start: usize,
+    gap: usize,
+    writes_since_move: u64,
+    /// Total gap movements (each costs one line copy).
+    pub gap_moves: u64,
+}
+
+impl StartGap {
+    /// Creates a remapper for `n` logical lines, moving the gap every
+    /// `psi` writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `n == 0` or `psi == 0`.
+    pub fn new(n: usize, psi: u64) -> Result<Self, &'static str> {
+        if n == 0 {
+            return Err("need at least one line");
+        }
+        if psi == 0 {
+            return Err("psi must be positive");
+        }
+        Ok(Self { n, psi, start: 0, gap: n, writes_since_move: 0, gap_moves: 0 })
+    }
+
+    /// Logical line count.
+    pub fn logical_lines(&self) -> usize {
+        self.n
+    }
+
+    /// Physical line count (`n + 1`: includes the gap).
+    pub fn physical_lines(&self) -> usize {
+        self.n + 1
+    }
+
+    /// Current gap position.
+    pub fn gap(&self) -> usize {
+        self.gap
+    }
+
+    /// Translates a logical line to its physical line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= n`.
+    pub fn to_physical(&self, logical: usize) -> usize {
+        assert!(logical < self.n, "logical line {logical} out of {}", self.n);
+        let rotated = (logical + self.start) % self.n;
+        if rotated >= self.gap {
+            rotated + 1
+        } else {
+            rotated
+        }
+    }
+
+    /// Accounts one write; returns `Some((from, to))` when the gap moves
+    /// and the caller must copy physical line `from` into physical line
+    /// `to` (the old gap).
+    pub fn note_write(&mut self) -> Option<(usize, usize)> {
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.psi {
+            return None;
+        }
+        self.writes_since_move = 0;
+        self.gap_moves += 1;
+        let old_gap = self.gap;
+        if self.gap == 0 {
+            self.gap = self.n;
+            self.start = (self.start + 1) % self.n;
+            // Gap wraps: no copy needed (the new gap was the displaced
+            // line's old position after the start rotation).
+            None
+        } else {
+            self.gap -= 1;
+            Some((self.gap, old_gap))
+        }
+    }
+
+    /// Write amplification of the leveling: extra writes per demand write.
+    pub fn overhead(&self) -> f64 {
+        1.0 / self.psi as f64
+    }
+}
+
+/// Outcome of a wear-out campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WearOutcome {
+    /// Demand writes issued before the first line failure.
+    pub writes_to_first_failure: u64,
+    /// Extra copy writes performed by the leveler.
+    pub leveling_copies: u64,
+}
+
+/// Runs the malicious wear-out attack — every write targets logical line
+/// `target` — against `array`, with or without Start-Gap, until the first
+/// line failure or `max_writes`.
+///
+/// # Errors
+///
+/// Returns [`PcmError`] if the array is smaller than the mapping needs
+/// (Start-Gap needs `lines + 1 <= array.lines()` when enabled).
+pub fn wear_out_attack(
+    array: &mut PcmArray,
+    logical_lines: usize,
+    target: usize,
+    start_gap_psi: Option<u64>,
+    max_writes: u64,
+) -> Result<WearOutcome, PcmError> {
+    let needed = if start_gap_psi.is_some() { logical_lines + 1 } else { logical_lines };
+    if needed > array.lines() {
+        return Err(PcmError::LineOutOfRange { line: needed, lines: array.lines() });
+    }
+    let mut sg = start_gap_psi
+        .map(|psi| StartGap::new(logical_lines, psi).expect("validated parameters"));
+    let data = vec![1u8; array.cells_per_line()];
+    let mut copies = 0u64;
+    for w in 1..=max_writes {
+        let phys = match &sg {
+            Some(m) => m.to_physical(target),
+            None => target,
+        };
+        array.write_line(phys, &data)?;
+        if array.line_failed(phys) {
+            return Ok(WearOutcome { writes_to_first_failure: w, leveling_copies: copies });
+        }
+        if let Some(m) = &mut sg {
+            if let Some((from, to)) = m.note_write() {
+                let moved = array.read_line(from)?;
+                array.write_line(to, &moved)?;
+                copies += 1;
+                if array.line_failed(to) {
+                    return Ok(WearOutcome {
+                        writes_to_first_failure: w,
+                        leveling_copies: copies,
+                    });
+                }
+            }
+        }
+    }
+    Ok(WearOutcome { writes_to_first_failure: max_writes, leveling_copies: copies })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::PcmParams;
+
+    #[test]
+    fn mapping_is_a_bijection_at_all_times() {
+        let mut sg = StartGap::new(16, 3).unwrap();
+        for _ in 0..500 {
+            let mut seen = std::collections::HashSet::new();
+            for l in 0..16 {
+                let p = sg.to_physical(l);
+                assert!(p < 17);
+                assert_ne!(p, sg.gap(), "logical line mapped onto the gap");
+                assert!(seen.insert(p), "collision");
+            }
+            sg.note_write();
+        }
+    }
+
+    #[test]
+    fn validates_parameters() {
+        assert!(StartGap::new(0, 3).is_err());
+        assert!(StartGap::new(8, 0).is_err());
+    }
+
+    #[test]
+    fn gap_rotates_the_address_space() {
+        let mut sg = StartGap::new(8, 1).unwrap();
+        let initial: Vec<usize> = (0..8).map(|l| sg.to_physical(l)).collect();
+        // One full revolution: 9 gap moves.
+        for _ in 0..9 {
+            sg.note_write();
+        }
+        let rotated: Vec<usize> = (0..8).map(|l| sg.to_physical(l)).collect();
+        assert_ne!(initial, rotated, "a revolution must shift the mapping");
+    }
+
+    #[test]
+    fn start_gap_multiplies_attack_lifetime() {
+        let lines = 16usize;
+        let mut unprotected = PcmArray::new(PcmParams::mlc_4level(), lines + 1, 64, 42);
+        let no_wl =
+            wear_out_attack(&mut unprotected, lines, 5, None, 50_000_000).unwrap();
+        let mut protected = PcmArray::new(PcmParams::mlc_4level(), lines + 1, 64, 42);
+        let with_wl =
+            wear_out_attack(&mut protected, lines, 5, Some(64), 50_000_000).unwrap();
+        // Start-Gap spreads the writes over all lines. The exact gain over
+        // the unprotected case depends on which endurance draw the attack
+        // hits (unprotected dies at the *target's* endurance, levelled dies
+        // at the *weakest* line), so check both the relative gain and the
+        // absolute ideal-spreading bound: levelled lifetime should approach
+        // lines x median endurance.
+        let gain =
+            with_wl.writes_to_first_failure as f64 / no_wl.writes_to_first_failure as f64;
+        assert!(gain > 4.0, "gain {gain:.1}x too small");
+        let ideal = lines as f64 * PcmArray::ENDURANCE_MEDIAN;
+        assert!(
+            with_wl.writes_to_first_failure as f64 > 0.4 * ideal,
+            "levelled lifetime {} far below ideal {ideal}",
+            with_wl.writes_to_first_failure
+        );
+        // The leveling overhead stayed at ~1/psi.
+        assert!(
+            (with_wl.leveling_copies as f64)
+                < 1.2 * with_wl.writes_to_first_failure as f64 / 64.0
+        );
+    }
+
+    #[test]
+    fn overhead_is_one_over_psi() {
+        let sg = StartGap::new(8, 100).unwrap();
+        assert!((sg.overhead() - 0.01).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,450 @@
+//! The continuous and discrete distributions used by the physical models.
+//!
+//! Implemented locally (Box–Muller, inversion, Knuth/normal-approximation)
+//! so the workspace needs only the `rand` core crate.
+
+use rand::Rng;
+use std::fmt;
+
+/// Error returned when a distribution is constructed with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidParamError {
+    what: &'static str,
+    value: f64,
+}
+
+impl InvalidParamError {
+    fn new(what: &'static str, value: f64) -> Self {
+        Self { what, value }
+    }
+}
+
+impl fmt::Display for InvalidParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter {}: {}", self.what, self.value)
+    }
+}
+
+impl std::error::Error for InvalidParamError {}
+
+/// Normal (Gaussian) distribution sampled via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_stats::{dist::Normal, rng::seeded};
+/// let n = Normal::new(0.0, 1.0).unwrap();
+/// let x = n.sample(&mut seeded(1));
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamError`] if `sd` is negative or either parameter
+    /// is non-finite.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, InvalidParamError> {
+        if !mean.is_finite() {
+            return Err(InvalidParamError::new("mean", mean));
+        }
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(InvalidParamError::new("sd", sd));
+        }
+        Ok(Self { mean, sd })
+    }
+
+    /// The mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation of the distribution.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+/// Draws a standard-normal variate using Box–Muller.
+///
+/// A fresh pair is generated on every call (the spare is discarded); the
+/// cost is dominated by `ln`/`sqrt` and is irrelevant at simulation scale,
+/// while keeping the sampler stateless and `&self`-callable.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 exactly, which would produce -inf.
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// The natural parameterisation for DRAM retention times and flash leak
+/// rates, which span orders of magnitude with a long weak-cell tail.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_stats::{dist::LogNormal, rng::seeded};
+/// // Median 64.0, shape 1.0.
+/// let d = LogNormal::from_median_sigma(64.0, 1.0);
+/// assert!(d.sample(&mut seeded(3)) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the log-space mean and
+    /// standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamError`] if `sigma` is negative or either
+    /// parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, InvalidParamError> {
+        if !mu.is_finite() {
+            return Err(InvalidParamError::new("mu", mu));
+        }
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(InvalidParamError::new("sigma", sigma));
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Creates a log-normal distribution whose *median* is `median` and whose
+    /// log-space standard deviation is `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median <= 0` or `sigma < 0`.
+    pub fn from_median_sigma(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive, got {median}");
+        assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+        Self { mu: median.ln(), sigma }
+    }
+
+    /// The median (`exp(mu)`) of the distribution.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The log-space standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// Fraction of the distribution below `x` (the CDF), via the error
+    /// function approximation in [`normal_cdf`].
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        normal_cdf((x.ln() - self.mu) / self.sigma.max(f64::MIN_POSITIVE))
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (absolute error < 1.5e-7, ample for population modelling).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz–Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Exponential distribution with the given rate, sampled by inversion.
+///
+/// Used for the memoryless holding times of Variable Retention Time (VRT)
+/// state switches.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_stats::{dist::Exponential, rng::seeded};
+/// let d = Exponential::new(2.0).unwrap();
+/// assert!(d.sample(&mut seeded(5)) >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `rate` (mean `1/rate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamError`] if `rate` is not a positive finite
+    /// number.
+    pub fn new(rate: f64) -> Result<Self, InvalidParamError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(InvalidParamError::new("rate", rate));
+        }
+        Ok(Self { rate })
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean (`1/rate`).
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        -u.ln() / self.rate
+    }
+}
+
+/// Poisson distribution.
+///
+/// Knuth's product method for small means; for large means a rounded
+/// normal approximation, which is accurate far beyond what the error-count
+/// models require.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamError`] if `lambda` is negative or non-finite.
+    pub fn new(lambda: f64) -> Result<Self, InvalidParamError> {
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(InvalidParamError::new("lambda", lambda));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// The mean of the distribution.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < 30.0 {
+            // Knuth.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        }
+        // Normal approximation with continuity correction.
+        let x = self.lambda + self.lambda.sqrt() * standard_normal(rng) + 0.5;
+        if x < 0.0 {
+            0
+        } else {
+            x as u64
+        }
+    }
+}
+
+/// Bernoulli trial helper.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_stats::{dist::Bernoulli, rng::seeded};
+/// let b = Bernoulli::new(0.0).unwrap();
+/// assert!(!b.sample(&mut seeded(1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution with success probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParamError`] unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Result<Self, InvalidParamError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(InvalidParamError::new("p", p));
+        }
+        Ok(Self { p })
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one trial.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // gen::<f64>() is in [0, 1); `< p` gives exactly probability p and
+        // makes p == 0.0 always false and p == 1.0 always true.
+        rng.gen::<f64>() < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn normal_sample_statistics() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = seeded(11);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let d = LogNormal::from_median_sigma(64.0, 1.5);
+        let mut rng = seeded(12);
+        let mut xs: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[xs.len() / 2];
+        assert!((med / 64.0).ln().abs() < 0.1, "median {med}");
+    }
+
+    #[test]
+    fn lognormal_cdf_sane() {
+        let d = LogNormal::from_median_sigma(10.0, 1.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert!((d.cdf(10.0) - 0.5).abs() < 1e-6);
+        assert!(d.cdf(1e9) > 0.999);
+        assert!(d.cdf(1.0) < d.cdf(100.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let d = Exponential::new(0.5).unwrap();
+        let mut rng = seeded(13);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_rejects_nonpositive_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut rng = seeded(14);
+        for &lambda in &[0.5, 4.0, 200.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05 + 0.05,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let d = Poisson::new(0.0).unwrap();
+        assert_eq!(d.sample(&mut seeded(2)), 0);
+    }
+
+    #[test]
+    fn bernoulli_bounds() {
+        assert!(Bernoulli::new(-0.01).is_err());
+        assert!(Bernoulli::new(1.01).is_err());
+        let mut rng = seeded(15);
+        assert!(Bernoulli::new(1.0).unwrap().sample(&mut rng));
+        assert!(!Bernoulli::new(0.0).unwrap().sample(&mut rng));
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let b = Bernoulli::new(0.25).unwrap();
+        let mut rng = seeded(16);
+        let hits = (0..40_000).filter(|_| b.sample(&mut rng)).count();
+        let f = hits as f64 / 40_000.0;
+        assert!((f - 0.25).abs() < 0.01, "freq {f}");
+    }
+
+    #[test]
+    fn erf_reference_points() {
+        assert!(erf(0.0).abs() < 1e-9);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 2e-4);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 2e-4);
+    }
+}

@@ -1,0 +1,248 @@
+//! Linear and logarithmic histograms for error-count and rate data.
+
+use std::fmt;
+
+/// A fixed-width linear histogram over `[lo, hi)`.
+///
+/// Out-of-range samples are counted in underflow/overflow buckets so no
+/// observation is silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = densemem_stats::Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.record(2.5);
+/// h.record(7.5);
+/// assert_eq!(h.total(), 2);
+/// assert_eq!(h.count(1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+/// Error returned when a histogram is constructed with an invalid range or
+/// zero bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidRangeError;
+
+impl fmt::Display for InvalidRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("histogram range must satisfy lo < hi with at least one bin")
+    }
+}
+
+impl std::error::Error for InvalidRangeError {}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRangeError`] if `lo >= hi`, either bound is
+    /// non-finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, InvalidRangeError> {
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi || bins == 0 {
+            return Err(InvalidRangeError);
+        }
+        Ok(Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 })
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let i = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Number of buckets (excluding under/overflow).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// The `[start, end)` range of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bucket {i} out of {}", self.bins.len());
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+/// A base-10 logarithmic histogram for quantities spanning decades, such as
+/// errors-per-10⁹-cells in Figure 1 (0 … 10⁶).
+///
+/// Bucket `i` covers `[10^(lo_exp + i), 10^(lo_exp + i + 1))`. Zero or
+/// negative samples land in a dedicated `zero` bucket, matching the paper's
+/// "0" tick on the Figure 1 y-axis.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = densemem_stats::LogHistogram::new(0, 6);
+/// h.record(0.0);
+/// h.record(1.5e3);
+/// assert_eq!(h.zero_count(), 1);
+/// assert_eq!(h.count(3), 1); // [10^3, 10^4)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    lo_exp: i32,
+    bins: Vec<u64>,
+    zero: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a log histogram covering `decades` decades starting at
+    /// `10^lo_exp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decades == 0`.
+    pub fn new(lo_exp: i32, decades: usize) -> Self {
+        assert!(decades > 0, "log histogram needs at least one decade");
+        Self { lo_exp, bins: vec![0; decades], zero: 0, underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x <= 0.0 {
+            self.zero += 1;
+            return;
+        }
+        let e = x.log10().floor() as i32;
+        if e < self.lo_exp {
+            self.underflow += 1;
+        } else if (e - self.lo_exp) as usize >= self.bins.len() {
+            self.overflow += 1;
+        } else {
+            self.bins[(e - self.lo_exp) as usize] += 1;
+        }
+    }
+
+    /// Count of zero/negative observations.
+    pub fn zero_count(&self) -> u64 {
+        self.zero
+    }
+
+    /// Count in decade bucket `i` (covering `[10^(lo_exp+i), 10^(lo_exp+i+1))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of decade buckets.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.zero + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_histogram_buckets() {
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        h.record(-1.0);
+        h.record(0.0);
+        h.record(99.999);
+        h.record(100.0);
+        h.record(55.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bucket_range(5), (50.0, 60.0));
+    }
+
+    #[test]
+    fn linear_histogram_rejects_bad_ranges() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn log_histogram_decades() {
+        let mut h = LogHistogram::new(0, 6);
+        h.record(0.0);
+        h.record(0.5); // below 10^0 -> underflow
+        h.record(1.0); // [1,10)
+        h.record(9.99);
+        h.record(1e5);
+        h.record(1e6); // overflow (>= 10^6)
+        assert_eq!(h.zero_count(), 1);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one decade")]
+    fn log_histogram_zero_decades_panics() {
+        let _ = LogHistogram::new(0, 0);
+    }
+}

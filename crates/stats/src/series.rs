@@ -1,0 +1,199 @@
+//! (x, y) series with a terminal scatter/line renderer, used to regenerate
+//! the paper's figure as ASCII art alongside the CSV data.
+
+use crate::table::format_sig;
+
+/// A named (x, y) series.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_stats::Series;
+/// let mut s = Series::new("modules A");
+/// s.push(2013.0, 1.0e5);
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty named series.
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_owned(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over points.
+    pub fn iter(&self) -> std::slice::Iter<'_, (f64, f64)> {
+        self.points.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Series {
+    type Item = &'a (f64, f64);
+    type IntoIter = std::slice::Iter<'a, (f64, f64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+/// Renders several series on one ASCII scatter plot.
+///
+/// When `log_y` is set, y values are plotted on a log10 axis and
+/// zero/negative values are drawn on a dedicated bottom "0" row — matching
+/// the y-axis of the paper's Figure 1 (`0, 10^0 … 10^6`).
+///
+/// Each series is drawn with its own glyph (`A`, `B`, `C`, …, taken from the
+/// first character of its name, falling back to `*`). Overlapping points
+/// show the glyph drawn last.
+pub fn render_scatter(series: &[Series], width: usize, height: usize, log_y: bool) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.iter().copied()).collect();
+    if all.is_empty() {
+        return "(empty plot)\n".to_owned();
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        let ty = if log_y {
+            if y > 0.0 {
+                y.log10()
+            } else {
+                continue;
+            }
+        } else {
+            y
+        };
+        y_lo = y_lo.min(ty);
+        y_hi = y_hi.max(ty);
+    }
+    if !y_lo.is_finite() {
+        // All values were zero on a log axis.
+        y_lo = 0.0;
+        y_hi = 1.0;
+    }
+    if x_hi == x_lo {
+        x_hi = x_lo + 1.0;
+    }
+    if y_hi == y_lo {
+        y_hi = y_lo + 1.0;
+    }
+    // Reserve the bottom row for zeros when log-scaled.
+    let plot_rows = if log_y { height - 1 } else { height };
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.name().chars().next().unwrap_or('*');
+        for &(x, y) in s.iter() {
+            let cx = (((x - x_lo) / (x_hi - x_lo)) * (width - 1) as f64).round() as usize;
+            let row = if log_y && y <= 0.0 {
+                height - 1
+            } else {
+                let ty = if log_y { y.log10() } else { y };
+                let r = (((ty - y_lo) / (y_hi - y_lo)) * (plot_rows - 1) as f64).round() as usize;
+                plot_rows - 1 - r
+            };
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if log_y && i == height - 1 {
+            "      0 |".to_owned()
+        } else {
+            let frac = 1.0 - i as f64 / (plot_rows - 1) as f64;
+            let v = y_lo + frac * (y_hi - y_lo);
+            if log_y {
+                format!("{:>7} |", format!("1e{}", v.round() as i64))
+            } else {
+                format!("{:>7} |", format_sig(v, 3))
+            }
+        };
+        out.push_str(&label);
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "        +{}\n         {:<w$}{}\n",
+        "-".repeat(width),
+        format_sig(x_lo, 4),
+        format_sig(x_hi, 4),
+        w = width.saturating_sub(format_sig(x_hi, 4).len())
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_push_iter() {
+        let mut s = Series::new("A");
+        s.push(1.0, 2.0);
+        s.push(3.0, 4.0);
+        let pts: Vec<_> = s.iter().copied().collect();
+        assert_eq!(pts, vec![(1.0, 2.0), (3.0, 4.0)]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn scatter_contains_glyphs() {
+        let mut a = Series::new("A");
+        a.push(2008.0, 0.0);
+        a.push(2013.0, 1e5);
+        let mut b = Series::new("B");
+        b.push(2010.0, 1e2);
+        let plot = render_scatter(&[a, b], 40, 12, true);
+        assert!(plot.contains('A'));
+        assert!(plot.contains('B'));
+        assert!(plot.contains("      0 |"), "zero row present:\n{plot}");
+    }
+
+    #[test]
+    fn scatter_empty() {
+        assert_eq!(render_scatter(&[], 40, 12, false), "(empty plot)\n");
+    }
+
+    #[test]
+    fn scatter_linear_axis() {
+        let mut a = Series::new("x");
+        a.push(0.0, 1.0);
+        a.push(10.0, 5.0);
+        let plot = render_scatter(&[a], 30, 8, false);
+        assert!(plot.contains('x'));
+    }
+
+    #[test]
+    fn scatter_all_zero_log() {
+        let mut a = Series::new("z");
+        a.push(1.0, 0.0);
+        let plot = render_scatter(&[a], 30, 8, true);
+        assert!(plot.contains('z'));
+    }
+}

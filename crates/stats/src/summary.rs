@@ -1,0 +1,153 @@
+//! Streaming-free summary statistics over a sample.
+
+/// Summary statistics (count, mean, standard deviation, min/max,
+/// percentiles) of a finite sample.
+///
+/// Percentiles use the nearest-rank method on a sorted copy, which is exact
+/// and adequate at the sample sizes the experiments use.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_stats::Summary;
+/// let s = Summary::from_iter([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.n(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    sd: f64,
+}
+
+impl Summary {
+    /// Builds a summary from any iterator of finite values. Non-finite
+    /// values are skipped.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = sorted.len() as f64;
+        let mean = if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / n };
+        let sd = if sorted.len() < 2 {
+            0.0
+        } else {
+            (sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+        };
+        Self { sorted, mean, sd }
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean (0 for an empty sample).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Smallest observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("summary of empty sample has no min")
+    }
+
+    /// Largest observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("summary of empty sample has no max")
+    }
+
+    /// Nearest-rank percentile, `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0,100]");
+        assert!(!self.sorted.is_empty(), "percentile of empty sample");
+        if p == 0.0 {
+            return self.min();
+        }
+        let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// The median (50th percentile).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.sd() - 2.138_089_9).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.median(), 4.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = Summary::from_iter((1..=100).map(f64::from));
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(95.0), 95.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+    }
+
+    #[test]
+    fn skips_non_finite() {
+        let s = Summary::from_iter([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_sample_mean_is_zero() {
+        let s = Summary::from_iter(std::iter::empty());
+        assert_eq!(s.n(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sd(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_min_panics() {
+        let _ = Summary::from_iter(std::iter::empty()).min();
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_iter([42.0]);
+        assert_eq!(s.sd(), 0.0);
+        assert_eq!(s.median(), 42.0);
+        assert_eq!(s.min(), s.max());
+    }
+}

@@ -1,0 +1,264 @@
+//! Plain-text table rendering for experiment harness output.
+//!
+//! Every experiment binary prints its results both as an aligned ASCII table
+//! (for humans) and as CSV (for plotting), mirroring the rows the paper
+//! reports.
+
+use std::fmt;
+
+/// One table cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Free-form text.
+    Str(String),
+    /// Integer, rendered as-is.
+    Int(i64),
+    /// Unsigned integer, rendered as-is.
+    Uint(u64),
+    /// Float, rendered with [`format_sig`].
+    Float(f64),
+    /// Float rendered in scientific notation (for error rates spanning
+    /// decades, as in Figure 1).
+    Sci(f64),
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Str(s) => f.write_str(s),
+            Cell::Int(v) => write!(f, "{v}"),
+            Cell::Uint(v) => write!(f, "{v}"),
+            Cell::Float(v) => f.write_str(&format_sig(*v, 4)),
+            Cell::Sci(v) => write!(f, "{v:.3e}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Str(s)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Uint(v)
+    }
+}
+
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Uint(v as u64)
+    }
+}
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+
+/// Formats `v` with `sig` significant digits, avoiding scientific notation
+/// for moderate magnitudes.
+pub fn format_sig(v: f64, sig: usize) -> String {
+    if v == 0.0 {
+        return "0".to_owned();
+    }
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let mag = v.abs().log10().floor() as i32;
+    if !(-4..=9).contains(&mag) {
+        return format!("{v:.*e}", sig.saturating_sub(1));
+    }
+    let decimals = (sig as i32 - 1 - mag).max(0) as usize;
+    format!("{v:.decimals$}")
+}
+
+/// A titled table with a header row and typed cells.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_stats::{Table, Cell};
+/// let mut t = Table::new("demo", &["year", "rate"]);
+/// t.row(vec![Cell::Int(2013), Cell::Sci(1.2e5)]);
+/// let ascii = t.to_ascii();
+/// assert!(ascii.contains("2013"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("year,rate"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(ToString::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title);
+        out.push_str(" ==\n");
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{c:>w$}", w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers.to_vec(), &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &rendered {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders CSV (header row first). Values containing commas or quotes
+    /// are quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter().map(|c| esc(&c.to_string())).collect::<Vec<_>>().join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_alignment_and_title() {
+        let mut t = Table::new("t", &["a", "longer"]);
+        t.row(vec![Cell::Int(1), Cell::from("x")]);
+        let s = t.to_ascii();
+        assert!(s.starts_with("== t =="));
+        assert!(s.contains("longer"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("t", &["a,b", "c"]);
+        t.row(vec![Cell::from("he said \"hi\""), Cell::Int(2)]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"a,b\",c\n"));
+        assert!(csv.contains("\"he said \"\"hi\"\"\",2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec![Cell::Int(1), Cell::Int(2)]);
+    }
+
+    #[test]
+    fn format_sig_ranges() {
+        assert_eq!(format_sig(0.0, 4), "0");
+        assert_eq!(format_sig(1234.5678, 4), "1235");
+        assert_eq!(format_sig(0.001234, 3), "0.00123");
+        assert!(format_sig(1.3e12, 3).contains('e'));
+        assert!(format_sig(1.0e-7, 3).contains('e'));
+    }
+
+    #[test]
+    fn cell_display() {
+        assert_eq!(Cell::Sci(123_456.0).to_string(), "1.235e5");
+        assert_eq!(Cell::Uint(9).to_string(), "9");
+        assert_eq!(Cell::Int(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new("t", &["a"]);
+        assert!(t.is_empty());
+        t.row(vec![Cell::Int(0)]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! The testing-infrastructure view of the paper: run a classic March C−
+//! memory test and the RowHammer-augmented test over the same bank, then
+//! express the hammer routine as a SoftMC-style command program.
+//!
+//! Run with: `cargo run --release --example memory_test_lab`
+
+use densemem_dram::march::{hammer_march, march_c_minus, run_march};
+use densemem_dram::softmc::{programs, SoftMc};
+use densemem_dram::{Bank, BankGeometry, BitAddr, Manufacturer, Timing, VintageProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let geom = BankGeometry::new(128, 16)?;
+    let timing = Timing::ddr3_1600();
+
+    // A bank with one planted RowHammer-weak cell.
+    let weak = BitAddr { row: 42, word: 3, bit: 17 };
+    let mut bank = Bank::new(geom, &profile, 2024);
+    bank.inject_disturb_cell(weak, 200_000.0)?;
+
+    println!("running March C- (the classic memory test) ...");
+    let march_faults = run_march(&mut bank, &march_c_minus(), &timing)?;
+    println!("  faults found: {}", march_faults.len());
+
+    println!("running the RowHammer-augmented test (300K activations/victim) ...");
+    let mut bank2 = Bank::new(geom, &profile, 2024);
+    bank2.inject_disturb_cell(weak, 200_000.0)?;
+    let hammer_faults = hammer_march(&mut bank2, &timing, 150_000)?;
+    println!("  faults found: {}", hammer_faults.len());
+    for f in &hammer_faults {
+        println!(
+            "    row {:4} word {:3} bit {:2} read as {}",
+            f.addr.row, f.addr.word, f.addr.bit, u8::from(f.read)
+        );
+    }
+
+    // The same hammer routine as a SoftMC program.
+    println!("\nthe hammer routine as a SoftMC command program:");
+    let mut bank3 = Bank::new(geom, &profile, 2024);
+    bank3.inject_disturb_cell(weak, 200_000.0)?;
+    bank3.fill_rows(0xFF);
+    bank3.fill_row(weak.row - 1, 0, 0)?;
+    bank3.fill_row(weak.row + 1, 0, 0)?;
+    let mut mc = SoftMc::new(bank3, timing);
+    let program = programs::hammer(weak.row - 1, weak.row + 1, 150_000, weak.row, weak.word);
+    let out = mc.run(&program)?;
+    println!(
+        "  {} activations in {:.1} ms -> victim word reads {:#018x} (bit {} is {})",
+        out.activations,
+        out.elapsed_ns as f64 / 1e6,
+        out.reads[0],
+        weak.bit,
+        (out.reads[0] >> weak.bit) & 1,
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! The Project-Zero-style PTE-spray exploit against the simulated system:
+//! spray page tables, hammer, and check whether a corrupted PTE hands the
+//! attacker a page table (= kernel privileges).
+//!
+//! Run with: `cargo run --release --example privilege_escalation`
+
+use densemem_attack::exploit::{ExploitConfig, PteSprayExploit};
+use densemem_attack::vm::VirtualMemory;
+use densemem_ctrl::controller::MemoryController;
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = VintageProfile::new(Manufacturer::C, 2013);
+    let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 1234);
+    let ctrl = MemoryController::new(module, Default::default());
+    let mut vm = VirtualMemory::new(ctrl);
+
+    println!(
+        "spraying page tables over {} frames, hammering the anti-cell region ...",
+        vm.frame_count()
+    );
+    let exploit = PteSprayExploit::new(ExploitConfig::standard(0, 1024));
+    let outcome = exploit.run(&mut vm)?;
+
+    println!("victims hammered : {}", outcome.victims_tried);
+    println!("activations spent: {}", outcome.activations);
+    println!("corrupted PTEs   : {}", outcome.corrupted_ptes);
+    println!("useful PTEs      : {}", outcome.useful_ptes);
+    match outcome.first_success_ns {
+        Some(ns) => println!(
+            "PRIVILEGE ESCALATION after {:.1} ms of hammering: a sprayed PTE now maps \
+             a page table read/write.",
+            ns as f64 / 1e6
+        ),
+        None => println!("no escalation this run (try more victims or a denser module)"),
+    }
+    Ok(())
+}

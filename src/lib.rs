@@ -1,0 +1,9 @@
+//! Workspace umbrella crate: re-exports the `densemem` experiment API and
+//! hosts the repository-level `examples/` and `tests/`.
+//!
+//! Use the member crates directly for library work (`densemem_dram`,
+//! `densemem_ctrl`, `densemem_ecc`, `densemem_attack`, `densemem_flash`,
+//! `densemem_pcm`, `densemem_stats`) — or `densemem` for the E1–E25
+//! experiment suite, re-exported here.
+
+pub use densemem::*;

@@ -1,0 +1,139 @@
+//! Integration: every experiment E1–E25 runs at quick scale and all of its
+//! paper-claim checks pass.
+
+use densemem::experiments::{self, ExperimentResult, Scale};
+
+fn check(result: ExperimentResult) {
+    assert!(
+        result.all_claims_pass(),
+        "experiment {} failed claims:\n{}",
+        result.id,
+        result.render()
+    );
+    assert!(!result.tables.is_empty(), "{} produced no tables", result.id);
+}
+
+#[test]
+fn e1_figure1() {
+    check(experiments::e1::run(Scale::Quick));
+}
+
+#[test]
+fn e2_refresh_scaling() {
+    check(experiments::e2::run(Scale::Quick));
+}
+
+#[test]
+fn e3_ecc() {
+    check(experiments::e3::run(Scale::Quick));
+}
+
+#[test]
+fn e4_para() {
+    check(experiments::e4::run(Scale::Quick));
+}
+
+#[test]
+fn e5_mitigation_costs() {
+    check(experiments::e5::run(Scale::Quick));
+}
+
+#[test]
+fn e6_invariants() {
+    check(experiments::e6::run(Scale::Quick));
+}
+
+#[test]
+fn e7_exploit() {
+    check(experiments::e7::run(Scale::Quick));
+}
+
+#[test]
+fn e8_anvil() {
+    check(experiments::e8::run(Scale::Quick));
+}
+
+#[test]
+fn e9_retention_profiling() {
+    check(experiments::e9::run(Scale::Quick));
+}
+
+#[test]
+fn e10_flash_retention() {
+    check(experiments::e10::run(Scale::Quick));
+}
+
+#[test]
+fn e11_rfr() {
+    check(experiments::e11::run(Scale::Quick));
+}
+
+#[test]
+fn e12_read_disturb_nac() {
+    check(experiments::e12::run(Scale::Quick));
+}
+
+#[test]
+fn e13_two_step() {
+    check(experiments::e13::run(Scale::Quick));
+}
+
+#[test]
+fn e14_refresh_cost() {
+    check(experiments::e14::run(Scale::Quick));
+}
+
+#[test]
+fn e15_trr_evasion() {
+    check(experiments::e15::run(Scale::Quick));
+}
+
+#[test]
+fn e16_spd_adjacency() {
+    check(experiments::e16::run(Scale::Quick));
+}
+
+#[test]
+fn e17_data_pattern() {
+    check(experiments::e17::run(Scale::Quick));
+}
+
+#[test]
+fn e18_raidr_refresh() {
+    check(experiments::e18::run(Scale::Quick));
+}
+
+#[test]
+fn e19_pcm_drift() {
+    check(experiments::e19::run(Scale::Quick));
+}
+
+#[test]
+fn e20_pcm_wear_leveling() {
+    check(experiments::e20::run(Scale::Quick));
+}
+
+#[test]
+fn e21_avatar() {
+    check(experiments::e21::run(Scale::Quick));
+}
+
+#[test]
+fn e22_model_fitting() {
+    check(experiments::e22::run(Scale::Quick));
+}
+
+#[test]
+fn e23_field_study() {
+    check(experiments::e23::run(Scale::Quick));
+}
+
+#[test]
+fn e24_memory_tests() {
+    check(experiments::e24::run(Scale::Quick));
+}
+
+#[test]
+fn e25_intelligent_controller() {
+    check(experiments::e25::run(Scale::Quick));
+}
