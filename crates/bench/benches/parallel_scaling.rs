@@ -1,0 +1,50 @@
+//! Scaling of the deterministic parallel layer: the module-population
+//! build and the E2 refresh sweep at 1/2/4/8 threads.
+//!
+//! The results are bit-identical at every thread count (see
+//! `tests/determinism.rs`); this bench measures only the wall-clock
+//! effect of fanning the per-module draws out. On a single-core host the
+//! curves are flat — thread overhead without parallel speedup — which is
+//! itself worth knowing before enabling fan-out in CI.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use densemem_dram::ModulePopulation;
+use densemem_stats::par::ParConfig;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_population_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/population_build");
+    group.sample_size(20);
+    for &threads in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            std::env::set_var(ParConfig::ENV_VAR, t.to_string());
+            b.iter(|| black_box(ModulePopulation::standard(0xF161)));
+        });
+    }
+    std::env::remove_var(ParConfig::ENV_VAR);
+    group.finish();
+}
+
+fn bench_e2_sweep(c: &mut Criterion) {
+    let pop = ModulePopulation::standard(0xF161);
+    let multipliers = [1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 6.5, 7.0, 8.0];
+    let mut group = c.benchmark_group("parallel_scaling/e2_refresh_sweep");
+    group.sample_size(20);
+    for &threads in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            std::env::set_var(ParConfig::ENV_VAR, t.to_string());
+            b.iter(|| {
+                multipliers
+                    .iter()
+                    .map(|&m| pop.total_errors_at_multiplier(black_box(m)))
+                    .sum::<u64>()
+            });
+        });
+    }
+    std::env::remove_var(ParConfig::ENV_VAR);
+    group.finish();
+}
+
+criterion_group!(benches, bench_population_build, bench_e2_sweep);
+criterion_main!(benches);

@@ -3,63 +3,164 @@
 //!
 //! This is the single command that regenerates the paper: every figure
 //! and quantitative claim, with PASS/FAIL against the paper's numbers.
+//!
+//! The suite fans the independent experiments across the parallel layer
+//! (`DENSEMEM_THREADS` overrides the thread count) and first calibrates
+//! the serial-vs-parallel wall time of the E1+E2 hot path, cross-checking
+//! that both configurations produce identical results. A machine-readable
+//! summary — per-experiment wall times plus the calibration — is written
+//! to `BENCH_harness.json`.
 
 use densemem::experiments::{self, ExperimentResult, Scale};
+use densemem_stats::par::{par_map, ParConfig, Stopwatch};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+type Runner = fn(Scale) -> ExperimentResult;
+
+const RUNNERS: [(&str, Runner); 25] = [
+    ("E1", experiments::e1::run),
+    ("E2", experiments::e2::run),
+    ("E3", experiments::e3::run),
+    ("E4", experiments::e4::run),
+    ("E5", experiments::e5::run),
+    ("E6", experiments::e6::run),
+    ("E7", experiments::e7::run),
+    ("E8", experiments::e8::run),
+    ("E9", experiments::e9::run),
+    ("E10", experiments::e10::run),
+    ("E11", experiments::e11::run),
+    ("E12", experiments::e12::run),
+    ("E13", experiments::e13::run),
+    ("E14", experiments::e14::run),
+    ("E15", experiments::e15::run),
+    ("E16", experiments::e16::run),
+    ("E17", experiments::e17::run),
+    ("E18", experiments::e18::run),
+    ("E19", experiments::e19::run),
+    ("E20", experiments::e20::run),
+    ("E21", experiments::e21::run),
+    ("E22", experiments::e22::run),
+    ("E23", experiments::e23::run),
+    ("E24", experiments::e24::run),
+    ("E25", experiments::e25::run),
+];
+
+/// Times the E1+E2 hot path (population build, refresh sweep, device
+/// sims) at the current `DENSEMEM_THREADS` setting.
+fn run_hot_path(scale: Scale) -> (f64, ExperimentResult, ExperimentResult) {
+    let start = Instant::now();
+    let e1 = experiments::e1::run(scale);
+    let e2 = experiments::e2::run(scale);
+    (start.elapsed().as_secs_f64(), e1, e2)
+}
 
 fn main() {
     let scale = densemem_bench::scale_from_args();
-    type Runner = fn(Scale) -> ExperimentResult;
-    let runners: Vec<(&str, Runner)> = vec![
-        ("E1", experiments::e1::run),
-        ("E2", experiments::e2::run),
-        ("E3", experiments::e3::run),
-        ("E4", experiments::e4::run),
-        ("E5", experiments::e5::run),
-        ("E6", experiments::e6::run),
-        ("E7", experiments::e7::run),
-        ("E8", experiments::e8::run),
-        ("E9", experiments::e9::run),
-        ("E10", experiments::e10::run),
-        ("E11", experiments::e11::run),
-        ("E12", experiments::e12::run),
-        ("E13", experiments::e13::run),
-        ("E14", experiments::e14::run),
-        ("E15", experiments::e15::run),
-        ("E16", experiments::e16::run),
-        ("E17", experiments::e17::run),
-        ("E18", experiments::e18::run),
-        ("E19", experiments::e19::run),
-        ("E20", experiments::e20::run),
-        ("E21", experiments::e21::run),
-        ("E22", experiments::e22::run),
-        ("E23", experiments::e23::run),
-        ("E24", experiments::e24::run),
-        ("E25", experiments::e25::run),
-    ];
-    let mut reports = Vec::new();
+    let cfg = ParConfig::from_env();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut sw = Stopwatch::new();
+
+    // Calibration: the same E1+E2 path serial, then at the configured
+    // thread count. Determinism is the contract — the reports must match
+    // bit for bit.
+    std::env::set_var(ParConfig::ENV_VAR, "1");
+    let (serial_secs, e1_serial, e2_serial) = run_hot_path(scale);
+    sw.lap("calibrate serial (E1+E2)");
+    std::env::set_var(ParConfig::ENV_VAR, cfg.threads().to_string());
+    let (parallel_secs, e1_par, e2_par) = run_hot_path(scale);
+    sw.lap(format!("calibrate {} threads (E1+E2)", cfg.threads()));
+    let identical = e1_serial == e1_par && e2_serial == e2_par;
+    let speedup = serial_secs / parallel_secs.max(1e-12);
+    println!(
+        "calibration: E1+E2 serial {serial_secs:.2}s, {} thread(s) {parallel_secs:.2}s \
+         (speedup {speedup:.2}x on {cores} core(s)), results identical: {identical}",
+        cfg.threads()
+    );
+
+    // The full suite, experiments fanned across threads.
+    let timed: Vec<(ExperimentResult, f64)> = par_map(&cfg, RUNNERS.len(), |i| {
+        let start = Instant::now();
+        let result = (RUNNERS[i].1)(scale);
+        (result, start.elapsed().as_secs_f64())
+    });
+    sw.lap("run all experiments");
+
+    println!("\n{:<6} {:<68} {:>8}  verdict", "id", "title", "secs");
     let mut failed = 0;
-    for (id, run) in runners {
-        let start = std::time::Instant::now();
-        let result = run(scale);
+    for (result, secs) in &timed {
         let ok = result.all_claims_pass();
-        println!(
-            "[{}] {:<4} {:<66} ({:.1}s)",
-            if ok { "PASS" } else { "FAIL" },
-            id,
-            result.title,
-            start.elapsed().as_secs_f64()
-        );
         if !ok {
             failed += 1;
         }
-        reports.push(result);
+        println!(
+            "{:<6} {:<68} {:>8.2}  [{}]",
+            result.id,
+            result.title,
+            secs,
+            if ok { "PASS" } else { "FAIL" }
+        );
     }
+    println!("\nharness stages:\n{}", sw.render());
+
+    let json = render_json(&timed, cfg.threads(), cores, scale, serial_secs, parallel_secs, identical);
+    let json_path = "BENCH_harness.json";
+    match std::fs::write(json_path, &json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+
     println!("\n================ full reports ================\n");
-    for r in &reports {
+    for (r, _) in &timed {
         println!("{}", r.render());
+    }
+    if !identical {
+        eprintln!("serial and parallel E1/E2 results differ: determinism contract broken");
+        std::process::exit(1);
     }
     if failed > 0 {
         eprintln!("{failed} experiment(s) failed their claims");
         std::process::exit(1);
     }
+}
+
+fn render_json(
+    timed: &[(ExperimentResult, f64)],
+    threads: usize,
+    cores: usize,
+    scale: Scale,
+    serial_secs: f64,
+    parallel_secs: f64,
+    identical: bool,
+) -> String {
+    let total: f64 = timed.iter().map(|(_, s)| s).sum();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"threads\": {threads},");
+    let _ = writeln!(s, "  \"cores\": {cores},");
+    let _ = writeln!(
+        s,
+        "  \"scale\": \"{}\",",
+        if scale == Scale::Quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(s, "  \"calibration\": {{");
+    let _ = writeln!(s, "    \"path\": \"E1+E2\",");
+    let _ = writeln!(s, "    \"serial_secs\": {serial_secs:.6},");
+    let _ = writeln!(s, "    \"parallel_secs\": {parallel_secs:.6},");
+    let _ = writeln!(s, "    \"speedup\": {:.4},", serial_secs / parallel_secs.max(1e-12));
+    let _ = writeln!(s, "    \"results_identical\": {identical}");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"experiments\": [");
+    for (i, (r, secs)) in timed.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"id\": \"{}\", \"secs\": {secs:.6}, \"pass\": {}}}{}",
+            r.id,
+            r.all_claims_pass(),
+            if i + 1 < timed.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"total_secs\": {total:.6}");
+    s.push_str("}\n");
+    s
 }

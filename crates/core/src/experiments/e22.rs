@@ -8,6 +8,7 @@ use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
 use crate::DEFAULT_SEED;
 use densemem_dram::{Manufacturer, ModulePopulation, VintageProfile};
 use densemem_stats::dist::LogNormal;
+use densemem_stats::par::{par_map, ParConfig};
 use densemem_stats::table::{Cell, Table};
 
 /// Fits `(median, sigma)` of a log-normal threshold distribution to
@@ -18,10 +19,17 @@ fn fit_threshold_distribution(
     observations: &[(f64, f64)],
     density_per_gcell: f64,
 ) -> (f64, f64) {
-    let mut best = (1e6, 1.0);
-    let mut best_err = f64::INFINITY;
+    // Median grid, materialised up front so each candidate can be scored
+    // independently on the parallel layer.
+    let mut medians = Vec::new();
     let mut median = 1e6f64;
     while median < 3e7 {
+        medians.push(median);
+        median *= 1.06;
+    }
+    let scored = par_map(&ParConfig::from_env(), medians.len(), |i| {
+        let median = medians[i];
+        let mut best = (f64::INFINITY, 1.0f64);
         let mut sigma = 0.6f64;
         while sigma <= 2.0 {
             let dist = LogNormal::from_median_sigma(median, sigma);
@@ -33,13 +41,22 @@ fn fit_threshold_distribution(
                     (predicted.max(1e-3).ln() - rate.max(1e-3).ln()).powi(2)
                 })
                 .sum();
-            if err < best_err {
-                best_err = err;
-                best = (median, sigma);
+            if err < best.0 {
+                best = (err, sigma);
             }
             sigma += 0.05;
         }
-        median *= 1.06;
+        best
+    });
+    // Argmin in grid order with strict improvement: identical tie-breaking
+    // to the equivalent serial scan, so the fit is thread-count invariant.
+    let mut best = (1e6, 1.0);
+    let mut best_err = f64::INFINITY;
+    for (i, &(err, sigma)) in scored.iter().enumerate() {
+        if err < best_err {
+            best_err = err;
+            best = (medians[i], sigma);
+        }
     }
     best
 }
@@ -70,7 +87,15 @@ pub fn run(_scale: Scale) -> ExperimentResult {
                 profile.expected_error_rate_per_gcell(budget) * r.module_factor
             })
             .collect();
-        let mean_rate = rates.iter().sum::<f64>() / rates.len() as f64;
+        // Geometric mean: module severity factors are log-normal with
+        // median 1, so averaging in log space recovers the profile rate
+        // without the heavy-tail bias an arithmetic mean picks up.
+        let positive: Vec<f64> = rates.into_iter().filter(|&r| r > 0.0).collect();
+        let mean_rate = if positive.is_empty() {
+            0.0
+        } else {
+            (positive.iter().map(|r| r.ln()).sum::<f64>() / positive.len() as f64).exp()
+        };
         observations.push((budget, mean_rate));
     }
 

@@ -8,7 +8,7 @@ use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
 use crate::DEFAULT_SEED;
 use densemem_dram::ModulePopulation;
 use densemem_stats::dist::Poisson;
-use densemem_stats::rng::substream;
+use densemem_stats::par::{par_map_seeded, ParConfig};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E23.
@@ -22,21 +22,26 @@ pub fn run(scale: Scale) -> ExperimentResult {
     // a small fraction of the worst-case test exposure.
     let pop = ModulePopulation::standard(DEFAULT_SEED);
     let servers = scale.pick(4000usize, 1000);
-    let mut rng = substream(DEFAULT_SEED, 0x2323);
 
     // Field error intensity per module-month. Field workloads are far
     // below adversarial stress, so only genuinely weak modules err at all:
     // intensity grows superlinearly with the module's latent severity
     // factor (weak cells cross field-level stress thresholds; strong
     // modules only fail under worst-case exposure).
+    //
+    // One substream per server keeps the telemetry identical for any
+    // thread count.
     let base_rate_per_month = 5e-4;
-    let mut fleet_errors: Vec<u64> = Vec::with_capacity(servers);
-    for i in 0..servers {
-        let record = &pop.records()[(i * 37 + 11) % pop.len()];
-        let mean = base_rate_per_month * record.module_factor * record.module_factor;
-        let draw = Poisson::new(mean.min(1e9)).expect("finite mean").sample(&mut rng);
-        fleet_errors.push(draw);
-    }
+    let fleet_errors: Vec<u64> = par_map_seeded(
+        &ParConfig::from_env(),
+        DEFAULT_SEED ^ 0x2323,
+        servers,
+        |i, mut rng| {
+            let record = &pop.records()[(i * 37 + 11) % pop.len()];
+            let mean = base_rate_per_month * record.module_factor * record.module_factor;
+            Poisson::new(mean.min(1e9)).expect("finite mean").sample(&mut rng)
+        },
+    );
 
     let total: u64 = fleet_errors.iter().sum();
     let affected = fleet_errors.iter().filter(|&&e| e > 0).count();

@@ -22,6 +22,7 @@ use crate::error::DramError;
 use crate::geometry::{BankGeometry, BitAddr};
 use crate::vintage::VintageProfile;
 use densemem_stats::dist::{Bernoulli, Poisson};
+use densemem_stats::par::{par_map_seeded, ParConfig};
 use densemem_stats::rng::substream;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -69,10 +70,10 @@ pub struct Bank {
 impl Bank {
     /// Builds a bank for the given geometry and vintage profile, seeding
     /// the weak-cell population deterministically from `seed`.
+    ///
+    /// Each row draws from its own `substream(seed ^ 0xD15B, row)`, so the
+    /// population is identical for any thread count.
     pub fn new(geom: BankGeometry, profile: &VintageProfile, seed: u64) -> Self {
-        let mut gen_rng = substream(seed, 0xD15B);
-        let mut disturb: HashMap<usize, Vec<DisturbCell>> = HashMap::new();
-        let mut ret: HashMap<usize, Vec<RetentionCell>> = HashMap::new();
         let bits = geom.bits_per_row();
         let disturb_per_row = Poisson::new(profile.candidate_density() * bits as f64)
             .expect("density is finite and non-negative");
@@ -85,40 +86,40 @@ impl Bank {
             profile.retention_sigma(),
         );
         let vrt_bern = Bernoulli::new(profile.vrt_fraction()).expect("fraction in [0,1]");
-        for row in 0..geom.rows() {
-            let nd = disturb_per_row.sample(&mut gen_rng);
-            if nd > 0 {
-                let cells: Vec<DisturbCell> = (0..nd)
+        let per_row = par_map_seeded(
+            &ParConfig::from_env(),
+            seed ^ 0xD15B,
+            geom.rows(),
+            |_, mut rng| {
+                let nd = disturb_per_row.sample(&mut rng);
+                let dcells: Vec<DisturbCell> = (0..nd)
                     .map(|_| DisturbCell {
-                        word: gen_rng.gen_range(0..geom.words_per_row()) as u32,
-                        bit: gen_rng.gen_range(0..64u8),
+                        word: rng.gen_range(0..geom.words_per_row()) as u32,
+                        bit: rng.gen_range(0..64u8),
                         threshold: th_dist
-                            .sample(&mut gen_rng)
+                            .sample(&mut rng)
                             .max(VintageProfile::MIN_THRESHOLD),
                     })
                     .collect();
-                disturb.insert(row, cells);
-            }
-            let nr = ret_per_row.sample(&mut gen_rng);
-            if nr > 0 {
-                let cells: Vec<RetentionCell> = (0..nr)
+                let nr = ret_per_row.sample(&mut rng);
+                let rcells: Vec<RetentionCell> = (0..nr)
                     .map(|_| {
-                        let base = ret_dist.sample(&mut gen_rng);
-                        let vrt = if vrt_bern.sample(&mut gen_rng) {
+                        let base = ret_dist.sample(&mut rng);
+                        let vrt = if vrt_bern.sample(&mut rng) {
                             Some(VrtParams {
                                 // Leaky-state retention is orders of
                                 // magnitude shorter than the baseline, but
                                 // never below 0.1 ms.
                                 short_retention_ns: (base / 1e4).max(1e5),
                                 switch_rate_per_s: 10f64
-                                    .powf(gen_rng.gen_range(-4.0..-1.0f64)),
+                                    .powf(rng.gen_range(-4.0..-1.0f64)),
                             })
                         } else {
                             None
                         };
                         RetentionCell {
-                            word: gen_rng.gen_range(0..geom.words_per_row()) as u32,
-                            bit: gen_rng.gen_range(0..64u8),
+                            word: rng.gen_range(0..geom.words_per_row()) as u32,
+                            bit: rng.gen_range(0..64u8),
                             // The weak tail sits below the median but above
                             // the nominal 64 ms window: cells failing inside
                             // the window were mapped out at manufacture.
@@ -127,7 +128,17 @@ impl Bank {
                         }
                     })
                     .collect();
-                ret.insert(row, cells);
+                (dcells, rcells)
+            },
+        );
+        let mut disturb: HashMap<usize, Vec<DisturbCell>> = HashMap::new();
+        let mut ret: HashMap<usize, Vec<RetentionCell>> = HashMap::new();
+        for (row, (dcells, rcells)) in per_row.into_iter().enumerate() {
+            if !dcells.is_empty() {
+                disturb.insert(row, dcells);
+            }
+            if !rcells.is_empty() {
+                ret.insert(row, rcells);
             }
         }
         Self {

@@ -16,6 +16,7 @@
 use crate::timing::Timing;
 use crate::vintage::{Manufacturer, VintageProfile};
 use densemem_stats::dist::Poisson;
+use densemem_stats::par::{par_map_seeded, ParConfig};
 use densemem_stats::rng::substream;
 use densemem_stats::series::Series;
 use rand::Rng;
@@ -81,6 +82,9 @@ impl ModuleRecord {
 pub struct ModulePopulation {
     config: PopulationConfig,
     records: Vec<ModuleRecord>,
+    /// Per-record vintage profile, cached at construction so the refresh
+    /// sweep does not rebuild the profile tables for every draw.
+    profiles: Vec<VintageProfile>,
 }
 
 impl ModulePopulation {
@@ -123,12 +127,20 @@ impl ModulePopulation {
         counts: &[(Manufacturer, u32, usize)],
     ) -> Self {
         let budget = Self::exposure_budget(&config.timing, 1.0);
-        let mut records = Vec::new();
-        let mut idx = 0u64;
-        for &(mfr, year, n) in counts {
-            let profile = VintageProfile::new(mfr, year);
-            for _ in 0..n {
-                let mut rng = substream(config.seed, idx);
+        // One (manufacturer, year, profile) spec per module, flattened in
+        // row order; the profile is built once per row and shared.
+        let specs: Vec<(Manufacturer, u32, VintageProfile)> = counts
+            .iter()
+            .flat_map(|&(mfr, year, n)| {
+                std::iter::repeat_n((mfr, year, VintageProfile::new(mfr, year)), n)
+            })
+            .collect();
+        let records = par_map_seeded(
+            &ParConfig::from_env(),
+            config.seed,
+            specs.len(),
+            |i, mut rng| {
+                let (mfr, year, profile) = specs[i];
                 // Per-module severity: log-normal with median 1.
                 let module_factor = (profile.module_sigma()
                     * densemem_stats::dist::standard_normal(&mut rng))
@@ -144,18 +156,18 @@ impl ModulePopulation {
                 let observed = Poisson::new(expected.min(1e12))
                     .expect("expected error count is finite")
                     .sample(&mut rng);
-                records.push(ModuleRecord {
+                ModuleRecord {
                     manufacturer: mfr,
                     year,
                     module_factor,
                     cells: config.cells_per_module,
                     expected_errors_full: expected,
                     observed_errors: observed,
-                });
-                idx += 1;
-            }
-        }
-        Self { config, records }
+                }
+            },
+        );
+        let profiles = specs.into_iter().map(|(_, _, p)| p).collect();
+        Self { config, records, profiles }
     }
 
     /// The full-window weighted activation budget divided by the refresh
@@ -216,37 +228,41 @@ impl ModulePopulation {
     pub fn total_errors_at_multiplier(&self, multiplier: f64) -> u64 {
         let budget = Self::exposure_budget(&self.config.timing, multiplier);
         let key = (multiplier * 1000.0).round() as u64;
-        self.records
-            .iter()
-            .enumerate()
-            .map(|(i, r)| {
-                let profile = VintageProfile::new(r.manufacturer, r.year);
+        par_map_seeded(
+            &ParConfig::from_env(),
+            self.config.seed ^ key,
+            self.records.len(),
+            |i, mut rng| {
+                let r = &self.records[i];
+                let profile = &self.profiles[i];
                 let cap = profile.candidate_density() * r.cells as f64;
                 let expected = (profile.expected_error_rate_per_gcell(budget)
                     * r.module_factor
                     * r.cells as f64
                     / 1e9)
                     .min(cap);
-                let mut rng = substream(self.config.seed ^ key, i as u64);
                 Poisson::new(expected.min(1e12))
                     .expect("expected error count is finite")
                     .sample(&mut rng)
-            })
-            .sum()
+            },
+        )
+        .into_iter()
+        .sum()
     }
 
     /// The smallest refresh multiplier in `{1.0, 1.5, …, max}` at which the
     /// whole population shows zero errors, or `None` if even `max` does
     /// not suffice.
     pub fn min_multiplier_eliminating_all(&self, max: f64) -> Option<f64> {
-        let mut m = 1.0;
-        while m <= max + 1e-9 {
-            if self.total_errors_at_multiplier(m) == 0 {
-                return Some(m);
-            }
-            m += 0.5;
+        if max < 1.0 {
+            return None;
         }
-        None
+        // Integer half-steps: `1.0 + k/2` is exact in binary, so the grid
+        // never drifts the way a repeated `m += 0.5` accumulation can.
+        let last = ((max - 1.0) * 2.0 + 1e-9).floor() as u64;
+        (0..=last)
+            .map(|k| 1.0 + k as f64 * 0.5)
+            .find(|&m| self.total_errors_at_multiplier(m) == 0)
     }
 
     /// Per-manufacturer `(year, observed rate)` series for Figure 1. The

@@ -8,6 +8,7 @@
 use crate::error::FlashError;
 use crate::params::{FlashParams, MlcState};
 use densemem_stats::dist::standard_normal;
+use densemem_stats::par::{par_map_seeded, ParConfig};
 use densemem_stats::rng::substream;
 use rand::rngs::StdRng;
 
@@ -84,18 +85,36 @@ impl FlashBlock {
             "cells_per_wl must be a positive multiple of 8"
         );
         let n = wordlines * cells_per_wl;
-        let mut rng = substream(seed, 0xF1A5);
+        // Per-wordline substreams: each wordline draws its cells' process
+        // variation factors independently, so block construction is
+        // identical for any thread count.
+        let per_wl = par_map_seeded(
+            &ParConfig::from_env(),
+            seed ^ 0xF1A5,
+            wordlines,
+            |_, mut rng| {
+                let leak: Vec<f64> = (0..cells_per_wl)
+                    .map(|_| (params.leakiness_sigma * standard_normal(&mut rng)).exp())
+                    .collect();
+                let susc: Vec<f64> = (0..cells_per_wl)
+                    .map(|_| (params.disturb_sigma * standard_normal(&mut rng)).exp())
+                    .collect();
+                (leak, susc)
+            },
+        );
+        let mut leakiness = Vec::with_capacity(n);
+        let mut susceptibility = Vec::with_capacity(n);
+        for (leak, susc) in per_wl {
+            leakiness.extend(leak);
+            susceptibility.extend(susc);
+        }
         let mut block = Self {
             params,
             wordlines,
             cells_per_wl,
             vth: vec![0.0; n],
-            leakiness: (0..n)
-                .map(|_| (params.leakiness_sigma * standard_normal(&mut rng)).exp())
-                .collect(),
-            susceptibility: (0..n)
-                .map(|_| (params.disturb_sigma * standard_normal(&mut rng)).exp())
-                .collect(),
+            leakiness,
+            susceptibility,
             stage: vec![Stage::Erased; wordlines],
             reads: vec![0; wordlines],
             total_reads: 0,
@@ -103,7 +122,7 @@ impl FlashBlock {
             clock_hours: 0.0,
             programmed_at: vec![0.0; wordlines],
             pe: 0,
-            rng,
+            rng: substream(seed, 0xF1A5),
         };
         block.erase_cells();
         block

@@ -20,6 +20,7 @@
 
 pub mod dist;
 pub mod hist;
+pub mod par;
 pub mod rng;
 pub mod series;
 pub mod summary;
@@ -27,6 +28,7 @@ pub mod table;
 
 pub use dist::{Bernoulli, Exponential, LogNormal, Normal, Poisson};
 pub use hist::{Histogram, LogHistogram};
+pub use par::{par_map, par_map_seeded, ParConfig, Stopwatch};
 pub use rng::{seeded, substream};
 pub use series::Series;
 pub use summary::Summary;

@@ -1,0 +1,293 @@
+//! Deterministic parallel execution layer.
+//!
+//! Every Monte Carlo hot path in the workspace draws from
+//! [`substream(seed, idx)`](crate::rng::substream): one statistically
+//! independent generator per work item, derived from the item's *index*,
+//! never from execution order. That makes fan-out trivially safe — a work
+//! item's draws cannot depend on which thread runs it or when — so a
+//! parallel run is **bit-identical** to the serial run by construction.
+//! [`par_map_seeded`] packages that contract: it hands each item its
+//! index-derived generator and collects results in index order on
+//! [`std::thread::scope`] threads.
+//!
+//! Thread count comes from [`ParConfig`]: the `DENSEMEM_THREADS`
+//! environment variable when set (`DENSEMEM_THREADS=1` gives the exact
+//! serial path — same code, same results), otherwise
+//! [`std::thread::available_parallelism`].
+//!
+//! # Examples
+//!
+//! ```
+//! use densemem_stats::par::{par_map_seeded, ParConfig};
+//! use rand::Rng;
+//!
+//! let serial = par_map_seeded(&ParConfig::serial(), 7, 100, |i, mut rng| {
+//!     (i as u64) ^ rng.gen::<u64>()
+//! });
+//! let parallel = par_map_seeded(&ParConfig::with_threads(8), 7, 100, |i, mut rng| {
+//!     (i as u64) ^ rng.gen::<u64>()
+//! });
+//! assert_eq!(serial, parallel); // determinism is the contract, not luck
+//! ```
+
+use crate::rng::substream;
+use rand::rngs::StdRng;
+use std::time::{Duration, Instant};
+
+/// Thread-count policy for the parallel primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    threads: usize,
+}
+
+impl ParConfig {
+    /// The environment variable overriding the thread count.
+    pub const ENV_VAR: &'static str = "DENSEMEM_THREADS";
+
+    /// Exactly one thread: the serial path, run inline on the caller.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// An explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// The ambient policy: `DENSEMEM_THREADS` if set and parseable,
+    /// otherwise [`std::thread::available_parallelism`].
+    ///
+    /// Read on every call so tests and harnesses can flip the variable
+    /// between runs of the same process.
+    pub fn from_env() -> Self {
+        if let Ok(v) = std::env::var(Self::ENV_VAR) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return Self::with_threads(n);
+            }
+        }
+        Self::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// The configured thread count (always at least 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this config runs everything inline on the caller.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Maps `f` over `0..n`, fanning items across scoped threads and returning
+/// results in index order.
+///
+/// `f` must be a pure function of its index (plus captured shared state):
+/// with that guarantee the output is identical for every thread count,
+/// including 1. Item `i` of the result is `f(i)`.
+pub fn par_map<T, F>(cfg: &ParConfig, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = cfg.threads.min(n).max(1);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    // Contiguous balanced chunks, one per thread; chunk 0 runs on the
+    // calling thread. Results concatenate in chunk order, so the output
+    // is in index order regardless of completion order.
+    let base = n / threads;
+    let extra = n % threads;
+    let mut starts = Vec::with_capacity(threads + 1);
+    let mut acc = 0usize;
+    for t in 0..threads {
+        starts.push(acc);
+        acc += base + usize::from(t < extra);
+    }
+    starts.push(n);
+
+    let f = &f;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..threads)
+            .map(|t| {
+                let (lo, hi) = (starts[t], starts[t + 1]);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        chunks.push((starts[0]..starts[1]).map(f).collect());
+        for h in handles {
+            match h.join() {
+                Ok(v) => chunks.push(v),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Maps `f` over `0..n` where each item owns the independent substream
+/// `substream(seed, i)` — the workspace's standard shape for Monte Carlo
+/// fan-out.
+///
+/// Because the generator is derived from the index, the result is
+/// bit-identical for every thread count; `DENSEMEM_THREADS=1` runs the
+/// exact serial path.
+pub fn par_map_seeded<T, F>(cfg: &ParConfig, seed: u64, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, StdRng) -> T + Sync,
+{
+    par_map(cfg, n, |i| f(i, substream(seed, i as u64)))
+}
+
+/// Wall-clock stage instrumentation for multi-stage pipelines.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_stats::par::Stopwatch;
+/// let mut sw = Stopwatch::new();
+/// let _work: u64 = (0..1000).sum();
+/// sw.lap("sum");
+/// assert_eq!(sw.stages().len(), 1);
+/// assert!(sw.total() >= sw.stages()[0].1);
+/// ```
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+    last: Instant,
+    stages: Vec<(String, Duration)>,
+}
+
+impl Stopwatch {
+    /// Starts the clock.
+    pub fn new() -> Self {
+        let now = Instant::now();
+        Self { started: now, last: now, stages: Vec::new() }
+    }
+
+    /// Ends the current stage, recording it under `label`, and starts the
+    /// next. Returns the stage's duration.
+    pub fn lap(&mut self, label: impl Into<String>) -> Duration {
+        let now = Instant::now();
+        let d = now.duration_since(self.last);
+        self.last = now;
+        self.stages.push((label.into(), d));
+        d
+    }
+
+    /// The recorded `(label, duration)` stages, in order.
+    pub fn stages(&self) -> &[(String, Duration)] {
+        &self.stages
+    }
+
+    /// Total elapsed time since construction.
+    pub fn total(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Renders the stages as an aligned two-column text table.
+    pub fn render(&self) -> String {
+        let width = self.stages.iter().map(|(l, _)| l.len()).max().unwrap_or(0).max(5);
+        let mut out = String::new();
+        for (label, d) in &self.stages {
+            out.push_str(&format!("{label:<width$}  {:>10.3} ms\n", d.as_secs_f64() * 1e3));
+        }
+        out.push_str(&format!(
+            "{:<width$}  {:>10.3} ms\n",
+            "total",
+            self.total().as_secs_f64() * 1e3
+        ));
+        out
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 3, 8, 33] {
+            let cfg = ParConfig::with_threads(threads);
+            let out = par_map(&cfg, 100, |i| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_sizes() {
+        let cfg = ParConfig::with_threads(8);
+        assert_eq!(par_map(&cfg, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(&cfg, 1, |i| i + 7), vec![7]);
+        assert_eq!(par_map(&cfg, 7, |i| i), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_map_is_thread_count_invariant() {
+        let serial = par_map_seeded(&ParConfig::serial(), 0xF161, 257, |i, mut rng| {
+            (i, rng.gen::<u64>(), rng.gen::<f64>())
+        });
+        for threads in [2, 4, 8] {
+            let par =
+                par_map_seeded(&ParConfig::with_threads(threads), 0xF161, 257, |i, mut rng| {
+                    (i, rng.gen::<u64>(), rng.gen::<f64>())
+                });
+            assert_eq!(serial, par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn seeded_map_matches_manual_substreams() {
+        let out = par_map_seeded(&ParConfig::with_threads(4), 9, 16, |_, mut rng| {
+            rng.gen::<u64>()
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, substream(9, i as u64).gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn config_clamps_and_reports() {
+        assert!(ParConfig::with_threads(0).is_serial());
+        assert_eq!(ParConfig::with_threads(4).threads(), 4);
+        assert!(ParConfig::serial().is_serial());
+        assert!(ParConfig::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn stopwatch_records_stages() {
+        let mut sw = Stopwatch::new();
+        sw.lap("a");
+        sw.lap("b");
+        assert_eq!(sw.stages().len(), 2);
+        let r = sw.render();
+        assert!(r.contains("a") && r.contains("b") && r.contains("total"));
+    }
+
+    #[test]
+    fn parallel_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(&ParConfig::with_threads(4), 16, |i| {
+                assert!(i != 11, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Determinism regression tests for the parallel execution layer.
+//!
+//! The workspace's contract is that `DENSEMEM_THREADS=1` and any larger
+//! thread count produce bit-identical results: every Monte Carlo hot path
+//! seeds each work item from its index, never from execution order. These
+//! tests pin that contract for the module population and the E1/E2
+//! experiment reports.
+
+use densemem::experiments::{e1, e2, Scale};
+use densemem_dram::ModulePopulation;
+use densemem_stats::par::ParConfig;
+use std::sync::Mutex;
+
+/// `DENSEMEM_THREADS` is process-global: serialise the tests that toggle
+/// it so the harness's default parallel test execution cannot interleave
+/// two settings.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var(ParConfig::ENV_VAR, n.to_string());
+    let out = f();
+    std::env::remove_var(ParConfig::ENV_VAR);
+    out
+}
+
+#[test]
+fn population_records_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let serial = with_threads(1, || ModulePopulation::standard(0xF161));
+    for threads in [2, 8] {
+        let parallel = with_threads(threads, || ModulePopulation::standard(0xF161));
+        assert_eq!(
+            serial.records(),
+            parallel.records(),
+            "population diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn refresh_sweep_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let pop = ModulePopulation::standard(0xF161);
+    for &m in &[1.0, 2.0, 4.0, 7.0] {
+        let serial = with_threads(1, || pop.total_errors_at_multiplier(m));
+        let parallel = with_threads(8, || pop.total_errors_at_multiplier(m));
+        assert_eq!(serial, parallel, "sweep diverged at multiplier {m}");
+    }
+}
+
+#[test]
+fn e1_report_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let serial = with_threads(1, || e1::run(Scale::Quick));
+    let parallel = with_threads(8, || e1::run(Scale::Quick));
+    assert_eq!(serial, parallel, "E1 diverged between 1 and 8 threads");
+}
+
+#[test]
+fn e2_report_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let serial = with_threads(1, || e2::run(Scale::Quick));
+    let parallel = with_threads(8, || e2::run(Scale::Quick));
+    assert_eq!(serial, parallel, "E2 diverged between 1 and 8 threads");
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local CI gate: release build, test suite, clippy with warnings
+# denied. Everything runs --offline against the vendored dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline --workspace
+
+echo "== cargo clippy --offline -- -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "check.sh: all green"

@@ -1,0 +1,449 @@
+//! Offline in-tree stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`, `name: Type` and
+//! `pattern in strategy` parameters), range and tuple strategies,
+//! [`prelude::any`], [`collection::vec`], the `prop_assert*` /
+//! [`prop_assume!`] macros, and an explicit [`test_runner::TestRunner`].
+//!
+//! Cases are drawn from a fixed-seed deterministic generator, so failures
+//! are exactly reproducible. There is **no shrinking**: a failing case is
+//! reported as-is. That trades minimal counterexamples for zero
+//! dependencies, which is the right trade in an offline build.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A source of random test values.
+///
+/// Unlike upstream proptest there is no value tree: strategies produce
+/// final values directly and failures are not shrunk.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Strategy for any value of a type drawable from uniform bits.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: rand::StandardSample> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen::<T>()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A / 0)
+    (A / 0, B / 1)
+    (A / 0, B / 1, C / 2)
+    (A / 0, B / 1, C / 2, D / 3)
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact `usize` or a half-open
+    /// `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn draw_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn draw_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Vectors of `element` values with length drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.len.draw_len(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Explicit test execution.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case failed an assertion.
+        Fail(String),
+        /// The case was rejected by `prop_assume!` (not a failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure with the given message.
+        pub fn fail(reason: impl core::fmt::Display) -> Self {
+            TestCaseError::Fail(reason.to_string())
+        }
+
+        /// An assumption rejection with the given message.
+        pub fn reject(reason: impl core::fmt::Display) -> Self {
+            TestCaseError::Reject(reason.to_string())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// A property failure (or exhaustion of assumption rejections).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestError {
+        /// A case failed; the message includes the case's debug rendering.
+        Fail(String),
+        /// Too many cases were rejected by assumptions.
+        TooManyRejects(u64),
+    }
+
+    impl core::fmt::Display for TestError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestError::Fail(m) => write!(f, "{m}"),
+                TestError::TooManyRejects(n) => {
+                    write!(f, "property rejected {n} cases via prop_assume!")
+                }
+            }
+        }
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Maximum `prop_assume!` rejections tolerated across the run.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config requiring `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases, ..Self::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// Draws cases from a strategy and runs a property over them.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed internal seed, so every run of a
+        /// property test examines the same cases.
+        pub fn new(config: ProptestConfig) -> Self {
+            Self { config, rng: StdRng::seed_from_u64(0x9e37_79b9_7f4a_7c15) }
+        }
+
+        /// Runs `test` over `config.cases` drawn values.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TestError::Fail`] on the first failing case (no
+        /// shrinking), or [`TestError::TooManyRejects`] if assumptions
+        /// reject more cases than the config tolerates.
+        pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            S::Value: core::fmt::Debug + Clone,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < self.config.cases {
+                let value = strategy.new_value(&mut self.rng);
+                match test(value.clone()) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            return Err(TestError::TooManyRejects(u64::from(rejected)));
+                        }
+                    }
+                    Err(TestCaseError::Fail(reason)) => {
+                        return Err(TestError::Fail(format!(
+                            "{reason}; input: {value:?} (case {} of {})",
+                            passed + 1,
+                            self.config.cases
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Any, Strategy};
+
+    /// Strategy for any value of `T` (upstream's `any::<T>()`).
+    pub fn any<T: rand::StandardSample>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+// `Any` is constructed through `prelude::any`; expose the field crate-wide.
+impl<T> Any<T> {
+    #[doc(hidden)]
+    pub fn new() -> Self {
+        Any(core::marker::PhantomData)
+    }
+}
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Skips the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property-test functions.
+///
+/// Supports the upstream surface the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x: u64, y in 0u8..72) { prop_assert!(x as u128 + y as u128 >= x as u128); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { ($cfg) ($($params)*) -> () () $body }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // Done parsing parameters: build the tuple strategy and run.
+    (($cfg:expr) () -> ($($pat:pat_param,)*) ($($strat:expr,)*) $body:block) => {{
+        let mut runner = $crate::test_runner::TestRunner::new($cfg);
+        let strategy = ($($strat,)*);
+        match runner.run(&strategy, |($($pat,)*)| {
+            $body
+            ::core::result::Result::Ok(())
+        }) {
+            ::core::result::Result::Ok(()) => {}
+            ::core::result::Result::Err(e) => panic!("{}", e),
+        }
+    }};
+    // `pattern in strategy` parameter.
+    (($cfg:expr) ($p:pat_param in $s:expr $(, $($rest:tt)*)?) -> ($($pat:pat_param,)*) ($($strat:expr,)*) $body:block) => {
+        $crate::__proptest_case! {
+            ($cfg) ($($($rest)*)?) -> ($($pat,)* $p,) ($($strat,)* $s,) $body
+        }
+    };
+    // `name: Type` parameter (strategy `any::<Type>()`).
+    (($cfg:expr) ($n:ident : $t:ty $(, $($rest:tt)*)?) -> ($($pat:pat_param,)*) ($($strat:expr,)*) $body:block) => {
+        $crate::__proptest_case! {
+            ($cfg) ($($($rest)*)?) -> ($($pat,)* $n,) ($($strat,)* $crate::prelude::any::<$t>(),) $body
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mixed `name: Type` and `pattern in strategy` parameters.
+        #[test]
+        fn mixed_params(x: u64, y in 0u8..72, mut v in crate::collection::vec(any::<u8>(), 0..5)) {
+            prop_assert!(y < 72);
+            v.push(0);
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(v.len(), 0);
+        }
+
+        /// Assumptions reject without failing.
+        #[test]
+        fn assume_skips(a in 0u8..4, b in 0u8..4) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+    }
+
+    #[test]
+    fn explicit_runner_reports_failure() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(16));
+        let err = runner
+            .run(&(0u8..8,), |(x,)| {
+                prop_assert!(x < 4, "x was {}", x);
+                Ok(())
+            })
+            .unwrap_err();
+        match err {
+            crate::test_runner::TestError::Fail(m) => assert!(m.contains("x was")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_len_vec() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(ProptestConfig::with_cases(8));
+        runner
+            .run(&(crate::collection::vec(any::<u8>(), 4),), |(v,)| {
+                prop_assert_eq!(v.len(), 4);
+                Ok(())
+            })
+            .unwrap();
+    }
+}

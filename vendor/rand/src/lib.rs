@@ -1,0 +1,323 @@
+//! Offline in-tree stand-in for the `rand` crate.
+//!
+//! The build environment resolves crates without network access, so the
+//! workspace vendors the *deterministic subset* of the `rand` 0.8 API it
+//! actually uses: [`RngCore`], [`SeedableRng`], the [`Rng`] extension
+//! trait (`gen`, `gen_range`, `gen_bool`), and [`rngs::StdRng`].
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64. It is a
+//! different generator from upstream `rand`'s ChaCha12-based `StdRng`, but
+//! the workspace's only contract is *determinism for a fixed seed* — every
+//! published number is re-derivable from the recorded seeds, and the
+//! parallel execution layer (`densemem-stats::par`) relies on substream
+//! seeding, not on any particular generator.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// exactly as upstream `rand` documents.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be drawn uniformly from a bit source (the `Standard`
+/// distribution of upstream `rand`).
+pub trait StandardSample {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl StandardSample for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range that can be sampled uniformly (`gen_range` argument).
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift bounded sampling: deterministic, and the
+                // bias (< span / 2^64) is irrelevant at simulation spans.
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t as StandardSample>::sample_standard(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` uniformly (upstream's `Standard`).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Small, fast, `Clone`-able, and fully deterministic from its seed,
+    /// which is all the simulation stack requires.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result =
+                self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *w = u64::from_le_bytes(b);
+            }
+            if s == [0, 0, 0, 0] {
+                // The all-zero state is the one fixed point of the xoshiro
+                // transition; nudge it to a valid state.
+                s = [0x9e37_79b9_7f4a_7c15, 0xbf58_476d_1ce4_e5b9, 0x94d0_49bb_1331_11eb, 1];
+            }
+            Self { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10..20usize);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range(-0.5..0.5f64);
+            assert!((-0.5..0.5).contains(&f));
+            let b = r.gen_range(0..64u8);
+            assert!(b < 64);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut r = StdRng::seed_from_u64(13);
+        let hits = (0..40_000).filter(|_| r.gen_bool(0.3)).count();
+        let f = hits as f64 / 40_000.0;
+        assert!((f - 0.3).abs() < 0.01, "freq {f}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = StdRng::seed_from_u64(17);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = StdRng::from_seed([0u8; 32]);
+        assert_ne!(r.next_u64(), 0);
+    }
+}
