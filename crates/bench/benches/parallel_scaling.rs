@@ -6,6 +6,10 @@
 //! effect of fanning the per-module draws out. On a single-core host the
 //! curves are flat — thread overhead without parallel speedup — which is
 //! itself worth knowing before enabling fan-out in CI.
+//!
+//! Thread counts are passed explicitly via `ParConfig` (the `_par`
+//! constructors), so the bench neither reads nor mutates the
+//! `DENSEMEM_THREADS` environment.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use densemem_dram::ModulePopulation;
@@ -18,22 +22,21 @@ fn bench_population_build(c: &mut Criterion) {
     group.sample_size(20);
     for &threads in &THREAD_COUNTS {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            std::env::set_var(ParConfig::ENV_VAR, t.to_string());
-            b.iter(|| black_box(ModulePopulation::standard(0xF161)));
+            let par = ParConfig::with_threads(t);
+            b.iter(|| black_box(ModulePopulation::standard_par(0xF161, par)));
         });
     }
-    std::env::remove_var(ParConfig::ENV_VAR);
     group.finish();
 }
 
 fn bench_e2_sweep(c: &mut Criterion) {
-    let pop = ModulePopulation::standard(0xF161);
     let multipliers = [1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 6.5, 7.0, 8.0];
     let mut group = c.benchmark_group("parallel_scaling/e2_refresh_sweep");
     group.sample_size(20);
     for &threads in &THREAD_COUNTS {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            std::env::set_var(ParConfig::ENV_VAR, t.to_string());
+        // The population stores its ParConfig, so the sweep inherits `t`.
+        let pop = ModulePopulation::standard_par(0xF161, ParConfig::with_threads(threads));
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
             b.iter(|| {
                 multipliers
                     .iter()
@@ -42,7 +45,6 @@ fn bench_e2_sweep(c: &mut Criterion) {
             });
         });
     }
-    std::env::remove_var(ParConfig::ENV_VAR);
     group.finish();
 }
 

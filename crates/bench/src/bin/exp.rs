@@ -1,0 +1,55 @@
+//! Unified experiment CLI over the E1–E25 registry.
+//!
+//! Replaces the former per-experiment `exp_eNN_*` binaries: one entry
+//! point, selection by id or tag, structured artifacts on demand.
+//!
+//! ```text
+//! exp --list                               # the suite: ids, anchors, tags
+//! exp --only e1 --quick                    # Figure 1 at CI scale
+//! exp --tag flash --json-dir artifacts     # all flash experiments + JSON/CSV
+//! exp --skip e23 --threads 4 --seed 0xF161
+//! ```
+//!
+//! Exit status: 0 when every selected experiment's claims pass, 1 on any
+//! claim failure, 2 on a usage error.
+
+use densemem_bench::{write_artifacts, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    if args.list {
+        print!("{}", densemem_bench::list_table());
+        return;
+    }
+    let selected = match args.select() {
+        Ok(sel) => sel,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", densemem_bench::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let ctx = args.context();
+
+    let mut failed = 0;
+    for exp in selected {
+        let (result, wall_secs) = exp.run_timed(&ctx);
+        if !result.all_claims_pass() {
+            failed += 1;
+        }
+        print!("{}", result.render());
+        if let Some(dir) = &args.json_dir {
+            match write_artifacts(dir, exp, &result, &ctx, wall_secs) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("could not write artifacts for {}: {e}", exp.id);
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!();
+    }
+    if failed > 0 {
+        eprintln!("{failed} experiment(s) failed their claims");
+        std::process::exit(1);
+    }
+}

@@ -3,72 +3,48 @@
 //!
 //! This is the single command that regenerates the paper: every figure
 //! and quantitative claim, with PASS/FAIL against the paper's numbers.
+//! (For subsets, tags, or per-experiment JSON artifacts, use the `exp`
+//! binary — both are thin shells over the same registry.)
 //!
 //! The suite fans the independent experiments across the parallel layer
-//! (`DENSEMEM_THREADS` overrides the thread count) and first calibrates
-//! the serial-vs-parallel wall time of the E1+E2 hot path, cross-checking
-//! that both configurations produce identical results. A machine-readable
-//! summary — per-experiment wall times plus the calibration — is written
-//! to `BENCH_harness.json`.
+//! and first calibrates the serial-vs-parallel wall time of the E1+E2
+//! hot path, cross-checking that both configurations produce identical
+//! results. Thread policy flows through `ExpContext` — the calibration
+//! runs the same registry entries with explicit one-thread and
+//! configured-thread contexts rather than mutating the environment.
+//! A machine-readable summary — per-experiment wall times plus the
+//! calibration — is written to `BENCH_harness.json`.
 
-use densemem::experiments::{self, ExperimentResult, Scale};
-use densemem_stats::par::{par_map, ParConfig, Stopwatch};
+use densemem::experiments::{registry, ExpContext, ExperimentResult, Scale};
+use densemem_bench::HarnessArgs;
+use densemem_stats::par::{par_map, Stopwatch};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-type Runner = fn(Scale) -> ExperimentResult;
-
-const RUNNERS: [(&str, Runner); 25] = [
-    ("E1", experiments::e1::run),
-    ("E2", experiments::e2::run),
-    ("E3", experiments::e3::run),
-    ("E4", experiments::e4::run),
-    ("E5", experiments::e5::run),
-    ("E6", experiments::e6::run),
-    ("E7", experiments::e7::run),
-    ("E8", experiments::e8::run),
-    ("E9", experiments::e9::run),
-    ("E10", experiments::e10::run),
-    ("E11", experiments::e11::run),
-    ("E12", experiments::e12::run),
-    ("E13", experiments::e13::run),
-    ("E14", experiments::e14::run),
-    ("E15", experiments::e15::run),
-    ("E16", experiments::e16::run),
-    ("E17", experiments::e17::run),
-    ("E18", experiments::e18::run),
-    ("E19", experiments::e19::run),
-    ("E20", experiments::e20::run),
-    ("E21", experiments::e21::run),
-    ("E22", experiments::e22::run),
-    ("E23", experiments::e23::run),
-    ("E24", experiments::e24::run),
-    ("E25", experiments::e25::run),
-];
-
 /// Times the E1+E2 hot path (population build, refresh sweep, device
-/// sims) at the current `DENSEMEM_THREADS` setting.
-fn run_hot_path(scale: Scale) -> (f64, ExperimentResult, ExperimentResult) {
+/// sims) under the given context's thread policy.
+fn run_hot_path(ctx: &ExpContext) -> (f64, ExperimentResult, ExperimentResult) {
+    let e1 = registry::find("E1").expect("E1 registered");
+    let e2 = registry::find("E2").expect("E2 registered");
     let start = Instant::now();
-    let e1 = experiments::e1::run(scale);
-    let e2 = experiments::e2::run(scale);
-    (start.elapsed().as_secs_f64(), e1, e2)
+    let r1 = e1.run(ctx);
+    let r2 = e2.run(ctx);
+    (start.elapsed().as_secs_f64(), r1, r2)
 }
 
 fn main() {
-    let scale = densemem_bench::scale_from_args();
-    let cfg = ParConfig::from_env();
+    let args = HarnessArgs::from_env();
+    let ctx = args.context();
+    let cfg = ctx.par;
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut sw = Stopwatch::new();
 
-    // Calibration: the same E1+E2 path serial, then at the configured
-    // thread count. Determinism is the contract — the reports must match
-    // bit for bit.
-    std::env::set_var(ParConfig::ENV_VAR, "1");
-    let (serial_secs, e1_serial, e2_serial) = run_hot_path(scale);
+    // Calibration: the same E1+E2 registry entries serial, then at the
+    // configured thread count. Determinism is the contract — the reports
+    // must match bit for bit.
+    let (serial_secs, e1_serial, e2_serial) = run_hot_path(&ctx.with_threads(1));
     sw.lap("calibrate serial (E1+E2)");
-    std::env::set_var(ParConfig::ENV_VAR, cfg.threads().to_string());
-    let (parallel_secs, e1_par, e2_par) = run_hot_path(scale);
+    let (parallel_secs, e1_par, e2_par) = run_hot_path(&ctx);
     sw.lap(format!("calibrate {} threads (E1+E2)", cfg.threads()));
     let identical = e1_serial == e1_par && e2_serial == e2_par;
     let speedup = serial_secs / parallel_secs.max(1e-12);
@@ -79,11 +55,9 @@ fn main() {
     );
 
     // The full suite, experiments fanned across threads.
-    let timed: Vec<(ExperimentResult, f64)> = par_map(&cfg, RUNNERS.len(), |i| {
-        let start = Instant::now();
-        let result = (RUNNERS[i].1)(scale);
-        (result, start.elapsed().as_secs_f64())
-    });
+    let exps = registry::registry();
+    let timed: Vec<(ExperimentResult, f64)> =
+        par_map(&cfg, exps.len(), |i| exps[i].run_timed(&ctx));
     sw.lap("run all experiments");
 
     println!("\n{:<6} {:<68} {:>8}  verdict", "id", "title", "secs");
@@ -103,11 +77,23 @@ fn main() {
     }
     println!("\nharness stages:\n{}", sw.render());
 
-    let json = render_json(&timed, cfg.threads(), cores, scale, serial_secs, parallel_secs, identical);
+    let json =
+        render_json(&timed, cfg.threads(), cores, ctx.scale, serial_secs, parallel_secs, identical);
     let json_path = "BENCH_harness.json";
     match std::fs::write(json_path, &json) {
         Ok(()) => println!("wrote {json_path}"),
         Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+
+    // Per-experiment structured artifacts, same code path as `exp`.
+    if let Some(dir) = &args.json_dir {
+        for ((result, wall), exp) in timed.iter().zip(exps) {
+            if let Err(e) = densemem_bench::write_artifacts(dir, exp, result, &ctx, *wall) {
+                eprintln!("could not write artifacts for {}: {e}", exp.id);
+                std::process::exit(1);
+            }
+        }
+        println!("wrote {} artifact pairs under {}", exps.len(), dir.display());
     }
 
     println!("\n================ full reports ================\n");

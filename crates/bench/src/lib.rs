@@ -1,34 +1,265 @@
 //! Harness glue for the experiment binaries and criterion benches.
 //!
-//! Every table and figure of the paper has a binary under `src/bin/`
-//! (`exp_e1_fig1` … `exp_e14_refresh_cost`) that regenerates it at full
-//! scale and prints the result as an ASCII report plus CSV. Pass
-//! `--quick` for the reduced CI scale.
+//! Two binaries drive the registry (`densemem::experiments::registry`):
+//!
+//! * `exp` — the unified experiment CLI. `--list` enumerates the suite
+//!   with paper anchors and tags; `--only e1,e7`, `--skip e3`, and
+//!   `--tag dram|flash|pcm` select subsets; `--quick` switches to the CI
+//!   scale; `--json-dir DIR` writes per-experiment `DIR/<id>.json` +
+//!   `DIR/<id>.csv` artifacts; `--threads N` and `--seed S` override the
+//!   execution context.
+//! * `run_all_experiments` — the full-suite harness: serial-vs-parallel
+//!   calibration of the E1+E2 hot path (explicit [`ExpContext`] thread
+//!   policies, no environment mutation), a one-line verdict per
+//!   experiment, `BENCH_harness.json`, and the full reports.
+//!
+//! Both go through [`HarnessArgs`] / [`write_artifacts`], so the verdict
+//! table, the JSON artifacts, and the rendered reports all come from one
+//! code path.
 //!
 //! The criterion benches under `benches/` measure the simulator itself
 //! (kernel issue rate, scheduler, codec and flash throughput) and the
 //! per-access cost of each mitigation — the "negligible overhead" claims.
 
-use densemem::experiments::{ExperimentResult, Scale};
-use densemem::report::render_csv;
+use densemem::experiments::{registry, ExpContext, Experiment, ExperimentResult, Scale};
+use densemem::report::{json, render_csv};
+use std::path::PathBuf;
 
-/// Parses the common `--quick` flag.
-pub fn scale_from_args() -> Scale {
-    if std::env::args().any(|a| a == "--quick") {
-        Scale::Quick
+/// Parsed command-line options shared by the experiment harness binaries.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// `--quick` → [`Scale::Quick`], otherwise [`Scale::Full`].
+    pub quick: bool,
+    /// `--list`: print the registry and exit.
+    pub list: bool,
+    /// `--json-dir DIR`: write per-experiment JSON + CSV artifacts.
+    pub json_dir: Option<PathBuf>,
+    /// `--threads N`: explicit thread count (otherwise `DENSEMEM_THREADS`
+    /// or the machine's parallelism — the outermost default).
+    pub threads: Option<usize>,
+    /// `--seed S`: master seed override (decimal or `0x`-prefixed hex).
+    pub seed: Option<u64>,
+    only: Vec<String>,
+    skip: Vec<String>,
+    tags: Vec<String>,
+}
+
+/// The `exp` binary's usage string.
+pub const USAGE: &str = "usage: exp [--quick] [--list] [--only e1,e7] [--skip e3] \
+[--tag dram|flash|pcm] [--json-dir DIR] [--threads N] [--seed S]";
+
+fn split_csv(v: &str) -> Vec<String> {
+    v.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect()
+}
+
+fn parse_u64(v: &str) -> Result<u64, String> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|e| format!("bad hex value {v:?}: {e}"))
     } else {
-        Scale::Full
+        v.parse().map_err(|e| format!("bad value {v:?}: {e}"))
     }
 }
 
-/// Prints the full report and CSV for an experiment and exits non-zero if
-/// any claim failed.
-pub fn finish(result: ExperimentResult) {
-    println!("{}", result.render());
-    println!("--- CSV ---");
-    println!("{}", render_csv(&result));
-    if !result.all_claims_pass() {
-        eprintln!("{}: some claims FAILED", result.id);
-        std::process::exit(1);
+impl HarnessArgs {
+    /// Parses an argument list (without the program name). Flags taking a
+    /// value accept both `--flag value` and `--flag=value`; `--only`,
+    /// `--skip`, and `--tag` accept comma lists and may repeat.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let (flag, inline) = match arg.split_once('=') {
+                Some((f, v)) => (f.to_owned(), Some(v.to_owned())),
+                None => (arg, None),
+            };
+            let value = |it: &mut I::IntoIter| -> Result<String, String> {
+                match inline.clone().or_else(|| it.next()) {
+                    Some(v) => Ok(v),
+                    None => Err(format!("{flag} needs a value")),
+                }
+            };
+            match flag.as_str() {
+                "--quick" => out.quick = true,
+                "--list" => out.list = true,
+                "--only" => out.only.extend(split_csv(&value(&mut it)?)),
+                "--skip" => out.skip.extend(split_csv(&value(&mut it)?)),
+                "--tag" => out.tags.extend(split_csv(&value(&mut it)?)),
+                "--json-dir" => out.json_dir = Some(PathBuf::from(value(&mut it)?)),
+                "--threads" => out.threads = Some(parse_u64(&value(&mut it)?)? as usize),
+                "--seed" => out.seed = Some(parse_u64(&value(&mut it)?)?),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, printing usage and exiting with
+    /// status 2 on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The experiment scale these arguments select.
+    pub fn scale(&self) -> Scale {
+        if self.quick {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Builds the execution context: scale plus any `--threads` /
+    /// `--seed` overrides on top of the documented defaults.
+    pub fn context(&self) -> ExpContext {
+        let mut ctx = ExpContext::new(self.scale());
+        if let Some(t) = self.threads {
+            ctx = ctx.with_threads(t);
+        }
+        if let Some(s) = self.seed {
+            ctx = ctx.with_seed(s);
+        }
+        ctx
+    }
+
+    /// Resolves the selection flags against the registry, in registry
+    /// order: start from `--only` (or everything), drop `--skip` ids,
+    /// then keep experiments carrying at least one `--tag` (if given).
+    /// Unknown ids or tags are errors, not silent no-ops.
+    pub fn select(&self) -> Result<Vec<&'static Experiment>, String> {
+        for id in self.only.iter().chain(&self.skip) {
+            if registry::find(id).is_none() {
+                return Err(format!("unknown experiment id {id:?} (see --list)"));
+            }
+        }
+        let vocabulary = registry::tag_vocabulary();
+        for tag in &self.tags {
+            if !vocabulary.iter().any(|t| t.eq_ignore_ascii_case(tag)) {
+                return Err(format!(
+                    "unknown tag {tag:?} (vocabulary: {})",
+                    vocabulary.join(", ")
+                ));
+            }
+        }
+        let selected: Vec<&'static Experiment> = registry::registry()
+            .iter()
+            .filter(|e| {
+                self.only.is_empty() || self.only.iter().any(|id| e.id.eq_ignore_ascii_case(id))
+            })
+            .filter(|e| !self.skip.iter().any(|id| e.id.eq_ignore_ascii_case(id)))
+            .filter(|e| self.tags.is_empty() || self.tags.iter().any(|t| e.has_tag(t)))
+            .collect();
+        if selected.is_empty() {
+            return Err("selection matched no experiments".to_owned());
+        }
+        Ok(selected)
+    }
+}
+
+/// Renders the registry as the `exp --list` table: id, paper anchor,
+/// tags, and title for every experiment.
+pub fn list_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<5} {:<18} {:<38} title\n", "id", "paper", "tags"));
+    for e in registry::registry() {
+        out.push_str(&format!(
+            "{:<5} {:<18} {:<38} {}\n",
+            e.id,
+            e.paper_anchor,
+            e.tags.join(","),
+            e.title
+        ));
+    }
+    out.push_str(&format!("\ntag vocabulary: {}\n", registry::tag_vocabulary().join(", ")));
+    out
+}
+
+/// Writes the structured artifacts for one experiment run: `<id>.json`
+/// (complete report: tables, series, claims, notes, wall time) and
+/// `<id>.csv` (RFC 4180 table bodies) under `dir`, creating it if needed.
+/// Returns the JSON path.
+pub fn write_artifacts(
+    dir: &std::path::Path,
+    exp: &Experiment,
+    result: &ExperimentResult,
+    ctx: &ExpContext,
+    wall_secs: f64,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let json_path = dir.join(format!("{}.json", result.id));
+    std::fs::write(&json_path, json::render(exp, result, ctx, wall_secs))?;
+    std::fs::write(dir.join(format!("{}.csv", result.id)), render_csv(result))?;
+    Ok(json_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse(args.iter().map(|s| (*s).to_owned())).expect("parse")
+    }
+
+    #[test]
+    fn parse_and_select_only_skip() {
+        let a = parse(&["--quick", "--only", "e1,E7", "--only=e3", "--skip", "e3"]);
+        assert_eq!(a.scale(), Scale::Quick);
+        let sel = a.select().unwrap();
+        let ids: Vec<&str> = sel.iter().map(|e| e.id).collect();
+        assert_eq!(ids, ["E1", "E7"]);
+    }
+
+    #[test]
+    fn select_by_tag() {
+        let a = parse(&["--tag", "pcm"]);
+        let ids: Vec<&str> = a.select().unwrap().iter().map(|e| e.id).collect();
+        assert_eq!(ids, ["E19", "E20"]);
+    }
+
+    #[test]
+    fn unknown_ids_tags_and_flags_are_errors() {
+        assert!(parse(&["--only", "e99"]).select().is_err());
+        assert!(parse(&["--tag", "nosuch"]).select().is_err());
+        assert!(parse(&["--skip", "e1"]).select().is_ok());
+        assert!(HarnessArgs::parse(["--frobnicate".to_owned()]).is_err());
+        assert!(HarnessArgs::parse(["--only".to_owned()]).is_err());
+    }
+
+    #[test]
+    fn context_overrides() {
+        let a = parse(&["--threads", "3", "--seed", "0xBEEF"]);
+        let ctx = a.context();
+        assert_eq!(ctx.par.threads(), 3);
+        assert_eq!(ctx.seed, 0xBEEF);
+        assert_eq!(ctx.scale, Scale::Full);
+    }
+
+    #[test]
+    fn default_selection_is_whole_registry() {
+        let a = parse(&[]);
+        assert_eq!(a.select().unwrap().len(), 25);
+        let listing = list_table();
+        assert!(listing.contains("E25"));
+        assert!(listing.contains("Figure 1"));
+    }
+
+    #[test]
+    fn artifacts_round_trip_to_disk() {
+        let dir = std::env::temp_dir().join("densemem_artifact_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let exp = registry::find("E10").unwrap();
+        let ctx = ExpContext::quick();
+        let (result, wall) = exp.run_timed(&ctx);
+        let json_path = write_artifacts(&dir, exp, &result, &ctx, wall).unwrap();
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"id\": \"E10\""));
+        assert!(dir.join("E10.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

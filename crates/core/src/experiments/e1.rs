@@ -7,14 +7,13 @@
 //! * every 2012–2013 module is vulnerable;
 //! * observed rates span 0 … ~10⁶ errors per 10⁹ cells.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
-use crate::DEFAULT_SEED;
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_dram::ModulePopulation;
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E1.
-pub fn run(_scale: Scale) -> ExperimentResult {
-    let pop = ModulePopulation::standard(DEFAULT_SEED);
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let pop = ModulePopulation::standard_par(ctx.seed, ctx.par);
     let mut result = ExperimentResult::new(
         "E1",
         "Figure 1: errors per 10^9 cells vs manufacture date (129 modules)",
@@ -89,7 +88,8 @@ pub fn run(_scale: Scale) -> ExperimentResult {
         (1e5..5e6).contains(&max_rate),
     ));
     result.notes.push(format!(
-        "population seed {DEFAULT_SEED:#x}; vintage calibration in densemem-dram/src/vintage.rs"
+        "population seed {:#x}; vintage calibration in densemem-dram/src/vintage.rs",
+        ctx.seed
     ));
     result
 }
@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn e1_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
         assert_eq!(r.tables[0].len(), 129);
         assert_eq!(r.series.len(), 3);

@@ -4,14 +4,14 @@
 //! P/E cycling; adaptive Flash-Correct-and-Refresh greatly improves MLC
 //! lifetime at little overhead while the device is young.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_flash::analytic::{raw_ber, read_disturb_ber, retention_ber};
 use densemem_flash::fcr::{lifetime, FcrPolicy};
 use densemem_flash::{BchCode, FlashParams};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E10.
-pub fn run(_scale: Scale) -> ExperimentResult {
+pub fn run(_ctx: &ExpContext) -> ExperimentResult {
     let mut result =
         ExperimentResult::new("E10", "Flash: retention dominates; FCR extends lifetime");
     let p = FlashParams::mlc_1x_nm();
@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn e10_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -1,14 +1,15 @@
 //! E11 — Retention Failure Recovery: leakiness variation lets the
 //! controller recover data after an uncorrectable retention failure.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_flash::block::FlashBlock;
 use densemem_flash::rfr::{recover, recover_single_read, RfrConfig};
 use densemem_flash::{BchCode, FlashParams};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E11.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result =
         ExperimentResult::new("E11", "RFR recovers data after uncorrectable retention failure");
     let cells = scale.pick(8192usize, 4096);
@@ -80,7 +81,7 @@ mod tests {
 
     #[test]
     fn e11_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

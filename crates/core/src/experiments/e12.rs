@@ -1,7 +1,7 @@
 //! E12 — Read-disturb susceptibility varies widely between cells, and
 //! neighbour-cell-assisted correction (NAC) recovers interference errors.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_flash::analytic::read_disturb_ber;
 use densemem_flash::block::FlashBlock;
 use densemem_flash::nac::read_with_nac;
@@ -10,7 +10,8 @@ use densemem_stats::summary::Summary;
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E12.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E12",
         "Read-disturb variation and neighbour-cell-assisted correction",
@@ -95,7 +96,7 @@ mod tests {
 
     #[test]
     fn e12_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -2,13 +2,14 @@
 //! neighbour programming corrupt partially-programmed data; buffering the
 //! LSB neutralises the exposure and buys ~16% lifetime.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_flash::two_step::{lifetime_gain, run_comparison, TwoStepAttackConfig};
 use densemem_flash::{BchCode, FlashParams};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E13.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E13",
         "Two-step programming: exploitable corruption; mitigation gains ~16% lifetime",
@@ -85,7 +86,7 @@ mod tests {
 
     #[test]
     fn e13_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -2,7 +2,7 @@
 //! burden, and the 7× mitigation multiplies its energy and the bank time
 //! it steals from demand accesses.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::workloads::random_trace;
 use densemem_ctrl::controller::{ControllerConfig, MemoryController};
 use densemem_ctrl::energy::EnergyReport;
@@ -12,7 +12,8 @@ use densemem_dram::{BankGeometry, Manufacturer, Module, Timing, VintageProfile};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E14.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result =
         ExperimentResult::new("E14", "Refresh scaling cost: energy and availability");
     let timing = Timing::ddr3_1600();
@@ -99,7 +100,7 @@ mod tests {
 
     #[test]
     fn e14_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -5,7 +5,7 @@
 //! (The paper cites Lanteigne's 2016 DDR4 report; the evasion mechanism
 //! was later systematised publicly as TRRespass.)
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::MemoryController;
 use densemem_ctrl::mitigation::InDramTrr;
@@ -14,7 +14,8 @@ use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile}
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E15.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E15",
         "DDR4-style in-DRAM TRR stops double-sided but many-sided evades it",
@@ -99,7 +100,7 @@ mod tests {
 
     #[test]
     fn e15_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

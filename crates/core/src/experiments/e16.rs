@@ -3,7 +3,7 @@
 //! refreshes the wrong rows and the attack still succeeds. With the SPD
 //! adjacency the paper proposes, the same PARA is airtight.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_ctrl::controller::MemoryController;
 use densemem_ctrl::mitigation::{Mitigation, MitigationCtx};
 use densemem_ctrl::Para;
@@ -51,7 +51,8 @@ impl Mitigation for ParaLogicalGuess {
 }
 
 /// Runs E16.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E16",
         "PARA requires device adjacency (SPD): logical guesses fail on remapped rows",
@@ -152,7 +153,7 @@ mod tests {
 
     #[test]
     fn e16_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -3,7 +3,7 @@
 //! opposite the victim's) flips far more cells than the solid pattern, and
 //! distance-2 aggressors contribute a weak secondary coupling.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult, Scale};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::MemoryController;
 use densemem_dram::module::RowRemap;
@@ -49,7 +49,8 @@ fn hammer_with_pattern(
 }
 
 /// Runs E17.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E17",
         "Data-pattern dependence: stress patterns flip far more cells",
@@ -111,7 +112,7 @@ mod tests {
 
     #[test]
     fn e17_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

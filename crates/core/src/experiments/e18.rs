@@ -3,14 +3,15 @@
 //! shows exactly the risk the paper warns such solutions must account for
 //! (VRT/DPD escapes from profiling become field failures).
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_dram::profiler::{Profiler, ProfilerConfig};
 use densemem_dram::retention::RetentionPopulation;
 use densemem_dram::{Manufacturer, VintageProfile};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E18.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E18",
         "Retention-aware multi-rate refresh (RAIDR-style): savings and escape risk",
@@ -91,7 +92,7 @@ mod tests {
 
     #[test]
     fn e18_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -4,14 +4,15 @@
 //! controller — the PCM analogue of the paper's assumed-faulty-chip +
 //! intelligent-controller thesis.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_pcm::array::PcmArray;
 use densemem_pcm::cell::drift_ber;
 use densemem_pcm::PcmParams;
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E19.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E19",
         "PCM resistance drift: denser cells fail sooner; drift-aware reads recover",
@@ -81,7 +82,7 @@ mod tests {
 
     #[test]
     fn e19_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

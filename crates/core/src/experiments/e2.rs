@@ -7,18 +7,18 @@
 //! * device-level: a double-sided hammer against one simulated 2013 bank
 //!   under a controller whose refresh engine runs at each multiplier.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
-use crate::DEFAULT_SEED;
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::{ControllerConfig, MemoryController};
 use densemem_dram::module::RowRemap;
 use densemem_dram::{BankGeometry, Manufacturer, Module, ModulePopulation, VintageProfile};
 
 /// Runs E2.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result =
         ExperimentResult::new("E2", "Refresh-rate scaling eliminates RowHammer at ~7x");
-    let pop = ModulePopulation::standard(DEFAULT_SEED);
+    let pop = ModulePopulation::standard_par(ctx.seed, ctx.par);
 
     let mut t = densemem_stats::table::Table::new(
         "population errors vs refresh multiplier",
@@ -42,7 +42,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
     // Device-level cross-check at 1x and 7x.
     let device_flips = |mult: f64, iters: u64| -> usize {
         let profile = VintageProfile::new(Manufacturer::A, 2013);
-        let mut module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 97);
+        let mut module =
+            Module::new_par(1, BankGeometry::small(), profile, RowRemap::Identity, 97, &ctx.par);
         // One guaranteed weak cell close to the observed minimum hammer
         // threshold, so the 1x/7x contrast is deterministic at any scale.
         module
@@ -65,11 +66,9 @@ pub fn run(scale: Scale) -> ExperimentResult {
     // The two refresh settings are independent simulations: run them on
     // the parallel layer (identical results at any thread count since each
     // builds its own module from a fixed seed).
-    let flips = densemem_stats::par::par_map(
-        &densemem_stats::par::ParConfig::from_env(),
-        2,
-        |i| device_flips(if i == 0 { 1.0 } else { 7.0 }, iters),
-    );
+    let flips = densemem_stats::par::par_map(&ctx.par, 2, |i| {
+        device_flips(if i == 0 { 1.0 } else { 7.0 }, iters)
+    });
     let (flips_1x, flips_7x) = (flips[0], flips[1]);
     let mut d = densemem_stats::table::Table::new(
         "device-level cross-check (one 2013 bank, double-sided hammer)",
@@ -113,7 +112,7 @@ mod tests {
 
     #[test]
     fn e2_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

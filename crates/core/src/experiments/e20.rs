@@ -4,14 +4,15 @@
 //! and security of phase change memories") restores near-ideal lifetime at
 //! ~1/ψ write overhead.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_pcm::array::PcmArray;
 use densemem_pcm::wear_leveling::wear_out_attack;
 use densemem_pcm::PcmParams;
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E20.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E20",
         "PCM wear-out attack vs Start-Gap wear leveling",
@@ -88,7 +89,7 @@ mod tests {
 
     #[test]
     fn e20_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -3,7 +3,7 @@
 //! a retention error in it, capping each escaped VRT cell at one failure
 //! event instead of repeated failures for the device's lifetime.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_dram::avatar::simulate_field;
 use densemem_dram::profiler::{Profiler, ProfilerConfig};
 use densemem_dram::retention::RetentionPopulation;
@@ -11,7 +11,8 @@ use densemem_dram::{Manufacturer, VintageProfile};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E21.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E21",
         "AVATAR: online row upgrades cap VRT escapes at one failure each",
@@ -78,7 +79,7 @@ mod tests {
 
     #[test]
     fn e21_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -4,8 +4,7 @@
 //! settings — the workflow the paper advocates for anticipating failures
 //! before they ship.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
-use crate::DEFAULT_SEED;
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_dram::{Manufacturer, ModulePopulation, VintageProfile};
 use densemem_stats::dist::LogNormal;
 use densemem_stats::par::{par_map, ParConfig};
@@ -18,6 +17,7 @@ use densemem_stats::table::{Cell, Table};
 fn fit_threshold_distribution(
     observations: &[(f64, f64)],
     density_per_gcell: f64,
+    par: &ParConfig,
 ) -> (f64, f64) {
     // Median grid, materialised up front so each candidate can be scored
     // independently on the parallel layer.
@@ -27,7 +27,7 @@ fn fit_threshold_distribution(
         medians.push(median);
         median *= 1.06;
     }
-    let scored = par_map(&ParConfig::from_env(), medians.len(), |i| {
+    let scored = par_map(par, medians.len(), |i| {
         let median = medians[i];
         let mut best = (f64::INFINITY, 1.0f64);
         let mut sigma = 0.6f64;
@@ -62,13 +62,13 @@ fn fit_threshold_distribution(
 }
 
 /// Runs E22.
-pub fn run(_scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "E22",
         "Failure modeling: fit the threshold distribution, predict unseen settings",
     );
     let profile = VintageProfile::new(Manufacturer::A, 2013);
-    let pop = ModulePopulation::standard(DEFAULT_SEED);
+    let pop = ModulePopulation::standard_par(ctx.seed, ctx.par);
     let timing = pop.config().timing;
 
     // "Measurements": aggregate 2013-A module rates at three refresh
@@ -100,7 +100,7 @@ pub fn run(_scale: Scale) -> ExperimentResult {
     }
 
     let density = profile.candidate_density() * 1e9;
-    let (fit_median, fit_sigma) = fit_threshold_distribution(&observations, density);
+    let (fit_median, fit_sigma) = fit_threshold_distribution(&observations, density, &ctx.par);
     let true_median = profile.threshold_dist().median();
     let true_sigma = profile.threshold_dist().sigma();
 
@@ -160,7 +160,7 @@ mod tests {
 
     #[test]
     fn e22_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 
@@ -170,7 +170,7 @@ mod tests {
         let density = 1e6;
         let obs: Vec<(f64, f64)> =
             [3e5, 7e5, 1.3e6].iter().map(|&e| (e, density * dist.cdf(e))).collect();
-        let (m, s) = fit_threshold_distribution(&obs, density);
+        let (m, s) = fit_threshold_distribution(&obs, density, &ParConfig::serial());
         assert!(m / 5e6 < 1.6 && 5e6 / m < 1.6, "median {m:.3e}");
         assert!((s - 1.1).abs() < 0.4, "sigma {s}");
     }

@@ -4,15 +4,15 @@
 //! fraction of modules produces the vast majority of errors, which is why
 //! both small-scale controlled testing *and* field telemetry are needed.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
-use crate::DEFAULT_SEED;
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_dram::ModulePopulation;
 use densemem_stats::dist::Poisson;
-use densemem_stats::par::{par_map_seeded, ParConfig};
+use densemem_stats::par::par_map_seeded;
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E23.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E23",
         "Fleet field study: errors concentrate in a few bad modules",
@@ -20,7 +20,7 @@ pub fn run(scale: Scale) -> ExperimentResult {
     // A fleet of servers, each drawing one module from the population
     // (with replacement), running a month at a field stress level equal to
     // a small fraction of the worst-case test exposure.
-    let pop = ModulePopulation::standard(DEFAULT_SEED);
+    let pop = ModulePopulation::standard_par(ctx.seed, ctx.par);
     let servers = scale.pick(4000usize, 1000);
 
     // Field error intensity per module-month. Field workloads are far
@@ -33,8 +33,8 @@ pub fn run(scale: Scale) -> ExperimentResult {
     // thread count.
     let base_rate_per_month = 5e-4;
     let fleet_errors: Vec<u64> = par_map_seeded(
-        &ParConfig::from_env(),
-        DEFAULT_SEED ^ 0x2323,
+        &ctx.par,
+        ctx.seed ^ 0x2323,
         servers,
         |i, mut rng| {
             let record = &pop.records()[(i * 37 + 11) % pop.len()];
@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn e23_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -3,13 +3,14 @@
 //! classic March C− test finds stuck-at faults but structurally cannot
 //! find RowHammer cells; the augmented hammer test finds them.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_dram::march::{hammer_march, march_c_minus, run_march};
 use densemem_dram::{Bank, BankGeometry, BitAddr, Manufacturer, Timing, VintageProfile};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E24.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E24",
         "Classic march tests miss RowHammer; augmented tests find it",
@@ -87,7 +88,7 @@ mod tests {
 
     #[test]
     fn e24_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -5,7 +5,7 @@
 //! modern DRAM to a similar mindset … can enable better anticipation and
 //! correction of future issues like RowHammer."
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult, Scale};
 use densemem_flash::ftl::{Ftl, FtlConfig};
 use densemem_stats::table::{Cell, Table};
 
@@ -55,7 +55,8 @@ fn run_device(scrub: bool, scale: Scale) -> Outcome {
 }
 
 /// Runs E25.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E25",
         "Assumed-faulty chips + intelligent controller = correct operation",
@@ -118,7 +119,7 @@ mod tests {
 
     #[test]
     fn e25_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

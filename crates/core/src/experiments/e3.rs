@@ -9,7 +9,7 @@
 //!   64-byte blocks, classified under no-ECC / SECDED / DEC-TED /
 //!   chipkill, plus a bit-level check through the real (72,64) codec.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::MemoryController;
 use densemem_dram::module::RowRemap;
@@ -33,7 +33,8 @@ fn expected_words_with(words: f64, p: f64, k: u32) -> f64 {
 }
 
 /// Runs E3.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E3",
         "SECDED ECC cannot stop RowHammer: multi-bit words occur",
@@ -226,7 +227,7 @@ mod tests {
 
     #[test]
     fn e3_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 

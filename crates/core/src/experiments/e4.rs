@@ -3,7 +3,7 @@
 //! and negligible overhead, giving reliability guarantees far beyond hard
 //! disks.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::MemoryController;
 use densemem_ctrl::mitigation::Para;
@@ -12,7 +12,8 @@ use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E4.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result =
         ExperimentResult::new("E4", "PARA eliminates RowHammer with negligible overhead");
 
@@ -94,7 +95,7 @@ mod tests {
 
     #[test]
     fn e4_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -2,7 +2,7 @@
 //! counters need storage proportional to the number of rows ("very large
 //! hardware area"), while PARA needs none — and both stop the attack.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::MemoryController;
 use densemem_ctrl::mitigation::{Cra, Mitigation, NoMitigation, Para, TrrSampler};
@@ -11,7 +11,8 @@ use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E5.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E5",
         "Mitigation cost comparison: counters (CRA) vs sampling (TRR) vs PARA",
@@ -111,7 +112,7 @@ mod tests {
 
     #[test]
     fn e5_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

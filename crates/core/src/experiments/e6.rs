@@ -2,7 +2,7 @@
 //! reads and writes both induce flips, always in rows *other* than the
 //! accessed ones.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::invariants::InvariantChecker;
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::MemoryController;
@@ -26,7 +26,8 @@ fn vulnerable_controller(seed: u64) -> MemoryController {
 }
 
 /// Runs E6.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E6",
         "User-level read and write hammering violate the memory invariants",
@@ -108,7 +109,7 @@ mod tests {
 
     #[test]
     fn e6_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

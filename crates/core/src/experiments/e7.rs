@@ -2,7 +2,7 @@
 //! escalation succeeds on a vulnerable module, and pattern efficacy orders
 //! as double-sided > single-sided > random.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::exploit::{ExploitConfig, PteSprayExploit};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_attack::vm::VirtualMemory;
@@ -12,7 +12,8 @@ use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile}
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E7.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E7",
         "PTE-spray privilege escalation and hammering-pattern efficacy",
@@ -117,7 +118,7 @@ mod tests {
 
     #[test]
     fn e7_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

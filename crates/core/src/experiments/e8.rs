@@ -2,7 +2,7 @@
 //! hammering and prevents flips via selective refresh, with no false
 //! positives on benign workloads.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_attack::workloads::{random_trace, sequential_trace, zipf_hot_trace};
 use densemem_ctrl::anvil::{AnvilConfig, AnvilDetector};
@@ -24,7 +24,8 @@ fn controller_with_anvil(seed: u64) -> MemoryController {
 }
 
 /// Runs E8.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E8",
         "ANVIL-style detection: catches attacks, spares benign workloads",
@@ -107,7 +108,7 @@ mod tests {
 
     #[test]
     fn e8_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

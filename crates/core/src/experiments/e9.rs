@@ -2,14 +2,15 @@
 //! benign-pattern rounds and VRT cells escape any finite number of rounds,
 //! then fail in the field.
 
-use crate::experiments::{ClaimCheck, ExperimentResult, Scale};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_dram::profiler::{Profiler, ProfilerConfig};
 use densemem_dram::retention::RetentionPopulation;
 use densemem_dram::{Manufacturer, VintageProfile};
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E9.
-pub fn run(scale: Scale) -> ExperimentResult {
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
     let mut result = ExperimentResult::new(
         "E9",
         "Retention profiling: DPD and VRT let weak cells slip into the field",
@@ -94,7 +95,7 @@ mod tests {
 
     #[test]
     fn e9_claims_pass() {
-        let r = run(Scale::Quick);
+        let r = run(&ExpContext::quick());
         assert!(r.all_claims_pass(), "{}", r.render());
     }
 }

@@ -1,8 +1,14 @@
-//! The experiment suite E1–E14.
+//! The experiment suite E1–E25.
 //!
-//! One module per experiment; each `run(scale)` returns an
+//! One module per experiment; each `run(&ExpContext)` returns an
 //! [`ExperimentResult`] with the tables/series the paper reports and
-//! explicit [`ClaimCheck`]s against the paper's numbers.
+//! explicit [`ClaimCheck`]s against the paper's numbers. The
+//! [`registry`](crate::experiments::registry) module exposes the whole
+//! suite as one data-driven table of [`Experiment`] descriptors (id,
+//! title, paper anchor, tags, runner) that the harness binaries, CI
+//! gate, and JSON report writer all share.
+
+pub mod registry;
 
 pub mod e1;
 pub mod e2;
@@ -30,8 +36,11 @@ pub mod e23;
 pub mod e24;
 pub mod e25;
 
+use densemem_stats::par::ParConfig;
 use densemem_stats::series::Series;
 use densemem_stats::table::Table;
+
+pub use registry::{registry, Experiment};
 
 /// Experiment scale: `Quick` keeps unit tests fast; `Full` is what the
 /// bench harness binaries run.
@@ -58,6 +67,74 @@ impl Scale {
             Scale::Full => full,
             Scale::Quick => quick,
         }
+    }
+}
+
+/// Everything an experiment needs to run: the scale, the master seed, and
+/// the thread policy.
+///
+/// Replaces the old `run(Scale)` free-function convention (and the
+/// harness's `std::env::set_var` thread-count dance): the seed and the
+/// [`ParConfig`] flow through explicitly, so two contexts differing only
+/// in thread count can run in the same process — and must produce
+/// bit-identical results. `DENSEMEM_THREADS` remains the *outermost*
+/// default only, read once when a context is created without an explicit
+/// policy.
+///
+/// # Examples
+///
+/// ```
+/// use densemem::experiments::ExpContext;
+/// let serial = ExpContext::quick().with_threads(1);
+/// let fanned = ExpContext::quick().with_threads(8);
+/// let a = densemem::experiments::e1::run(&serial);
+/// let b = densemem::experiments::e1::run(&fanned);
+/// assert_eq!(a, b); // determinism is the contract
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpContext {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed; every experiment derives its substreams from this.
+    pub seed: u64,
+    /// Thread policy for the experiment's Monte Carlo fan-out.
+    pub par: ParConfig,
+}
+
+impl ExpContext {
+    /// A context at the given scale with the documented default seed
+    /// ([`crate::DEFAULT_SEED`]) and the ambient (`DENSEMEM_THREADS`)
+    /// thread policy.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale, seed: crate::DEFAULT_SEED, par: ParConfig::from_env() }
+    }
+
+    /// [`Scale::Quick`] with defaults.
+    pub fn quick() -> Self {
+        Self::new(Scale::Quick)
+    }
+
+    /// [`Scale::Full`] with defaults.
+    pub fn full() -> Self {
+        Self::new(Scale::Full)
+    }
+
+    /// Replaces the thread policy with an explicit thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.par = ParConfig::with_threads(threads);
+        self
+    }
+
+    /// Replaces the thread policy.
+    pub fn with_par(mut self, par: ParConfig) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Replaces the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 

@@ -1,0 +1,291 @@
+//! The data-driven experiment registry.
+//!
+//! One [`Experiment`] descriptor per experiment — id, title, paper
+//! anchor, tags, and the runner — registered in a single table that every
+//! consumer shares: the `exp` CLI (`--list`, `--only`, `--tag`), the
+//! `run_all_experiments` harness (verdict table, calibration, and
+//! `BENCH_harness.json`), the JSON/CSV artifact writer, and the
+//! integration tests. Adding an experiment means adding one module and
+//! one table row; nothing else can silently diverge.
+//!
+//! # Examples
+//!
+//! ```
+//! use densemem::experiments::{registry, ExpContext};
+//! assert_eq!(registry::registry().len(), 25);
+//! let e1 = registry::find("e1").expect("E1 is registered");
+//! assert_eq!(e1.id, "E1");
+//! let result = e1.run(&ExpContext::quick());
+//! assert!(result.all_claims_pass());
+//! ```
+
+use crate::experiments::{self, ExpContext, ExperimentResult};
+
+/// A registered experiment: static metadata plus the runner.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Stable id ("E1" … "E25"), unique across the registry.
+    pub id: &'static str,
+    /// Human title (matches the `ExperimentResult` the runner returns).
+    pub title: &'static str,
+    /// Where in the paper the claim set lives ("Figure 1, §II", …).
+    pub paper_anchor: &'static str,
+    /// Topic tags for `--tag` filtering; drawn from [`tag_vocabulary`].
+    pub tags: &'static [&'static str],
+    /// The experiment body.
+    pub run: fn(&ExpContext) -> ExperimentResult,
+}
+
+impl Experiment {
+    /// Runs the experiment.
+    pub fn run(&self, ctx: &ExpContext) -> ExperimentResult {
+        (self.run)(ctx)
+    }
+
+    /// Runs the experiment and measures its wall time in seconds.
+    pub fn run_timed(&self, ctx: &ExpContext) -> (ExperimentResult, f64) {
+        let start = std::time::Instant::now();
+        let result = (self.run)(ctx);
+        (result, start.elapsed().as_secs_f64())
+    }
+
+    /// Whether the experiment carries `tag` (case-insensitive).
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t.eq_ignore_ascii_case(tag))
+    }
+}
+
+/// The full suite, in id order E1…E25.
+pub fn registry() -> &'static [Experiment] {
+    &REGISTRY
+}
+
+/// Looks up an experiment by id, case-insensitively ("e7" finds "E7").
+pub fn find(id: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.id.eq_ignore_ascii_case(id.trim()))
+}
+
+/// The sorted, de-duplicated set of tags used across the registry — the
+/// `--tag` vocabulary.
+pub fn tag_vocabulary() -> Vec<&'static str> {
+    let mut tags: Vec<&'static str> = REGISTRY.iter().flat_map(|e| e.tags.iter().copied()).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    tags
+}
+
+static REGISTRY: [Experiment; 25] = [
+    Experiment {
+        id: "E1",
+        title: "Figure 1: errors per 10^9 cells vs manufacture date (129 modules)",
+        paper_anchor: "Figure 1, §II",
+        tags: &["dram", "rowhammer", "population"],
+        run: experiments::e1::run,
+    },
+    Experiment {
+        id: "E2",
+        title: "Refresh-rate scaling eliminates RowHammer at ~7x",
+        paper_anchor: "§II-C",
+        tags: &["dram", "rowhammer", "mitigation", "refresh"],
+        run: experiments::e2::run,
+    },
+    Experiment {
+        id: "E3",
+        title: "SECDED ECC cannot stop RowHammer: multi-bit words occur",
+        paper_anchor: "§II-C",
+        tags: &["dram", "rowhammer", "mitigation", "ecc"],
+        run: experiments::e3::run,
+    },
+    Experiment {
+        id: "E4",
+        title: "PARA eliminates RowHammer with negligible overhead",
+        paper_anchor: "§II-C",
+        tags: &["dram", "rowhammer", "mitigation"],
+        run: experiments::e4::run,
+    },
+    Experiment {
+        id: "E5",
+        title: "Mitigation cost comparison: counters (CRA) vs sampling (TRR) vs PARA",
+        paper_anchor: "§II-C",
+        tags: &["dram", "rowhammer", "mitigation"],
+        run: experiments::e5::run,
+    },
+    Experiment {
+        id: "E6",
+        title: "User-level read and write hammering violate the memory invariants",
+        paper_anchor: "§II-A",
+        tags: &["dram", "rowhammer", "attack"],
+        run: experiments::e6::run,
+    },
+    Experiment {
+        id: "E7",
+        title: "PTE-spray privilege escalation and hammering-pattern efficacy",
+        paper_anchor: "§II-B",
+        tags: &["dram", "rowhammer", "attack"],
+        run: experiments::e7::run,
+    },
+    Experiment {
+        id: "E8",
+        title: "ANVIL-style detection: catches attacks, spares benign workloads",
+        paper_anchor: "§II-C",
+        tags: &["dram", "rowhammer", "mitigation"],
+        run: experiments::e8::run,
+    },
+    Experiment {
+        id: "E9",
+        title: "Retention profiling: DPD and VRT let weak cells slip into the field",
+        paper_anchor: "§III-A1",
+        tags: &["dram", "retention"],
+        run: experiments::e9::run,
+    },
+    Experiment {
+        id: "E10",
+        title: "Flash: retention dominates; FCR extends lifetime",
+        paper_anchor: "§III-A2",
+        tags: &["flash", "retention", "mitigation"],
+        run: experiments::e10::run,
+    },
+    Experiment {
+        id: "E11",
+        title: "RFR recovers data after uncorrectable retention failure",
+        paper_anchor: "§III-A2",
+        tags: &["flash", "retention", "mitigation"],
+        run: experiments::e11::run,
+    },
+    Experiment {
+        id: "E12",
+        title: "Read-disturb variation and neighbour-cell-assisted correction",
+        paper_anchor: "§III-B",
+        tags: &["flash", "mitigation"],
+        run: experiments::e12::run,
+    },
+    Experiment {
+        id: "E13",
+        title: "Two-step programming: exploitable corruption; mitigation gains ~16% lifetime",
+        paper_anchor: "§III-B",
+        tags: &["flash", "attack", "mitigation"],
+        run: experiments::e13::run,
+    },
+    Experiment {
+        id: "E14",
+        title: "Refresh scaling cost: energy and availability",
+        paper_anchor: "§II-C",
+        tags: &["dram", "refresh"],
+        run: experiments::e14::run,
+    },
+    Experiment {
+        id: "E15",
+        title: "DDR4-style in-DRAM TRR stops double-sided but many-sided evades it",
+        paper_anchor: "§II-B",
+        tags: &["dram", "rowhammer", "attack", "mitigation"],
+        run: experiments::e15::run,
+    },
+    Experiment {
+        id: "E16",
+        title: "PARA requires device adjacency (SPD): logical guesses fail on remapped rows",
+        paper_anchor: "§II-C",
+        tags: &["dram", "rowhammer", "mitigation"],
+        run: experiments::e16::run,
+    },
+    Experiment {
+        id: "E17",
+        title: "Data-pattern dependence: stress patterns flip far more cells",
+        paper_anchor: "§II fn.3",
+        tags: &["dram", "rowhammer"],
+        run: experiments::e17::run,
+    },
+    Experiment {
+        id: "E18",
+        title: "Retention-aware multi-rate refresh (RAIDR-style): savings and escape risk",
+        paper_anchor: "§II-C/§IV",
+        tags: &["dram", "retention", "refresh", "controller"],
+        run: experiments::e18::run,
+    },
+    Experiment {
+        id: "E19",
+        title: "PCM resistance drift: denser cells fail sooner; drift-aware reads recover",
+        paper_anchor: "§III",
+        tags: &["pcm", "retention", "controller"],
+        run: experiments::e19::run,
+    },
+    Experiment {
+        id: "E20",
+        title: "PCM wear-out attack vs Start-Gap wear leveling",
+        paper_anchor: "§III [82]",
+        tags: &["pcm", "attack", "mitigation"],
+        run: experiments::e20::run,
+    },
+    Experiment {
+        id: "E21",
+        title: "AVATAR: online row upgrades cap VRT escapes at one failure each",
+        paper_anchor: "§III-A1 [84]",
+        tags: &["dram", "retention", "controller"],
+        run: experiments::e21::run,
+    },
+    Experiment {
+        id: "E22",
+        title: "Failure modeling: fit the threshold distribution, predict unseen settings",
+        paper_anchor: "§IV",
+        tags: &["dram", "rowhammer", "modeling"],
+        run: experiments::e22::run,
+    },
+    Experiment {
+        id: "E23",
+        title: "Fleet field study: errors concentrate in a few bad modules",
+        paper_anchor: "§IV [76, 94-96]",
+        tags: &["dram", "field", "population"],
+        run: experiments::e23::run,
+    },
+    Experiment {
+        id: "E24",
+        title: "Classic march tests miss RowHammer; augmented tests find it",
+        paper_anchor: "§II-B [80], [8]",
+        tags: &["dram", "rowhammer", "testing"],
+        run: experiments::e24::run,
+    },
+    Experiment {
+        id: "E25",
+        title: "Assumed-faulty chips + intelligent controller = correct operation",
+        paper_anchor: "§II-D",
+        tags: &["flash", "controller", "mitigation"],
+        run: experiments::e25::run,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_positional_and_unique() {
+        for (i, e) in registry().iter().enumerate() {
+            assert_eq!(e.id, format!("E{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert_eq!(find("e7").unwrap().id, "E7");
+        assert_eq!(find(" E25 ").unwrap().id, "E25");
+        assert!(find("E26").is_none());
+        assert!(find("").is_none());
+    }
+
+    #[test]
+    fn tag_vocabulary_is_sorted_and_covers_media() {
+        let tags = tag_vocabulary();
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_eq!(tags, sorted);
+        for media in ["dram", "flash", "pcm"] {
+            assert!(tags.contains(&media), "missing media tag {media}");
+        }
+    }
+
+    #[test]
+    fn has_tag_matches_case_insensitively() {
+        let e1 = find("E1").unwrap();
+        assert!(e1.has_tag("DRAM"));
+        assert!(!e1.has_tag("flash"));
+    }
+}

@@ -15,24 +15,30 @@
 //! | MLC NAND flash channel + mitigations (FCR, RFR, NAC, two-step) | [`densemem_flash`] |
 //!
 //! This crate ties them together as the experiment suite E1–E25 (see
-//! `DESIGN.md` for the experiment-to-claim index). Each experiment
+//! `DESIGN.md` for the experiment-to-claim index). The suite is
+//! data-driven: [`experiments::registry`] holds one [`Experiment`]
+//! descriptor per experiment (id, title, paper anchor, tags, runner);
+//! each runner takes an [`ExpContext`] (scale, seed, thread policy) and
 //! returns an [`experiments::ExperimentResult`] containing the tables the
-//! paper reports and explicit claim checks.
+//! paper reports and explicit claim checks, renderable as ASCII
+//! ([`report::render`]), CSV ([`report::render_csv`]), or structured JSON
+//! ([`report::json`]).
 //!
 //! # Examples
 //!
 //! Regenerating Figure 1:
 //!
 //! ```
-//! use densemem::experiments::{e1, Scale};
-//! let result = e1::run(Scale::Quick);
+//! use densemem::experiments::{registry, ExpContext};
+//! let e1 = registry::find("E1").expect("registered");
+//! let result = e1.run(&ExpContext::quick());
 //! assert!(result.all_claims_pass(), "{}", result.render());
 //! ```
 
 pub mod experiments;
 pub mod report;
 
-pub use experiments::{ClaimCheck, ExperimentResult, Scale};
+pub use experiments::{registry, ClaimCheck, ExpContext, Experiment, ExperimentResult, Scale};
 
 /// The default master seed used by every experiment harness. Recorded in
 /// EXPERIMENTS.md so published numbers are exactly re-derivable.

@@ -1,7 +1,12 @@
-//! Plain-text rendering of experiment results.
+//! Rendering of experiment results: plain text (ASCII tables + scatter),
+//! CSV bodies for plotting, and — in [`json`] — the complete structured
+//! report a CI gate or dashboard can consume.
+
+pub mod json;
 
 use crate::experiments::ExperimentResult;
 use densemem_stats::series::render_scatter;
+use densemem_stats::table::csv_escape;
 
 /// Renders an experiment result: header, tables (ASCII), series (ASCII
 /// scatter on a log y-axis), claim checks, and notes.
@@ -36,11 +41,13 @@ pub fn render(result: &ExperimentResult) -> String {
 }
 
 /// Renders only the CSV bodies of an experiment's tables, separated by
-/// blank lines (for piping into plotting scripts).
+/// blank lines (for piping into plotting scripts). Table titles on the
+/// `#` comment lines are RFC 4180-escaped like every cell, so titles
+/// containing commas, quotes, or newlines cannot corrupt the framing.
 pub fn render_csv(result: &ExperimentResult) -> String {
     let mut out = String::new();
     for t in &result.tables {
-        out.push_str(&format!("# {}\n", t.title()));
+        out.push_str(&format!("# {}\n", csv_escape(t.title())));
         out.push_str(&t.to_csv());
         out.push('\n');
     }
@@ -69,5 +76,15 @@ mod tests {
         let csv = render_csv(&r);
         assert!(csv.contains("# tbl"));
         assert!(csv.contains("x\n5"));
+    }
+
+    #[test]
+    fn render_csv_escapes_hostile_titles() {
+        let mut r = ExperimentResult::new("E0", "demo");
+        let mut t = Table::new("a, \"b\"\ntitle", &["x"]);
+        t.row(vec![Cell::Int(1)]);
+        r.tables.push(t);
+        let csv = render_csv(&r);
+        assert!(csv.starts_with("# \"a, \"\"b\"\"\ntitle\"\n"), "got: {csv}");
     }
 }

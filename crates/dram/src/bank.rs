@@ -69,11 +69,23 @@ pub struct Bank {
 
 impl Bank {
     /// Builds a bank for the given geometry and vintage profile, seeding
-    /// the weak-cell population deterministically from `seed`.
+    /// the weak-cell population deterministically from `seed`, using the
+    /// ambient (`DENSEMEM_THREADS`) thread policy for the build.
     ///
     /// Each row draws from its own `substream(seed ^ 0xD15B, row)`, so the
     /// population is identical for any thread count.
     pub fn new(geom: BankGeometry, profile: &VintageProfile, seed: u64) -> Self {
+        Self::new_par(geom, profile, seed, &ParConfig::from_env())
+    }
+
+    /// [`Bank::new`] with an explicit thread policy for the weak-cell
+    /// generation (the resulting bank is identical for any policy).
+    pub fn new_par(
+        geom: BankGeometry,
+        profile: &VintageProfile,
+        seed: u64,
+        par: &ParConfig,
+    ) -> Self {
         let bits = geom.bits_per_row();
         let disturb_per_row = Poisson::new(profile.candidate_density() * bits as f64)
             .expect("density is finite and non-negative");
@@ -87,7 +99,7 @@ impl Bank {
         );
         let vrt_bern = Bernoulli::new(profile.vrt_fraction()).expect("fraction in [0,1]");
         let per_row = par_map_seeded(
-            &ParConfig::from_env(),
+            par,
             seed ^ 0xD15B,
             geom.rows(),
             |_, mut rng| {

@@ -14,6 +14,7 @@ use crate::bank::Bank;
 use crate::error::DramError;
 use crate::geometry::BankGeometry;
 use crate::vintage::VintageProfile;
+use densemem_stats::par::ParConfig;
 use densemem_stats::rng::substream;
 
 /// Device-internal logical→physical row remapping.
@@ -196,12 +197,30 @@ impl Module {
         remap: RowRemap,
         seed: u64,
     ) -> Self {
+        Self::new_par(banks, geom, vintage, remap, seed, &ParConfig::from_env())
+    }
+
+    /// [`Module::new`] with an explicit thread policy for the per-bank
+    /// weak-cell generation (the resulting module is identical for any
+    /// policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0`.
+    pub fn new_par(
+        banks: usize,
+        geom: BankGeometry,
+        vintage: VintageProfile,
+        remap: RowRemap,
+        seed: u64,
+        par: &ParConfig,
+    ) -> Self {
         assert!(banks > 0, "module needs at least one bank");
         let banks: Vec<Bank> = (0..banks)
             .map(|i| {
                 use rand::Rng;
                 let mut s = substream(seed, i as u64);
-                Bank::new(geom, &vintage, s.gen())
+                Bank::new_par(geom, &vintage, s.gen(), par)
             })
             .collect();
         let rows = geom.rows();

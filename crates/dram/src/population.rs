@@ -85,6 +85,11 @@ pub struct ModulePopulation {
     /// Per-record vintage profile, cached at construction so the refresh
     /// sweep does not rebuild the profile tables for every draw.
     profiles: Vec<VintageProfile>,
+    /// Thread policy for the build and the refresh sweeps. Explicit when
+    /// constructed via the `_par` constructors; otherwise the ambient
+    /// `DENSEMEM_THREADS` default captured at construction. Results are
+    /// bit-identical for any value (substream-per-index contract).
+    par: ParConfig,
 }
 
 impl ModulePopulation {
@@ -112,19 +117,38 @@ impl ModulePopulation {
         (Manufacturer::C, 2014, 6),
     ];
 
-    /// Builds the standard 129-module population with the given seed.
+    /// Builds the standard 129-module population with the given seed,
+    /// using the ambient (`DENSEMEM_THREADS`) thread policy.
     pub fn standard(seed: u64) -> Self {
-        Self::with_counts(
+        Self::standard_par(seed, ParConfig::from_env())
+    }
+
+    /// Builds the standard 129-module population with an explicit thread
+    /// policy (the records are identical for any policy).
+    pub fn standard_par(seed: u64, par: ParConfig) -> Self {
+        Self::with_counts_par(
             PopulationConfig { seed, ..PopulationConfig::default() },
             &Self::STANDARD_COUNTS,
+            par,
         )
     }
 
     /// Builds a population from explicit `(manufacturer, year, count)`
-    /// rows.
+    /// rows, using the ambient (`DENSEMEM_THREADS`) thread policy.
     pub fn with_counts(
         config: PopulationConfig,
         counts: &[(Manufacturer, u32, usize)],
+    ) -> Self {
+        Self::with_counts_par(config, counts, ParConfig::from_env())
+    }
+
+    /// Builds a population from explicit `(manufacturer, year, count)`
+    /// rows with an explicit thread policy, which is also used by the
+    /// refresh sweeps on the constructed population.
+    pub fn with_counts_par(
+        config: PopulationConfig,
+        counts: &[(Manufacturer, u32, usize)],
+        par: ParConfig,
     ) -> Self {
         let budget = Self::exposure_budget(&config.timing, 1.0);
         // One (manufacturer, year, profile) spec per module, flattened in
@@ -136,7 +160,7 @@ impl ModulePopulation {
             })
             .collect();
         let records = par_map_seeded(
-            &ParConfig::from_env(),
+            &par,
             config.seed,
             specs.len(),
             |i, mut rng| {
@@ -167,7 +191,12 @@ impl ModulePopulation {
             },
         );
         let profiles = specs.into_iter().map(|(_, _, p)| p).collect();
-        Self { config, records, profiles }
+        Self { config, records, profiles, par }
+    }
+
+    /// The thread policy this population was built with.
+    pub fn par(&self) -> &ParConfig {
+        &self.par
     }
 
     /// The full-window weighted activation budget divided by the refresh
@@ -229,7 +258,7 @@ impl ModulePopulation {
         let budget = Self::exposure_budget(&self.config.timing, multiplier);
         let key = (multiplier * 1000.0).round() as u64;
         par_map_seeded(
-            &ParConfig::from_env(),
+            &self.par,
             self.config.seed ^ key,
             self.records.len(),
             |i, mut rng| {
@@ -367,5 +396,18 @@ mod tests {
         let a = ModulePopulation::standard(7);
         let b = ModulePopulation::standard(7);
         assert_eq!(a.records()[17].observed_errors, b.records()[17].observed_errors);
+    }
+
+    #[test]
+    fn explicit_par_is_thread_count_invariant() {
+        let serial = ModulePopulation::standard_par(0xF161, ParConfig::serial());
+        let threaded = ModulePopulation::standard_par(0xF161, ParConfig::with_threads(8));
+        assert_eq!(serial.records(), threaded.records());
+        assert_eq!(
+            serial.total_errors_at_multiplier(2.0),
+            threaded.total_errors_at_multiplier(2.0)
+        );
+        assert!(serial.par().is_serial());
+        assert_eq!(threaded.par().threads(), 8);
     }
 }

@@ -79,6 +79,24 @@ impl FlashBlock {
     /// Panics if `cells_per_wl` is zero or not a multiple of 8, or
     /// `wordlines == 0`.
     pub fn new(params: FlashParams, wordlines: usize, cells_per_wl: usize, seed: u64) -> Self {
+        Self::new_par(params, wordlines, cells_per_wl, seed, &ParConfig::from_env())
+    }
+
+    /// [`FlashBlock::new`] with an explicit thread policy for the cell
+    /// process-variation draws (the resulting block is identical for any
+    /// policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells_per_wl` is zero or not a multiple of 8, or
+    /// `wordlines == 0`.
+    pub fn new_par(
+        params: FlashParams,
+        wordlines: usize,
+        cells_per_wl: usize,
+        seed: u64,
+        par: &ParConfig,
+    ) -> Self {
         assert!(wordlines > 0, "block needs wordlines");
         assert!(
             cells_per_wl > 0 && cells_per_wl.is_multiple_of(8),
@@ -89,7 +107,7 @@ impl FlashBlock {
         // variation factors independently, so block construction is
         // identical for any thread count.
         let per_wl = par_map_seeded(
-            &ParConfig::from_env(),
+            par,
             seed ^ 0xF1A5,
             wordlines,
             |_, mut rng| {

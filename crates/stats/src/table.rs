@@ -70,6 +70,18 @@ impl From<f64> for Cell {
     }
 }
 
+/// Escapes one CSV field per RFC 4180: fields containing commas, quotes,
+/// or newlines are wrapped in double quotes with internal quotes doubled.
+/// Used for every cell, header, and title the harness writes to a `.csv`
+/// artifact, so the files load in standard parsers.
+pub fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
 /// Formats `v` with `sig` significant digits, avoiding scientific notation
 /// for moderate magnitudes.
 pub fn format_sig(v: f64, sig: usize) -> String {
@@ -138,6 +150,16 @@ impl Table {
         &self.title
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -186,22 +208,15 @@ impl Table {
         out
     }
 
-    /// Renders CSV (header row first). Values containing commas or quotes
-    /// are quoted per RFC 4180.
+    /// Renders CSV (header row first). Values containing commas, quotes,
+    /// or newlines are quoted per RFC 4180 ([`csv_escape`]).
     pub fn to_csv(&self) -> String {
-        let esc = |s: &str| -> String {
-            if s.contains(',') || s.contains('"') || s.contains('\n') {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_owned()
-            }
-        };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(&self.headers.iter().map(|h| csv_escape(h)).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(
-                &row.iter().map(|c| esc(&c.to_string())).collect::<Vec<_>>().join(","),
+                &row.iter().map(|c| csv_escape(&c.to_string())).collect::<Vec<_>>().join(","),
             );
             out.push('\n');
         }
@@ -229,6 +244,31 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("\"a,b\",c\n"));
         assert!(csv.contains("\"he said \"\"hi\"\"\",2"));
+    }
+
+    #[test]
+    fn csv_escape_covers_rfc4180_specials() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_escape("cr\rhere"), "\"cr\rhere\"");
+    }
+
+    #[test]
+    fn csv_escapes_newlines_in_cells() {
+        let mut t = Table::new("t", &["x"]);
+        t.row(vec![Cell::from("line1\nline2")]);
+        assert!(t.to_csv().contains("\"line1\nline2\""));
+    }
+
+    #[test]
+    fn headers_and_rows_accessors() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec![Cell::Int(1), Cell::from("x")]);
+        assert_eq!(t.headers(), &["a".to_owned(), "b".to_owned()]);
+        assert_eq!(t.rows().len(), 1);
+        assert_eq!(t.rows()[0][0], Cell::Int(1));
     }
 
     #[test]

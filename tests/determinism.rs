@@ -1,34 +1,21 @@
 //! Determinism regression tests for the parallel execution layer.
 //!
-//! The workspace's contract is that `DENSEMEM_THREADS=1` and any larger
-//! thread count produce bit-identical results: every Monte Carlo hot path
-//! seeds each work item from its index, never from execution order. These
-//! tests pin that contract for the module population and the E1/E2
-//! experiment reports.
+//! The workspace's contract is that one thread and any larger thread
+//! count produce bit-identical results: every Monte Carlo hot path seeds
+//! each work item from its index, never from execution order. Thread
+//! policy is an explicit `ParConfig` carried by `ExpContext` and the
+//! `_par` constructors — no test mutates `DENSEMEM_THREADS`, so these
+//! tests need no environment lock and run in parallel like any others.
 
-use densemem::experiments::{e1, e2, Scale};
+use densemem::experiments::{registry, ExpContext};
 use densemem_dram::ModulePopulation;
 use densemem_stats::par::ParConfig;
-use std::sync::Mutex;
-
-/// `DENSEMEM_THREADS` is process-global: serialise the tests that toggle
-/// it so the harness's default parallel test execution cannot interleave
-/// two settings.
-static ENV_LOCK: Mutex<()> = Mutex::new(());
-
-fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
-    std::env::set_var(ParConfig::ENV_VAR, n.to_string());
-    let out = f();
-    std::env::remove_var(ParConfig::ENV_VAR);
-    out
-}
 
 #[test]
 fn population_records_identical_across_thread_counts() {
-    let _guard = ENV_LOCK.lock().unwrap();
-    let serial = with_threads(1, || ModulePopulation::standard(0xF161));
+    let serial = ModulePopulation::standard_par(0xF161, ParConfig::serial());
     for threads in [2, 8] {
-        let parallel = with_threads(threads, || ModulePopulation::standard(0xF161));
+        let parallel = ModulePopulation::standard_par(0xF161, ParConfig::with_threads(threads));
         assert_eq!(
             serial.records(),
             parallel.records(),
@@ -39,27 +26,42 @@ fn population_records_identical_across_thread_counts() {
 
 #[test]
 fn refresh_sweep_identical_across_thread_counts() {
-    let _guard = ENV_LOCK.lock().unwrap();
-    let pop = ModulePopulation::standard(0xF161);
+    let serial_pop = ModulePopulation::standard_par(0xF161, ParConfig::serial());
+    let parallel_pop = ModulePopulation::standard_par(0xF161, ParConfig::with_threads(8));
     for &m in &[1.0, 2.0, 4.0, 7.0] {
-        let serial = with_threads(1, || pop.total_errors_at_multiplier(m));
-        let parallel = with_threads(8, || pop.total_errors_at_multiplier(m));
-        assert_eq!(serial, parallel, "sweep diverged at multiplier {m}");
+        assert_eq!(
+            serial_pop.total_errors_at_multiplier(m),
+            parallel_pop.total_errors_at_multiplier(m),
+            "sweep diverged at multiplier {m}"
+        );
     }
 }
 
 #[test]
 fn e1_report_identical_across_thread_counts() {
-    let _guard = ENV_LOCK.lock().unwrap();
-    let serial = with_threads(1, || e1::run(Scale::Quick));
-    let parallel = with_threads(8, || e1::run(Scale::Quick));
+    let e1 = registry::find("E1").expect("registered");
+    let serial = e1.run(&ExpContext::quick().with_threads(1));
+    let parallel = e1.run(&ExpContext::quick().with_threads(8));
     assert_eq!(serial, parallel, "E1 diverged between 1 and 8 threads");
 }
 
 #[test]
 fn e2_report_identical_across_thread_counts() {
-    let _guard = ENV_LOCK.lock().unwrap();
-    let serial = with_threads(1, || e2::run(Scale::Quick));
-    let parallel = with_threads(8, || e2::run(Scale::Quick));
+    let e2 = registry::find("E2").expect("registered");
+    let serial = e2.run(&ExpContext::quick().with_threads(1));
+    let parallel = e2.run(&ExpContext::quick().with_threads(8));
     assert_eq!(serial, parallel, "E2 diverged between 1 and 8 threads");
+}
+
+#[test]
+fn seed_override_changes_population_results() {
+    let e1 = registry::find("E1").expect("registered");
+    let default_seed = e1.run(&ExpContext::quick().with_threads(2));
+    let other_seed = e1.run(&ExpContext::quick().with_threads(2).with_seed(0xDEAD));
+    assert_ne!(
+        default_seed, other_seed,
+        "seed override had no effect on the E1 population draw"
+    );
+    let again = e1.run(&ExpContext::quick().with_threads(2).with_seed(0xDEAD));
+    assert_eq!(other_seed, again, "same seed, same report");
 }

@@ -1,9 +1,14 @@
-//! Integration: every experiment E1–E25 runs at quick scale and all of its
-//! paper-claim checks pass.
+//! Integration: every experiment E1–E25 runs at quick scale through the
+//! registry and all of its paper-claim checks pass, plus structural
+//! integrity checks on the registry itself.
 
-use densemem::experiments::{self, ExperimentResult, Scale};
+use densemem::experiments::{registry, ExpContext};
 
-fn check(result: ExperimentResult) {
+fn check(id: &str) {
+    let exp = registry::find(id).unwrap_or_else(|| panic!("{id} not registered"));
+    let result = exp.run(&ExpContext::quick());
+    assert_eq!(result.id, exp.id, "registry id and result id disagree for {id}");
+    assert_eq!(result.title, exp.title, "registry title and result title disagree for {id}");
     assert!(
         result.all_claims_pass(),
         "experiment {} failed claims:\n{}",
@@ -13,127 +18,86 @@ fn check(result: ExperimentResult) {
     assert!(!result.tables.is_empty(), "{} produced no tables", result.id);
 }
 
-#[test]
-fn e1_figure1() {
-    check(experiments::e1::run(Scale::Quick));
+macro_rules! smoke {
+    ($($name:ident => $id:literal),* $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                check($id);
+            }
+        )*
+    };
 }
 
-#[test]
-fn e2_refresh_scaling() {
-    check(experiments::e2::run(Scale::Quick));
+smoke! {
+    e1_figure1 => "E1",
+    e2_refresh_scaling => "E2",
+    e3_ecc => "E3",
+    e4_para => "E4",
+    e5_mitigation_costs => "E5",
+    e6_invariants => "E6",
+    e7_exploit => "E7",
+    e8_anvil => "E8",
+    e9_retention_profiling => "E9",
+    e10_flash_retention => "E10",
+    e11_rfr => "E11",
+    e12_read_disturb_nac => "E12",
+    e13_two_step => "E13",
+    e14_refresh_cost => "E14",
+    e15_trr_evasion => "E15",
+    e16_spd_adjacency => "E16",
+    e17_data_pattern => "E17",
+    e18_raidr_refresh => "E18",
+    e19_pcm_drift => "E19",
+    e20_pcm_wear_leveling => "E20",
+    e21_avatar => "E21",
+    e22_model_fitting => "E22",
+    e23_field_study => "E23",
+    e24_memory_tests => "E24",
+    e25_intelligent_controller => "E25",
 }
 
+/// The registry is the single source of truth for the suite: exactly 25
+/// experiments, positional ids E1..E25 (so `registry()[i]` is E(i+1)),
+/// unique ids, non-empty metadata, and every entry carries at least one
+/// claim check when run at quick scale.
 #[test]
-fn e3_ecc() {
-    check(experiments::e3::run(Scale::Quick));
+fn registry_integrity() {
+    let exps = registry::registry();
+    assert_eq!(exps.len(), 25, "suite must stay E1..E25");
+    let mut seen = std::collections::HashSet::new();
+    for (i, exp) in exps.iter().enumerate() {
+        assert_eq!(exp.id, format!("E{}", i + 1), "registry order broken at index {i}");
+        assert!(seen.insert(exp.id), "duplicate id {}", exp.id);
+        assert!(!exp.title.is_empty(), "{} has no title", exp.id);
+        assert!(!exp.paper_anchor.is_empty(), "{} has no paper anchor", exp.id);
+        assert!(!exp.tags.is_empty(), "{} has no tags", exp.id);
+        for tag in exp.tags {
+            assert!(
+                registry::tag_vocabulary().contains(tag),
+                "{} carries tag {tag:?} outside the vocabulary",
+                exp.id
+            );
+        }
+    }
+    // Every experiment is reachable by case-insensitive lookup.
+    assert!(registry::find("e13").is_some());
+    assert!(registry::find(" E13 ").is_some());
+    assert!(registry::find("E26").is_none());
 }
 
+/// Claim coverage: run the whole suite once at quick scale and require at
+/// least one claim per experiment — an experiment without claims cannot
+/// fail, which would silently hollow out the verdict table.
 #[test]
-fn e4_para() {
-    check(experiments::e4::run(Scale::Quick));
-}
-
-#[test]
-fn e5_mitigation_costs() {
-    check(experiments::e5::run(Scale::Quick));
-}
-
-#[test]
-fn e6_invariants() {
-    check(experiments::e6::run(Scale::Quick));
-}
-
-#[test]
-fn e7_exploit() {
-    check(experiments::e7::run(Scale::Quick));
-}
-
-#[test]
-fn e8_anvil() {
-    check(experiments::e8::run(Scale::Quick));
-}
-
-#[test]
-fn e9_retention_profiling() {
-    check(experiments::e9::run(Scale::Quick));
-}
-
-#[test]
-fn e10_flash_retention() {
-    check(experiments::e10::run(Scale::Quick));
-}
-
-#[test]
-fn e11_rfr() {
-    check(experiments::e11::run(Scale::Quick));
-}
-
-#[test]
-fn e12_read_disturb_nac() {
-    check(experiments::e12::run(Scale::Quick));
-}
-
-#[test]
-fn e13_two_step() {
-    check(experiments::e13::run(Scale::Quick));
-}
-
-#[test]
-fn e14_refresh_cost() {
-    check(experiments::e14::run(Scale::Quick));
-}
-
-#[test]
-fn e15_trr_evasion() {
-    check(experiments::e15::run(Scale::Quick));
-}
-
-#[test]
-fn e16_spd_adjacency() {
-    check(experiments::e16::run(Scale::Quick));
-}
-
-#[test]
-fn e17_data_pattern() {
-    check(experiments::e17::run(Scale::Quick));
-}
-
-#[test]
-fn e18_raidr_refresh() {
-    check(experiments::e18::run(Scale::Quick));
-}
-
-#[test]
-fn e19_pcm_drift() {
-    check(experiments::e19::run(Scale::Quick));
-}
-
-#[test]
-fn e20_pcm_wear_leveling() {
-    check(experiments::e20::run(Scale::Quick));
-}
-
-#[test]
-fn e21_avatar() {
-    check(experiments::e21::run(Scale::Quick));
-}
-
-#[test]
-fn e22_model_fitting() {
-    check(experiments::e22::run(Scale::Quick));
-}
-
-#[test]
-fn e23_field_study() {
-    check(experiments::e23::run(Scale::Quick));
-}
-
-#[test]
-fn e24_memory_tests() {
-    check(experiments::e24::run(Scale::Quick));
-}
-
-#[test]
-fn e25_intelligent_controller() {
-    check(experiments::e25::run(Scale::Quick));
+fn every_experiment_has_claims_at_quick_scale() {
+    let ctx = ExpContext::quick();
+    for exp in registry::registry() {
+        let result = exp.run(&ctx);
+        assert!(
+            !result.claims.is_empty(),
+            "{} returned no claim checks at quick scale",
+            exp.id
+        );
+    }
 }

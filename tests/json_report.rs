@@ -1,0 +1,321 @@
+//! Shape and round-trip tests for the structured JSON artifacts
+//! (`densemem::report::json`). The workspace vendors no JSON crate, so a
+//! minimal recursive-descent parser lives here — strict enough to reject
+//! malformed output (trailing commas, bad escapes, bare NaN), which is
+//! exactly what an external consumer would do.
+
+use densemem::experiments::{registry, ExpContext};
+use densemem::report::json;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key:?}")),
+            other => panic!("expected object with {key:?}, got {other:?}"),
+        }
+    }
+    fn arr(&self) -> &[Value] {
+        match self {
+            Value::Arr(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+    fn str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+    fn num(&self) -> f64 {
+        match self {
+            Value::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+    fn boolean(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &'a str) -> Result<Value, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).unwrap(), 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) if c < 0x20 => {
+                    return Err(format!("unescaped control byte {c:#x} in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                other => return Err(format!("expected , or }} got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Renders E1 at quick scale and checks the full artifact shape: every
+/// documented key present and of the right type, table rows as wide as
+/// their headers, claim records complete, and the `all_claims_pass`
+/// rollup consistent with the per-claim flags.
+#[test]
+fn e1_artifact_parses_and_has_documented_shape() {
+    let exp = registry::find("E1").expect("registered");
+    let ctx = ExpContext::quick().with_threads(2);
+    let (result, wall) = exp.run_timed(&ctx);
+    let text = json::render(exp, &result, &ctx, wall);
+    let v = Parser::parse(&text).expect("artifact must be well-formed JSON");
+
+    assert_eq!(v.get("schema_version").num(), 1.0);
+    assert_eq!(v.get("id").str(), "E1");
+    assert_eq!(v.get("title").str(), exp.title);
+    assert_eq!(v.get("paper_anchor").str(), exp.paper_anchor);
+    assert_eq!(v.get("scale").str(), "quick");
+    assert_eq!(v.get("seed").str(), "0xf161");
+    assert_eq!(v.get("threads").num(), 2.0);
+    assert!(v.get("wall_secs").num() >= 0.0);
+
+    let tags: Vec<&str> = v.get("tags").arr().iter().map(Value::str).collect();
+    assert_eq!(tags, exp.tags);
+
+    let tables = v.get("tables").arr();
+    assert_eq!(tables.len(), result.tables.len());
+    for (t_json, t) in tables.iter().zip(&result.tables) {
+        assert_eq!(t_json.get("title").str(), t.title());
+        let headers = t_json.get("headers").arr();
+        assert_eq!(headers.len(), t.headers().len());
+        for row in t_json.get("rows").arr() {
+            assert_eq!(row.arr().len(), headers.len(), "ragged row in {}", t.title());
+        }
+    }
+
+    let series = v.get("series").arr();
+    assert_eq!(series.len(), result.series.len());
+    for s in series {
+        s.get("name").str();
+        for pt in s.get("points").arr() {
+            assert_eq!(pt.arr().len(), 2, "series points are [x, y] pairs");
+        }
+    }
+
+    let claims = v.get("claims").arr();
+    assert_eq!(claims.len(), result.claims.len());
+    assert!(!claims.is_empty(), "E1 must carry claim checks");
+    let mut all_pass = true;
+    for c in claims {
+        c.get("claim").str();
+        c.get("paper").str();
+        c.get("measured").str();
+        all_pass &= c.get("pass").boolean();
+    }
+    assert_eq!(v.get("all_claims_pass").boolean(), all_pass);
+    assert_eq!(all_pass, result.all_claims_pass());
+
+    let notes = v.get("notes").arr();
+    assert_eq!(notes.len(), result.notes.len());
+}
+
+/// Hostile content round-trips: quotes, commas, newlines, control bytes,
+/// and non-finite floats in cells must survive rendering + parsing.
+#[test]
+fn hostile_strings_and_non_finite_floats_round_trip() {
+    use densemem::experiments::{ClaimCheck, ExperimentResult};
+    use densemem_stats::table::{Cell, Table};
+
+    let exp = registry::find("E1").expect("registered");
+    let nasty = "a \"quoted\", comma\nnewline\ttab \u{1} control";
+    let mut r = ExperimentResult::new("E1", "hostile");
+    let mut t = Table::new(nasty, &["x", "y"]);
+    t.row(vec![Cell::Str(nasty.to_owned()), Cell::Float(f64::NAN)]);
+    t.row(vec![Cell::Int(-3), Cell::Float(f64::INFINITY)]);
+    r.tables.push(t);
+    r.claims.push(ClaimCheck::new(nasty, nasty, nasty.to_owned(), true));
+    r.notes.push(nasty.to_owned());
+
+    let ctx = ExpContext::quick();
+    let text = json::render(exp, &r, &ctx, 0.0);
+    let v = Parser::parse(&text).expect("hostile artifact must stay well-formed");
+
+    let table = &v.get("tables").arr()[0];
+    assert_eq!(table.get("title").str(), nasty);
+    let rows = table.get("rows").arr();
+    assert_eq!(rows[0].arr()[0].str(), nasty);
+    assert_eq!(rows[0].arr()[1], Value::Null, "NaN must serialize as null");
+    assert_eq!(rows[1].arr()[1], Value::Null, "infinity must serialize as null");
+    assert_eq!(rows[1].arr()[0].num(), -3.0);
+    assert_eq!(v.get("claims").arr()[0].get("measured").str(), nasty);
+    assert_eq!(v.get("notes").arr()[0].str(), nasty);
+}
+
+/// The parser itself rejects malformed input (guards against the test
+/// being vacuously green).
+#[test]
+fn parser_rejects_malformed_json() {
+    assert!(Parser::parse("{\"a\": 1,}").is_err(), "trailing comma");
+    assert!(Parser::parse("{\"a\": NaN}").is_err(), "bare NaN");
+    assert!(Parser::parse("{\"a\": \"\u{1}\"}").is_err(), "raw control byte");
+    assert!(Parser::parse("{\"a\": 1} x").is_err(), "trailing garbage");
+    assert!(Parser::parse("[1, 2").is_err(), "unterminated array");
+    assert!(Parser::parse("{\"a\" 1}").is_err(), "missing colon");
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Full local CI gate: release build, test suite, clippy with warnings
-# denied. Everything runs --offline against the vendored dependencies.
+# Full local CI gate: release build, test suite, experiment suite with
+# JSON artifact validation, clippy with warnings denied. Everything runs
+# --offline against the vendored dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,6 +10,48 @@ cargo build --release --offline --workspace
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
+
+echo "== exp --quick --json-dir artifacts =="
+rm -rf artifacts
+./target/release/exp --quick --json-dir artifacts > /dev/null
+
+echo "== validate artifacts =="
+if command -v python3 > /dev/null; then
+    python3 - <<'EOF'
+import json, pathlib, sys
+
+artifacts = pathlib.Path("artifacts")
+ids = {f"E{i}" for i in range(1, 26)}
+seen = set()
+for path in sorted(artifacts.glob("*.json")):
+    doc = json.loads(path.read_text())  # dies here if malformed
+    for key in ("schema_version", "id", "title", "paper_anchor", "tags",
+                "scale", "seed", "threads", "wall_secs", "all_claims_pass",
+                "tables", "series", "claims", "notes"):
+        if key not in doc:
+            sys.exit(f"{path}: missing key {key!r}")
+    if doc["schema_version"] != 1:
+        sys.exit(f"{path}: unexpected schema_version {doc['schema_version']}")
+    if not doc["all_claims_pass"]:
+        sys.exit(f"{path}: claims failed")
+    if not all(c["pass"] for c in doc["claims"]):
+        sys.exit(f"{path}: per-claim flags contradict all_claims_pass")
+    if not artifacts.joinpath(doc["id"] + ".csv").exists():
+        sys.exit(f"{path}: missing CSV sibling")
+    seen.add(doc["id"])
+if seen != ids:
+    sys.exit(f"artifact ids {sorted(seen)} != expected E1..E25")
+print(f"artifacts OK: {len(seen)} experiments, all claims pass")
+EOF
+else
+    # Fallback without python3: every id present and no claim failures.
+    for i in $(seq 1 25); do
+        [ -f "artifacts/E$i.json" ] || { echo "missing artifacts/E$i.json"; exit 1; }
+        grep -q '"all_claims_pass": true' "artifacts/E$i.json" \
+            || { echo "artifacts/E$i.json: claims failed"; exit 1; }
+    done
+    echo "artifacts OK (python3 unavailable: structural checks skipped)"
+fi
 
 echo "== cargo clippy --offline -- -D warnings =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
