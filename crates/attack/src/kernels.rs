@@ -6,7 +6,7 @@
 //! buffer (every access is a row conflict), exactly as the real code's
 //! `clflush` + access pairs do.
 
-use densemem_ctrl::{CtrlError, MemoryController};
+use densemem_ctrl::{CtrlError, MemCommand, MemoryController};
 use densemem_stats::rng::substream;
 use rand::Rng;
 
@@ -147,6 +147,28 @@ impl HammerKernel {
         self.mode
     }
 
+    /// One pass over the pattern's rows against `ctrl`, expressed as
+    /// typed commands on the controller's request stream.
+    fn hammer_pass(&self, ctrl: &mut MemoryController) -> Result<(), CtrlError> {
+        let bank = self.pattern.bank();
+        for &row in self.pattern.rows() {
+            match self.mode {
+                AccessMode::Read => {
+                    ctrl.issue(MemCommand::Rd { bank, row, word: 0 })?;
+                }
+                AccessMode::Write => {
+                    // Write back the value already there (the attack
+                    // does not need to change the aggressor's data).
+                    let v = ctrl
+                        .issue(MemCommand::Rd { bank, row, word: 0 })?
+                        .expect("Rd returns a value");
+                    ctrl.issue(MemCommand::Wr { bank, row, word: 0, value: v })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs `iterations` passes over the pattern's rows against `ctrl`.
     ///
     /// # Errors
@@ -156,19 +178,7 @@ impl HammerKernel {
         let start_acts = ctrl.stats().activations;
         let start_ns = ctrl.now_ns();
         for _ in 0..iterations {
-            for &row in self.pattern.rows() {
-                match self.mode {
-                    AccessMode::Read => {
-                        ctrl.read(self.pattern.bank(), row, 0)?;
-                    }
-                    AccessMode::Write => {
-                        // Write back the value already there (the attack
-                        // does not need to change the aggressor's data).
-                        let v = ctrl.read(self.pattern.bank(), row, 0)?;
-                        ctrl.write(self.pattern.bank(), row, 0, v)?;
-                    }
-                }
-            }
+            self.hammer_pass(ctrl)?;
         }
         Ok(KernelReport {
             activations: ctrl.stats().activations - start_acts,
@@ -189,17 +199,7 @@ impl HammerKernel {
         let start_acts = ctrl.stats().activations;
         let start_ns = ctrl.now_ns();
         while ctrl.now_ns() < deadline_ns {
-            for &row in self.pattern.rows() {
-                match self.mode {
-                    AccessMode::Read => {
-                        ctrl.read(self.pattern.bank(), row, 0)?;
-                    }
-                    AccessMode::Write => {
-                        let v = ctrl.read(self.pattern.bank(), row, 0)?;
-                        ctrl.write(self.pattern.bank(), row, 0, v)?;
-                    }
-                }
-            }
+            self.hammer_pass(ctrl)?;
         }
         Ok(KernelReport {
             activations: ctrl.stats().activations - start_acts,
@@ -213,7 +213,7 @@ impl HammerKernel {
         let victims = self.pattern.victim_rows();
         ctrl.scan_flips()
             .into_iter()
-            .filter(|&(b, row, _, _)| b == self.pattern.bank() && victims.contains(&row))
+            .filter(|f| f.bank == self.pattern.bank() && victims.contains(&f.row()))
             .count()
     }
 }

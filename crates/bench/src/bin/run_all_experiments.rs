@@ -42,7 +42,7 @@ fn main() {
     // Calibration: the same E1+E2 registry entries serial, then at the
     // configured thread count. Determinism is the contract — the reports
     // must match bit for bit.
-    let (serial_secs, e1_serial, e2_serial) = run_hot_path(&ctx.with_threads(1));
+    let (serial_secs, e1_serial, e2_serial) = run_hot_path(&ctx.clone().with_threads(1));
     sw.lap("calibrate serial (E1+E2)");
     let (parallel_secs, e1_par, e2_par) = run_hot_path(&ctx);
     sw.lap(format!("calibrate {} threads (E1+E2)", cfg.threads()));

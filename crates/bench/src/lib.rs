@@ -39,6 +39,9 @@ pub struct HarnessArgs {
     pub threads: Option<usize>,
     /// `--seed S`: master seed override (decimal or `0x`-prefixed hex).
     pub seed: Option<u64>,
+    /// `--trace-dir DIR`: trace-aware experiments write their recorded
+    /// command streams as JSONL artifacts under DIR.
+    pub trace_dir: Option<PathBuf>,
     only: Vec<String>,
     skip: Vec<String>,
     tags: Vec<String>,
@@ -46,7 +49,7 @@ pub struct HarnessArgs {
 
 /// The `exp` binary's usage string.
 pub const USAGE: &str = "usage: exp [--quick] [--list] [--only e1,e7] [--skip e3] \
-[--tag dram|flash|pcm] [--json-dir DIR] [--threads N] [--seed S]";
+[--tag dram|flash|pcm] [--json-dir DIR] [--trace-dir DIR] [--threads N] [--seed S]";
 
 fn split_csv(v: &str) -> Vec<String> {
     v.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect()
@@ -86,6 +89,7 @@ impl HarnessArgs {
                 "--skip" => out.skip.extend(split_csv(&value(&mut it)?)),
                 "--tag" => out.tags.extend(split_csv(&value(&mut it)?)),
                 "--json-dir" => out.json_dir = Some(PathBuf::from(value(&mut it)?)),
+                "--trace-dir" => out.trace_dir = Some(PathBuf::from(value(&mut it)?)),
                 "--threads" => out.threads = Some(parse_u64(&value(&mut it)?)? as usize),
                 "--seed" => out.seed = Some(parse_u64(&value(&mut it)?)?),
                 other => return Err(format!("unknown flag {other:?}")),
@@ -124,6 +128,9 @@ impl HarnessArgs {
         }
         if let Some(s) = self.seed {
             ctx = ctx.with_seed(s);
+        }
+        if let Some(d) = &self.trace_dir {
+            ctx = ctx.with_trace_dir(d.clone());
         }
         ctx
     }
@@ -233,11 +240,12 @@ mod tests {
 
     #[test]
     fn context_overrides() {
-        let a = parse(&["--threads", "3", "--seed", "0xBEEF"]);
+        let a = parse(&["--threads", "3", "--seed", "0xBEEF", "--trace-dir", "artifacts/traces"]);
         let ctx = a.context();
         assert_eq!(ctx.par.threads(), 3);
         assert_eq!(ctx.seed, 0xBEEF);
         assert_eq!(ctx.scale, Scale::Full);
+        assert_eq!(ctx.trace_dir.as_deref(), Some(std::path::Path::new("artifacts/traces")));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 
 use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_ctrl::controller::MemoryController;
-use densemem_ctrl::mitigation::{Mitigation, MitigationCtx};
-use densemem_ctrl::Para;
+use densemem_ctrl::trace::{CommandObserver, CommandOrigin, MemCommand, ObserverCtx, TraceEvent};
+use densemem_ctrl::{Mitigation, Para};
 use densemem_dram::module::RowRemap;
 use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
 use densemem_stats::dist::Bernoulli;
@@ -31,20 +31,22 @@ impl ParaLogicalGuess {
     }
 }
 
-impl Mitigation for ParaLogicalGuess {
+impl CommandObserver for ParaLogicalGuess {
     fn name(&self) -> &'static str {
         "PARA (logical-adjacency guess)"
     }
 
-    fn on_precharge(&mut self, ctx: &mut MitigationCtx<'_>) {
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+        if event.origin != CommandOrigin::Controller {
+            return;
+        }
+        let MemCommand::Pre { bank, row } = event.cmd else { return };
         if self.bern.sample(&mut self.rng) {
             ctx.stats.mitigation_triggers += 1;
             // Refresh logical neighbours — which are NOT the physical
             // neighbours on a remapped device.
-            for n in [ctx.row.checked_sub(1), Some(ctx.row + 1)].into_iter().flatten() {
-                if ctx.module.refresh_row(ctx.bank, n, ctx.now).is_ok() {
-                    ctx.stats.mitigation_refreshes += 1;
-                }
+            for n in [row.checked_sub(1), Some(row + 1)].into_iter().flatten() {
+                ctx.refresh_row(bank, n);
             }
         }
     }

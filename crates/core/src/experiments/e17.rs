@@ -35,15 +35,10 @@ fn hammer_with_pattern(
         k.run(&mut ctrl, scale.iters(660_000, 2)).expect("valid pattern");
     }
     let flips = ctrl.scan_flips();
-    let d1 = flips
-        .iter()
-        .filter(|&&(_, row, _, _)| victims.contains(&row))
-        .count();
+    let d1 = flips.iter().filter(|f| victims.contains(&f.row())).count();
     let d2 = flips
         .iter()
-        .filter(|&&(_, row, _, _)| {
-            victims.iter().any(|&v| row == v - 3 || row == v + 3)
-        })
+        .filter(|f| victims.iter().any(|&v| f.row() == v - 3 || f.row() == v + 3))
         .count();
     (d1, d2)
 }

@@ -106,8 +106,8 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
     let flips: Vec<(usize, usize, u8)> = ctrl
         .scan_flips()
         .into_iter()
-        .filter(|&(_, row, _, _)| !aggressors.contains(&row))
-        .map(|(_, row, word, bit)| (row, word, bit))
+        .filter(|f| !aggressors.contains(&f.row()))
+        .map(|f| (f.row(), f.word(), f.bit()))
         .collect();
 
     let hist = WordErrorHistogram::from_flips(flips.iter().copied());

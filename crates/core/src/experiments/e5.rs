@@ -2,6 +2,7 @@
 //! counters need storage proportional to the number of rows ("very large
 //! hardware area"), while PARA needs none — and both stop the attack.
 
+use crate::experiments::tracekit::{record_requests, replay_into, write_artifact};
 use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::MemoryController;
@@ -49,8 +50,10 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
     }
     result.tables.push(t);
 
-    // Efficacy: each mitigation against the same attack.
-    let run_attack = |mitigation: Option<Box<dyn Mitigation>>| -> (usize, u64) {
+    // Efficacy: the attack's request stream is recorded once against the
+    // unmitigated controller, then replayed identically under each
+    // mitigation.
+    let make_controller = || {
         let profile = VintageProfile::new(Manufacturer::A, 2013);
         let mut module =
             Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 505);
@@ -62,19 +65,28 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
             )
             .expect("address in range");
         let mut ctrl = MemoryController::new(module, Default::default());
-        if let Some(m) = mitigation {
-            ctrl.set_mitigation(m);
-        }
         ctrl.fill(0xFF);
         ctrl.module_mut().bank_mut(0).fill_row(300, 0, 0).unwrap();
         ctrl.module_mut().bank_mut(0).fill_row(302, 0, 0).unwrap();
-        let k = HammerKernel::new(HammerPattern::double_sided(0, 301), AccessMode::Read);
-        k.run(&mut ctrl, scale.iters(1_400_000, 4)).expect("valid pattern");
+        ctrl
+    };
+    let k = HammerKernel::new(HammerPattern::double_sided(0, 301), AccessMode::Read);
+
+    let mut live = make_controller();
+    let trace = record_requests(&mut live, "double_sided", 505, |c| {
+        k.run(c, scale.iters(1_400_000, 4)).expect("valid pattern");
+    });
+    let f_none = k.victim_flips(&mut live);
+    write_artifact(&mut result, ctx, &trace);
+
+    let replay_under = |m: Box<dyn Mitigation>| -> (usize, u64) {
+        let mut ctrl = make_controller();
+        ctrl.set_mitigation(m);
+        replay_into(&trace, &mut ctrl);
         (k.victim_flips(&mut ctrl), ctrl.stats().mitigation_refreshes)
     };
-    let (f_none, _) = run_attack(None);
-    let (f_para, r_para) = run_attack(Some(Box::new(Para::new(0.001, 7).expect("valid"))));
-    let (f_cra, r_cra) = run_attack(Some(Box::new(Cra::new(60_000).expect("valid"))));
+    let (f_para, r_para) = replay_under(Box::new(Para::new(0.001, 7).expect("valid")));
+    let (f_cra, r_cra) = replay_under(Box::new(Cra::new(60_000).expect("valid")));
 
     let mut e = Table::new(
         "efficacy under double-sided attack",

@@ -9,6 +9,7 @@
 //! gate, and JSON report writer all share.
 
 pub mod registry;
+pub mod tracekit;
 
 pub mod e1;
 pub mod e2;
@@ -91,7 +92,7 @@ impl Scale {
 /// let b = densemem::experiments::e1::run(&fanned);
 /// assert_eq!(a, b); // determinism is the contract
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExpContext {
     /// Experiment scale.
     pub scale: Scale,
@@ -99,6 +100,10 @@ pub struct ExpContext {
     pub seed: u64,
     /// Thread policy for the experiment's Monte Carlo fan-out.
     pub par: ParConfig,
+    /// When set, trace-aware experiments write their recorded command
+    /// streams as JSONL files under this directory and list the paths in
+    /// [`ExperimentResult::trace_artifacts`].
+    pub trace_dir: Option<std::path::PathBuf>,
 }
 
 impl ExpContext {
@@ -106,7 +111,12 @@ impl ExpContext {
     /// ([`crate::DEFAULT_SEED`]) and the ambient (`DENSEMEM_THREADS`)
     /// thread policy.
     pub fn new(scale: Scale) -> Self {
-        Self { scale, seed: crate::DEFAULT_SEED, par: ParConfig::from_env() }
+        Self {
+            scale,
+            seed: crate::DEFAULT_SEED,
+            par: ParConfig::from_env(),
+            trace_dir: None,
+        }
     }
 
     /// [`Scale::Quick`] with defaults.
@@ -134,6 +144,13 @@ impl ExpContext {
     /// Replaces the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the directory trace-aware experiments write their JSONL
+    /// command-stream artifacts to.
+    pub fn with_trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
         self
     }
 }
@@ -173,12 +190,23 @@ pub struct ExperimentResult {
     pub claims: Vec<ClaimCheck>,
     /// Free-form notes (calibration caveats etc.).
     pub notes: Vec<String>,
+    /// Paths of JSONL trace artifacts written by this run (empty unless
+    /// the context's `trace_dir` was set).
+    pub trace_artifacts: Vec<String>,
 }
 
 impl ExperimentResult {
     /// Creates an empty result shell.
     pub fn new(id: &'static str, title: &'static str) -> Self {
-        Self { id, title, tables: Vec::new(), series: Vec::new(), claims: Vec::new(), notes: Vec::new() }
+        Self {
+            id,
+            title,
+            tables: Vec::new(),
+            series: Vec::new(),
+            claims: Vec::new(),
+            notes: Vec::new(),
+            trace_artifacts: Vec::new(),
+        }
     }
 
     /// Whether every claim check passed.

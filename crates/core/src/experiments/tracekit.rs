@@ -1,0 +1,116 @@
+//! Shared record/replay plumbing for the trace-aware experiments.
+//!
+//! E4, E5, E8 and E15 follow a record-once-replay-N discipline: the
+//! attack kernel runs exactly once against an unmitigated controller
+//! while a [`TraceRecorder`] captures its request stream, and every
+//! mitigation configuration is then evaluated by replaying that *same*
+//! stream. Identical inputs by construction — any difference in the
+//! outcome is attributable to the mitigation alone. When the context
+//! carries a `trace_dir`, the recorded stream is also persisted as a
+//! bounded JSONL artifact and listed on the experiment result.
+
+use crate::experiments::{ExpContext, ExperimentResult};
+use densemem_ctrl::{MemoryController, Trace, TraceFilter, TraceReplayer};
+
+/// Cap on events written per JSONL artifact. The in-memory trace used
+/// for replay is complete; the on-disk artifact is truncated to stay
+/// reviewable (its header records `events_total` vs `events_written`,
+/// so truncation is visible, never silent).
+pub const ARTIFACT_EVENT_CAP: usize = 200_000;
+
+/// Runs `drive` against `ctrl` while recording its request stream, and
+/// returns the snapshot. The recorder stays attached afterwards but the
+/// snapshot is an independent copy.
+pub fn record_requests(
+    ctrl: &mut MemoryController,
+    label: &str,
+    seed: u64,
+    drive: impl FnOnce(&mut MemoryController),
+) -> Trace {
+    let handle = ctrl.record_trace(usize::MAX, TraceFilter::Requests);
+    drive(ctrl);
+    handle.snapshot(label, seed)
+}
+
+/// Replays `trace` into `ctrl`, returning the number of commands
+/// re-issued.
+///
+/// # Panics
+///
+/// Panics if a recorded command fails to re-issue — a recorded stream
+/// must always apply cleanly to a same-geometry device.
+pub fn replay_into(trace: &Trace, ctrl: &mut MemoryController) -> u64 {
+    TraceReplayer::new(trace)
+        .replay(ctrl)
+        .expect("recorded trace replays cleanly")
+        .replayed
+}
+
+/// Persists `trace` under the context's `trace_dir` (if set) as
+/// `<id>_<label>.trace.jsonl`, bounded to [`ARTIFACT_EVENT_CAP`] events,
+/// and records the path (or the write failure) on the result.
+pub fn write_artifact(result: &mut ExperimentResult, ctx: &ExpContext, trace: &Trace) {
+    let Some(dir) = &ctx.trace_dir else { return };
+    let path = dir.join(format!("{}_{}.trace.jsonl", result.id, trace.label));
+    let written = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&path, trace.to_jsonl_head(ARTIFACT_EVENT_CAP)));
+    match written {
+        Ok(()) => result.trace_artifacts.push(path.display().to_string()),
+        Err(e) => result.notes.push(format!("trace artifact {} not written: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ExpContext, ExperimentResult};
+    use densemem_ctrl::controller::MemoryController;
+    use densemem_dram::module::RowRemap;
+    use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+
+    fn controller(seed: u64) -> MemoryController {
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, seed);
+        MemoryController::new(module, Default::default())
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_state() {
+        let mut live = controller(11);
+        live.fill(0xFF);
+        let trace = record_requests(&mut live, "unit", 11, |c| {
+            for i in 0..100 {
+                c.write(0, i % 8, 0, i as u64).unwrap();
+                c.read(0, i % 8, 0).unwrap();
+            }
+        });
+        assert_eq!(trace.len(), 200);
+
+        let mut replayed = controller(11);
+        replayed.fill(0xFF);
+        assert_eq!(replay_into(&trace, &mut replayed), 200);
+        assert_eq!(replayed.now_ns(), live.now_ns());
+        assert_eq!(replayed.read(0, 7, 0).unwrap(), live.read(0, 7, 0).unwrap());
+    }
+
+    #[test]
+    fn artifact_written_only_when_dir_set() {
+        let mut live = controller(12);
+        live.fill(0x00);
+        let trace = record_requests(&mut live, "artifact", 12, |c| {
+            c.read(0, 3, 0).unwrap();
+        });
+
+        let mut result = ExperimentResult::new("EX", "t");
+        write_artifact(&mut result, &ExpContext::quick(), &trace);
+        assert!(result.trace_artifacts.is_empty(), "no dir, no artifact");
+
+        let dir = std::env::temp_dir().join(format!("densemem-tracekit-{}", std::process::id()));
+        let ctx = ExpContext::quick().with_trace_dir(&dir);
+        write_artifact(&mut result, &ctx, &trace);
+        assert_eq!(result.trace_artifacts.len(), 1);
+        let text = std::fs::read_to_string(&result.trace_artifacts[0]).unwrap();
+        assert!(text.starts_with("{\"trace_version\":1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

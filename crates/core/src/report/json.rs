@@ -23,7 +23,8 @@
 //!   "tables": [{"title": "...", "headers": ["..."], "rows": [["A", 2013, 1.0e5]]}],
 //!   "series": [{"name": "...", "points": [[2013.2, 125.0]]}],
 //!   "claims": [{"claim": "...", "paper": "...", "measured": "...", "pass": true}],
-//!   "notes": ["..."]
+//!   "notes": ["..."],
+//!   "trace_artifacts": ["artifacts/traces/E15_many_sided.trace.jsonl"]
 //! }
 //! ```
 //!
@@ -163,7 +164,12 @@ pub fn render(exp: &Experiment, result: &ExperimentResult, ctx: &ExpContext, wal
     }
     let _ = writeln!(s, "  ],");
 
-    let _ = writeln!(s, "  \"notes\": {}", string_array(result.notes.iter().cloned()));
+    let _ = writeln!(s, "  \"notes\": {},", string_array(result.notes.iter().cloned()));
+    let _ = writeln!(
+        s,
+        "  \"trace_artifacts\": {}",
+        string_array(result.trace_artifacts.iter().cloned())
+    );
     s.push_str("}\n");
     s
 }
@@ -202,6 +208,7 @@ mod tests {
         r.series.push(series);
         r.claims.push(ClaimCheck::new("c", "p", "m".into(), true));
         r.notes.push("note with, comma".into());
+        r.trace_artifacts.push("artifacts/traces/E1_demo.trace.jsonl".into());
         let ctx = ExpContext::quick().with_threads(2).with_seed(0xF161);
         let json = render(exp, &r, &ctx, 0.5);
         for needle in [
@@ -218,6 +225,7 @@ mod tests {
             "\"points\": [[2013.0, 100000.0]]",
             "\"pass\": true",
             "note with, comma",
+            "\"trace_artifacts\": [\"artifacts/traces/E1_demo.trace.jsonl\"]",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }

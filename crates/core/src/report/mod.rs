@@ -37,6 +37,9 @@ pub fn render(result: &ExperimentResult) -> String {
     for n in &result.notes {
         out.push_str(&format!("note: {n}\n"));
     }
+    for t in &result.trace_artifacts {
+        out.push_str(&format!("trace: {t}\n"));
+    }
     out
 }
 
@@ -68,11 +71,13 @@ mod tests {
         r.tables.push(t);
         r.claims.push(ClaimCheck::new("c", "p", "m".into(), true));
         r.notes.push("calibrated".into());
+        r.trace_artifacts.push("artifacts/traces/E0_x.trace.jsonl".into());
         let s = render(&r);
         assert!(s.contains("E0"));
         assert!(s.contains("tbl"));
         assert!(s.contains("[PASS]"));
         assert!(s.contains("note: calibrated"));
+        assert!(s.contains("trace: artifacts/traces/E0_x.trace.jsonl"));
         let csv = render_csv(&r);
         assert!(csv.contains("# tbl"));
         assert!(csv.contains("x\n5"));

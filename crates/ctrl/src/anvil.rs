@@ -3,12 +3,13 @@
 //! ANVIL (Aweke et al., ASPLOS 2016) samples hardware performance
 //! counters to find processes generating suspiciously high row-activation
 //! rates to a small set of rows, then issues explicit reads (refreshes) to
-//! the potential victim rows. We model the detector at the controller:
+//! the potential victim rows. We model the detector at the controller as a
+//! [`CommandObserver`] watching controller-issued ACT commands:
 //! per-sampling-interval activation counts per row; any row whose count
 //! exceeds a rate threshold is flagged as an aggressor and its neighbours
 //! are refreshed.
 
-use crate::mitigation::{Mitigation, MitigationCtx};
+use crate::trace::{CommandObserver, CommandOrigin, MemCommand, ObserverCtx, TraceEvent};
 use std::collections::HashMap;
 
 /// ANVIL detector configuration.
@@ -74,26 +75,30 @@ impl AnvilDetector {
     }
 }
 
-impl Mitigation for AnvilDetector {
+impl CommandObserver for AnvilDetector {
     fn name(&self) -> &'static str {
         "ANVIL"
     }
 
-    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+        if event.origin != CommandOrigin::Controller {
+            return;
+        }
+        let MemCommand::Act { bank, row } = event.cmd else { return };
         if ctx.now.saturating_sub(self.window_start_ns) >= self.config.sample_interval_ns {
             self.window_start_ns = ctx.now;
             self.counts.clear();
         }
-        let c = self.counts.entry((ctx.bank, ctx.row)).or_insert(0);
+        let c = self.counts.entry((bank, row)).or_insert(0);
         *c += 1;
         if *c == self.config.act_threshold {
             // Detection: refresh the neighbours of the suspected aggressor
             // and keep counting (repeat offenders refresh again).
             self.detections += 1;
             ctx.stats.mitigation_triggers += 1;
-            self.flagged_rows.push((ctx.bank, ctx.row));
+            self.flagged_rows.push((bank, row));
             *c = 0;
-            ctx.refresh_neighbors();
+            ctx.refresh_neighbors(bank, row);
         }
     }
 
@@ -131,7 +136,7 @@ mod tests {
         let victim_flips: Vec<_> = c
             .scan_flips()
             .into_iter()
-            .filter(|&(_, row, _, _)| row != 100 && row != 102)
+            .filter(|f| f.row() != 100 && f.row() != 102)
             .collect();
         assert!(victim_flips.is_empty(), "selective refresh must prevent flips");
     }

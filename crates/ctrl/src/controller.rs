@@ -3,15 +3,24 @@
 //! Accesses are synchronous: each [`MemoryController::read`] /
 //! [`MemoryController::write`] advances simulated time by the appropriate
 //! DDR latencies (row hit vs row conflict), services any auto-refresh work
-//! that came due, and invokes the configured [`Mitigation`] at the
-//! activate/precharge/refresh hooks. This is the component both the attack
-//! kernels and the benign workloads drive.
+//! that came due, and narrates everything it does as typed
+//! [`TraceEvent`]s through its observer chain — request intent
+//! ([`CommandOrigin::Request`]), derived device commands
+//! ([`CommandOrigin::Controller`]: ACT on a miss, PRE on a conflict,
+//! REF from the refresh engine), and mitigation-injected refreshes
+//! ([`CommandOrigin::Mitigation`]). Mitigations, trace recorders, and
+//! probes all attach as [`CommandObserver`] middleware. This is the
+//! component both the attack kernels and the benign workloads drive,
+//! live or from a recorded trace via [`MemoryController::issue`].
 
 use crate::error::CtrlError;
-use crate::mitigation::{Mitigation, MitigationCtx, NoMitigation};
 use crate::refresh::RefreshEngine;
 use crate::stats::CtrlStats;
-use densemem_dram::{Module, Timing};
+use crate::trace::{
+    CommandObserver, CommandOrigin, MemCommand, ObserverChain, ObserverCtx, TraceEvent,
+    TraceFilter, TraceHandle, TraceRecorder,
+};
+use densemem_dram::{FlipRecord, Module, Timing};
 
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -68,7 +77,7 @@ pub struct MemoryController {
     module: Module,
     config: ControllerConfig,
     refresh: RefreshEngine,
-    mitigation: Box<dyn Mitigation>,
+    observers: ObserverChain,
     open_rows: Vec<Option<usize>>,
     /// Time of the last activation per bank, to enforce tRC.
     last_act_ns: Vec<u64>,
@@ -78,7 +87,8 @@ pub struct MemoryController {
 }
 
 impl MemoryController {
-    /// Creates a controller over `module` with no mitigation.
+    /// Creates a controller over `module` with an empty observer chain
+    /// (no mitigation).
     ///
     /// # Panics
     ///
@@ -93,7 +103,7 @@ impl MemoryController {
             module,
             config,
             refresh,
-            mitigation: Box::new(NoMitigation),
+            observers: ObserverChain::new(),
             open_rows: vec![None; banks],
             last_act_ns: vec![0; banks],
             stats: CtrlStats::default(),
@@ -102,26 +112,48 @@ impl MemoryController {
         }
     }
 
-    /// Installs a mitigation (builder style).
-    pub fn with_mitigation(mut self, mitigation: Box<dyn Mitigation>) -> Self {
-        self.mitigation = mitigation;
+    /// Appends a mitigation/observer to the chain (builder style).
+    pub fn with_mitigation(mut self, mitigation: Box<dyn CommandObserver>) -> Self {
+        self.observers.push(mitigation);
         self
     }
 
-    /// Replaces the mitigation in place.
-    pub fn set_mitigation(&mut self, mitigation: Box<dyn Mitigation>) {
-        self.mitigation = mitigation;
+    /// Replaces the whole observer chain with one mitigation.
+    pub fn set_mitigation(&mut self, mitigation: Box<dyn CommandObserver>) {
+        self.observers.clear();
+        self.observers.push(mitigation);
     }
 
-    /// The configured mitigation's name.
-    pub fn mitigation_name(&self) -> &'static str {
-        self.mitigation.name()
+    /// Appends an observer without clearing the chain (probes,
+    /// recorders, additional mitigations).
+    pub fn attach_observer(&mut self, observer: Box<dyn CommandObserver>) {
+        self.observers.push(observer);
     }
 
-    /// Mitigation storage cost in bits for this device.
+    /// Attaches a ring-buffered [`TraceRecorder`] keeping at most `cap`
+    /// events under `filter`, returning the shared handle for reading
+    /// the recording.
+    pub fn record_trace(&mut self, cap: usize, filter: TraceFilter) -> TraceHandle {
+        let recorder = TraceRecorder::new(cap, filter);
+        let handle = recorder.handle();
+        self.observers.push(Box::new(recorder));
+        handle
+    }
+
+    /// The observer chain's names, joined (`"none"` when empty).
+    pub fn mitigation_name(&self) -> String {
+        let names = self.observers.names();
+        if names.is_empty() {
+            "none".to_owned()
+        } else {
+            names.join("+")
+        }
+    }
+
+    /// Observer-chain storage cost in bits for this device.
     pub fn mitigation_storage_bits(&self) -> u64 {
         let rows = self.module.bank(0).geometry().rows();
-        self.mitigation.storage_bits(rows, self.module.bank_count())
+        self.observers.storage_bits(rows, self.module.bank_count())
     }
 
     /// Current simulated time (ns).
@@ -168,7 +200,9 @@ impl MemoryController {
     pub fn read(&mut self, bank: usize, row: usize, word: usize) -> Result<u64, CtrlError> {
         self.access(bank, row)?;
         self.stats.reads += 1;
-        Ok(self.module.read_word(bank, row, word)?)
+        let value = self.module.read_word(bank, row, word)?;
+        self.emit(CommandOrigin::Request, MemCommand::Rd { bank, row, word });
+        Ok(value)
     }
 
     /// Writes a word, advancing time and servicing refreshes.
@@ -186,6 +220,7 @@ impl MemoryController {
         self.access(bank, row)?;
         self.stats.writes += 1;
         self.module.write_word(bank, row, word, value)?;
+        self.emit(CommandOrigin::Request, MemCommand::Wr { bank, row, word, value });
         Ok(())
     }
 
@@ -196,7 +231,56 @@ impl MemoryController {
     ///
     /// Returns [`CtrlError`] for invalid addresses.
     pub fn touch(&mut self, bank: usize, row: usize) -> Result<(), CtrlError> {
-        self.access(bank, row)
+        self.access(bank, row)?;
+        self.emit(CommandOrigin::Request, MemCommand::Act { bank, row });
+        Ok(())
+    }
+
+    /// Issues one typed command — the entry point trace replay drives.
+    /// `Act` maps to [`Self::touch`], `Rd`/`Wr` to read/write (the read
+    /// value is returned), `Pre` closes the bank's open row, and
+    /// `Ref`/`RefRow` refresh the addressed row immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] for invalid addresses.
+    pub fn issue(&mut self, cmd: MemCommand) -> Result<Option<u64>, CtrlError> {
+        match cmd {
+            MemCommand::Act { bank, row } => {
+                self.touch(bank, row)?;
+                Ok(None)
+            }
+            MemCommand::Rd { bank, row, word } => self.read(bank, row, word).map(Some),
+            MemCommand::Wr { bank, row, word, value } => {
+                self.write(bank, row, word, value)?;
+                Ok(None)
+            }
+            MemCommand::Pre { bank, .. } => {
+                self.close_row(bank)?;
+                Ok(None)
+            }
+            MemCommand::Ref { bank, row } | MemCommand::RefRow { bank, row } => {
+                self.module.refresh_row(bank, row, self.now_ns)?;
+                self.emit(CommandOrigin::Request, MemCommand::RefRow { bank, row });
+                Ok(None)
+            }
+        }
+    }
+
+    /// Closes `bank`'s open row, if any (explicit precharge request).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] for an invalid bank.
+    pub fn close_row(&mut self, bank: usize) -> Result<(), CtrlError> {
+        self.check_bank(bank)?;
+        if let Some(row) = self.open_rows[bank] {
+            self.now_ns += self.config.timing.t_rp.round() as u64;
+            self.module.precharge(bank)?;
+            self.open_rows[bank] = None;
+            self.emit(CommandOrigin::Controller, MemCommand::Pre { bank, row });
+        }
+        Ok(())
     }
 
     /// Advances idle time to `target_ns`, servicing refreshes on the way.
@@ -208,13 +292,13 @@ impl MemoryController {
     }
 
     /// Scans the whole device against the last fill pattern and returns
-    /// flips as `(bank, row, word, bit)` tuples. Physical-row addressing.
-    pub fn scan_flips(&mut self) -> Vec<(usize, usize, usize, u8)> {
+    /// the flipped cells. Physical-row addressing.
+    pub fn scan_flips(&mut self) -> Vec<FlipRecord> {
         let now = self.now_ns;
         let mut out = Vec::new();
         for b in 0..self.module.bank_count() {
-            for f in self.module.bank_mut(b).scan_flips_from_fill(now) {
-                out.push((b, f.row, f.word, f.bit));
+            for addr in self.module.bank_mut(b).scan_flips_from_fill(now) {
+                out.push(FlipRecord { bank: b, addr });
             }
         }
         out
@@ -222,16 +306,47 @@ impl MemoryController {
 
     // ----- internals ---------------------------------------------------
 
-    /// Performs the row-buffer management for an access to `(bank, row)`.
-    fn access(&mut self, bank: usize, row: usize) -> Result<(), CtrlError> {
-        self.service_refresh();
-        let t = self.config.timing;
+    fn check_bank(&self, bank: usize) -> Result<(), CtrlError> {
         if bank >= self.open_rows.len() {
             return Err(CtrlError::Device(densemem_dram::DramError::BankOutOfRange {
                 bank,
                 banks: self.open_rows.len(),
             }));
         }
+        Ok(())
+    }
+
+    /// Announces one event to the observer chain. Commands the chain
+    /// injects (targeted refreshes) have already been executed against
+    /// the module; they are re-announced as [`CommandOrigin::Mitigation`]
+    /// events one level deep — injections triggered *by* a mitigation
+    /// event are executed but not re-announced, which bounds the fan-out.
+    fn emit(&mut self, origin: CommandOrigin, cmd: MemCommand) {
+        self.stats.commands_emitted += 1;
+        if self.observers.is_empty() {
+            return;
+        }
+        let event = TraceEvent { at_ns: self.now_ns, origin, cmd };
+        let injected = {
+            let Self { module, observers, stats, now_ns, .. } = self;
+            let mut ctx = ObserverCtx::new(module, stats, *now_ns);
+            observers.dispatch(&event, &mut ctx);
+            ctx.take_emitted()
+        };
+        for cmd in injected {
+            self.stats.commands_emitted += 1;
+            let event = TraceEvent { at_ns: self.now_ns, origin: CommandOrigin::Mitigation, cmd };
+            let Self { module, observers, stats, now_ns, .. } = self;
+            let mut ctx = ObserverCtx::new(module, stats, *now_ns);
+            observers.dispatch(&event, &mut ctx);
+        }
+    }
+
+    /// Performs the row-buffer management for an access to `(bank, row)`.
+    fn access(&mut self, bank: usize, row: usize) -> Result<(), CtrlError> {
+        self.service_refresh();
+        let t = self.config.timing;
+        self.check_bank(bank)?;
         match self.open_rows[bank] {
             Some(open) if open == row => {
                 self.stats.row_hits += 1;
@@ -239,19 +354,12 @@ impl MemoryController {
             }
             other => {
                 if let Some(old) = other {
-                    // Close the old row, giving the mitigation its hook.
+                    // Close the old row; the PRE event is the
+                    // mitigations' precharge hook.
                     self.stats.row_conflicts += 1;
                     self.now_ns += t.t_rp.round() as u64;
                     self.module.precharge(bank)?;
-                    let Self { module, mitigation, stats, now_ns, .. } = self;
-                    let mut ctx = MitigationCtx {
-                        module,
-                        bank,
-                        row: old,
-                        now: *now_ns,
-                        stats,
-                    };
-                    mitigation.on_precharge(&mut ctx);
+                    self.emit(CommandOrigin::Controller, MemCommand::Pre { bank, row: old });
                 }
                 // Enforce tRC: same-bank activations cannot be closer than
                 // t_rc apart — this is what bounds a hammering attacker's
@@ -262,20 +370,16 @@ impl MemoryController {
                 self.stats.activations += 1;
                 self.now_ns = act_time + (t.t_rcd + t.t_cl).round() as u64;
                 self.open_rows[bank] = Some(row);
-                let Self { module, mitigation, stats, now_ns, .. } = self;
-                let mut ctx = MitigationCtx { module, bank, row, now: *now_ns, stats };
-                mitigation.on_activate(&mut ctx);
+                self.emit(CommandOrigin::Controller, MemCommand::Act { bank, row });
             }
         }
         if self.config.page_policy == PagePolicy::Closed {
-            // Auto-precharge: close the row right away (and give the
-            // mitigation its precharge hook).
+            // Auto-precharge: close the row right away (with its PRE
+            // event for the mitigations).
             self.now_ns += t.t_rp.round() as u64;
             self.module.precharge(bank)?;
             self.open_rows[bank] = None;
-            let Self { module, mitigation, stats, now_ns, .. } = self;
-            let mut ctx = MitigationCtx { module, bank, row, now: *now_ns, stats };
-            mitigation.on_precharge(&mut ctx);
+            self.emit(CommandOrigin::Controller, MemCommand::Pre { bank, row });
         }
         Ok(())
     }
@@ -293,14 +397,12 @@ impl MemoryController {
                 if self.module.refresh_row(bank, row, self.now_ns).is_ok() {
                     self.stats.auto_refresh_rows += 1;
                 }
-                let Self { module, mitigation, stats, now_ns, .. } = self;
-                let mut ctx = MitigationCtx { module, bank, row, now: *now_ns, stats };
-                mitigation.on_refresh_tick(&mut ctx);
+                self.emit(CommandOrigin::Controller, MemCommand::Ref { bank, row });
             }
         }
         if windows > self.windows_seen {
             self.windows_seen = windows;
-            self.mitigation.on_window_reset();
+            self.observers.window_reset();
         }
     }
 }
@@ -309,10 +411,11 @@ impl MemoryController {
 mod tests {
     use super::*;
     use crate::mitigation::{Cra, Para};
+    use crate::trace::TraceReplayer;
     use densemem_dram::module::RowRemap;
     use densemem_dram::{BankGeometry, Manufacturer, VintageProfile};
 
-    fn controller(mult: f64, mitigation: Option<Box<dyn Mitigation>>) -> MemoryController {
+    fn controller(mult: f64, mitigation: Option<Box<dyn CommandObserver>>) -> MemoryController {
         let profile = VintageProfile::new(Manufacturer::A, 2013);
         let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 21);
         let cfg = ControllerConfig { refresh_multiplier: mult, ..Default::default() };
@@ -335,8 +438,8 @@ mod tests {
     fn victim_flips(ctrl: &mut MemoryController, aggressors: &[usize]) -> Vec<(usize, usize)> {
         ctrl.scan_flips()
             .into_iter()
-            .filter(|&(_, row, _, _)| !aggressors.contains(&row))
-            .map(|(b, row, _, _)| (b, row))
+            .filter(|f| !aggressors.contains(&f.row()))
+            .map(|f| (f.bank, f.row()))
             .collect()
     }
 
@@ -464,5 +567,66 @@ mod tests {
         let mut c = controller(1.0, None);
         assert!(c.read(5, 0, 0).is_err());
         assert!(c.touch(0, 1 << 30).is_err());
+    }
+
+    #[test]
+    fn recorded_trace_replays_to_identical_flips() {
+        let make = || {
+            let profile = VintageProfile::new(Manufacturer::A, 2013);
+            let mut module =
+                Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 33);
+            module
+                .bank_mut(0)
+                .inject_disturb_cell(
+                    densemem_dram::BitAddr { row: 101, word: 0, bit: 4 },
+                    250_000.0,
+                )
+                .unwrap();
+            let mut c = MemoryController::new(module, ControllerConfig::default());
+            c.fill(0xFF);
+            c.module_mut().bank_mut(0).fill_row(100, 0, 0).unwrap();
+            c.module_mut().bank_mut(0).fill_row(102, 0, 0).unwrap();
+            c
+        };
+        let mut live = make();
+        let handle = live.record_trace(usize::MAX, TraceFilter::Requests);
+        hammer(&mut live, 100, 102, 400_000);
+        let live_flips = live.scan_flips();
+        assert!(!live_flips.is_empty(), "the recorded attack must flip");
+        let trace = handle.snapshot("unit", 33);
+        assert_eq!(trace.len() as u64, 800_000);
+
+        let mut replayed = make();
+        let report = TraceReplayer::new(&trace).replay(&mut replayed).unwrap();
+        assert_eq!(report.replayed, 800_000);
+        assert_eq!(replayed.scan_flips(), live_flips, "replay must be bit-identical");
+        assert_eq!(replayed.now_ns(), live.now_ns(), "replay reproduces timing too");
+    }
+
+    #[test]
+    fn mitigation_name_reflects_the_chain() {
+        let mut c = controller(1.0, Some(Box::new(Para::new(0.001, 5).unwrap())));
+        assert_eq!(c.mitigation_name(), "PARA");
+        c.record_trace(16, TraceFilter::All);
+        assert_eq!(c.mitigation_name(), "PARA+trace-recorder");
+        c.set_mitigation(Box::new(crate::mitigation::NoMitigation));
+        assert_eq!(c.mitigation_name(), "none");
+    }
+
+    #[test]
+    fn issue_covers_every_command_kind() {
+        let mut c = controller(1.0, None);
+        c.fill(0xFF);
+        assert_eq!(
+            c.issue(MemCommand::Rd { bank: 0, row: 7, word: 0 }).unwrap(),
+            Some(u64::MAX)
+        );
+        c.issue(MemCommand::Wr { bank: 0, row: 7, word: 0, value: 5 }).unwrap();
+        assert_eq!(c.read(0, 7, 0).unwrap(), 5);
+        c.issue(MemCommand::Act { bank: 0, row: 9 }).unwrap();
+        c.issue(MemCommand::Pre { bank: 0, row: 9 }).unwrap();
+        c.issue(MemCommand::Ref { bank: 0, row: 9 }).unwrap();
+        assert!(c.issue(MemCommand::Act { bank: 5, row: 0 }).is_err());
+        assert!(c.stats().commands_emitted > 0);
     }
 }

@@ -10,6 +10,13 @@ pub enum CtrlError {
     Device(DramError),
     /// An invalid configuration parameter.
     InvalidConfig(&'static str),
+    /// A malformed JSONL trace (see [`crate::trace::Trace::from_jsonl`]).
+    TraceParse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CtrlError {
@@ -17,6 +24,9 @@ impl fmt::Display for CtrlError {
         match self {
             CtrlError::Device(e) => write!(f, "device error: {e}"),
             CtrlError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            CtrlError::TraceParse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
         }
     }
 }
@@ -25,7 +35,7 @@ impl std::error::Error for CtrlError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CtrlError::Device(e) => Some(e),
-            CtrlError::InvalidConfig(_) => None,
+            CtrlError::InvalidConfig(_) | CtrlError::TraceParse { .. } => None,
         }
     }
 }

@@ -3,11 +3,17 @@
 //!
 //! * [`controller`] — the open-page [`MemoryController`]: drives a
 //!   [`densemem_dram::Module`], tracks open rows, interleaves distributed
-//!   auto-refresh, and invokes the configured mitigation at the command
-//!   hooks.
-//! * [`mitigation`] — the mitigation suite: none, refresh-rate scaling
-//!   (via [`RefreshEngine`]'s multiplier), PARA (probabilistic adjacent
-//!   row activation), CRA (per-row activation counters), and sampling TRR.
+//!   auto-refresh, and narrates every command it issues through an
+//!   observer chain.
+//! * [`trace`] — the typed command stream: [`trace::MemCommand`] events
+//!   with origins, the [`trace::CommandObserver`] middleware trait, the
+//!   ring-buffered [`trace::TraceRecorder`], JSONL serialisation, and the
+//!   [`trace::TraceReplayer`] that re-drives a controller from a
+//!   recording.
+//! * [`mitigation`] — the mitigation suite as observer middleware: none,
+//!   refresh-rate scaling (via [`RefreshEngine`]'s multiplier), PARA
+//!   (probabilistic adjacent row activation), CRA (per-row activation
+//!   counters), and sampling TRR.
 //! * [`anvil`] — ANVIL-style software detection from activation-rate
 //!   sampling, with selective victim refresh.
 //! * [`refresh`] — the distributed refresh engine with a rate multiplier
@@ -43,13 +49,18 @@ pub mod mitigation;
 pub mod refresh;
 pub mod scheduler;
 pub mod stats;
+pub mod trace;
 
 pub use addrmap::AddressMapping;
 pub use anvil::{AnvilConfig, AnvilDetector};
 pub use controller::{ControllerConfig, MemoryController, PagePolicy};
 pub use energy::EnergyReport;
 pub use error::CtrlError;
-pub use mitigation::{CommandLog, Cra, InDramTrr, Mitigation, NoMitigation, Para, Stack, TrrSampler};
+pub use mitigation::{Cra, InDramTrr, Mitigation, NoMitigation, Para, Stack, TrrSampler};
 pub use refresh::RefreshEngine;
 pub use scheduler::{FrFcfsScheduler, MemRequest, RequestKind, SchedulerReport};
 pub use stats::CtrlStats;
+pub use trace::{
+    CommandLog, CommandObserver, CommandOrigin, MemCommand, ObserverChain, ObserverCtx,
+    ReplayReport, Trace, TraceEvent, TraceFilter, TraceHandle, TraceRecorder, TraceReplayer,
+};

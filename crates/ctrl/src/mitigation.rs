@@ -1,89 +1,55 @@
-//! RowHammer mitigations (§II-C of the paper).
+//! RowHammer mitigations (§II-C of the paper), as command-stream
+//! middleware.
 //!
-//! * [`NoMitigation`] — baseline.
+//! Every mitigation is a [`CommandObserver`] watching the controller's
+//! derived device commands ([`CommandOrigin::Controller`] events) —
+//! exactly the vantage point of its hardware counterpart — and issuing
+//! targeted neighbour refreshes through [`ObserverCtx`]:
+//!
+//! * [`NoMitigation`] — baseline (an inert observer).
 //! * [`Para`] — the paper's preferred long-term solution: on each row
-//!   close, refresh the adjacent rows with a small probability `p`. Zero
-//!   storage; overhead `≈ 2p` extra refreshes per activation.
+//!   close (PRE), refresh the adjacent rows with a small probability
+//!   `p`. Zero storage; overhead `≈ 2p` extra refreshes per activation.
 //! * [`Cra`] — counter-based accurate identification (the paper's sixth
 //!   long-term countermeasure): per-row activation counters trigger
 //!   neighbour refresh at a threshold. Effective, but the counters cost
 //!   storage proportional to the number of rows.
 //! * [`TrrSampler`] — a sampling target-row-refresh: probabilistically
-//!   record recent aggressors and refresh their neighbours on the next
-//!   auto-refresh tick. Models the in-DRAM TRR the paper's DDR4 discussion
-//!   alludes to (and that later work showed to be incomplete).
+//!   record recent aggressors (on ACT) and refresh their neighbours on
+//!   the next auto-refresh tick (REF). Models the in-DRAM TRR the
+//!   paper's DDR4 discussion alludes to (and that later work showed to
+//!   be incomplete).
+//! * [`InDramTrr`] — a DDR4-style Misra–Gries heavy-hitter tracker,
+//!   evadable by many-sided patterns (experiment E15).
+//! * [`Stack`] — fans every event out to several children.
+//!
+//! The old bespoke `Mitigation` hook trait is gone; `Mitigation` is
+//! re-exported as an alias of [`CommandObserver`] so existing
+//! `Box<dyn Mitigation>` signatures keep reading naturally. The
+//! stranded `CommandEvent`/`CommandKind`/`CommandLog` trio moved to
+//! [`crate::trace`] ([`MemCommand`] subsumes the kind enum;
+//! [`crate::trace::CommandLog`] records full [`TraceEvent`]s).
 
-use crate::stats::CtrlStats;
-use densemem_dram::{Module, Spd};
+use crate::trace::{CommandObserver, CommandOrigin, MemCommand, ObserverCtx, TraceEvent};
 use densemem_stats::dist::Bernoulli;
 use densemem_stats::rng::substream;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
 
-/// Context handed to mitigation hooks.
-#[derive(Debug)]
-pub struct MitigationCtx<'a> {
-    /// The device being protected.
-    pub module: &'a mut Module,
-    /// Bank of the triggering command.
-    pub bank: usize,
-    /// Logical row of the triggering command.
-    pub row: usize,
-    /// Current time, nanoseconds.
-    pub now: u64,
-    /// Controller statistics (mitigations account their refreshes here).
-    pub stats: &'a mut CtrlStats,
-}
-
-impl MitigationCtx<'_> {
-    /// Refreshes both physical neighbours of `row` (looked up through the
-    /// SPD adjacency the paper proposes devices disclose), accounting them
-    /// as mitigation refreshes.
-    pub fn refresh_neighbors(&mut self) {
-        let spd: Spd = self.module.spd();
-        let (lo, hi) = spd.logical_neighbors(self.row);
-        for n in [lo, hi].into_iter().flatten() {
-            if self.module.refresh_row(self.bank, n, self.now).is_ok() {
-                self.stats.mitigation_refreshes += 1;
-            }
-        }
-    }
-}
-
-/// A RowHammer mitigation plugged into the controller's command hooks.
-pub trait Mitigation: std::fmt::Debug + Send {
-    /// Human-readable name.
-    fn name(&self) -> &'static str;
-
-    /// Called after a row is activated.
-    fn on_activate(&mut self, _ctx: &mut MitigationCtx<'_>) {}
-
-    /// Called when a row is closed (precharged).
-    fn on_precharge(&mut self, _ctx: &mut MitigationCtx<'_>) {}
-
-    /// Called when the auto-refresh engine refreshes a row (TRR-style
-    /// mitigations piggyback here).
-    fn on_refresh_tick(&mut self, _ctx: &mut MitigationCtx<'_>) {}
-
-    /// Called when the refresh engine completes a full window sweep
-    /// (counter-based mitigations reset here).
-    fn on_window_reset(&mut self) {}
-
-    /// Storage the mitigation needs in the controller, in bits, for a
-    /// device with `rows` rows per bank and `banks` banks.
-    fn storage_bits(&self, _rows: usize, _banks: usize) -> u64 {
-        0
-    }
-}
+/// Mitigations are command observers; the old trait name remains as an
+/// alias for readability at call sites (`Box<dyn Mitigation>`).
+pub use crate::trace::CommandObserver as Mitigation;
 
 /// Baseline: no mitigation.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoMitigation;
 
-impl Mitigation for NoMitigation {
+impl CommandObserver for NoMitigation {
     fn name(&self) -> &'static str {
         "none"
     }
+
+    fn observe(&mut self, _event: &TraceEvent, _ctx: &mut ObserverCtx<'_>) {}
 }
 
 /// PARA: Probabilistic Adjacent Row Activation.
@@ -127,15 +93,20 @@ impl Para {
     }
 }
 
-impl Mitigation for Para {
+impl CommandObserver for Para {
     fn name(&self) -> &'static str {
         "PARA"
     }
 
-    fn on_precharge(&mut self, ctx: &mut MitigationCtx<'_>) {
-        if self.bern.sample(&mut self.rng) {
-            ctx.stats.mitigation_triggers += 1;
-            ctx.refresh_neighbors();
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+        if event.origin != CommandOrigin::Controller {
+            return;
+        }
+        if let MemCommand::Pre { bank, row } = event.cmd {
+            if self.bern.sample(&mut self.rng) {
+                ctx.stats.mitigation_triggers += 1;
+                ctx.refresh_neighbors(bank, row);
+            }
         }
     }
 }
@@ -170,18 +141,23 @@ impl Cra {
     }
 }
 
-impl Mitigation for Cra {
+impl CommandObserver for Cra {
     fn name(&self) -> &'static str {
         "CRA"
     }
 
-    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
-        let c = self.counters.entry((ctx.bank, ctx.row)).or_insert(0);
-        *c += 1;
-        if *c >= self.threshold {
-            *c = 0;
-            ctx.stats.mitigation_triggers += 1;
-            ctx.refresh_neighbors();
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+        if event.origin != CommandOrigin::Controller {
+            return;
+        }
+        if let MemCommand::Act { bank, row } = event.cmd {
+            let c = self.counters.entry((bank, row)).or_insert(0);
+            *c += 1;
+            if *c >= self.threshold {
+                *c = 0;
+                ctx.stats.mitigation_triggers += 1;
+                ctx.refresh_neighbors(bank, row);
+            }
         }
     }
 
@@ -229,30 +205,30 @@ impl TrrSampler {
     }
 }
 
-impl Mitigation for TrrSampler {
+impl CommandObserver for TrrSampler {
     fn name(&self) -> &'static str {
         "TRR-sampler"
     }
 
-    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
-        if self.sample.sample(&mut self.rng) {
-            if self.table.len() == self.table_size {
-                self.table.remove(0);
-            }
-            self.table.push((ctx.bank, ctx.row));
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+        if event.origin != CommandOrigin::Controller {
+            return;
         }
-    }
-
-    fn on_refresh_tick(&mut self, ctx: &mut MitigationCtx<'_>) {
-        // Serve one captured aggressor per refresh tick.
-        if let Some((bank, row)) = self.table.pop() {
-            ctx.stats.mitigation_triggers += 1;
-            let (b, r) = (ctx.bank, ctx.row);
-            ctx.bank = bank;
-            ctx.row = row;
-            ctx.refresh_neighbors();
-            ctx.bank = b;
-            ctx.row = r;
+        match event.cmd {
+            MemCommand::Act { bank, row } if self.sample.sample(&mut self.rng) => {
+                if self.table.len() == self.table_size {
+                    self.table.remove(0);
+                }
+                self.table.push((bank, row));
+            }
+            MemCommand::Ref { .. } => {
+                // Serve one captured aggressor per refresh tick.
+                if let Some((bank, row)) = self.table.pop() {
+                    ctx.stats.mitigation_triggers += 1;
+                    ctx.refresh_neighbors(bank, row);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -309,42 +285,44 @@ impl InDramTrr {
     }
 }
 
-impl Mitigation for InDramTrr {
+impl CommandObserver for InDramTrr {
     fn name(&self) -> &'static str {
         "in-DRAM TRR"
     }
 
-    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
-        let key = (ctx.bank, ctx.row);
-        // Misra–Gries heavy-hitter update.
-        if let Some(c) = self.table.get_mut(&key) {
-            *c += 1;
-        } else if self.table.len() < self.table_size {
-            self.table.insert(key, 1);
-        } else {
-            self.table.retain(|_, c| {
-                *c -= 1;
-                *c > 0
-            });
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+        if event.origin != CommandOrigin::Controller {
+            return;
         }
-    }
-
-    fn on_refresh_tick(&mut self, ctx: &mut MitigationCtx<'_>) {
-        let candidate = self
-            .table
-            .iter()
-            .max_by_key(|(_, &c)| c)
-            .filter(|(_, &c)| c >= self.fire_threshold)
-            .map(|(&k, _)| k);
-        if let Some((bank, row)) = candidate {
-            self.table.insert((bank, row), 1);
-            ctx.stats.mitigation_triggers += 1;
-            let (b, r) = (ctx.bank, ctx.row);
-            ctx.bank = bank;
-            ctx.row = row;
-            ctx.refresh_neighbors();
-            ctx.bank = b;
-            ctx.row = r;
+        match event.cmd {
+            MemCommand::Act { bank, row } => {
+                let key = (bank, row);
+                // Misra–Gries heavy-hitter update.
+                if let Some(c) = self.table.get_mut(&key) {
+                    *c += 1;
+                } else if self.table.len() < self.table_size {
+                    self.table.insert(key, 1);
+                } else {
+                    self.table.retain(|_, c| {
+                        *c -= 1;
+                        *c > 0
+                    });
+                }
+            }
+            MemCommand::Ref { .. } => {
+                let candidate = self
+                    .table
+                    .iter()
+                    .max_by_key(|(_, &c)| c)
+                    .filter(|(_, &c)| c >= self.fire_threshold)
+                    .map(|(&k, _)| k);
+                if let Some((bank, row)) = candidate {
+                    self.table.insert((bank, row), 1);
+                    ctx.stats.mitigation_triggers += 1;
+                    ctx.refresh_neighbors(bank, row);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -356,41 +334,32 @@ impl Mitigation for InDramTrr {
     }
 }
 
-/// Composes several mitigations/observers: every hook fans out to every
+/// Composes several mitigations/observers: every event fans out to every
 /// child in order. Lets a deployment run e.g. PARA *and* an ANVIL
-/// detector, or stack a [`CommandLog`] observer onto any mitigation.
+/// detector, or stack a [`crate::trace::CommandLog`] onto any
+/// mitigation. (The controller's own observer chain subsumes this for
+/// most uses; `Stack` remains for treating a composition as one
+/// replaceable unit.)
 #[derive(Debug)]
 pub struct Stack {
-    children: Vec<Box<dyn Mitigation>>,
+    children: Vec<Box<dyn CommandObserver>>,
 }
 
 impl Stack {
     /// Creates a stack from child mitigations (applied in order).
-    pub fn new(children: Vec<Box<dyn Mitigation>>) -> Self {
+    pub fn new(children: Vec<Box<dyn CommandObserver>>) -> Self {
         Self { children }
     }
 }
 
-impl Mitigation for Stack {
+impl CommandObserver for Stack {
     fn name(&self) -> &'static str {
         "stack"
     }
 
-    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
         for c in &mut self.children {
-            c.on_activate(ctx);
-        }
-    }
-
-    fn on_precharge(&mut self, ctx: &mut MitigationCtx<'_>) {
-        for c in &mut self.children {
-            c.on_precharge(ctx);
-        }
-    }
-
-    fn on_refresh_tick(&mut self, ctx: &mut MitigationCtx<'_>) {
-        for c in &mut self.children {
-            c.on_refresh_tick(ctx);
+            c.observe(event, ctx);
         }
     }
 
@@ -405,94 +374,21 @@ impl Mitigation for Stack {
     }
 }
 
-/// A recorded controller event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CommandEvent {
-    /// Timestamp, nanoseconds.
-    pub now: u64,
-    /// Bank.
-    pub bank: usize,
-    /// Row.
-    pub row: usize,
-    /// Event kind.
-    pub kind: CommandKind,
-}
-
-/// Kind of a recorded event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CommandKind {
-    /// Row activation.
-    Activate,
-    /// Row close.
-    Precharge,
-    /// Auto-refresh tick.
-    Refresh,
-}
-
-/// A pure observer that records the controller's command stream through
-/// the mitigation hooks — the §IV "testing methods" building block for
-/// trace capture/replay and coverage measurement.
-#[derive(Debug, Default)]
-pub struct CommandLog {
-    events: Vec<CommandEvent>,
-    cap: usize,
-}
-
-impl CommandLog {
-    /// Creates a log keeping at most `cap` events (oldest dropped).
-    pub fn new(cap: usize) -> Self {
-        Self { events: Vec::new(), cap: cap.max(1) }
-    }
-
-    /// The recorded events.
-    pub fn events(&self) -> &[CommandEvent] {
-        &self.events
-    }
-
-    fn push(&mut self, e: CommandEvent) {
-        if self.events.len() == self.cap {
-            self.events.remove(0);
-        }
-        self.events.push(e);
-    }
-}
-
-impl Mitigation for CommandLog {
-    fn name(&self) -> &'static str {
-        "command-log"
-    }
-
-    fn on_activate(&mut self, ctx: &mut MitigationCtx<'_>) {
-        self.push(CommandEvent {
-            now: ctx.now,
-            bank: ctx.bank,
-            row: ctx.row,
-            kind: CommandKind::Activate,
-        });
-    }
-
-    fn on_precharge(&mut self, ctx: &mut MitigationCtx<'_>) {
-        self.push(CommandEvent {
-            now: ctx.now,
-            bank: ctx.bank,
-            row: ctx.row,
-            kind: CommandKind::Precharge,
-        });
-    }
-
-    fn on_refresh_tick(&mut self, ctx: &mut MitigationCtx<'_>) {
-        self.push(CommandEvent {
-            now: ctx.now,
-            bank: ctx.bank,
-            row: ctx.row,
-            kind: CommandKind::Refresh,
-        });
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::CtrlStats;
+    use densemem_dram::module::RowRemap;
+    use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
+
+    fn test_module() -> Module {
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 5)
+    }
+
+    fn controller_event(cmd: MemCommand) -> TraceEvent {
+        TraceEvent { at_ns: 1, origin: CommandOrigin::Controller, cmd }
+    }
 
     #[test]
     fn para_validates_probability() {
@@ -511,6 +407,27 @@ mod tests {
     }
 
     #[test]
+    fn para_ignores_request_origin_events() {
+        // A p=1 PARA must fire on every *controller* PRE and never on the
+        // workload's request stream — mitigations watch device commands.
+        let mut para = Para::new(1.0, 1).unwrap();
+        let mut module = test_module();
+        let mut stats = CtrlStats::default();
+        let mut ctx = ObserverCtx::new(&mut module, &mut stats, 1);
+        let req = TraceEvent {
+            at_ns: 1,
+            origin: CommandOrigin::Request,
+            cmd: MemCommand::Pre { bank: 0, row: 10 },
+        };
+        para.observe(&req, &mut ctx);
+        assert_eq!(stats.mitigation_triggers, 0);
+        let mut ctx = ObserverCtx::new(&mut module, &mut stats, 1);
+        para.observe(&controller_event(MemCommand::Pre { bank: 0, row: 10 }), &mut ctx);
+        assert_eq!(stats.mitigation_triggers, 1);
+        assert_eq!(stats.mitigation_refreshes, 2);
+    }
+
+    #[test]
     fn cra_storage_scales_with_rows() {
         let c = Cra::new(100_000).unwrap();
         let small = c.storage_bits(1024, 1);
@@ -526,12 +443,42 @@ mod tests {
     }
 
     #[test]
+    fn cra_counts_activations_and_fires_at_threshold() {
+        let mut cra = Cra::new(3).unwrap();
+        let mut module = test_module();
+        let mut stats = CtrlStats::default();
+        for _ in 0..3 {
+            let mut ctx = ObserverCtx::new(&mut module, &mut stats, 1);
+            cra.observe(&controller_event(MemCommand::Act { bank: 0, row: 10 }), &mut ctx);
+        }
+        assert_eq!(stats.mitigation_triggers, 1);
+        cra.on_window_reset();
+        let mut ctx = ObserverCtx::new(&mut module, &mut stats, 1);
+        cra.observe(&controller_event(MemCommand::Act { bank: 0, row: 10 }), &mut ctx);
+        assert_eq!(stats.mitigation_triggers, 1, "window reset cleared the counters");
+    }
+
+    #[test]
     fn trr_validates_and_reports_storage() {
         assert!(TrrSampler::new(2.0, 8, 1).is_err());
         assert!(TrrSampler::new(0.01, 0, 1).is_err());
         let t = TrrSampler::new(0.01, 16, 1).unwrap();
         assert!(t.storage_bits(1024, 2) > 0);
         assert!(t.storage_bits(1024, 2) < Cra::new(1000).unwrap().storage_bits(1024, 2));
+    }
+
+    #[test]
+    fn trr_sampler_captures_on_act_and_serves_on_ref() {
+        let mut trr = TrrSampler::new(1.0, 8, 1).unwrap();
+        let mut module = test_module();
+        let mut stats = CtrlStats::default();
+        let mut ctx = ObserverCtx::new(&mut module, &mut stats, 1);
+        trr.observe(&controller_event(MemCommand::Act { bank: 0, row: 10 }), &mut ctx);
+        assert_eq!(trr.captured(), 1);
+        let mut ctx = ObserverCtx::new(&mut module, &mut stats, 1);
+        trr.observe(&controller_event(MemCommand::Ref { bank: 0, row: 500 }), &mut ctx);
+        assert_eq!(trr.captured(), 0);
+        assert_eq!(stats.mitigation_triggers, 1);
     }
 
     #[test]
@@ -550,16 +497,6 @@ mod tests {
             + TrrSampler::new(0.01, 8, 1).unwrap().storage_bits(1024, 2);
         assert_eq!(s.storage_bits(1024, 2), expected);
         assert_eq!(s.name(), "stack");
-    }
-
-    #[test]
-    fn command_log_caps_events() {
-        let mut log = CommandLog::new(2);
-        for i in 0..5u64 {
-            log.push(CommandEvent { now: i, bank: 0, row: 0, kind: CommandKind::Activate });
-        }
-        assert_eq!(log.events().len(), 2);
-        assert_eq!(log.events()[0].now, 3);
     }
 
     #[test]

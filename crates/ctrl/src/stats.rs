@@ -28,6 +28,8 @@ pub struct CtrlStats {
     /// Mitigation trigger events (e.g. CRA threshold crossings, ANVIL
     /// detections).
     pub mitigation_triggers: u64,
+    /// Trace events announced to the observer chain (all origins).
+    pub commands_emitted: u64,
 }
 
 impl CtrlStats {

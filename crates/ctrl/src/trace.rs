@@ -1,0 +1,827 @@
+//! The typed memory-command stream: the first-class representation of
+//! what the paper argues RowHammer *is* — an access-pattern phenomenon.
+//!
+//! Everything the controller does is narrated as [`TraceEvent`]s (a
+//! [`MemCommand`] plus timestamp and [`CommandOrigin`]) through an
+//! observer chain:
+//!
+//! * [`CommandObserver`] — the middleware trait. All mitigations
+//!   (PARA, CRA, TRR, ANVIL, …) implement it, watching the derived
+//!   device-command stream exactly as their hardware counterparts do,
+//!   and issuing targeted refreshes through [`ObserverCtx`].
+//! * [`TraceRecorder`] — a ring-buffered recorder observer; its shared
+//!   [`TraceHandle`] yields a [`Trace`] snapshot after the run.
+//! * [`Trace`] — a recorded stream with JSONL round-trip
+//!   ([`Trace::to_jsonl`] / [`Trace::from_jsonl`]) for regression
+//!   artifacts, following the `report::json` hand-rolled conventions.
+//! * [`TraceReplayer`] — drives a fresh [`crate::MemoryController`]
+//!   from the request-origin events of a recorded trace, so one
+//!   recorded attack replays bit-identically against every mitigation
+//!   configuration (record once, replay N).
+//! * [`CommandLog`] — a minimal in-chain ring logger (the successor of
+//!   the old `mitigation::CommandLog`).
+//!
+//! # Origin semantics
+//!
+//! [`CommandOrigin::Request`] events are the workload's *intent* (the
+//! reads/writes/touches issued into the controller) — this is the
+//! stream a replay re-issues. [`CommandOrigin::Controller`] events are
+//! the *derived* device commands (ACT on a row miss, PRE on a
+//! conflict, REF from the refresh engine) — this is the stream
+//! mitigations observe. [`CommandOrigin::Mitigation`] events are the
+//! targeted refreshes mitigations inject. Because mitigations never
+//! advance time or change the open-row state, replaying the request
+//! stream under any mitigation derives the identical device stream.
+
+use crate::error::CtrlError;
+use crate::stats::CtrlStats;
+use densemem_dram::{Module, Spd};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// One typed DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemCommand {
+    /// Row activation (as a request: the bare "hammer" touch).
+    Act {
+        /// Bank.
+        bank: usize,
+        /// Row.
+        row: usize,
+    },
+    /// Row precharge (close).
+    Pre {
+        /// Bank.
+        bank: usize,
+        /// Row being closed.
+        row: usize,
+    },
+    /// Column read.
+    Rd {
+        /// Bank.
+        bank: usize,
+        /// Row.
+        row: usize,
+        /// 64-bit word index.
+        word: usize,
+    },
+    /// Column write.
+    Wr {
+        /// Bank.
+        bank: usize,
+        /// Row.
+        row: usize,
+        /// 64-bit word index.
+        word: usize,
+        /// Value written.
+        value: u64,
+    },
+    /// Auto-refresh of one row (from the distributed refresh engine).
+    Ref {
+        /// Bank.
+        bank: usize,
+        /// Row.
+        row: usize,
+    },
+    /// Targeted row refresh (mitigation-issued neighbour refresh).
+    RefRow {
+        /// Bank.
+        bank: usize,
+        /// Row.
+        row: usize,
+    },
+}
+
+impl MemCommand {
+    /// The command's bank.
+    pub fn bank(&self) -> usize {
+        match *self {
+            MemCommand::Act { bank, .. }
+            | MemCommand::Pre { bank, .. }
+            | MemCommand::Rd { bank, .. }
+            | MemCommand::Wr { bank, .. }
+            | MemCommand::Ref { bank, .. }
+            | MemCommand::RefRow { bank, .. } => bank,
+        }
+    }
+
+    /// The command's row.
+    pub fn row(&self) -> usize {
+        match *self {
+            MemCommand::Act { row, .. }
+            | MemCommand::Pre { row, .. }
+            | MemCommand::Rd { row, .. }
+            | MemCommand::Wr { row, .. }
+            | MemCommand::Ref { row, .. }
+            | MemCommand::RefRow { row, .. } => row,
+        }
+    }
+
+    /// Short mnemonic ("act", "pre", "rd", "wr", "ref", "refrow").
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            MemCommand::Act { .. } => "act",
+            MemCommand::Pre { .. } => "pre",
+            MemCommand::Rd { .. } => "rd",
+            MemCommand::Wr { .. } => "wr",
+            MemCommand::Ref { .. } => "ref",
+            MemCommand::RefRow { .. } => "refrow",
+        }
+    }
+}
+
+/// Who caused a command (see the module docs for the exact semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandOrigin {
+    /// Workload intent issued into the controller (replayable).
+    Request,
+    /// Device command derived by the controller (ACT/PRE/REF).
+    Controller,
+    /// Targeted refresh injected by a mitigation observer.
+    Mitigation,
+}
+
+impl CommandOrigin {
+    /// Short mnemonic ("req", "ctl", "mit").
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            CommandOrigin::Request => "req",
+            CommandOrigin::Controller => "ctl",
+            CommandOrigin::Mitigation => "mit",
+        }
+    }
+}
+
+/// One event of the command stream: a timestamped, attributed command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// Simulated time the command completed, nanoseconds.
+    pub at_ns: u64,
+    /// Origin of the command.
+    pub origin: CommandOrigin,
+    /// The command.
+    pub cmd: MemCommand,
+}
+
+/// Context handed to observers: device access for targeted refreshes,
+/// the controller's stats, and the current time. Commands an observer
+/// injects (via [`ObserverCtx::refresh_row`]) are executed immediately
+/// and re-announced to the whole chain as
+/// [`CommandOrigin::Mitigation`] events (one level deep — injected
+/// events cannot themselves trigger further injection, which keeps the
+/// chain's fan-out finite by construction).
+#[derive(Debug)]
+pub struct ObserverCtx<'a> {
+    /// The device being protected.
+    pub module: &'a mut Module,
+    /// Controller statistics (observers account their refreshes here).
+    pub stats: &'a mut CtrlStats,
+    /// Current simulated time, nanoseconds.
+    pub now: u64,
+    emitted: Vec<MemCommand>,
+}
+
+impl<'a> ObserverCtx<'a> {
+    /// Creates a context (controller-internal; public for tests and
+    /// custom drivers).
+    pub fn new(module: &'a mut Module, stats: &'a mut CtrlStats, now: u64) -> Self {
+        Self { module, stats, now, emitted: Vec::new() }
+    }
+
+    /// Refreshes one row now, accounting it as a mitigation refresh and
+    /// queueing the corresponding [`MemCommand::RefRow`] announcement.
+    pub fn refresh_row(&mut self, bank: usize, row: usize) {
+        if self.module.refresh_row(bank, row, self.now).is_ok() {
+            self.stats.mitigation_refreshes += 1;
+            self.emitted.push(MemCommand::RefRow { bank, row });
+        }
+    }
+
+    /// Refreshes both physical neighbours of `row` (looked up through
+    /// the SPD adjacency the paper proposes devices disclose).
+    pub fn refresh_neighbors(&mut self, bank: usize, row: usize) {
+        let spd: Spd = self.module.spd();
+        let (lo, hi) = spd.logical_neighbors(row);
+        for n in [lo, hi].into_iter().flatten() {
+            self.refresh_row(bank, n);
+        }
+    }
+
+    /// Drains the commands injected so far (controller-internal).
+    pub fn take_emitted(&mut self) -> Vec<MemCommand> {
+        std::mem::take(&mut self.emitted)
+    }
+}
+
+/// Middleware on the controller's command stream. Mitigations, trace
+/// recorders, and ad-hoc probes all implement this one trait and
+/// compose in an [`ObserverChain`].
+pub trait CommandObserver: std::fmt::Debug + Send {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// Called for every event the controller emits.
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>);
+
+    /// Called when the refresh engine completes a full window sweep
+    /// (counter-based mitigations reset here).
+    fn on_window_reset(&mut self) {}
+
+    /// Storage the observer needs in the controller, in bits, for a
+    /// device with `rows` rows per bank and `banks` banks.
+    fn storage_bits(&self, _rows: usize, _banks: usize) -> u64 {
+        0
+    }
+}
+
+/// An ordered chain of observers; every emitted event fans out to each
+/// in turn.
+#[derive(Debug, Default)]
+pub struct ObserverChain {
+    observers: Vec<Box<dyn CommandObserver>>,
+}
+
+impl ObserverChain {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an observer.
+    pub fn push(&mut self, observer: Box<dyn CommandObserver>) {
+        self.observers.push(observer);
+    }
+
+    /// Removes every observer.
+    pub fn clear(&mut self) {
+        self.observers.clear();
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.observers.is_empty()
+    }
+
+    /// Number of observers.
+    pub fn len(&self) -> usize {
+        self.observers.len()
+    }
+
+    /// The observers' names, in chain order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.observers.iter().map(|o| o.name()).collect()
+    }
+
+    /// Total storage cost of the chain.
+    pub fn storage_bits(&self, rows: usize, banks: usize) -> u64 {
+        self.observers.iter().map(|o| o.storage_bits(rows, banks)).sum()
+    }
+
+    /// Fans a window reset out to every observer.
+    pub fn window_reset(&mut self) {
+        for o in &mut self.observers {
+            o.on_window_reset();
+        }
+    }
+
+    /// Fans one event out to every observer.
+    pub fn dispatch(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+        for o in &mut self.observers {
+            o.observe(event, ctx);
+        }
+    }
+}
+
+/// Which events a [`TraceRecorder`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFilter {
+    /// Everything: requests, derived device commands, mitigations.
+    All,
+    /// Only [`CommandOrigin::Request`] events — the replayable stream.
+    Requests,
+    /// Only derived device commands and mitigation refreshes.
+    DeviceOnly,
+}
+
+impl TraceFilter {
+    /// Whether an event passes the filter.
+    pub fn keeps(&self, event: &TraceEvent) -> bool {
+        match self {
+            TraceFilter::All => true,
+            TraceFilter::Requests => event.origin == CommandOrigin::Request,
+            TraceFilter::DeviceOnly => event.origin != CommandOrigin::Request,
+        }
+    }
+
+    /// Mnemonic used in the JSONL header.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            TraceFilter::All => "all",
+            TraceFilter::Requests => "requests",
+            TraceFilter::DeviceOnly => "device",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// A ring-buffered recorder observer. Attach via
+/// [`crate::MemoryController::record_trace`]; read the result through
+/// the shared [`TraceHandle`] after (or during) the run.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    shared: Arc<Mutex<TraceBuffer>>,
+    filter: TraceFilter,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder keeping at most `cap` events (oldest dropped;
+    /// the drop count is preserved in the snapshot).
+    pub fn new(cap: usize, filter: TraceFilter) -> Self {
+        let buffer = TraceBuffer { events: VecDeque::new(), cap: cap.max(1), dropped: 0 };
+        Self { shared: Arc::new(Mutex::new(buffer)), filter }
+    }
+
+    /// A handle for reading the recording after the recorder has been
+    /// boxed into a controller's observer chain.
+    pub fn handle(&self) -> TraceHandle {
+        TraceHandle { shared: Arc::clone(&self.shared), filter: self.filter }
+    }
+}
+
+impl CommandObserver for TraceRecorder {
+    fn name(&self) -> &'static str {
+        "trace-recorder"
+    }
+
+    fn observe(&mut self, event: &TraceEvent, _ctx: &mut ObserverCtx<'_>) {
+        if self.filter.keeps(event) {
+            self.shared.lock().expect("recorder lock").push(*event);
+        }
+    }
+}
+
+/// Shared view of a [`TraceRecorder`]'s ring buffer.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    shared: Arc<Mutex<TraceBuffer>>,
+    filter: TraceFilter,
+}
+
+impl TraceHandle {
+    /// Snapshots the recording into an owned [`Trace`] labelled `label`.
+    pub fn snapshot(&self, label: &str, seed: u64) -> Trace {
+        let buffer = self.shared.lock().expect("recorder lock");
+        Trace {
+            label: label.to_owned(),
+            seed,
+            filter: self.filter,
+            dropped: buffer.dropped,
+            events: buffer.events.iter().copied().collect(),
+        }
+    }
+
+    /// Events currently recorded.
+    pub fn len(&self) -> usize {
+        self.shared.lock().expect("recorder lock").events.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An owned, labelled recording of the command stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Human label (experiment id + pattern, e.g. `E15_many_sided`).
+    pub label: String,
+    /// Master seed of the run that produced the trace.
+    pub seed: u64,
+    /// The filter the recorder ran with.
+    pub filter: TraceFilter,
+    /// Events evicted by the ring buffer before the snapshot.
+    pub dropped: u64,
+    /// The recorded events, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The replayable subset: request-origin events, in order.
+    pub fn requests(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| e.origin == CommandOrigin::Request)
+    }
+
+    /// Serializes the whole trace as JSONL: one header object, then one
+    /// object per event (`Trace::from_jsonl` round-trips it).
+    pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_head(self.events.len())
+    }
+
+    /// Serializes the header plus at most the first `head` events —
+    /// bounded artifacts for multi-million-event recordings. The header
+    /// records both totals, so truncation is always visible.
+    pub fn to_jsonl_head(&self, head: usize) -> String {
+        let written = head.min(self.events.len());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"trace_version\":1,\"label\":\"{}\",\"seed\":\"{:#x}\",\"filter\":\"{}\",\
+             \"events_total\":{},\"events_written\":{},\"ring_dropped\":{}}}",
+            escape(&self.label),
+            self.seed,
+            self.filter.mnemonic(),
+            self.events.len(),
+            written,
+            self.dropped,
+        );
+        for e in &self.events[..written] {
+            let _ = write!(
+                out,
+                "{{\"t\":{},\"o\":\"{}\",\"c\":\"{}\",\"b\":{},\"r\":{}",
+                e.at_ns,
+                e.origin.mnemonic(),
+                e.cmd.mnemonic(),
+                e.cmd.bank(),
+                e.cmd.row()
+            );
+            match e.cmd {
+                MemCommand::Rd { word, .. } => {
+                    let _ = write!(out, ",\"w\":{word}");
+                }
+                MemCommand::Wr { word, value, .. } => {
+                    // Hex string: survives parsers that read all JSON
+                    // numbers as f64.
+                    let _ = write!(out, ",\"w\":{word},\"v\":\"{value:#x}\"");
+                }
+                _ => {}
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Parses a trace back from its JSONL form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError::TraceParse`] on malformed input.
+    pub fn from_jsonl(text: &str) -> Result<Self, CtrlError> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (n, header) = lines
+            .next()
+            .ok_or_else(|| parse_err(0, "empty trace"))?;
+        if field(header, "trace_version") != Some("1".to_owned()) {
+            return Err(parse_err(n + 1, "missing or unsupported trace_version"));
+        }
+        let label = field(header, "label").unwrap_or_default();
+        let seed = parse_u64(&field(header, "seed").unwrap_or_else(|| "0".to_owned()))
+            .map_err(|m| parse_err(n + 1, &m))?;
+        let filter = match field(header, "filter").as_deref() {
+            Some("requests") => TraceFilter::Requests,
+            Some("device") => TraceFilter::DeviceOnly,
+            _ => TraceFilter::All,
+        };
+        let dropped = parse_u64(&field(header, "ring_dropped").unwrap_or_else(|| "0".to_owned()))
+            .map_err(|m| parse_err(n + 1, &m))?;
+        let mut events = Vec::new();
+        for (i, line) in lines {
+            let lineno = i + 1;
+            let need = |key: &str| -> Result<String, CtrlError> {
+                field(line, key).ok_or_else(|| parse_err(lineno, &format!("missing key {key:?}")))
+            };
+            let at_ns = parse_u64(&need("t")?).map_err(|m| parse_err(lineno, &m))?;
+            let origin = match need("o")?.as_str() {
+                "req" => CommandOrigin::Request,
+                "ctl" => CommandOrigin::Controller,
+                "mit" => CommandOrigin::Mitigation,
+                other => return Err(parse_err(lineno, &format!("unknown origin {other:?}"))),
+            };
+            let bank = parse_u64(&need("b")?).map_err(|m| parse_err(lineno, &m))? as usize;
+            let row = parse_u64(&need("r")?).map_err(|m| parse_err(lineno, &m))? as usize;
+            let word = || -> Result<usize, CtrlError> {
+                Ok(parse_u64(&need("w")?).map_err(|m| parse_err(lineno, &m))? as usize)
+            };
+            let cmd = match need("c")?.as_str() {
+                "act" => MemCommand::Act { bank, row },
+                "pre" => MemCommand::Pre { bank, row },
+                "ref" => MemCommand::Ref { bank, row },
+                "refrow" => MemCommand::RefRow { bank, row },
+                "rd" => MemCommand::Rd { bank, row, word: word()? },
+                "wr" => MemCommand::Wr {
+                    bank,
+                    row,
+                    word: word()?,
+                    value: parse_u64(&need("v")?).map_err(|m| parse_err(lineno, &m))?,
+                },
+                other => return Err(parse_err(lineno, &format!("unknown command {other:?}"))),
+            };
+            events.push(TraceEvent { at_ns, origin, cmd });
+        }
+        Ok(Self { label, seed, filter, dropped, events })
+    }
+}
+
+fn parse_err(line: usize, reason: &str) -> CtrlError {
+    CtrlError::TraceParse { line, reason: reason.to_owned() }
+}
+
+fn parse_u64(v: &str) -> Result<u64, String> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|e| format!("bad hex value {v:?}: {e}"))
+    } else {
+        v.parse().map_err(|e| format!("bad value {v:?}: {e}"))
+    }
+}
+
+/// Escapes a string for a JSON string literal (the small subset the
+/// trace writer needs; mirrors the core report conventions).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts the value of `"key":...` from one flat JSON object line.
+/// Values are either numbers/bools (read to the next `,`/`}`) or quoted
+/// strings (minimal unescaping of `\"` and `\\`).
+fn field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let rest = rest.trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = stripped.chars();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    other => out.push(other),
+                },
+                '"' => return Some(out),
+                c => out.push(c),
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().to_owned())
+    }
+}
+
+/// Report of one trace replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Request events re-issued.
+    pub replayed: u64,
+    /// Non-request events skipped (present when replaying an
+    /// all-origins trace — the controller re-derives them itself).
+    pub skipped: u64,
+}
+
+/// Replays a recorded trace's request stream into a controller.
+#[derive(Debug)]
+pub struct TraceReplayer<'t> {
+    trace: &'t Trace,
+}
+
+impl<'t> TraceReplayer<'t> {
+    /// Creates a replayer over `trace`.
+    pub fn new(trace: &'t Trace) -> Self {
+        Self { trace }
+    }
+
+    /// Re-issues every request-origin event, in order, via
+    /// [`crate::MemoryController::issue`]. The controller re-derives
+    /// the device command stream (ACT/PRE/REF) itself, so any attached
+    /// mitigation observes exactly what it would have observed live.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtrlError`] if a replayed command addresses an
+    /// invalid location for the target controller's device.
+    pub fn replay(&self, ctrl: &mut crate::MemoryController) -> Result<ReplayReport, CtrlError> {
+        let mut report = ReplayReport { replayed: 0, skipped: 0 };
+        for e in &self.trace.events {
+            if e.origin == CommandOrigin::Request {
+                ctrl.issue(e.cmd)?;
+                report.replayed += 1;
+            } else {
+                report.skipped += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// A minimal in-chain ring logger over [`TraceEvent`]s — the §IV
+/// "testing methods" building block for inspecting the command stream
+/// without a full recorder. Successor of the old mitigation-hook
+/// `CommandLog`.
+#[derive(Debug, Default)]
+pub struct CommandLog {
+    events: Vec<TraceEvent>,
+    cap: usize,
+}
+
+impl CommandLog {
+    /// Creates a log keeping at most `cap` events (oldest dropped).
+    pub fn new(cap: usize) -> Self {
+        Self { events: Vec::new(), cap: cap.max(1) }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    fn push(&mut self, e: TraceEvent) {
+        if self.events.len() == self.cap {
+            self.events.remove(0);
+        }
+        self.events.push(e);
+    }
+}
+
+impl CommandObserver for CommandLog {
+    fn name(&self) -> &'static str {
+        "command-log"
+    }
+
+    fn observe(&mut self, event: &TraceEvent, _ctx: &mut ObserverCtx<'_>) {
+        self.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, origin: CommandOrigin, cmd: MemCommand) -> TraceEvent {
+        TraceEvent { at_ns, origin, cmd }
+    }
+
+    #[test]
+    fn command_accessors() {
+        let c = MemCommand::Wr { bank: 2, row: 7, word: 3, value: 9 };
+        assert_eq!(c.bank(), 2);
+        assert_eq!(c.row(), 7);
+        assert_eq!(c.mnemonic(), "wr");
+        assert_eq!(CommandOrigin::Mitigation.mnemonic(), "mit");
+    }
+
+    #[test]
+    fn filter_keeps_the_right_origins() {
+        let req = ev(1, CommandOrigin::Request, MemCommand::Act { bank: 0, row: 1 });
+        let ctl = ev(1, CommandOrigin::Controller, MemCommand::Pre { bank: 0, row: 1 });
+        assert!(TraceFilter::All.keeps(&req) && TraceFilter::All.keeps(&ctl));
+        assert!(TraceFilter::Requests.keeps(&req) && !TraceFilter::Requests.keeps(&ctl));
+        assert!(!TraceFilter::DeviceOnly.keeps(&req) && TraceFilter::DeviceOnly.keeps(&ctl));
+    }
+
+    #[test]
+    fn recorder_ring_caps_and_counts_drops() {
+        let rec = TraceRecorder::new(2, TraceFilter::All);
+        let handle = rec.handle();
+        let mut rec = rec;
+        let mut module = test_module();
+        let mut stats = CtrlStats::default();
+        for i in 0..5u64 {
+            let mut ctx = ObserverCtx::new(&mut module, &mut stats, i);
+            rec.observe(&ev(i, CommandOrigin::Request, MemCommand::Act { bank: 0, row: 1 }), &mut ctx);
+        }
+        let t = handle.snapshot("ring", 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped, 3);
+        assert_eq!(t.events[0].at_ns, 3);
+    }
+
+    #[test]
+    fn jsonl_round_trips_all_command_kinds() {
+        let t = Trace {
+            label: "unit \"quoted\"".to_owned(),
+            seed: 0xF161,
+            filter: TraceFilter::All,
+            dropped: 7,
+            events: vec![
+                ev(10, CommandOrigin::Request, MemCommand::Act { bank: 0, row: 100 }),
+                ev(20, CommandOrigin::Controller, MemCommand::Pre { bank: 0, row: 100 }),
+                ev(30, CommandOrigin::Request, MemCommand::Rd { bank: 1, row: 2, word: 3 }),
+                ev(40, CommandOrigin::Request, MemCommand::Wr { bank: 1, row: 2, word: 3, value: u64::MAX }),
+                ev(50, CommandOrigin::Controller, MemCommand::Ref { bank: 0, row: 9 }),
+                ev(60, CommandOrigin::Mitigation, MemCommand::RefRow { bank: 0, row: 8 }),
+            ],
+        };
+        let text = t.to_jsonl();
+        let back = Trace::from_jsonl(&text).expect("round trip");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn jsonl_head_truncates_but_keeps_totals() {
+        let t = Trace {
+            label: "head".to_owned(),
+            seed: 1,
+            filter: TraceFilter::Requests,
+            dropped: 0,
+            events: (0..10)
+                .map(|i| ev(i, CommandOrigin::Request, MemCommand::Act { bank: 0, row: i as usize }))
+                .collect(),
+        };
+        let text = t.to_jsonl_head(3);
+        assert!(text.contains("\"events_total\":10"));
+        assert!(text.contains("\"events_written\":3"));
+        let back = Trace::from_jsonl(&text).expect("parse");
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn malformed_jsonl_is_a_typed_error() {
+        assert!(Trace::from_jsonl("").is_err());
+        assert!(Trace::from_jsonl("{\"not\":\"a header\"}").is_err());
+        let bad_event = "{\"trace_version\":1,\"label\":\"x\",\"seed\":\"0x1\",\
+                         \"filter\":\"all\",\"events_total\":1,\"events_written\":1,\
+                         \"ring_dropped\":0}\n{\"t\":1,\"o\":\"req\",\"c\":\"warp\",\"b\":0,\"r\":0}";
+        match Trace::from_jsonl(bad_event) {
+            Err(CtrlError::TraceParse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn command_log_caps_events() {
+        let mut log = CommandLog::new(2);
+        let mut module = test_module();
+        let mut stats = CtrlStats::default();
+        for i in 0..5u64 {
+            let mut ctx = ObserverCtx::new(&mut module, &mut stats, i);
+            log.observe(&ev(i, CommandOrigin::Controller, MemCommand::Act { bank: 0, row: 0 }), &mut ctx);
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].at_ns, 3);
+    }
+
+    #[test]
+    fn observer_ctx_accounts_and_announces_refreshes() {
+        let mut module = test_module();
+        let mut stats = CtrlStats::default();
+        let mut ctx = ObserverCtx::new(&mut module, &mut stats, 100);
+        ctx.refresh_neighbors(0, 10);
+        assert_eq!(stats.mitigation_refreshes, 2);
+        let emitted = {
+            let mut ctx2 = ObserverCtx::new(&mut module, &mut stats, 100);
+            ctx2.refresh_row(0, 10);
+            ctx2.take_emitted()
+        };
+        assert_eq!(emitted, vec![MemCommand::RefRow { bank: 0, row: 10 }]);
+    }
+
+    fn test_module() -> Module {
+        use densemem_dram::module::RowRemap;
+        use densemem_dram::{BankGeometry, Manufacturer, VintageProfile};
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 5)
+    }
+}

@@ -39,6 +39,48 @@ impl BitAddr {
     }
 }
 
+/// A bit flip found by a post-attack scan: the bank plus the flipped
+/// cell's [`BitAddr`]. The typed replacement for the old
+/// `(bank, row, word, bit)` tuple return of flip scans.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_dram::geometry::{BitAddr, FlipRecord};
+/// let f = FlipRecord { bank: 1, addr: BitAddr { row: 301, word: 0, bit: 2 } };
+/// assert_eq!(f.row(), 301);
+/// assert_eq!(f.bit(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlipRecord {
+    /// Bank the flip was found in.
+    pub bank: usize,
+    /// Address of the flipped cell within the bank.
+    pub addr: BitAddr,
+}
+
+impl FlipRecord {
+    /// Creates a record.
+    pub fn new(bank: usize, addr: BitAddr) -> Self {
+        Self { bank, addr }
+    }
+
+    /// The flipped cell's row.
+    pub fn row(&self) -> usize {
+        self.addr.row
+    }
+
+    /// The flipped cell's 64-bit word index.
+    pub fn word(&self) -> usize {
+        self.addr.word
+    }
+
+    /// The flipped cell's bit index within the word.
+    pub fn bit(&self) -> u8 {
+        self.addr.bit
+    }
+}
+
 /// Geometry of one DRAM bank.
 ///
 /// Real DDR3 banks have 32K–64K rows of 8 KiB; simulations use smaller

@@ -69,7 +69,7 @@ pub mod vintage;
 
 pub use bank::Bank;
 pub use error::DramError;
-pub use geometry::{BankGeometry, BitAddr, RowId};
+pub use geometry::{BankGeometry, BitAddr, FlipRecord, RowId};
 pub use module::{Module, RowRemap, Spd};
 pub use population::{ModulePopulation, ModuleRecord, PopulationConfig};
 pub use timing::{Command, Timing};

@@ -78,7 +78,8 @@ fn seven_x_refresh_prevents_all_flips() {
 
 #[test]
 fn stacked_para_plus_command_log_protects_and_records() {
-    use densemem_ctrl::mitigation::{CommandLog, Stack};
+    use densemem_ctrl::mitigation::Stack;
+    use densemem_ctrl::trace::CommandLog;
     // Stacking an observer onto PARA must not change its protection, and
     // the log must capture the attack's activation stream.
     let (flips, refreshes) = attack(

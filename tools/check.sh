@@ -11,9 +11,38 @@ cargo build --release --offline --workspace
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
 
-echo "== exp --quick --json-dir artifacts =="
+echo "== exp --quick --json-dir artifacts --trace-dir artifacts/traces =="
 rm -rf artifacts
-./target/release/exp --quick --json-dir artifacts > /dev/null
+./target/release/exp --quick --json-dir artifacts --trace-dir artifacts/traces > /dev/null
+
+echo "== trace determinism: re-record with --threads 1 and diff =="
+rm -rf artifacts-replay
+./target/release/exp --quick --only e15 --threads 1 \
+    --json-dir artifacts-replay --trace-dir artifacts-replay/traces > /dev/null
+for trace in artifacts/traces/E15_*.trace.jsonl; do
+    [ -f "$trace" ] || { echo "no E15 trace artifacts recorded"; exit 1; }
+    cmp "$trace" "artifacts-replay/traces/$(basename "$trace")" \
+        || { echo "trace diverged across runs/threads: $trace"; exit 1; }
+done
+# The reports must also agree (wall_secs is the only timing-dependent key).
+if command -v python3 > /dev/null; then
+    python3 - <<'EOF'
+import json, sys
+a = json.load(open("artifacts/E15.json"))
+b = json.load(open("artifacts-replay/E15.json"))
+for doc in (a, b):
+    doc.pop("wall_secs", None)
+    doc.pop("threads", None)
+    # Artifact paths differ by directory on purpose; compare basenames.
+    doc["trace_artifacts"] = [p.rsplit("/", 1)[-1] for p in doc["trace_artifacts"]]
+if a != b:
+    sys.exit("E15 reports diverged between default-thread and --threads 1 runs")
+print("trace determinism OK: E15 traces and reports identical across thread counts")
+EOF
+else
+    echo "trace determinism OK (python3 unavailable: report diff skipped)"
+fi
+rm -rf artifacts-replay
 
 echo "== validate artifacts =="
 if command -v python3 > /dev/null; then
@@ -27,7 +56,7 @@ for path in sorted(artifacts.glob("*.json")):
     doc = json.loads(path.read_text())  # dies here if malformed
     for key in ("schema_version", "id", "title", "paper_anchor", "tags",
                 "scale", "seed", "threads", "wall_secs", "all_claims_pass",
-                "tables", "series", "claims", "notes"):
+                "tables", "series", "claims", "notes", "trace_artifacts"):
         if key not in doc:
             sys.exit(f"{path}: missing key {key!r}")
     if doc["schema_version"] != 1:
