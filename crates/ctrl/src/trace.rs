@@ -501,16 +501,23 @@ impl Trace {
         if field(header, "trace_version") != Some("1".to_owned()) {
             return Err(parse_err(n + 1, "missing or unsupported trace_version"));
         }
-        let label = field(header, "label").unwrap_or_default();
-        let seed = parse_u64(&field(header, "seed").unwrap_or_else(|| "0".to_owned()))
-            .map_err(|m| parse_err(n + 1, &m))?;
-        let filter = match field(header, "filter").as_deref() {
-            Some("requests") => TraceFilter::Requests,
-            Some("device") => TraceFilter::DeviceOnly,
-            _ => TraceFilter::All,
+        // Every header field is required: a torn header line must fail
+        // here, not parse to defaults.
+        let header_field = |key: &str| -> Result<String, CtrlError> {
+            field(header, key)
+                .ok_or_else(|| parse_err(n + 1, &format!("header missing key {key:?}")))
         };
-        let dropped = parse_u64(&field(header, "ring_dropped").unwrap_or_else(|| "0".to_owned()))
-            .map_err(|m| parse_err(n + 1, &m))?;
+        let label = header_field("label")?;
+        let seed = parse_u64(&header_field("seed")?).map_err(|m| parse_err(n + 1, &m))?;
+        let filter = match header_field("filter")?.as_str() {
+            "all" => TraceFilter::All,
+            "requests" => TraceFilter::Requests,
+            "device" => TraceFilter::DeviceOnly,
+            other => return Err(parse_err(n + 1, &format!("unknown filter {other:?}"))),
+        };
+        let written =
+            parse_u64(&header_field("events_written")?).map_err(|m| parse_err(n + 1, &m))?;
+        let dropped = parse_u64(&header_field("ring_dropped")?).map_err(|m| parse_err(n + 1, &m))?;
         let mut events = Vec::new();
         for (i, line) in lines {
             let lineno = i + 1;
@@ -544,6 +551,12 @@ impl Trace {
                 other => return Err(parse_err(lineno, &format!("unknown command {other:?}"))),
             };
             events.push(TraceEvent { at_ns, origin, cmd });
+        }
+        if events.len() as u64 != written {
+            return Err(parse_err(
+                n + 1,
+                &format!("header promises {written} events, found {}: truncated artifact", events.len()),
+            ));
         }
         Ok(Self { label, seed, filter, dropped, events })
     }
@@ -695,6 +708,147 @@ impl CommandObserver for CommandLog {
     }
 }
 
+/// Deterministic fault injection on recorded command streams, for the
+/// conformance suite. Gated behind `cfg(any(test, feature =
+/// "fault-inject"))`: production consumers never see these hooks unless
+/// they opt in.
+#[cfg(any(test, feature = "fault-inject"))]
+pub mod fault {
+    use super::{CommandObserver, MemCommand, ObserverCtx, Trace, TraceEvent};
+    use densemem_stats::rng::substream;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// One mutation of a recorded command stream. Indices address the
+    /// event list of the trace the fault is applied to.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TraceFault {
+        /// Removes the event at this index (a lost command).
+        Drop(usize),
+        /// Repeats the event at this index immediately after itself (a
+        /// replayed/duplicated command).
+        Duplicate(usize),
+        /// Rewrites the row of the event at `index` (an address-line
+        /// upset in flight).
+        RetargetRow {
+            /// Event index.
+            index: usize,
+            /// Replacement row.
+            row: usize,
+        },
+    }
+
+    /// Returns a copy of `trace` with `faults` applied in order. Each
+    /// fault sees the event list as left by the previous one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault indexes past the end of the (evolving) event
+    /// list — a mis-specified fault plan must never pass silently.
+    pub fn mutate(trace: &Trace, faults: &[TraceFault]) -> Trace {
+        let mut out = trace.clone();
+        for f in faults {
+            match *f {
+                TraceFault::Drop(i) => {
+                    assert!(i < out.events.len(), "Drop({i}) out of range");
+                    out.events.remove(i);
+                }
+                TraceFault::Duplicate(i) => {
+                    assert!(i < out.events.len(), "Duplicate({i}) out of range");
+                    let e = out.events[i];
+                    out.events.insert(i + 1, e);
+                }
+                TraceFault::RetargetRow { index, row } => {
+                    assert!(index < out.events.len(), "RetargetRow({index}) out of range");
+                    let e = &mut out.events[index];
+                    e.cmd = match e.cmd {
+                        MemCommand::Act { bank, .. } => MemCommand::Act { bank, row },
+                        MemCommand::Pre { bank, .. } => MemCommand::Pre { bank, row },
+                        MemCommand::Rd { bank, word, .. } => MemCommand::Rd { bank, row, word },
+                        MemCommand::Wr { bank, word, value, .. } => {
+                            MemCommand::Wr { bank, row, word, value }
+                        }
+                        MemCommand::Ref { bank, .. } => MemCommand::Ref { bank, row },
+                        MemCommand::RefRow { bank, .. } => MemCommand::RefRow { bank, row },
+                    };
+                }
+            }
+        }
+        out
+    }
+
+    /// Corrupts one line (1-based) of a JSONL artifact by truncating it
+    /// mid-token — the classic torn-write/short-read artifact. The rest
+    /// of the text is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` does not exist in `text`.
+    pub fn corrupt_jsonl_line(text: &str, line: usize) -> String {
+        let mut found = false;
+        let out: Vec<String> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i + 1 == line {
+                    found = true;
+                    l[..l.len() / 2].to_owned()
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect();
+        assert!(found, "line {line} not present in the artifact");
+        out.join("\n")
+    }
+
+    /// An adversarial chain member: every `every`-th activation it
+    /// observes, it injects a targeted refresh to a pseudo-random row —
+    /// deterministic for a given seed. Used to prove the observer chain
+    /// and the controller's accounting survive a misbehaving observer
+    /// without perturbing unrelated state.
+    #[derive(Debug)]
+    pub struct ChaosObserver {
+        every: u64,
+        rows: usize,
+        seen: u64,
+        /// Spurious refreshes injected so far.
+        pub injected: u64,
+        rng: StdRng,
+    }
+
+    impl ChaosObserver {
+        /// Creates a chaos observer firing every `every` activations
+        /// over a device with `rows` rows per bank.
+        pub fn new(every: u64, rows: usize, seed: u64) -> Self {
+            Self {
+                every: every.max(1),
+                rows: rows.max(1),
+                seen: 0,
+                injected: 0,
+                rng: substream(seed, 0xC4A05),
+            }
+        }
+    }
+
+    impl CommandObserver for ChaosObserver {
+        fn name(&self) -> &'static str {
+            "chaos-observer"
+        }
+
+        fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+            if let MemCommand::Act { bank, .. } = event.cmd {
+                self.seen += 1;
+                if self.seen.is_multiple_of(self.every) {
+                    let row = self.rng.gen_range(0..self.rows);
+                    ctx.refresh_row(bank, row);
+                    self.injected += 1;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -787,6 +941,53 @@ mod tests {
         match Trace::from_jsonl(bad_event) {
             Err(CtrlError::TraceParse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_header_is_rejected_not_defaulted() {
+        // A header truncated mid-line keeps trace_version but loses
+        // later fields; it must fail at line 1, not parse to defaults.
+        let torn = "{\"trace_version\":1,\"label\":\"x\",\"seed\":\"0x1\"\n";
+        match Trace::from_jsonl(torn) {
+            Err(CtrlError::TraceParse { line, reason }) => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("filter"), "names the missing field: {reason}");
+            }
+            other => panic!("expected header parse error, got {other:?}"),
+        }
+        // An unknown filter mnemonic is an error, not silently All.
+        let bad_filter = "{\"trace_version\":1,\"label\":\"x\",\"seed\":\"0x1\",\
+                          \"filter\":\"sometimes\",\"events_total\":0,\"events_written\":0,\
+                          \"ring_dropped\":0}";
+        assert!(matches!(
+            Trace::from_jsonl(bad_filter),
+            Err(CtrlError::TraceParse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_event_lines_are_detected_against_header_count() {
+        let t = Trace {
+            label: "short".to_owned(),
+            seed: 2,
+            filter: TraceFilter::Requests,
+            dropped: 0,
+            events: (0..4)
+                .map(|i| ev(i, CommandOrigin::Request, MemCommand::Act { bank: 0, row: i as usize }))
+                .collect(),
+        };
+        let text = t.to_jsonl();
+        // Losing whole trailing lines (torn tail) leaves every remaining
+        // line valid; the events_written cross-check still catches it.
+        let torn: String =
+            text.lines().take(3).map(|l| format!("{l}\n")).collect();
+        match Trace::from_jsonl(&torn) {
+            Err(CtrlError::TraceParse { line, reason }) => {
+                assert_eq!(line, 1, "the broken promise is the header's");
+                assert!(reason.contains("truncated"), "{reason}");
+            }
+            other => panic!("expected truncation error, got {other:?}"),
         }
     }
 

@@ -412,6 +412,24 @@ impl Bank {
         Ok(())
     }
 
+    /// Flips one stored bit in place — a transient soft-error injection
+    /// point for the conformance fault suite. Unlike [`Bank::write_word`],
+    /// the flip bypasses the access path entirely: no activation is
+    /// counted, no disturbance physics run, and no refresh timestamp
+    /// moves — exactly like a particle strike or an injected upset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] if the address is out of range.
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub fn inject_bit_flip(&mut self, addr: BitAddr) -> Result<(), DramError> {
+        self.check_row(addr.row)?;
+        self.check_word(addr.word)?;
+        let w = self.geom.words_per_row();
+        self.data[addr.row * w + addr.word] ^= 1u64 << addr.bit;
+        Ok(())
+    }
+
     // ----- internals ---------------------------------------------------
 
     fn check_row(&self, row: usize) -> Result<(), DramError> {

@@ -333,6 +333,27 @@ impl Module {
         self.banks[b].inspect_row(p, now)
     }
 
+    /// Injects a transient bit flip at a *logical* address (soft-error
+    /// injection for the conformance fault suite). Translates the row
+    /// through the module's remap, then flips the stored bit without
+    /// touching activation counts, disturbance physics, or refresh
+    /// timestamps — see [`Bank::inject_bit_flip`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError`] for invalid indices.
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub fn inject_bit_flip(
+        &mut self,
+        bank: usize,
+        row: usize,
+        word: usize,
+        bit: u8,
+    ) -> Result<(), DramError> {
+        let (b, p) = self.translate(bank, row)?;
+        self.banks[b].inject_bit_flip(crate::BitAddr { row: p, word, bit })
+    }
+
     /// Direct access to a bank (physical addressing), for tests and for
     /// experiments that need ground truth.
     ///

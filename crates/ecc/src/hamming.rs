@@ -259,4 +259,115 @@ mod tests {
             assert_eq!(code.extract(code.encode(data)), data);
         }
     }
+
+    #[test]
+    fn valid_codewords_have_even_parity_and_decode_clean() {
+        // Structural invariant of the extended code: the overall parity
+        // bit always makes total weight even, and a clean decode never
+        // reports a correction.
+        let code = Secded7264::new();
+        let mut rng = seeded(11);
+        for _ in 0..200 {
+            let data: u64 = rng.gen();
+            let cw = code.encode(data);
+            assert_eq!(cw.count_ones() % 2, 0, "codeword weight must be even");
+            assert_eq!(code.decode(cw), DecodeOutcome::Clean { data });
+        }
+    }
+
+    #[test]
+    fn check_bit_errors_correct_without_touching_data() {
+        // Corner: a fault in a check bit (power-of-two position) or in
+        // the overall parity bit (position 0) is corrected *at that
+        // position* and the data is returned untouched.
+        let code = Secded7264::new();
+        let data = 0xC0DE_D00D_5EED_0001;
+        let cw = code.encode(data);
+        for pos in [0u8, 1, 2, 4, 8, 16, 32, 64] {
+            match code.decode(cw ^ (1u128 << pos)) {
+                DecodeOutcome::Corrected { data: d, position } => {
+                    assert_eq!(d, data, "check-bit flip at {pos} must not alter data");
+                    assert_eq!(position, pos);
+                }
+                other => panic!("check-bit flip at {pos}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn triple_errors_always_alias_to_the_single_error_class() {
+        // Syndrome aliasing, pinned down exhaustively: a weight-3 error
+        // always leaves overall parity odd, so the decoder *always*
+        // classifies it as a single-bit error — never Clean (distance 4
+        // forbids it) and never DoubleDetected (parity says "odd").  The
+        // dominant outcome is silent miscorrection into wrong data; the
+        // rare benign case (all three flips in check/parity bits whose
+        // syndrome points outside the data) must also occur, because it
+        // is exactly the alias that makes triples undetectable.
+        let code = Secded7264::new();
+        let data = 0x1234_5678_9ABC_DEF0;
+        let cw = code.encode(data);
+        let mut rng = seeded(17);
+        let (mut wrong_data, mut lucky) = (0u32, 0u32);
+        for _ in 0..2000 {
+            let mut bits = [0u8; 3];
+            loop {
+                for b in &mut bits {
+                    *b = rng.gen_range(0..CODEWORD_BITS);
+                }
+                if bits[0] != bits[1] && bits[1] != bits[2] && bits[0] != bits[2] {
+                    break;
+                }
+            }
+            let corrupted = cw ^ (1u128 << bits[0]) ^ (1u128 << bits[1]) ^ (1u128 << bits[2]);
+            match code.decode(corrupted) {
+                DecodeOutcome::Corrected { data: d, .. } => {
+                    if d == data {
+                        lucky += 1;
+                    } else {
+                        wrong_data += 1;
+                    }
+                }
+                other => panic!("triple {bits:?}: expected Corrected, got {other:?}"),
+            }
+        }
+        // A deliberately all-check-bit triple whose syndrome lands outside
+        // the codeword: flips at check positions 8, 32, 64 xor to phantom
+        // position 104, so the "correction" touches nothing real and the
+        // data survives by accident.
+        let all_checks = cw ^ (1 << 8) ^ (1 << 32) ^ (1 << 64);
+        match code.decode(all_checks) {
+            DecodeOutcome::Corrected { data: d, position } => {
+                assert_eq!(d, data, "check-only triple leaves data intact");
+                assert!(position >= CODEWORD_BITS, "syndrome aliases outside the codeword");
+                lucky += 1;
+            }
+            other => panic!("check-only triple: unexpected {other:?}"),
+        }
+        assert!(wrong_data > 1500, "most triples silently miscorrect ({wrong_data}/2000)");
+        assert!(lucky > 0, "the benign check-bit alias class exists");
+    }
+
+    #[test]
+    fn weight_four_errors_can_alias_to_clean_with_wrong_data() {
+        // The design-distance cliff: distance 4 admits weight-4 errors
+        // that map one valid codeword onto another, decoding Clean with
+        // *wrong* data — true silent corruption, the hazard SECDED
+        // cannot see at all. Find one from the code's own structure:
+        // any data word whose codeword has weight 4 is such an error
+        // pattern (xor of two valid codewords is a codeword).
+        let code = Secded7264::new();
+        let delta = (0..64)
+            .map(|i| 1u64 << i)
+            .find(|&d| code.encode(d).count_ones() == 4)
+            .expect("a (72,64) Hamming code has weight-4 codewords from single data bits");
+        let pattern = code.encode(delta);
+        let data = 0xFACE_B00C_0000_FFFF;
+        let corrupted = code.encode(data) ^ pattern;
+        assert_eq!(
+            code.decode(corrupted),
+            DecodeOutcome::Clean { data: data ^ delta },
+            "four aligned flips must alias to a different valid codeword"
+        );
+    }
 }

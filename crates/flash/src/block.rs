@@ -431,6 +431,34 @@ impl FlashBlock {
         read.iter().zip(expected).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
+    /// Overwrites the stored Vth of cell `c` of wordline `wl` with the
+    /// programmed mean of `target_state` (0..=3) — a deterministic
+    /// charge upset for the conformance fault suite. Bypasses the
+    /// program path entirely: no interference coupling, no stage
+    /// change, no clock movement, so reads decode the upset state's
+    /// Gray-coded bits and nothing else changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError`] for a bad index or state.
+    #[cfg(any(test, feature = "fault-inject"))]
+    pub fn inject_cell_upset(
+        &mut self,
+        wl: usize,
+        c: usize,
+        target_state: usize,
+    ) -> Result<(), FlashError> {
+        self.check_wl(wl)?;
+        if c >= self.cells_per_wl {
+            return Err(FlashError::InvalidParam("cell index out of range"));
+        }
+        if target_state > 3 {
+            return Err(FlashError::InvalidParam("MLC has states 0..=3"));
+        }
+        self.vth[wl * self.cells_per_wl + c] = self.params.state_means[target_state];
+        Ok(())
+    }
+
     // ----- internals ---------------------------------------------------
 
     fn mark_programmed(&mut self, wl: usize) {

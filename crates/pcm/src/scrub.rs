@@ -92,4 +92,46 @@ mod tests {
         assert_eq!(scrub_writes_per_day(86_400.0), 1.0);
         assert!(scrub_writes_per_day(0.0).is_infinite());
     }
+
+    #[test]
+    fn interval_is_exactly_zero_when_over_budget_at_one_second() {
+        // Lower boundary: a limit already violated at t = 1 s means no
+        // scrub interval can help — the sentinel is exactly 0.0, not a
+        // small positive interval from a degenerate bisection.
+        let p = PcmParams::mlc_8level();
+        let impossible = 0.5 * drift_ber(&p, 1.0, false);
+        assert_eq!(max_scrub_interval_s(&p, impossible, false, YEAR_S), 0.0);
+    }
+
+    #[test]
+    fn interval_saturates_exactly_at_the_horizon() {
+        // Upper boundary: a limit the BER never reaches within the
+        // horizon returns the horizon itself (no scrubbing needed), for
+        // both read modes and for any horizon value.
+        let p = PcmParams::mlc_4level();
+        for horizon in [3600.0, YEAR_S] {
+            let generous = 2.0 * drift_ber(&p, horizon, false);
+            assert_eq!(max_scrub_interval_s(&p, generous, false, horizon), horizon);
+            assert_eq!(max_scrub_interval_s(&p, generous, true, horizon), horizon);
+        }
+    }
+
+    #[test]
+    fn bisection_brackets_the_budget_tightly() {
+        // Interior solutions: construct a limit that is met exactly at a
+        // known time, and require the search to land there to high
+        // precision — the returned interval is within budget, and any
+        // noticeably longer interval is not.
+        let p = PcmParams::mlc_8level();
+        for target_s in [100.0, 3_600.0, 86_400.0] {
+            let limit = drift_ber(&p, target_s, false);
+            let t = max_scrub_interval_s(&p, limit, false, YEAR_S);
+            assert!(
+                (t / target_s - 1.0).abs() < 1e-6,
+                "limit met at {target_s}s but search returned {t}s"
+            );
+            assert!(drift_ber(&p, t, false) <= limit);
+            assert!(drift_ber(&p, t * 1.001, false) > limit);
+        }
+    }
 }

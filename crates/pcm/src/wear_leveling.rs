@@ -244,4 +244,77 @@ mod tests {
         let sg = StartGap::new(8, 100).unwrap();
         assert!((sg.overhead() - 0.01).abs() < 1e-12);
     }
+
+    #[test]
+    fn psi_throttles_gap_movement_exactly() {
+        // Remap invariant: the gap moves on exactly every psi-th write —
+        // psi-1 writes return None between consecutive moves, and
+        // gap_moves counts every move (including free wrap steps).
+        let mut sg = StartGap::new(6, 5).unwrap();
+        for round in 0..40u64 {
+            for k in 0..4 {
+                assert!(sg.note_write().is_none(), "write {k} of round {round} moved the gap");
+            }
+            let before = sg.gap_moves;
+            sg.note_write();
+            assert_eq!(sg.gap_moves, before + 1, "fifth write of round {round} must move");
+        }
+        assert_eq!(sg.gap_moves, 40);
+    }
+
+    #[test]
+    fn copy_pairs_are_adjacent_and_land_on_the_old_gap() {
+        // Every non-wrap move displaces exactly one physical line: the
+        // copy source is the new gap's neighbour below the old gap, the
+        // destination is the old gap itself, and afterwards the source
+        // position *is* the gap (its content has been vacated upward).
+        let mut sg = StartGap::new(8, 1).unwrap();
+        for _ in 0..200 {
+            let old_gap = sg.gap();
+            match sg.note_write() {
+                Some((from, to)) => {
+                    assert_eq!(to, old_gap, "copy destination must be the vacated gap");
+                    assert_eq!(from, to - 1, "gap moves one line at a time");
+                    assert_eq!(sg.gap(), from, "new gap is the copied-out position");
+                }
+                None => {
+                    // Wrap step: only legal when the gap was at the bottom.
+                    assert_eq!(old_gap, 0, "free move only happens on wrap");
+                    assert_eq!(sg.gap(), sg.physical_lines() - 1, "gap returns to the top");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gap_wrap_rotates_start_by_one_line_per_revolution() {
+        // One full revolution = n+1 gap moves (n copies + 1 free wrap);
+        // it must shift every logical line's mapping by exactly one
+        // physical position, and n full revolutions restore the identity.
+        let n = 8usize;
+        let mut sg = StartGap::new(n, 1).unwrap();
+        let identity: Vec<usize> = (0..n).map(|l| sg.to_physical(l)).collect();
+        for revolution in 1..=n {
+            let mut wraps = 0;
+            for _ in 0..=n {
+                if sg.note_write().is_none() {
+                    wraps += 1;
+                }
+            }
+            assert_eq!(wraps, 1, "each revolution has exactly one free wrap step");
+            let now: Vec<usize> = (0..n).map(|l| sg.to_physical(l)).collect();
+            let expected: Vec<usize> =
+                (0..n).map(|l| identity[(l + revolution) % n]).collect();
+            assert_eq!(now, expected, "after revolution {revolution}");
+        }
+        let back: Vec<usize> = (0..n).map(|l| sg.to_physical(l)).collect();
+        assert_eq!(back, identity, "n revolutions restore the identity mapping");
+    }
+
+    #[test]
+    #[should_panic(expected = "logical line 8 out of 8")]
+    fn to_physical_rejects_out_of_range_lines() {
+        let sg = StartGap::new(8, 1).unwrap();
+        sg.to_physical(8);
+    }
 }

@@ -1,0 +1,317 @@
+//! A strict, dependency-free JSON value model and recursive-descent
+//! parser.
+//!
+//! The workspace vendors no JSON crate, and the conformance suite must
+//! read report artifacts exactly the way an external consumer would:
+//! rejecting trailing commas, bad escapes, bare `NaN`, raw control
+//! bytes, and trailing garbage. This parser (promoted from the original
+//! `tests/json_report.rs` in-test copy) is that consumer.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` (also how the reports encode non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (read as `f64`, like most consumers do).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, keys sorted (JSON objects are unordered).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup that tolerates absence.
+    pub fn get_opt(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Member lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object or lacks `key` — the assertive
+    /// accessor style the conformance tests want.
+    pub fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key:?}")),
+            other => panic!("expected object with {key:?}, got {other:?}"),
+        }
+    }
+
+    /// The array items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an array.
+    pub fn arr(&self) -> &[Value] {
+        match self {
+            Value::Arr(v) => v,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    /// The string contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a string.
+    pub fn str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    /// The numeric value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a number.
+    pub fn num(&self) -> f64 {
+        match self {
+            Value::Num(n) => *n,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    /// The boolean value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a boolean.
+    pub fn boolean(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected bool, got {other:?}"),
+        }
+    }
+
+    /// A one-line rendering for diff messages (not guaranteed to be
+    /// re-parseable; strings are shown with `{:?}`).
+    pub fn brief(&self) -> String {
+        match self {
+            Value::Null => "null".to_owned(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) => format!("{n:?}"),
+            Value::Str(s) => format!("{s:?}"),
+            Value::Arr(v) => format!("[… {} items]", v.len()),
+            Value::Obj(m) => format!("{{… {} keys}}", m.len()),
+        }
+    }
+}
+
+/// Parses `text` as one JSON document.
+///
+/// # Errors
+///
+/// Returns a byte-positioned message on any syntax violation, including
+/// trailing garbage after the document.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) if c < 0x20 => {
+                    return Err(format!("unescaped control byte {c:#x} in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?}")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                other => return Err(format!("expected , or }} got {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let v = parse(r#"{"a": [1, -2.5, 1e3], "b": null, "c": true, "d": "x\n"}"#).unwrap();
+        assert_eq!(v.get("a").arr()[2].num(), 1000.0);
+        assert_eq!(*v.get("b"), Value::Null);
+        assert!(v.get("c").boolean());
+        assert_eq!(v.get("d").str(), "x\n");
+        assert!(v.get_opt("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("{\"a\": 1,}").is_err(), "trailing comma");
+        assert!(parse("{\"a\": NaN}").is_err(), "bare NaN");
+        assert!(parse("{\"a\": \"\u{1}\"}").is_err(), "raw control byte");
+        assert!(parse("{\"a\": 1} x").is_err(), "trailing garbage");
+        assert!(parse("[1, 2").is_err(), "unterminated array");
+        assert!(parse("{\"a\" 1}").is_err(), "missing colon");
+        assert!(parse("").is_err(), "empty input");
+    }
+
+    #[test]
+    fn brief_rendering_is_compact() {
+        assert_eq!(Value::Num(1.5).brief(), "1.5");
+        assert_eq!(Value::Str("a".into()).brief(), "\"a\"");
+        assert_eq!(Value::Arr(vec![Value::Null; 3]).brief(), "[… 3 items]");
+    }
+}

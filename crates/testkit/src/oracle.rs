@@ -1,0 +1,297 @@
+//! Differential oracles: two independent implementations of the same
+//! physics run at matched parameters and asserted to agree within a
+//! declared tolerance.
+//!
+//! The repo carries several pairs of models on purpose — a closed-form
+//! path for sweeps and a Monte Carlo path for functional simulation.
+//! Each pair is a free correctness oracle: neither side knows the other,
+//! so agreement is strong evidence both are right, and divergence
+//! pinpoints which physics term drifted. The builders here wire up the
+//! three standing pairs:
+//!
+//! * flash raw BER: [`densemem_flash::analytic::raw_ber`] vs a programmed
+//!   and aged [`FlashBlock`] read back cell by cell;
+//! * DRAM retention: [`WeakCell::field_failure_probability`] (closed-form
+//!   episode probability) vs repeated [`WeakCell::fails_round`] sampling
+//!   over an equivalent field time;
+//! * ECC: [`Capability::classify`] (capability model) vs the real
+//!   [`Secded7264`] encode → flip → decode round trip.
+
+use densemem_dram::retention::RetentionPopulation;
+use densemem_dram::{Manufacturer, VintageProfile};
+use densemem_ecc::capability::{Capability, WordOutcome};
+use densemem_ecc::hamming::{DecodeOutcome, Secded7264, CODEWORD_BITS};
+use densemem_flash::analytic::raw_ber;
+use densemem_flash::block::FlashBlock;
+use densemem_flash::params::FlashParams;
+use rand::Rng;
+
+/// How closely the two sides of an oracle must agree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Bit-exact equality.
+    Exact,
+    /// `|lhs - rhs|` at most this.
+    Abs(f64),
+    /// `|lhs - rhs|` at most this fraction of `max(|lhs|, |rhs|)`.
+    Rel(f64),
+    /// `lhs / rhs` (either way) at most this factor. For quantities that
+    /// live on a log scale, like bit-error rates.
+    Factor(f64),
+}
+
+/// One evaluated differential oracle.
+#[derive(Debug, Clone)]
+pub struct OracleCheck {
+    /// What is being cross-checked.
+    pub name: String,
+    /// Label for the first implementation.
+    pub lhs_label: String,
+    /// Value from the first implementation.
+    pub lhs: f64,
+    /// Label for the second implementation.
+    pub rhs_label: String,
+    /// Value from the second implementation.
+    pub rhs: f64,
+    /// Declared agreement tolerance.
+    pub tol: Tolerance,
+}
+
+impl OracleCheck {
+    /// Whether the two sides agree within the declared tolerance.
+    pub fn passes(&self) -> bool {
+        let (a, b) = (self.lhs, self.rhs);
+        if !a.is_finite() || !b.is_finite() {
+            return false;
+        }
+        match self.tol {
+            Tolerance::Exact => a == b,
+            Tolerance::Abs(eps) => (a - b).abs() <= eps,
+            Tolerance::Rel(eps) => (a - b).abs() <= eps * a.abs().max(b.abs()),
+            Tolerance::Factor(f) => {
+                if a == b {
+                    true
+                } else if a <= 0.0 || b <= 0.0 {
+                    false
+                } else {
+                    a / b <= f && b / a <= f
+                }
+            }
+        }
+    }
+
+    /// One-line human-readable verdict.
+    pub fn describe(&self) -> String {
+        format!(
+            "[{}] {}: {} = {:.6e} vs {} = {:.6e} (tol {:?})",
+            if self.passes() { "agree" } else { "DIVERGE" },
+            self.name,
+            self.lhs_label,
+            self.lhs,
+            self.rhs_label,
+            self.rhs,
+            self.tol,
+        )
+    }
+}
+
+/// Asserts every oracle passes, reporting **all** divergences at once.
+///
+/// # Panics
+///
+/// Panics with the full describe-list if any oracle diverges.
+pub fn assert_all(checks: &[OracleCheck]) {
+    let failed: Vec<&OracleCheck> = checks.iter().filter(|c| !c.passes()).collect();
+    assert!(
+        failed.is_empty(),
+        "{} of {} differential oracle(s) diverged:\n{}",
+        failed.len(),
+        checks.len(),
+        checks.iter().map(|c| c.describe() + "\n").collect::<String>()
+    );
+}
+
+/// Flash oracle: analytic raw BER vs a Monte Carlo [`FlashBlock`] at the
+/// same `(pe, hours)` point.
+///
+/// The block is cycled to `pe`, fully programmed with a fixed pattern,
+/// aged `hours`, and read back; the miscompare fraction is the MC BER.
+/// Distribution-tail statistics over a finite block only pin the closed
+/// form to within a factor, hence [`Tolerance::Factor`].
+pub fn flash_analytic_vs_block(pe: u32, hours: f64, seed: u64) -> OracleCheck {
+    let params = FlashParams::mlc_1x_nm();
+    let (wordlines, cells) = (16usize, 4096usize);
+    let mut block = FlashBlock::new(params, wordlines, cells, seed);
+    block.cycle_to(pe);
+    let lsb = vec![0x35u8; cells / 8];
+    let msb = vec![0x9Au8; cells / 8];
+    for wl in 0..wordlines {
+        block.program_wordline(wl, &lsb, &msb).expect("programming a fresh block");
+    }
+    block.advance_hours(hours);
+    let mut errs = 0usize;
+    for wl in 0..wordlines {
+        let (rl, rm) = block.read_wordline(wl).expect("reading a programmed wordline");
+        errs += FlashBlock::count_errors(&rl, &lsb) + FlashBlock::count_errors(&rm, &msb);
+    }
+    let mc = errs as f64 / (wordlines as f64 * cells as f64 * 2.0);
+    OracleCheck {
+        name: format!("flash raw BER at {pe} P/E, {hours} h"),
+        lhs_label: "analytic::raw_ber".into(),
+        lhs: raw_ber(&FlashParams::mlc_1x_nm(), pe, hours, 0),
+        rhs_label: "FlashBlock Monte Carlo".into(),
+        rhs: mc,
+        tol: Tolerance::Factor(6.0),
+    }
+}
+
+/// DRAM retention oracle: closed-form field failure probability vs
+/// repeated per-round sampling over the same population.
+///
+/// `rounds` test rounds at refresh window `window_ms` span
+/// `rounds * window_ms` of wall time; [`WeakCell::field_failure_probability`]
+/// over exactly that many hours is the closed-form probability that the
+/// sampled path [`WeakCell::fails_round`] fails at least once. Comparing
+/// *expected failing cells* (sum of per-cell probabilities) against the
+/// *observed* ever-failed count checks the Bernoulli episode sampler
+/// against the exponential closed form on every cell class at once
+/// (deterministic non-VRT cells must match exactly; VRT cells
+/// statistically).
+pub fn dram_retention_model_vs_sampling(window_ms: f64, rounds: u64, seed: u64) -> OracleCheck {
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let pop = RetentionPopulation::generate(&profile, 2_000_000_000, seed);
+    let equivalent_hours = rounds as f64 * window_ms / 3.6e6;
+
+    let expected: f64 = pop
+        .cells()
+        .iter()
+        .map(|c| c.field_failure_probability(window_ms, equivalent_hours))
+        .sum();
+
+    let mut ever_failed = vec![false; pop.len()];
+    for round in 0..rounds {
+        let mut rng = pop.round_rng(seed, round);
+        for (i, cell) in pop.cells().iter().enumerate() {
+            // Every cell draws every round so RNG consumption (and thus
+            // determinism) is independent of earlier outcomes.
+            let failed = cell.fails_round(window_ms, true, &mut rng);
+            ever_failed[i] = ever_failed[i] || failed;
+        }
+    }
+    let observed = ever_failed.iter().filter(|f| **f).count() as f64;
+
+    OracleCheck {
+        name: format!("DRAM field failures over {rounds} rounds at {window_ms} ms"),
+        lhs_label: "closed-form field_failure_probability".into(),
+        lhs: expected,
+        rhs_label: "fails_round Monte Carlo".into(),
+        rhs: observed,
+        tol: Tolerance::Rel(0.12),
+    }
+}
+
+/// ECC oracle: capability-level outcome model vs the real (72,64)
+/// codec, exhaustively over zero-, one- and two-bit codeword errors.
+///
+/// For a spread of data words, encodes with [`Secded7264`], flips each
+/// possible 0/1/2-subset of codeword bit positions, decodes, and checks
+/// the outcome class [`Capability::secded`] predicts — including that
+/// corrected data round-trips bit-exactly. Returns the mismatch count as
+/// an [`Tolerance::Exact`] oracle against zero.
+pub fn ecc_capability_vs_hamming() -> OracleCheck {
+    let code = Secded7264::new();
+    let cap = Capability::secded();
+    let words = [0u64, u64::MAX, 0xDEAD_BEEF_0123_4567, 0xAAAA_AAAA_AAAA_AAAA, 1u64 << 63];
+    let mut cases = 0.0f64;
+    let mut mismatches = 0.0f64;
+    for &data in &words {
+        let cw = code.encode(data);
+        // n = 0: clean decode.
+        cases += 1.0;
+        if code.decode(cw) != (DecodeOutcome::Clean { data }) {
+            mismatches += 1.0;
+        }
+        // n = 1: every single-bit flip corrects back to `data`.
+        for i in 0..CODEWORD_BITS {
+            cases += 1.0;
+            let out = code.decode(cw ^ (1u128 << i));
+            let agree = matches!(out, DecodeOutcome::Corrected { data: d, .. } if d == data)
+                && cap.classify(&[0]) == WordOutcome::Corrected;
+            if !agree {
+                mismatches += 1.0;
+            }
+        }
+        // n = 2: every double flip is detected, never miscorrected.
+        for i in 0..CODEWORD_BITS {
+            for j in (i + 1)..CODEWORD_BITS {
+                cases += 1.0;
+                let out = code.decode(cw ^ (1u128 << i) ^ (1u128 << j));
+                let agree = out == DecodeOutcome::DoubleDetected
+                    && cap.classify(&[0, 1]) == WordOutcome::DetectedUncorrectable;
+                if !agree {
+                    mismatches += 1.0;
+                }
+            }
+        }
+    }
+    OracleCheck {
+        name: format!("SECDED capability vs (72,64) codec over {cases} flip patterns"),
+        lhs_label: "Capability::classify mismatches".into(),
+        lhs: mismatches,
+        rhs_label: "expected".into(),
+        rhs: 0.0,
+        tol: Tolerance::Exact,
+    }
+}
+
+/// The standing oracle suite at default parameters.
+pub fn standard_suite(seed: u64) -> Vec<OracleCheck> {
+    vec![
+        flash_analytic_vs_block(8_000, 24.0 * 180.0, seed),
+        dram_retention_model_vs_sampling(256.0, 400, seed),
+        ecc_capability_vs_hamming(),
+    ]
+}
+
+/// Keep `Rng` in scope for doc examples without a warning.
+#[allow(unused)]
+fn _rng_used<R: Rng>(_r: &mut R) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_semantics() {
+        let mk = |lhs: f64, rhs: f64, tol| OracleCheck {
+            name: "t".into(),
+            lhs_label: "a".into(),
+            lhs,
+            rhs_label: "b".into(),
+            rhs,
+            tol,
+        };
+        assert!(mk(1.0, 1.0, Tolerance::Exact).passes());
+        assert!(!mk(1.0, 1.0 + 1e-12, Tolerance::Exact).passes());
+        assert!(mk(10.0, 10.4, Tolerance::Abs(0.5)).passes());
+        assert!(mk(100.0, 109.0, Tolerance::Rel(0.1)).passes());
+        assert!(!mk(100.0, 120.0, Tolerance::Rel(0.1)).passes());
+        assert!(mk(1e-7, 4e-7, Tolerance::Factor(5.0)).passes());
+        assert!(!mk(1e-7, 6e-7, Tolerance::Factor(5.0)).passes());
+        assert!(!mk(f64::NAN, 0.0, Tolerance::Abs(1.0)).passes(), "NaN never agrees");
+        assert!(!mk(0.0, 1e-9, Tolerance::Factor(100.0)).passes(), "sign/zero mismatch");
+    }
+
+    #[test]
+    fn describe_labels_divergence() {
+        let c = OracleCheck {
+            name: "x".into(),
+            lhs_label: "a".into(),
+            lhs: 1.0,
+            rhs_label: "b".into(),
+            rhs: 2.0,
+            tol: Tolerance::Rel(0.01),
+        };
+        assert!(c.describe().contains("DIVERGE"));
+    }
+}

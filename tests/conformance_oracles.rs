@@ -1,0 +1,55 @@
+//! Conformance: differential oracles.
+//!
+//! Each oracle runs two independent implementations of the same physics
+//! at matched parameters and requires agreement within the declared
+//! tolerance — see `densemem_testkit::oracle` for the builders.
+
+use densemem_testkit::oracle::{self, Tolerance};
+
+/// Flash: closed-form raw BER vs the Monte Carlo block, at a worn
+/// (8k P/E, 180 days) and a moderately aged (3k P/E, 30 days) point.
+#[test]
+fn flash_analytic_agrees_with_block_simulation() {
+    oracle::assert_all(&[
+        oracle::flash_analytic_vs_block(8_000, 24.0 * 180.0, 33),
+        oracle::flash_analytic_vs_block(3_000, 24.0 * 30.0, 34),
+    ]);
+}
+
+/// DRAM: closed-form field failure probability vs per-round Bernoulli
+/// sampling over a generated weak-cell population.
+#[test]
+fn dram_retention_closed_form_agrees_with_sampling() {
+    oracle::assert_all(&[oracle::dram_retention_model_vs_sampling(256.0, 400, 0xF161)]);
+}
+
+/// ECC: the capability model vs the real (72,64) codec, exhaustive over
+/// all 0/1/2-bit codeword error patterns for a spread of data words.
+#[test]
+fn ecc_capability_agrees_with_hamming_codec() {
+    let check = oracle::ecc_capability_vs_hamming();
+    assert_eq!(check.tol, Tolerance::Exact, "codec agreement is not statistical");
+    oracle::assert_all(&[check]);
+}
+
+/// The standing suite runs as one battery (the same entry point
+/// tools/check.sh exercises) and every member passes.
+#[test]
+fn standard_suite_is_green() {
+    let suite = oracle::standard_suite(0xF161);
+    assert!(suite.len() >= 3, "the suite must keep at least three oracles");
+    oracle::assert_all(&suite);
+}
+
+/// Oracles are deterministic: the same seed reproduces the same values
+/// on both sides, so a divergence report is a stable repro.
+#[test]
+fn oracles_are_deterministic() {
+    let a = oracle::dram_retention_model_vs_sampling(256.0, 100, 7);
+    let b = oracle::dram_retention_model_vs_sampling(256.0, 100, 7);
+    assert_eq!(a.lhs, b.lhs);
+    assert_eq!(a.rhs, b.rhs);
+    let fa = oracle::flash_analytic_vs_block(5_000, 24.0, 5);
+    let fb = oracle::flash_analytic_vs_block(5_000, 24.0, 5);
+    assert_eq!(fa.rhs, fb.rhs, "Monte Carlo side is seed-reproducible");
+}

@@ -319,3 +319,102 @@ fn parser_rejects_malformed_json() {
     assert!(Parser::parse("[1, 2").is_err(), "unterminated array");
     assert!(Parser::parse("{\"a\" 1}").is_err(), "missing colon");
 }
+
+/// A truncated report file — interrupted write, partial download — must
+/// be rejected as a parse error at *every* cut point, never silently
+/// read as a shorter-but-valid report.
+#[test]
+fn truncated_artifact_is_rejected_at_every_prefix() {
+    let exp = registry::find("E1").expect("registered");
+    let ctx = ExpContext::quick();
+    let result = exp.run(&ctx);
+    let text = json::render(exp, &result, &ctx, 0.0);
+    assert!(Parser::parse(&text).is_ok(), "the full artifact parses");
+
+    // Cut at a spread of points including deep cuts (mid-string, mid-
+    // number) and a lost closing brace (trailing whitespace aside, the
+    // artifact's last meaningful byte).
+    let mut cuts: Vec<usize> =
+        (1..8).map(|k| text.len() * k / 8).collect();
+    cuts.push(text.trim_end().len() - 1);
+    for mut cut in cuts {
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let prefix = &text[..cut];
+        assert!(
+            Parser::parse(prefix).is_err(),
+            "truncation to {cut}/{} bytes must not parse",
+            text.len()
+        );
+        // The conformance validator agrees: an unparseable prefix can
+        // never reach the shape checks at all.
+        assert!(densemem_testkit::json::parse(prefix).is_err());
+    }
+}
+
+/// A report carrying the wrong schema version header — or missing it —
+/// must be flagged by the structural validator even though it is
+/// perfectly well-formed JSON.
+#[test]
+fn wrong_version_header_is_flagged_by_the_validator() {
+    use densemem_testkit::golden::validate_report;
+    use densemem_testkit::json::{parse, Value as TkValue};
+
+    let exp = registry::find("E1").expect("registered");
+    let ctx = ExpContext::quick();
+    let result = exp.run(&ctx);
+    let text = json::render(exp, &result, &ctx, 0.0);
+
+    let good = parse(&text).expect("artifact parses");
+    assert!(validate_report(&good).is_empty(), "pristine report validates clean");
+
+    // Future (or corrupted) version number.
+    let mut wrong = good.clone();
+    if let TkValue::Obj(m) = &mut wrong {
+        m.insert("schema_version".into(), TkValue::Num(2.0));
+    }
+    let problems = validate_report(&wrong);
+    assert!(
+        problems.iter().any(|p| p.contains("schema_version")),
+        "version 2 must be rejected: {problems:?}"
+    );
+
+    // Missing header entirely.
+    let mut missing = good;
+    if let TkValue::Obj(m) = &mut missing {
+        m.remove("schema_version");
+    }
+    let problems = validate_report(&missing);
+    assert!(
+        problems.iter().any(|p| p.contains("schema_version")),
+        "absent version must be reported: {problems:?}"
+    );
+}
+
+/// Non-finite floats never leak into the artifact as bare tokens: the
+/// renderer's only spelling for NaN/inf is `null`, so the text contains
+/// no token a strict JSON consumer would choke on.
+#[test]
+fn non_finite_floats_render_as_null_tokens_only() {
+    use densemem::experiments::ExperimentResult;
+    use densemem_stats::table::{Cell, Table};
+
+    let exp = registry::find("E1").expect("registered");
+    let mut r = ExperimentResult::new("E1", "non-finite");
+    let mut t = Table::new("edge", &["v"]);
+    for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        t.row(vec![Cell::Float(v)]);
+    }
+    r.tables.push(t);
+    let ctx = ExpContext::quick();
+    let text = json::render(exp, &r, &ctx, 0.0);
+
+    assert!(!text.contains("NaN"), "bare NaN token leaked");
+    assert!(!text.contains("Infinity"), "bare Infinity token leaked");
+    let v = Parser::parse(&text).expect("well-formed despite non-finite inputs");
+    let rows = v.get("tables").arr()[0].get("rows").arr();
+    for row in rows {
+        assert_eq!(row.arr()[0], Value::Null);
+    }
+}

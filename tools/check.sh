@@ -82,7 +82,21 @@ else
     echo "artifacts OK (python3 unavailable: structural checks skipped)"
 fi
 
+echo "== conformance: golden snapshot drift =="
+# Compare a trace-free --quick artifact run (the configuration the
+# snapshots were recorded in) against tests/golden. golden-diff
+# normalizes run metadata and validates report structure; any drift in a
+# paper number fails here with a field-level diff. Intentional changes:
+#   UPDATE_GOLDEN=1 cargo test --offline --test conformance_golden
+# then review the git diff of tests/golden/ (see TESTING.md).
+rm -rf artifacts-golden
+./target/release/exp --quick --json-dir artifacts-golden > /dev/null
+./target/release/golden-diff tests/golden artifacts-golden/E*.json
+rm -rf artifacts-golden
+
 echo "== cargo clippy --offline -- -D warnings =="
+# --workspace --all-targets covers densemem-testkit (and every other
+# crate) with warnings denied.
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "check.sh: all green"
