@@ -76,6 +76,11 @@ fn main() {
         );
     }
     println!("\nharness stages:\n{}", sw.render());
+    println!(
+        "population cache: {} build(s), {} hit(s) across the suite",
+        densemem::experiments::popcache::builds(),
+        densemem::experiments::popcache::hits()
+    );
 
     let json =
         render_json(&timed, cfg.threads(), cores, ctx.scale, serial_secs, parallel_secs, identical);
@@ -134,6 +139,14 @@ fn render_json(
     let _ = writeln!(s, "    \"parallel_secs\": {parallel_secs:.6},");
     let _ = writeln!(s, "    \"speedup\": {:.4},", serial_secs / parallel_secs.max(1e-12));
     let _ = writeln!(s, "    \"results_identical\": {identical}");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"population_cache\": {{");
+    let _ = writeln!(
+        s,
+        "    \"builds\": {},",
+        densemem::experiments::popcache::builds()
+    );
+    let _ = writeln!(s, "    \"hits\": {}", densemem::experiments::popcache::hits());
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"experiments\": [");
     for (i, (r, secs)) in timed.iter().enumerate() {

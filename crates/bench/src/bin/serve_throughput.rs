@@ -1,0 +1,157 @@
+//! Serving-layer throughput: cold compute vs warm cache answer.
+//!
+//! Drives the [`densemem_serve::Engine`] in process (no sockets — this
+//! measures the serving core, not the kernel's TCP stack): one cold
+//! `submit` per experiment, then a burst of identical warm submits
+//! answered from the memory tier, then a fresh engine over the same
+//! cache directory so the first answer comes from the verified disk
+//! tier. Latencies are reported as p50/p99 and written to
+//! `BENCH_serve.json`.
+//!
+//! The acceptance gate is encoded here: the warm p50 must beat the cold
+//! submit by ≥ 10× for every measured experiment, or the binary exits
+//! non-zero. Pass `--quick` for CI scale (the default is quick too —
+//! cold compute at full scale is a batch-harness job, not a latency
+//! benchmark).
+
+use densemem_serve::{Engine, EngineConfig};
+use densemem_stats::Summary;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Experiments measured: one population-heavy (E1), one trace-heavy (E15).
+const EXPERIMENTS: &[&str] = &["E1", "E15"];
+
+/// Warm repeats per experiment.
+const WARM_ROUNDS: usize = 50;
+
+/// Required cold-to-warm speedup (p50).
+const MIN_SPEEDUP: f64 = 10.0;
+
+/// Fixed master seed so every run measures the identical computation.
+const SEED: u64 = 0xBE7C_0001;
+
+struct Row {
+    id: &'static str,
+    cold_ms: f64,
+    disk_ms: f64,
+    warm: Summary,
+    speedup: f64,
+}
+
+fn submit_line(exp: &str) -> String {
+    format!("{{\"v\":1,\"verb\":\"submit\",\"exp\":\"{exp}\",\"seed\":\"{SEED:#x}\",\"wait\":true}}")
+}
+
+/// One timed round-trip through the engine; panics on an error frame so
+/// a broken server can never "win" the benchmark.
+fn timed_submit(engine: &Engine, exp: &str) -> (f64, String) {
+    let start = Instant::now();
+    let resp = engine.handle(&submit_line(exp));
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(resp.contains("\"ok\":true"), "submit failed: {resp}");
+    let tier = ["\"cache\":\"miss\"", "\"cache\":\"mem\"", "\"cache\":\"disk\""]
+        .iter()
+        .find(|t| resp.contains(*t))
+        .map(|t| t.trim_start_matches("\"cache\":\"").trim_end_matches('"'))
+        .unwrap_or("?")
+        .to_owned();
+    (ms, tier)
+}
+
+fn main() {
+    let cache_dir = std::env::temp_dir()
+        .join(format!("densemem-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let config = EngineConfig {
+        workers: 1,
+        disk_dir: Some(cache_dir.clone()),
+        ..Default::default()
+    };
+
+    let engine = Engine::new(config.clone()).expect("engine");
+    let mut rows = Vec::new();
+    for &id in EXPERIMENTS {
+        let (cold_ms, tier) = timed_submit(&engine, id);
+        assert_eq!(tier, "miss", "{id}: first submit must be a cold compute");
+        let warm_ms: Vec<f64> = (0..WARM_ROUNDS)
+            .map(|i| {
+                let (ms, tier) = timed_submit(&engine, id);
+                assert_eq!(tier, "mem", "{id}: warm round {i} must hit the memory tier");
+                ms
+            })
+            .collect();
+        let warm = Summary::from_iter(warm_ms);
+        let speedup = cold_ms / warm.percentile(50.0).max(1e-9);
+        rows.push(Row { id, cold_ms, disk_ms: 0.0, warm, speedup });
+    }
+    engine.shutdown();
+
+    // Disk tier: a restarted engine (cold memory) over the same store.
+    let engine = Engine::new(config).expect("engine restart");
+    for row in &mut rows {
+        let (disk_ms, tier) = timed_submit(&engine, row.id);
+        assert_eq!(tier, "disk", "{}: restarted engine must answer from disk", row.id);
+        row.disk_ms = disk_ms;
+    }
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    println!(
+        "{:<5} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "id", "cold ms", "disk ms", "warm p50", "warm p99", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<5} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>8.0}x",
+            r.id,
+            r.cold_ms,
+            r.disk_ms,
+            r.warm.percentile(50.0),
+            r.warm.percentile(99.0),
+            r.speedup
+        );
+    }
+
+    let json_path = "BENCH_serve.json";
+    match std::fs::write(json_path, render_json(&rows)) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    }
+
+    let slow: Vec<&Row> = rows.iter().filter(|r| r.speedup < MIN_SPEEDUP).collect();
+    if !slow.is_empty() {
+        for r in slow {
+            eprintln!(
+                "{}: warm p50 {:.3}ms is only {:.1}x faster than cold {:.3}ms (need {MIN_SPEEDUP}x)",
+                r.id,
+                r.warm.percentile(50.0),
+                r.speedup,
+                r.cold_ms
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"warm_rounds\": {WARM_ROUNDS},");
+    let _ = writeln!(s, "  \"min_speedup\": {MIN_SPEEDUP},");
+    let _ = writeln!(s, "  \"experiments\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"id\": \"{}\",", r.id);
+        let _ = writeln!(s, "      \"cold_ms\": {:.6},", r.cold_ms);
+        let _ = writeln!(s, "      \"disk_ms\": {:.6},", r.disk_ms);
+        let _ = writeln!(s, "      \"warm_p50_ms\": {:.6},", r.warm.percentile(50.0));
+        let _ = writeln!(s, "      \"warm_p99_ms\": {:.6},", r.warm.percentile(99.0));
+        let _ = writeln!(s, "      \"warm_mean_ms\": {:.6},", r.warm.mean());
+        let _ = writeln!(s, "      \"speedup_p50\": {:.4},", r.speedup);
+        let _ = writeln!(s, "      \"pass\": {}", r.speedup >= MIN_SPEEDUP);
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(s, "  ]");
+    s.push_str("}\n");
+    s
+}

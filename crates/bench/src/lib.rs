@@ -249,6 +249,20 @@ mod tests {
     }
 
     #[test]
+    fn threads_zero_means_auto_detect_end_to_end() {
+        // `--threads 0` must mean "auto-detect", same as no flag at all —
+        // not a zero-thread (or panicking) pool. Regression test for the
+        // ParConfig::with_threads(0) contract at the CLI boundary.
+        let ctx = parse(&["--threads", "0"]).context();
+        assert!(ctx.par.threads() >= 1);
+        assert_eq!(
+            ctx.par.threads(),
+            densemem_stats::par::detected_parallelism(),
+            "--threads 0 must resolve to the detected parallelism"
+        );
+    }
+
+    #[test]
     fn default_selection_is_whole_registry() {
         let a = parse(&[]);
         assert_eq!(a.select().unwrap().len(), 25);

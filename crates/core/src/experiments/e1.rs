@@ -8,12 +8,11 @@
 //! * observed rates span 0 … ~10⁶ errors per 10⁹ cells.
 
 use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
-use densemem_dram::ModulePopulation;
 use densemem_stats::table::{Cell, Table};
 
 /// Runs E1.
 pub fn run(ctx: &ExpContext) -> ExperimentResult {
-    let pop = ModulePopulation::standard_par(ctx.seed, ctx.par);
+    let pop = crate::experiments::popcache::shared_standard(ctx.seed, ctx.par);
     let mut result = ExperimentResult::new(
         "E1",
         "Figure 1: errors per 10^9 cells vs manufacture date (129 modules)",

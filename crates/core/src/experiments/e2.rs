@@ -18,7 +18,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
     let scale = ctx.scale;
     let mut result =
         ExperimentResult::new("E2", "Refresh-rate scaling eliminates RowHammer at ~7x");
-    let pop = ModulePopulation::standard_par(ctx.seed, ctx.par);
+    let pop = crate::experiments::popcache::shared_standard(ctx.seed, ctx.par);
 
     let mut t = densemem_stats::table::Table::new(
         "population errors vs refresh multiplier",

@@ -68,7 +68,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
         "Failure modeling: fit the threshold distribution, predict unseen settings",
     );
     let profile = VintageProfile::new(Manufacturer::A, 2013);
-    let pop = ModulePopulation::standard_par(ctx.seed, ctx.par);
+    let pop = crate::experiments::popcache::shared_standard(ctx.seed, ctx.par);
     let timing = pop.config().timing;
 
     // "Measurements": aggregate 2013-A module rates at three refresh

@@ -5,7 +5,6 @@
 //! both small-scale controlled testing *and* field telemetry are needed.
 
 use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
-use densemem_dram::ModulePopulation;
 use densemem_stats::dist::Poisson;
 use densemem_stats::par::par_map_seeded;
 use densemem_stats::table::{Cell, Table};
@@ -20,7 +19,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
     // A fleet of servers, each drawing one module from the population
     // (with replacement), running a month at a field stress level equal to
     // a small fraction of the worst-case test exposure.
-    let pop = ModulePopulation::standard_par(ctx.seed, ctx.par);
+    let pop = crate::experiments::popcache::shared_standard(ctx.seed, ctx.par);
     let servers = scale.pick(4000usize, 1000);
 
     // Field error intensity per module-month. Field workloads are far

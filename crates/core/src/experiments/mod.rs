@@ -8,6 +8,7 @@
 //! title, paper anchor, tags, runner) that the harness binaries, CI
 //! gate, and JSON report writer all share.
 
+pub mod popcache;
 pub mod registry;
 pub mod tracekit;
 

@@ -65,6 +65,36 @@ pub fn find(id: &str) -> Option<&'static Experiment> {
     REGISTRY.iter().find(|e| e.id.eq_ignore_ascii_case(id.trim()))
 }
 
+/// Derives the content-addressed cache key for running `exp` under `ctx`.
+///
+/// The key canonically encodes everything a report is a function of:
+/// the registry id, the scale, the master seed, the
+/// [calibration fingerprint](crate::calibration_fingerprint), and the
+/// crate version. Two requests with equal keys are the same computation,
+/// so the serving layer can answer the second from cache; any calibration
+/// or version change rolls every key over at once.
+///
+/// Thread policy and trace directory are deliberately excluded: thread
+/// count never changes report content (it is a volatile key under golden
+/// normalization), and the serving layer does not record traces.
+///
+/// The key is filename-safe (`[A-Za-z0-9-]`), with a readable
+/// `<id>-<scale>-s<seed>` prefix ahead of the hash.
+pub fn cache_key(exp: &Experiment, ctx: &ExpContext) -> String {
+    use densemem_stats::hash::Fnv1a;
+    let scale = match ctx.scale {
+        crate::Scale::Quick => "quick",
+        crate::Scale::Full => "full",
+    };
+    let mut h = Fnv1a::new();
+    h.write(exp.id.as_bytes());
+    h.write(scale.as_bytes());
+    h.write_u64(ctx.seed);
+    h.write_u64(crate::calibration_fingerprint());
+    h.write(crate::CRATE_VERSION.as_bytes());
+    format!("{}-{}-s{:x}-{:016x}", exp.id, scale, ctx.seed, h.finish())
+}
+
 /// The sorted, de-duplicated set of tags used across the registry — the
 /// `--tag` vocabulary.
 pub fn tag_vocabulary() -> Vec<&'static str> {
@@ -287,5 +317,33 @@ mod tests {
         let e1 = find("E1").unwrap();
         assert!(e1.has_tag("DRAM"));
         assert!(!e1.has_tag("flash"));
+    }
+
+    #[test]
+    fn cache_key_separates_id_scale_seed() {
+        let e1 = find("E1").unwrap();
+        let e2 = find("E2").unwrap();
+        let ctx = ExpContext::quick();
+        assert_eq!(cache_key(e1, &ctx), cache_key(e1, &ctx.clone()));
+        // Thread policy must not move the key (reports are thread-count
+        // invariant after normalization).
+        assert_eq!(cache_key(e1, &ctx), cache_key(e1, &ctx.clone().with_threads(7)));
+        let distinct = [
+            cache_key(e1, &ctx),
+            cache_key(e2, &ctx),
+            cache_key(e1, &ExpContext::full()),
+            cache_key(e1, &ctx.clone().with_seed(1)),
+        ];
+        for (i, a) in distinct.iter().enumerate() {
+            for b in &distinct[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        let key = cache_key(e1, &ctx);
+        assert!(key.starts_with("E1-quick-s"), "{key}");
+        assert!(
+            key.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+            "key not filename-safe: {key}"
+        );
     }
 }

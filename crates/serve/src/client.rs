@@ -1,0 +1,110 @@
+//! A minimal blocking client for the line-JSON protocol.
+//!
+//! Wraps one TCP connection; each [`TcpClient::roundtrip`] writes one
+//! request line and reads one response line. The convenience helpers
+//! build well-formed frames so callers (the `serve client` CLI, the
+//! smoke gate, the throughput bench) never hand-assemble JSON.
+
+use crate::proto::{self, Request, ScaleArg, Verb};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One protocol connection.
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connects to a serving daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sets how long reads may block before erroring (None = forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket configuration failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Writes one raw line (newline appended) and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or an unexpected EOF before the response line.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        Ok(response.trim_end_matches(['\r', '\n']).to_owned())
+    }
+
+    /// Sends a structured request.
+    ///
+    /// # Errors
+    ///
+    /// See [`TcpClient::roundtrip`].
+    pub fn request(&mut self, req: &Request) -> std::io::Result<String> {
+        self.roundtrip(&req.to_line())
+    }
+
+    /// Submits an experiment and blocks for its result frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`TcpClient::roundtrip`].
+    pub fn submit_wait(
+        &mut self,
+        exp: &str,
+        scale: ScaleArg,
+        seed: Option<u64>,
+        priority: i32,
+    ) -> std::io::Result<String> {
+        self.request(&Request {
+            verb: Verb::Submit,
+            exp: Some(exp.to_owned()),
+            scale,
+            seed,
+            priority,
+            wait: true,
+            job: None,
+        })
+    }
+
+    /// Requests the metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`TcpClient::roundtrip`].
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        self.roundtrip(&format!("{{\"v\":{},\"verb\":\"stats\"}}", proto::PROTO_VERSION))
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// See [`TcpClient::roundtrip`].
+    pub fn shutdown(&mut self) -> std::io::Result<String> {
+        self.roundtrip(&format!("{{\"v\":{},\"verb\":\"shutdown\"}}", proto::PROTO_VERSION))
+    }
+}

@@ -1,0 +1,702 @@
+//! The serving engine: scheduling, caching, and request handling.
+//!
+//! [`Engine`] is the transport-independent core. The TCP server and the
+//! in-process test client both drive it through [`Engine::handle`], which
+//! maps one request frame to one response frame — so protocol behaviour
+//! is tested without sockets and served over them unchanged.
+//!
+//! A `submit` resolves in tier order:
+//!
+//! 1. **Memory LRU** — rendered payload resident; answered immediately.
+//! 2. **Disk store** — hash-verified entry; promoted to memory. A
+//!    corrupt entry is deleted, counted, and falls through to recompute.
+//! 3. **Single-flight dedup** — an identical computation already queued
+//!    or running; this submit becomes a follower of that leader and is
+//!    resolved by the leader's completion, never recomputed.
+//! 4. **Compute** — enqueued on the [`WorkerPool`] at the requested
+//!    priority; the result lands in both cache tiers on the way out.
+//!
+//! Experiment panics are caught in the job closure and surface as typed
+//! `job-failed` frames; the pool thread survives.
+
+use crate::cache::{DiskRead, DiskStore, MemLru};
+use crate::proto::{self, ErrorCode, ProtoError, Request, ScaleArg, Verb};
+use densemem::experiments::registry::{self, Experiment};
+use densemem::experiments::{ExpContext, Scale};
+use densemem_stats::hash::fnv1a64;
+use densemem_stats::hist::Histogram;
+use densemem_stats::par::{ParConfig, WorkerPool};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a `wait`/`result` request blocks before a `timeout` frame.
+pub const RESULT_WAIT: Duration = Duration::from_secs(600);
+
+/// Which tier answered a submit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Computed fresh by a worker.
+    Miss,
+    /// Answered from the in-memory LRU.
+    Mem,
+    /// Answered from the verified on-disk store.
+    Disk,
+    /// Coalesced onto an identical in-flight computation.
+    Dedup,
+}
+
+impl CacheTier {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheTier::Miss => "miss",
+            CacheTier::Mem => "mem",
+            CacheTier::Disk => "disk",
+            CacheTier::Dedup => "dedup",
+        }
+    }
+}
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued,
+    Running,
+    Done { payload: Arc<String>, wall_ms: f64 },
+    Failed { msg: String },
+    Cancelled,
+}
+
+struct JobRecord {
+    exp_id: &'static str,
+    tier: CacheTier,
+    state: JobState,
+}
+
+struct Inflight {
+    followers: Vec<u64>,
+}
+
+struct EngineState {
+    mem: MemLru,
+    jobs: HashMap<u64, JobRecord>,
+    inflight: HashMap<String, Inflight>,
+    latency: HashMap<&'static str, Histogram>,
+    next_job: u64,
+    draining: bool,
+}
+
+/// Monotone counters, readable without the state lock.
+#[derive(Default)]
+struct Counters {
+    submits: AtomicU64,
+    statuses: AtomicU64,
+    results: AtomicU64,
+    cancels: AtomicU64,
+    stats: AtomicU64,
+    shutdowns: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    dedups: AtomicU64,
+    corrupt_entries: AtomicU64,
+    failures: AtomicU64,
+    bad_frames: AtomicU64,
+}
+
+/// Engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (0 = auto-detect).
+    pub workers: usize,
+    /// In-memory LRU capacity in payloads.
+    pub mem_entries: usize,
+    /// On-disk store root; `None` disables the disk tier.
+    pub disk_dir: Option<std::path::PathBuf>,
+    /// Thread policy *inside* one experiment job. Serial by default:
+    /// the pool provides the parallelism across jobs.
+    pub job_threads: ParConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            mem_entries: 64,
+            disk_dir: None,
+            job_threads: ParConfig::serial(),
+        }
+    }
+}
+
+/// The transport-independent serving core.
+pub struct Engine {
+    state: Arc<(Mutex<EngineState>, Condvar)>,
+    counters: Arc<Counters>,
+    disk: Option<DiskStore>,
+    job_par: ParConfig,
+    pool: WorkerPool,
+    started: Instant,
+}
+
+impl Engine {
+    /// Builds an engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the disk-store directory cannot be created.
+    pub fn new(cfg: EngineConfig) -> std::io::Result<Self> {
+        let disk = match &cfg.disk_dir {
+            Some(dir) => Some(DiskStore::open(dir)?),
+            None => None,
+        };
+        Ok(Self {
+            state: Arc::new((
+                Mutex::new(EngineState {
+                    mem: MemLru::new(cfg.mem_entries),
+                    jobs: HashMap::new(),
+                    inflight: HashMap::new(),
+                    latency: HashMap::new(),
+                    next_job: 0,
+                    draining: false,
+                }),
+                Condvar::new(),
+            )),
+            counters: Arc::new(Counters::default()),
+            disk,
+            job_par: cfg.job_threads,
+            pool: WorkerPool::new(&ParConfig::with_threads(cfg.workers)),
+            started: Instant::now(),
+        })
+    }
+
+    /// Maps one request frame to one response frame. Never panics; every
+    /// failure is a typed error frame.
+    pub fn handle(&self, line: &str) -> String {
+        let req = match Request::from_line(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                return proto::error_frame(&e);
+            }
+        };
+        match req.verb {
+            Verb::Submit => {
+                self.counters.submits.fetch_add(1, Ordering::Relaxed);
+                self.submit_frame(&req)
+            }
+            Verb::Status => {
+                self.counters.statuses.fetch_add(1, Ordering::Relaxed);
+                self.status_frame(req.job.expect("parser enforces job"))
+            }
+            Verb::Result => {
+                self.counters.results.fetch_add(1, Ordering::Relaxed);
+                self.result_frame(req.job.expect("parser enforces job"), RESULT_WAIT)
+            }
+            Verb::Cancel => {
+                self.counters.cancels.fetch_add(1, Ordering::Relaxed);
+                self.cancel_frame(req.job.expect("parser enforces job"))
+            }
+            Verb::Stats => {
+                self.counters.stats.fetch_add(1, Ordering::Relaxed);
+                self.stats_frame()
+            }
+            Verb::Shutdown => {
+                self.counters.shutdowns.fetch_add(1, Ordering::Relaxed);
+                self.begin_drain();
+                format!("{{\"v\":{},\"ok\":true,\"type\":\"bye\"}}", proto::PROTO_VERSION)
+            }
+        }
+    }
+
+    /// Submits a request, returning `(job id, tier)` or a protocol error.
+    ///
+    /// # Errors
+    ///
+    /// `unknown-experiment` for ids outside the registry and
+    /// `shutting-down` once draining has begun.
+    pub fn submit(&self, req: &Request) -> Result<(u64, CacheTier), ProtoError> {
+        let exp_arg = req.exp.as_deref().unwrap_or("");
+        let Some(exp) = registry::find(exp_arg) else {
+            return Err(ProtoError::new(
+                ErrorCode::UnknownExperiment,
+                format!("{exp_arg:?} (the registry spans E1–E25)"),
+            ));
+        };
+        let ctx = self.context_for(req);
+        let key = registry::cache_key(exp, &ctx);
+
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock().expect("engine state lock");
+        if st.draining {
+            return Err(ProtoError::new(ErrorCode::ShuttingDown, "no new work accepted"));
+        }
+        st.next_job += 1;
+        let job = st.next_job;
+
+        // Tier 1: memory.
+        if let Some(payload) = st.mem.get(&key) {
+            self.counters.mem_hits.fetch_add(1, Ordering::Relaxed);
+            st.jobs.insert(
+                job,
+                JobRecord {
+                    exp_id: exp.id,
+                    tier: CacheTier::Mem,
+                    state: JobState::Done { payload: Arc::new(payload), wall_ms: 0.0 },
+                },
+            );
+            cv.notify_all();
+            return Ok((job, CacheTier::Mem));
+        }
+
+        // Tier 2: disk (verified; corrupt entries deleted and recomputed).
+        if let Some(disk) = &self.disk {
+            match disk.get(&key) {
+                DiskRead::Hit(payload) => {
+                    self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    st.mem.put(&key, payload.clone());
+                    st.jobs.insert(
+                        job,
+                        JobRecord {
+                            exp_id: exp.id,
+                            tier: CacheTier::Disk,
+                            state: JobState::Done { payload: Arc::new(payload), wall_ms: 0.0 },
+                        },
+                    );
+                    cv.notify_all();
+                    return Ok((job, CacheTier::Disk));
+                }
+                DiskRead::Corrupt(_) => {
+                    self.counters.corrupt_entries.fetch_add(1, Ordering::Relaxed);
+                }
+                DiskRead::Miss => {}
+            }
+        }
+
+        // Tier 3: single-flight — coalesce onto an identical in-flight run.
+        if let Some(inflight) = st.inflight.get_mut(&key) {
+            inflight.followers.push(job);
+            self.counters.dedups.fetch_add(1, Ordering::Relaxed);
+            st.jobs.insert(
+                job,
+                JobRecord { exp_id: exp.id, tier: CacheTier::Dedup, state: JobState::Queued },
+            );
+            return Ok((job, CacheTier::Dedup));
+        }
+
+        // Tier 4: compute.
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        st.inflight.insert(key.clone(), Inflight { followers: Vec::new() });
+        st.jobs
+            .insert(job, JobRecord { exp_id: exp.id, tier: CacheTier::Miss, state: JobState::Queued });
+        drop(st);
+
+        let state = Arc::clone(&self.state);
+        let counters = Arc::clone(&self.counters);
+        let disk = self.disk.clone();
+        let ctx = ctx.clone();
+        let accepted = self.pool.submit(req.priority, move || {
+            Self::run_job(&state, &counters, disk.as_ref(), exp, &ctx, job, &key);
+        });
+        if !accepted {
+            // The pool began draining between our check and the submit.
+            let (lock, cv) = &*self.state;
+            let mut st = lock.lock().expect("engine state lock");
+            Self::resolve(&mut st, job, JobState::Failed { msg: "pool shut down".into() });
+            cv.notify_all();
+            return Err(ProtoError::new(ErrorCode::ShuttingDown, "worker pool is draining"));
+        }
+        Ok((job, CacheTier::Miss))
+    }
+
+    fn context_for(&self, req: &Request) -> ExpContext {
+        let scale = match req.scale {
+            ScaleArg::Quick => Scale::Quick,
+            ScaleArg::Full => Scale::Full,
+        };
+        ExpContext::new(scale)
+            .with_seed(req.seed.unwrap_or(densemem::DEFAULT_SEED))
+            .with_par(self.job_par)
+    }
+
+    /// The worker-side job body. Runs the experiment under `catch_unwind`,
+    /// renders the canonical JSON report, populates both cache tiers, and
+    /// resolves the leader plus every coalesced follower.
+    fn run_job(
+        state: &Arc<(Mutex<EngineState>, Condvar)>,
+        counters: &Arc<Counters>,
+        disk: Option<&DiskStore>,
+        exp: &'static Experiment,
+        ctx: &ExpContext,
+        job: u64,
+        key: &str,
+    ) {
+        let (lock, cv) = &**state;
+        let cancelled_without_followers = {
+            let mut st = lock.lock().expect("engine state lock");
+            let cancelled =
+                matches!(st.jobs.get(&job).map(|r| &r.state), Some(JobState::Cancelled));
+            let no_followers =
+                st.inflight.get(key).is_none_or(|f| f.followers.is_empty());
+            if cancelled && no_followers {
+                st.inflight.remove(key);
+                true
+            } else {
+                if !cancelled {
+                    if let Some(r) = st.jobs.get_mut(&job) {
+                        r.state = JobState::Running;
+                    }
+                }
+                false
+            }
+        };
+        if cancelled_without_followers {
+            cv.notify_all();
+            return;
+        }
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let (result, wall_secs) = exp.run_timed(ctx);
+            let payload = densemem::report::json::render(exp, &result, ctx, wall_secs);
+            (payload, wall_secs)
+        }));
+
+        match outcome {
+            Ok((payload, wall_secs)) => {
+                // Disk write before taking the lock; a failed write only
+                // costs the warm start, never the response.
+                if let Some(disk) = disk {
+                    let _ = disk.put(key, &payload);
+                }
+                let wall_ms = wall_secs * 1e3;
+                let payload = Arc::new(payload);
+                let mut st = lock.lock().expect("engine state lock");
+                st.mem.put(key, (*payload).clone());
+                st.latency
+                    .entry(exp.id)
+                    .or_insert_with(|| {
+                        Histogram::new(0.0, 30_000.0, 3_000).expect("static bounds")
+                    })
+                    .record(wall_ms);
+                let followers =
+                    st.inflight.remove(key).map(|f| f.followers).unwrap_or_default();
+                let done = JobState::Done { payload, wall_ms };
+                // A cancelled leader keeps its Cancelled state; the
+                // computation still feeds its followers and the caches.
+                if !matches!(st.jobs.get(&job).map(|r| &r.state), Some(JobState::Cancelled)) {
+                    Self::resolve(&mut st, job, done.clone());
+                }
+                for f in followers {
+                    Self::resolve(&mut st, f, done.clone());
+                }
+                cv.notify_all();
+            }
+            Err(panic) => {
+                counters.failures.fetch_add(1, Ordering::Relaxed);
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "experiment panicked".to_owned());
+                let mut st = lock.lock().expect("engine state lock");
+                let followers =
+                    st.inflight.remove(key).map(|f| f.followers).unwrap_or_default();
+                let failed = JobState::Failed { msg };
+                Self::resolve(&mut st, job, failed.clone());
+                for f in followers {
+                    Self::resolve(&mut st, f, failed.clone());
+                }
+                cv.notify_all();
+            }
+        }
+    }
+
+    fn resolve(st: &mut EngineState, job: u64, state: JobState) {
+        if let Some(r) = st.jobs.get_mut(&job) {
+            if !matches!(r.state, JobState::Cancelled) {
+                r.state = state;
+            }
+        }
+    }
+
+    fn submit_frame(&self, req: &Request) -> String {
+        match self.submit(req) {
+            Ok((job, _)) if req.wait => self.result_frame(job, RESULT_WAIT),
+            Ok((job, tier)) => format!(
+                "{{\"v\":{},\"ok\":true,\"type\":\"submitted\",\"job\":{job},\"cache\":\"{}\"}}",
+                proto::PROTO_VERSION,
+                tier.as_str()
+            ),
+            Err(e) => proto::error_frame(&e),
+        }
+    }
+
+    /// Blocks until `job` leaves the queued/running states, then renders
+    /// its terminal frame.
+    fn result_frame(&self, job: u64, patience: Duration) -> String {
+        let deadline = Instant::now() + patience;
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock().expect("engine state lock");
+        loop {
+            match st.jobs.get(&job) {
+                None => {
+                    return proto::error_frame(&ProtoError::new(
+                        ErrorCode::UnknownJob,
+                        format!("job {job}"),
+                    ))
+                }
+                Some(r) => match &r.state {
+                    JobState::Done { payload, wall_ms } => {
+                        let mut s = format!(
+                            "{{\"v\":{},\"ok\":true,\"type\":\"result\",\"job\":{job},\"exp\":\"{}\",\"cache\":\"{}\"",
+                            proto::PROTO_VERSION,
+                            r.exp_id,
+                            r.tier.as_str()
+                        );
+                        let _ = write!(s, ",\"wall_ms\":{wall_ms:.3}");
+                        let _ = write!(
+                            s,
+                            ",\"payload_fnv\":\"{:016x}\",\"payload\":\"{}\"}}",
+                            fnv1a64(payload.as_bytes()),
+                            proto::escape(payload)
+                        );
+                        return s;
+                    }
+                    JobState::Failed { msg } => {
+                        return proto::error_frame(&ProtoError::new(
+                            ErrorCode::JobFailed,
+                            format!("job {job}: {msg}"),
+                        ))
+                    }
+                    JobState::Cancelled => {
+                        return proto::error_frame(&ProtoError::new(
+                            ErrorCode::JobCancelled,
+                            format!("job {job}"),
+                        ))
+                    }
+                    JobState::Queued | JobState::Running => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return proto::error_frame(&ProtoError::new(
+                                ErrorCode::Timeout,
+                                format!("job {job} still {} after {patience:?}", state_str(&r.state)),
+                            ));
+                        }
+                        let (next, _) = cv
+                            .wait_timeout(st, deadline - now)
+                            .expect("engine state lock");
+                        st = next;
+                    }
+                },
+            }
+        }
+    }
+
+    fn status_frame(&self, job: u64) -> String {
+        let (lock, _) = &*self.state;
+        let st = lock.lock().expect("engine state lock");
+        match st.jobs.get(&job) {
+            None => {
+                proto::error_frame(&ProtoError::new(ErrorCode::UnknownJob, format!("job {job}")))
+            }
+            Some(r) => format!(
+                "{{\"v\":{},\"ok\":true,\"type\":\"status\",\"job\":{job},\"exp\":\"{}\",\"state\":\"{}\",\"cache\":\"{}\"}}",
+                proto::PROTO_VERSION,
+                r.exp_id,
+                state_str(&r.state),
+                r.tier.as_str()
+            ),
+        }
+    }
+
+    fn cancel_frame(&self, job: u64) -> String {
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock().expect("engine state lock");
+        let frame = match st.jobs.get_mut(&job) {
+            None => {
+                proto::error_frame(&ProtoError::new(ErrorCode::UnknownJob, format!("job {job}")))
+            }
+            Some(r) => {
+                let cancelled = match r.state {
+                    // Only not-yet-terminal jobs can be cancelled; a
+                    // running computation is allowed to finish (its result
+                    // still feeds the caches) but this job stops caring.
+                    JobState::Queued | JobState::Running => {
+                        r.state = JobState::Cancelled;
+                        true
+                    }
+                    _ => false,
+                };
+                format!(
+                    "{{\"v\":{},\"ok\":true,\"type\":\"cancelled\",\"job\":{job},\"did_cancel\":{cancelled}}}",
+                    proto::PROTO_VERSION
+                )
+            }
+        };
+        cv.notify_all();
+        frame
+    }
+
+    fn stats_frame(&self) -> String {
+        let c = &self.counters;
+        let (lock, _) = &*self.state;
+        let st = lock.lock().expect("engine state lock");
+        let mut s = format!(
+            "{{\"v\":{},\"ok\":true,\"type\":\"stats\",\"uptime_secs\":{:.1}",
+            proto::PROTO_VERSION,
+            self.started.elapsed().as_secs_f64()
+        );
+        let _ = write!(s, ",\"workers\":{}", self.pool.threads());
+        let _ = write!(s, ",\"queue_depth\":{}", self.pool.queue_depth());
+        let _ = write!(s, ",\"active\":{}", self.pool.active());
+        let _ = write!(s, ",\"jobs_total\":{}", st.next_job);
+        let _ = write!(s, ",\"inflight_keys\":{}", st.inflight.len());
+        let _ = write!(s, ",\"mem_entries\":{}", st.mem.len());
+        if let Some(disk) = &self.disk {
+            let _ = write!(s, ",\"disk_entries\":{}", disk.len());
+        }
+        for (name, counter) in [
+            ("submits", &c.submits),
+            ("statuses", &c.statuses),
+            ("results", &c.results),
+            ("cancels", &c.cancels),
+            ("stats_calls", &c.stats),
+            ("shutdowns", &c.shutdowns),
+            ("bad_frames", &c.bad_frames),
+            ("mem_hits", &c.mem_hits),
+            ("disk_hits", &c.disk_hits),
+            ("misses", &c.misses),
+            ("dedups", &c.dedups),
+            ("corrupt_entries", &c.corrupt_entries),
+            ("job_failures", &c.failures),
+        ] {
+            let _ = write!(s, ",\"{name}\":{}", counter.load(Ordering::Relaxed));
+        }
+        s.push_str(",\"latency_ms\":{");
+        let mut ids: Vec<_> = st.latency.keys().copied().collect();
+        ids.sort_unstable();
+        for (i, id) in ids.iter().enumerate() {
+            let h = &st.latency[id];
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{id}\":{{\"count\":{},\"p50\":{:.3},\"p99\":{:.3}}}",
+                h.total(),
+                h.percentile(50.0).unwrap_or(0.0),
+                h.percentile(99.0).unwrap_or(0.0)
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// Marks the engine draining: every later submit gets `shutting-down`.
+    pub fn begin_drain(&self) {
+        let (lock, cv) = &*self.state;
+        lock.lock().expect("engine state lock").draining = true;
+        cv.notify_all();
+    }
+
+    /// Whether [`Engine::begin_drain`] has run (a `shutdown` verb arrived).
+    pub fn draining(&self) -> bool {
+        let (lock, _) = &*self.state;
+        lock.lock().expect("engine state lock").draining
+    }
+
+    /// Blocks until the pool has no queued or running jobs.
+    pub fn wait_idle(&self) {
+        self.pool.wait_idle();
+    }
+
+    /// Drains and joins the worker pool, discarding still-queued jobs.
+    pub fn shutdown(self) -> usize {
+        self.pool.shutdown()
+    }
+}
+
+fn state_str(s: &JobState) -> &'static str {
+    match s {
+        JobState::Queued => "queued",
+        JobState::Running => "running",
+        JobState::Done { .. } => "done",
+        JobState::Failed { .. } => "failed",
+        JobState::Cancelled => "cancelled",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Value;
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig { workers: 2, mem_entries: 8, ..Default::default() }).unwrap()
+    }
+
+    fn submit_line(exp: &str, seed: u64) -> String {
+        format!("{{\"v\":1,\"verb\":\"submit\",\"exp\":\"{exp}\",\"seed\":\"{seed:#x}\",\"wait\":true}}")
+    }
+
+    #[test]
+    fn cold_then_warm_submit() {
+        let eng = engine();
+        let cold = eng.handle(&submit_line("E15", 0xA11CE));
+        let cold_doc = proto::parse(&cold).unwrap();
+        assert_eq!(cold_doc.get("ok").and_then(Value::as_bool), Some(true), "{cold}");
+        assert_eq!(cold_doc.get("cache").and_then(Value::as_str), Some("miss"));
+        let warm = eng.handle(&submit_line("E15", 0xA11CE));
+        let warm_doc = proto::parse(&warm).unwrap();
+        assert_eq!(warm_doc.get("cache").and_then(Value::as_str), Some("mem"));
+        // Identical computation → identical payload, hash and all.
+        assert_eq!(
+            cold_doc.get("payload").and_then(Value::as_str),
+            warm_doc.get("payload").and_then(Value::as_str)
+        );
+        assert_eq!(
+            cold_doc.get("payload_fnv").and_then(Value::as_str),
+            warm_doc.get("payload_fnv").and_then(Value::as_str)
+        );
+        eng.shutdown();
+    }
+
+    #[test]
+    fn unknown_experiment_is_typed() {
+        let eng = engine();
+        let resp = eng.handle("{\"v\":1,\"verb\":\"submit\",\"exp\":\"E99\"}");
+        let doc = proto::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(doc.get("code").and_then(Value::as_str), Some("unknown-experiment"));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn shutdown_verb_drains() {
+        let eng = engine();
+        let bye = eng.handle("{\"v\":1,\"verb\":\"shutdown\"}");
+        assert!(bye.contains("\"type\":\"bye\""), "{bye}");
+        assert!(eng.draining());
+        let refused = eng.handle(&submit_line("E15", 1));
+        let doc = proto::parse(&refused).unwrap();
+        assert_eq!(doc.get("code").and_then(Value::as_str), Some("shutting-down"));
+        eng.shutdown();
+    }
+
+    #[test]
+    fn status_and_unknown_job() {
+        let eng = engine();
+        let resp = eng.handle("{\"v\":1,\"verb\":\"status\",\"job\":777}");
+        let doc = proto::parse(&resp).unwrap();
+        assert_eq!(doc.get("code").and_then(Value::as_str), Some("unknown-job"));
+        let stats = eng.handle("{\"v\":1,\"verb\":\"stats\"}");
+        let doc = proto::parse(&stats).unwrap();
+        assert_eq!(doc.get("type").and_then(Value::as_str), Some("stats"));
+        assert_eq!(doc.get("workers").and_then(Value::as_num), Some(2.0));
+        eng.shutdown();
+    }
+}

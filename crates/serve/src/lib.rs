@@ -1,0 +1,43 @@
+//! `densemem-serve`: a long-running experiment service.
+//!
+//! The batch harness (`exp`, `run_all_experiments`) re-derives every
+//! report from scratch each invocation. This crate turns the suite into
+//! a daemon: jobs arrive over a newline-delimited JSON protocol
+//! ([`proto`]), are scheduled on a priority [worker pool]
+//! (densemem_stats::par::WorkerPool), and are answered from a two-tier
+//! content-addressed cache ([`cache`]) keyed by everything a report is a
+//! function of — experiment id, scale, seed, the model-calibration
+//! fingerprint, and the crate version
+//! ([`densemem::experiments::registry::cache_key`]). The determinism
+//! contract (bit-identical results for any thread count) is what makes
+//! caching sound: a warm answer *is* the recomputed answer.
+//!
+//! Layers, transport-independent first:
+//!
+//! * [`proto`] — frame grammar, verbs, typed error codes, and the
+//!   crate's own strict JSON reader (deliberately not the dev-only
+//!   testkit parser: a serving binary must never pull in the
+//!   fault-injection feature edges).
+//! * [`cache`] — in-memory LRU over hash-verified on-disk entries;
+//!   corruption is detected, deleted, and recomputed, never served.
+//! * [`engine`] — job lifecycle, single-flight dedup of identical
+//!   in-flight requests, per-verb counters and latency histograms.
+//! * [`server`] / [`client`] — the TCP transport and its counterpart.
+//!
+//! The `serve` binary wires these together; `tools/check.sh` smoke-tests
+//! the daemon end-to-end against the golden snapshots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod proto;
+pub mod server;
+
+pub use cache::{DiskRead, DiskStore, MemLru};
+pub use client::TcpClient;
+pub use engine::{CacheTier, Engine, EngineConfig};
+pub use proto::{ErrorCode, ProtoError, Request, ScaleArg, Verb, PROTO_VERSION};
+pub use server::Server;

@@ -1,0 +1,712 @@
+//! The line-JSON wire protocol.
+//!
+//! One frame per line, every frame a flat-ish JSON object carrying a
+//! `"v"` protocol version. Requests name a verb; responses either carry
+//! `"ok": true` with a `"type"` tag or are typed error frames
+//! (`"ok": false`, a stable machine-readable `"code"`, and a human
+//! message). A malformed line is answered with a `bad-frame` error and
+//! never kills the connection handler, let alone the server.
+//!
+//! ```text
+//! → {"v":1,"verb":"submit","exp":"E1","scale":"quick","seed":"0xf161","wait":true}
+//! ← {"v":1,"ok":true,"type":"result","job":3,"cache":"mem","payload":"{ …report… }","payload_fnv":"6ca1…"}
+//! → {"v":1,"verb":"stats"}
+//! ← {"v":1,"ok":true,"type":"stats","queue_depth":0, …}
+//! ```
+//!
+//! The module also carries the protocol's own strict JSON reader — the
+//! serving crate is std-only and deliberately does *not* depend on the
+//! dev-only `densemem-testkit` parser, because that crate's dependency
+//! edges switch on the fault-injection features of the production model
+//! crates, which a serving binary must never compile in.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The wire protocol version this build speaks.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Machine-readable error classes carried by error frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not a valid JSON object frame.
+    BadFrame,
+    /// The frame's `"v"` is newer than this server speaks.
+    UnsupportedVersion,
+    /// The `"verb"` is not one of the protocol's six.
+    UnknownVerb,
+    /// A required field is missing.
+    MissingField,
+    /// A field is present but unusable (wrong type, bad value).
+    BadField,
+    /// The experiment id is not in the registry.
+    UnknownExperiment,
+    /// The job id names no job this server knows.
+    UnknownJob,
+    /// The job was cancelled before it produced a result.
+    JobCancelled,
+    /// The job's computation failed (panic caught and reported).
+    JobFailed,
+    /// Waiting for the result exceeded the server's patience.
+    Timeout,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::UnsupportedVersion => "unsupported-version",
+            ErrorCode::UnknownVerb => "unknown-verb",
+            ErrorCode::MissingField => "missing-field",
+            ErrorCode::BadField => "bad-field",
+            ErrorCode::UnknownExperiment => "unknown-experiment",
+            ErrorCode::UnknownJob => "unknown-job",
+            ErrorCode::JobCancelled => "job-cancelled",
+            ErrorCode::JobFailed => "job-failed",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A protocol-level failure: code plus human context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// The machine-readable class.
+    pub code: ErrorCode,
+    /// Human context for the error frame's `"msg"`.
+    pub msg: String,
+}
+
+impl ProtoError {
+    /// Creates an error.
+    pub fn new(code: ErrorCode, msg: impl Into<String>) -> Self {
+        Self { code, msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.msg)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// The six request verbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// Enqueue (or answer from cache) one experiment run.
+    Submit,
+    /// Report a job's state without blocking.
+    Status,
+    /// Block until a job finishes and return its report.
+    Result,
+    /// Cancel a queued job.
+    Cancel,
+    /// Metrics snapshot.
+    Stats,
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+impl Verb {
+    /// The stable wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verb::Submit => "submit",
+            Verb::Status => "status",
+            Verb::Result => "result",
+            Verb::Cancel => "cancel",
+            Verb::Stats => "stats",
+            Verb::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The verb.
+    pub verb: Verb,
+    /// `submit`: experiment id (registry spelling, case-insensitive).
+    pub exp: Option<String>,
+    /// `submit`: `"quick"` (default) or `"full"`.
+    pub scale: ScaleArg,
+    /// `submit`: master seed; defaults to the suite default.
+    pub seed: Option<u64>,
+    /// `submit`: scheduling priority (higher first, default 0).
+    pub priority: i32,
+    /// `submit`: when true the response is the blocking `result` frame.
+    pub wait: bool,
+    /// `status` / `result` / `cancel`: the job id.
+    pub job: Option<u64>,
+}
+
+/// The requested scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleArg {
+    /// CI scale.
+    Quick,
+    /// Published-number scale.
+    Full,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] naming exactly what was wrong; the server
+    /// turns it into a typed error frame.
+    pub fn from_line(line: &str) -> Result<Self, ProtoError> {
+        let v = parse(line).map_err(|e| ProtoError::new(ErrorCode::BadFrame, e))?;
+        let Value::Obj(obj) = &v else {
+            return Err(ProtoError::new(ErrorCode::BadFrame, "frame is not a JSON object"));
+        };
+        match obj.get("v") {
+            Some(Value::Num(n)) if *n == PROTO_VERSION as f64 => {}
+            Some(Value::Num(n)) => {
+                return Err(ProtoError::new(
+                    ErrorCode::UnsupportedVersion,
+                    format!("protocol version {n} (this server speaks {PROTO_VERSION})"),
+                ));
+            }
+            _ => return Err(ProtoError::new(ErrorCode::MissingField, "\"v\" (protocol version)")),
+        }
+        let verb = match obj.get("verb") {
+            Some(Value::Str(s)) => match s.as_str() {
+                "submit" => Verb::Submit,
+                "status" => Verb::Status,
+                "result" => Verb::Result,
+                "cancel" => Verb::Cancel,
+                "stats" => Verb::Stats,
+                "shutdown" => Verb::Shutdown,
+                other => {
+                    return Err(ProtoError::new(ErrorCode::UnknownVerb, format!("{other:?}")))
+                }
+            },
+            Some(_) => return Err(ProtoError::new(ErrorCode::BadField, "\"verb\" must be a string")),
+            None => return Err(ProtoError::new(ErrorCode::MissingField, "\"verb\"")),
+        };
+
+        let mut req = Request {
+            verb,
+            exp: None,
+            scale: ScaleArg::Quick,
+            seed: None,
+            priority: 0,
+            wait: false,
+            job: None,
+        };
+        if let Some(v) = obj.get("exp") {
+            match v {
+                Value::Str(s) => req.exp = Some(s.clone()),
+                _ => return Err(ProtoError::new(ErrorCode::BadField, "\"exp\" must be a string")),
+            }
+        }
+        if let Some(v) = obj.get("scale") {
+            match v {
+                Value::Str(s) if s == "quick" => req.scale = ScaleArg::Quick,
+                Value::Str(s) if s == "full" => req.scale = ScaleArg::Full,
+                _ => {
+                    return Err(ProtoError::new(
+                        ErrorCode::BadField,
+                        "\"scale\" must be \"quick\" or \"full\"",
+                    ))
+                }
+            }
+        }
+        if let Some(v) = obj.get("seed") {
+            req.seed = Some(parse_seed(v)?);
+        }
+        if let Some(v) = obj.get("priority") {
+            match v {
+                Value::Num(n) if n.fract() == 0.0 && (-1e9..=1e9).contains(n) => {
+                    req.priority = *n as i32;
+                }
+                _ => {
+                    return Err(ProtoError::new(
+                        ErrorCode::BadField,
+                        "\"priority\" must be a small integer",
+                    ))
+                }
+            }
+        }
+        if let Some(v) = obj.get("wait") {
+            match v {
+                Value::Bool(b) => req.wait = *b,
+                _ => return Err(ProtoError::new(ErrorCode::BadField, "\"wait\" must be a bool")),
+            }
+        }
+        if let Some(v) = obj.get("job") {
+            match v {
+                Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => req.job = Some(*n as u64),
+                _ => {
+                    return Err(ProtoError::new(
+                        ErrorCode::BadField,
+                        "\"job\" must be a non-negative integer",
+                    ))
+                }
+            }
+        }
+
+        // Verb-specific required fields.
+        match verb {
+            Verb::Submit if req.exp.is_none() => {
+                Err(ProtoError::new(ErrorCode::MissingField, "\"exp\" (submit)"))
+            }
+            Verb::Status | Verb::Result | Verb::Cancel if req.job.is_none() => {
+                Err(ProtoError::new(ErrorCode::MissingField, format!("\"job\" ({})", verb.as_str())))
+            }
+            _ => Ok(req),
+        }
+    }
+
+    /// Renders the request as a wire line (without the trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut s = format!("{{\"v\":{PROTO_VERSION},\"verb\":\"{}\"", self.verb.as_str());
+        if let Some(exp) = &self.exp {
+            let _ = write!(s, ",\"exp\":\"{}\"", escape(exp));
+        }
+        if self.verb == Verb::Submit {
+            let scale = match self.scale {
+                ScaleArg::Quick => "quick",
+                ScaleArg::Full => "full",
+            };
+            let _ = write!(s, ",\"scale\":\"{scale}\"");
+            if let Some(seed) = self.seed {
+                let _ = write!(s, ",\"seed\":\"{seed:#x}\"");
+            }
+            if self.priority != 0 {
+                let _ = write!(s, ",\"priority\":{}", self.priority);
+            }
+            if self.wait {
+                s.push_str(",\"wait\":true");
+            }
+        }
+        if let Some(job) = self.job {
+            let _ = write!(s, ",\"job\":{job}");
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn parse_seed(v: &Value) -> Result<u64, ProtoError> {
+    match v {
+        // Hex-string spelling survives all-numbers-are-f64 parsers and
+        // covers the full u64 range.
+        Value::Str(s) => {
+            let t = s.trim();
+            let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16)
+            } else {
+                t.parse()
+            };
+            parsed.map_err(|e| ProtoError::new(ErrorCode::BadField, format!("\"seed\" {t:?}: {e}")))
+        }
+        Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => Ok(*n as u64),
+        _ => Err(ProtoError::new(
+            ErrorCode::BadField,
+            "\"seed\" must be a non-negative integer or a \"0x…\" string",
+        )),
+    }
+}
+
+/// Escapes a string for a JSON string literal (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds a typed error frame.
+pub fn error_frame(err: &ProtoError) -> String {
+    format!(
+        "{{\"v\":{PROTO_VERSION},\"ok\":false,\"type\":\"error\",\"code\":\"{}\",\"msg\":\"{}\"}}",
+        err.code,
+        escape(&err.msg)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The strict JSON reader.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number, read as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, keys sorted.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup that tolerates absence and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// Returns a byte-offset-tagged message on malformed input.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err("unexpected end of input".to_owned());
+    };
+    match c {
+        b'{' => parse_obj(b, pos),
+        b'[' => parse_arr(b, pos),
+        b'"' => Ok(Value::Str(parse_string(b, pos)?)),
+        b't' => parse_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Value::Bool(false)),
+        b'n' => parse_lit(b, pos, "null", Value::Null),
+        b'-' | b'0'..=b'9' => parse_num(b, pos),
+        other => Err(format!("unexpected byte {:?} at {}", other as char, *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "non-utf8 number".to_owned())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("bad number {text:?} at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err("unterminated string".to_owned());
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&e) = b.get(*pos) else {
+                    return Err("unterminated escape".to_owned());
+                };
+                *pos += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        if *pos + 4 > b.len() {
+                            return Err("truncated \\u escape".to_owned());
+                        }
+                        let hex = std::str::from_utf8(&b[*pos..*pos + 4])
+                            .map_err(|_| "non-utf8 escape".to_owned())?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        *pos += 4;
+                        // Surrogate pairs: decode the low half when present.
+                        let ch = if (0xD800..0xDC00).contains(&cp) {
+                            if b[*pos..].starts_with(b"\\u") && *pos + 6 <= b.len() {
+                                let lo_hex = std::str::from_utf8(&b[*pos + 2..*pos + 6])
+                                    .map_err(|_| "non-utf8 escape".to_owned())?;
+                                let lo = u32::from_str_radix(lo_hex, 16)
+                                    .map_err(|_| format!("bad \\u escape {lo_hex:?}"))?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("unpaired surrogate".to_owned());
+                                }
+                                *pos += 6;
+                                0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                return Err("unpaired surrogate".to_owned());
+                            }
+                        } else if (0xDC00..0xE000).contains(&cp) {
+                            return Err("unpaired surrogate".to_owned());
+                        } else {
+                            cp
+                        };
+                        out.push(
+                            char::from_u32(ch).ok_or_else(|| "bad code point".to_owned())?,
+                        );
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte {c:#04x} in string")),
+            c if c < 0x80 => out.push(c as char),
+            _ => {
+                // Multi-byte UTF-8: re-validate the sequence.
+                let start = *pos - 1;
+                let len = match c {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return Err("bad utf8 in string".to_owned()),
+                };
+                if start + len > b.len() {
+                    return Err("truncated utf8 in string".to_owned());
+                }
+                let s = std::str::from_utf8(&b[start..start + len])
+                    .map_err(|_| "bad utf8 in string".to_owned())?;
+                out.push_str(s);
+                *pos = start + len;
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let val = parse_value(b, pos)?;
+        map.insert(key, val);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trip() {
+        let line = r#"{"v":1,"verb":"submit","exp":"E1","scale":"quick","seed":"0xf161","priority":3,"wait":true}"#;
+        let req = Request::from_line(line).unwrap();
+        assert_eq!(req.verb, Verb::Submit);
+        assert_eq!(req.exp.as_deref(), Some("E1"));
+        assert_eq!(req.scale, ScaleArg::Quick);
+        assert_eq!(req.seed, Some(0xF161));
+        assert_eq!(req.priority, 3);
+        assert!(req.wait);
+        let rendered = req.to_line();
+        assert_eq!(Request::from_line(&rendered).unwrap(), req);
+    }
+
+    #[test]
+    fn verbs_with_job_ids() {
+        for verb in ["status", "result", "cancel"] {
+            let req =
+                Request::from_line(&format!("{{\"v\":1,\"verb\":\"{verb}\",\"job\":42}}")).unwrap();
+            assert_eq!(req.job, Some(42));
+            let missing = Request::from_line(&format!("{{\"v\":1,\"verb\":\"{verb}\"}}"));
+            assert_eq!(missing.unwrap_err().code, ErrorCode::MissingField);
+        }
+    }
+
+    #[test]
+    fn error_taxonomy() {
+        let cases = [
+            ("not json at all", ErrorCode::BadFrame),
+            ("{\"v\":1,\"verb\":\"submit\",\"exp\"", ErrorCode::BadFrame), // truncated frame
+            ("[1,2,3]", ErrorCode::BadFrame),
+            ("{\"verb\":\"stats\"}", ErrorCode::MissingField),
+            ("{\"v\":99,\"verb\":\"stats\"}", ErrorCode::UnsupportedVersion),
+            ("{\"v\":1,\"verb\":\"frobnicate\"}", ErrorCode::UnknownVerb),
+            ("{\"v\":1,\"verb\":\"submit\"}", ErrorCode::MissingField),
+            ("{\"v\":1,\"verb\":\"submit\",\"exp\":7}", ErrorCode::BadField),
+            ("{\"v\":1,\"verb\":\"submit\",\"exp\":\"E1\",\"scale\":\"huge\"}", ErrorCode::BadField),
+            (
+                "{\"v\":1,\"verb\":\"submit\",\"exp\":\"E1\",\"seed\":\"0xnope\"}",
+                ErrorCode::BadField,
+            ),
+            ("{\"v\":1,\"verb\":\"cancel\",\"job\":-1}", ErrorCode::BadField),
+        ];
+        for (line, want) in cases {
+            let err = Request::from_line(line).unwrap_err();
+            assert_eq!(err.code, want, "line {line:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn error_frames_are_parseable() {
+        let frame = error_frame(&ProtoError::new(ErrorCode::BadFrame, "line 1: \"oops\""));
+        let doc = parse(&frame).unwrap();
+        assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(doc.get("code").and_then(Value::as_str), Some("bad-frame"));
+        assert_eq!(doc.get("msg").and_then(Value::as_str), Some("line 1: \"oops\""));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{\"a\":1}").is_ok());
+        assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("{'a':1}").is_err());
+        assert!(parse("{\"a\":NaN}").is_err());
+        assert!(parse("\"\\q\"").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let doc = parse(r#"{"a":[1,2.5,{"b":"x\ny"}],"c":null,"d":"\u00e9\ud83d\ude00"}"#).unwrap();
+        let a = match doc.get("a").unwrap() {
+            Value::Arr(v) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a[1].as_num(), Some(2.5));
+        assert_eq!(a[2].get("b").and_then(Value::as_str), Some("x\ny"));
+        assert_eq!(doc.get("d").and_then(Value::as_str), Some("é😀"));
+    }
+
+    #[test]
+    fn seed_spellings() {
+        for (spelling, want) in
+            [("\"0xF161\"", 0xF161u64), ("\"61793\"", 61793), ("61793", 61793)]
+        {
+            let req = Request::from_line(&format!(
+                "{{\"v\":1,\"verb\":\"submit\",\"exp\":\"E1\",\"seed\":{spelling}}}"
+            ))
+            .unwrap();
+            assert_eq!(req.seed, Some(want), "{spelling}");
+        }
+    }
+}

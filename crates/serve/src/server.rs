@@ -1,0 +1,155 @@
+//! The TCP transport: newline-delimited frames over plain sockets.
+//!
+//! One thread per connection, each reading request lines and writing the
+//! engine's response frames back. The transport adds nothing to the
+//! protocol — every decision lives in [`Engine::handle`] — so its only
+//! jobs are framing and degradation:
+//!
+//! * a line that is not a complete frame (including a truncated final
+//!   line at EOF) is answered with a `bad-frame` error where possible and
+//!   never panics a handler;
+//! * a client disconnecting mid-job abandons only its connection — the
+//!   job keeps running and its result still lands in both cache tiers,
+//!   so a re-connect finds the work done;
+//! * the `shutdown` verb flips the engine to draining; the accept loop
+//!   notices, running jobs finish, and `run` returns.
+
+use crate::engine::Engine;
+use crate::proto::{self, ErrorCode, ProtoError};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Accept-loop poll interval while waiting for connections or drain.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection read poll; bounds how long shutdown waits on an idle
+/// connection.
+const READ_POLL: Duration = Duration::from_millis(250);
+
+/// A listening protocol server wrapping an [`Engine`].
+pub struct Server {
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an OS-assigned port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(engine: Engine, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self { engine: Arc::new(engine), listener, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address (port resolved if 0 was requested).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle to the shared engine (for in-process inspection).
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Serves until a `shutdown` verb arrives, then drains running jobs
+    /// and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures other than `WouldBlock`.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut handlers = Vec::new();
+        loop {
+            if self.engine.draining() {
+                self.stop.store(true, Ordering::SeqCst);
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let engine = Arc::clone(&self.engine);
+                    let stop = Arc::clone(&self.stop);
+                    handlers.push(std::thread::spawn(move || {
+                        // A connection failing is that connection's
+                        // problem; the server keeps serving.
+                        let _ = serve_connection(&engine, stream, &stop);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(e),
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        // Drain: running jobs finish (their results are cached), then the
+        // connection handlers observe the stop flag and exit.
+        self.engine.wait_idle();
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection until EOF, error, or server stop.
+fn serve_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // `line` accumulates across read timeouts: a frame arriving slowly is
+    // appended to, never dropped, until its newline (or EOF) shows up.
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) if line.is_empty() => return Ok(()), // clean EOF
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    // EOF mid-line: the peer gave up inside a frame.
+                    // Answer with a typed error, then close.
+                    let err = ProtoError::new(
+                        ErrorCode::BadFrame,
+                        format!("truncated frame ({} bytes, no newline)", line.len()),
+                    );
+                    writer.write_all(proto::error_frame(&err).as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    return Ok(());
+                }
+                let trimmed = line.trim_end_matches(['\r', '\n']);
+                if !trimmed.is_empty() {
+                    let response = engine.handle(trimmed);
+                    writer.write_all(response.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! FNV-1a 64-bit hashing for content-addressed keys.
+//!
+//! The serving layer addresses cached experiment reports by a canonical
+//! hash of the request (registry id, scale, seed, calibration
+//! fingerprint, crate version), and the on-disk store verifies payload
+//! integrity by re-hashing on read. Both need one stable, dependency-free
+//! hash whose value never varies across platforms or std versions —
+//! which rules out [`std::hash::DefaultHasher`] (explicitly unstable
+//! across releases). FNV-1a is the standard pick for short keys: simple,
+//! fast, and fully specified.
+//!
+//! # Examples
+//!
+//! ```
+//! use densemem_stats::hash::{fnv1a64, Fnv1a};
+//! assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+//! let mut h = Fnv1a::new();
+//! h.write(b"row");
+//! h.write(b"hammer");
+//! assert_eq!(h.finish(), fnv1a64(b"rowhammer"));
+//! ```
+
+/// The FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes `bytes` with FNV-1a (64-bit).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A streaming FNV-1a 64-bit hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a hash at the offset basis.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds an `f64` via its IEEE-754 bit pattern (so `-0.0` and `0.0`
+    /// hash differently, and NaN payloads are observable — the point is
+    /// fingerprint stability, not numeric equivalence).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut h = Fnv1a::new();
+        h.write(b"den");
+        h.write(b"se");
+        h.write(b"mem");
+        assert_eq!(h.finish(), fnv1a64(b"densemem"));
+    }
+
+    #[test]
+    fn typed_writes_are_order_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv1a::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv1a::new();
+        c.write_f64(1.5);
+        assert_ne!(c.finish(), Fnv1a::new().finish());
+    }
+}

@@ -109,6 +109,35 @@ impl Histogram {
     pub fn total(&self) -> u64 {
         self.bins.iter().sum::<u64>() + self.underflow + self.overflow
     }
+
+    /// Interpolated percentile (`q` in `[0, 100]`) assuming uniform mass
+    /// within each bucket. Underflow mass resolves to `lo`, overflow mass
+    /// to `hi`. Returns `None` when the histogram is empty or `q` is out
+    /// of range.
+    ///
+    /// This is the serving layer's latency readout (p50/p99): cheap to
+    /// keep per experiment, accurate to one bucket width.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 || !(0.0..=100.0).contains(&q) {
+            return None;
+        }
+        let target = (q / 100.0) * total as f64;
+        let mut acc = self.underflow as f64;
+        if target <= acc {
+            return Some(self.lo);
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = acc + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - acc) / c as f64;
+                return Some(self.lo + w * (i as f64 + frac));
+            }
+            acc = next;
+        }
+        Some(self.hi)
+    }
 }
 
 /// A base-10 logarithmic histogram for quantities spanning decades, such as
@@ -244,5 +273,25 @@ mod tests {
     #[should_panic(expected = "at least one decade")]
     fn log_histogram_zero_decades_panics() {
         let _ = LogHistogram::new(0, 0);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        assert_eq!(h.percentile(50.0), None);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        // Uniform data: pXX ≈ XX, to within interpolation of one bucket.
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((p50 - 50.0).abs() <= 1.0, "p50 {p50}");
+        let p99 = h.percentile(99.0).unwrap();
+        assert!((p99 - 99.0).abs() <= 1.0, "p99 {p99}");
+        assert_eq!(h.percentile(0.0), Some(0.0));
+        assert_eq!(h.percentile(101.0), None);
+        // All-overflow mass resolves to the upper bound.
+        let mut o = Histogram::new(0.0, 1.0, 2).unwrap();
+        o.record(5.0);
+        assert_eq!(o.percentile(50.0), Some(1.0));
     }
 }

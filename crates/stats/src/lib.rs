@@ -19,6 +19,7 @@
 //! ```
 
 pub mod dist;
+pub mod hash;
 pub mod hist;
 pub mod par;
 pub mod rng;
@@ -27,8 +28,9 @@ pub mod summary;
 pub mod table;
 
 pub use dist::{Bernoulli, Exponential, LogNormal, Normal, Poisson};
+pub use hash::{fnv1a64, Fnv1a};
 pub use hist::{Histogram, LogHistogram};
-pub use par::{par_map, par_map_seeded, ParConfig, Stopwatch};
+pub use par::{par_map, par_map_seeded, ParConfig, Stopwatch, WorkerPool};
 pub use rng::{seeded, substream};
 pub use series::Series;
 pub use summary::Summary;

@@ -49,13 +49,19 @@ impl ParConfig {
         Self { threads: 1 }
     }
 
-    /// An explicit thread count (clamped to at least 1).
+    /// An explicit thread count. **Zero means auto-detect**: it resolves
+    /// to [`detected_parallelism`], so `exp --threads 0`,
+    /// `DENSEMEM_THREADS=0`, and direct construction all share one
+    /// spelling of "use every core" instead of each call site choosing.
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        if threads == 0 {
+            return Self { threads: detected_parallelism() };
+        }
+        Self { threads }
     }
 
-    /// The ambient policy: `DENSEMEM_THREADS` if set and parseable,
-    /// otherwise [`std::thread::available_parallelism`].
+    /// The ambient policy: `DENSEMEM_THREADS` if set and parseable
+    /// (`0` auto-detects), otherwise [`detected_parallelism`].
     ///
     /// Read on every call so tests and harnesses can flip the variable
     /// between runs of the same process.
@@ -65,7 +71,7 @@ impl ParConfig {
                 return Self::with_threads(n);
             }
         }
-        Self::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
+        Self::with_threads(detected_parallelism())
     }
 
     /// The configured thread count (always at least 1).
@@ -83,6 +89,13 @@ impl Default for ParConfig {
     fn default() -> Self {
         Self::from_env()
     }
+}
+
+/// The machine's available parallelism, at least 1 — what a thread count
+/// of zero ("auto-detect") resolves to everywhere a [`ParConfig`] is
+/// constructed.
+pub fn detected_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Maps `f` over `0..n`, fanning items across scoped threads and returning
@@ -216,6 +229,199 @@ impl Default for Stopwatch {
     }
 }
 
+/// A persistent pool of worker threads draining a priority queue —
+/// the long-running counterpart to the one-shot [`par_map`] fan-out,
+/// built for services that accept work over their whole lifetime.
+///
+/// Jobs are boxed closures submitted with an `i32` priority; higher
+/// priorities run first, ties run in submission (FIFO) order. A panicking
+/// job is caught and counted, never killing its worker. [`WorkerPool::shutdown`]
+/// discards queued jobs, waits for running ones, and reports how many it
+/// dropped.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_stats::par::{ParConfig, WorkerPool};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(&ParConfig::with_threads(2));
+/// let done = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..8 {
+///     let done = done.clone();
+///     pool.submit(0, move || { done.fetch_add(1, Ordering::SeqCst); });
+/// }
+/// pool.wait_idle();
+/// assert_eq!(done.load(Ordering::SeqCst), 8);
+/// assert_eq!(pool.shutdown(), 0);
+/// ```
+pub struct WorkerPool {
+    shared: std::sync::Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueuedJob {
+    priority: i32,
+    seq: u64,
+    job: Job,
+}
+
+// Max-heap order: highest priority first, then lowest sequence number
+// (FIFO within a priority class).
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Eq for QueuedJob {}
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+#[derive(Default)]
+struct PoolQueue {
+    heap: std::collections::BinaryHeap<QueuedJob>,
+    seq: u64,
+    active: usize,
+    panicked: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: std::sync::Mutex<PoolQueue>,
+    cv: std::sync::Condvar,
+}
+
+fn worker_loop(sh: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = sh.queue.lock().expect("pool lock");
+            loop {
+                if let Some(j) = q.heap.pop() {
+                    q.active += 1;
+                    break j;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = sh.cv.wait(q).expect("pool lock");
+            }
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job.job));
+        let mut q = sh.queue.lock().expect("pool lock");
+        q.active -= 1;
+        if outcome.is_err() {
+            q.panicked += 1;
+        }
+        // Wake both idle workers (more jobs may be queued) and
+        // `wait_idle` callers.
+        sh.cv.notify_all();
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `cfg.threads()` workers.
+    pub fn new(cfg: &ParConfig) -> Self {
+        let shared = std::sync::Arc::new(PoolShared {
+            queue: std::sync::Mutex::new(PoolQueue::default()),
+            cv: std::sync::Condvar::new(),
+        });
+        let handles = (0..cfg.threads())
+            .map(|i| {
+                let sh = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("densemem-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueues a job. Higher `priority` runs first; equal priorities run
+    /// in submission order. Returns `false` (dropping the job) if the
+    /// pool is shutting down.
+    pub fn submit(&self, priority: i32, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut q = self.shared.queue.lock().expect("pool lock");
+        if q.shutdown {
+            return false;
+        }
+        let seq = q.seq;
+        q.seq += 1;
+        q.heap.push(QueuedJob { priority, seq, job: Box::new(job) });
+        drop(q);
+        self.shared.cv.notify_one();
+        true
+    }
+
+    /// Jobs queued but not yet started.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("pool lock").heap.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn active(&self) -> usize {
+        self.shared.queue.lock().expect("pool lock").active
+    }
+
+    /// Jobs that panicked (caught; the worker survived).
+    pub fn panicked(&self) -> u64 {
+        self.shared.queue.lock().expect("pool lock").panicked
+    }
+
+    /// Blocks until the queue is empty and no job is executing.
+    pub fn wait_idle(&self) {
+        let mut q = self.shared.queue.lock().expect("pool lock");
+        while !q.heap.is_empty() || q.active > 0 {
+            q = self.shared.cv.wait(q).expect("pool lock");
+        }
+    }
+
+    /// Stops the pool: discards queued jobs, lets running jobs finish,
+    /// joins every worker. Returns the number of discarded jobs.
+    pub fn shutdown(mut self) -> usize {
+        let discarded = self.begin_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        discarded
+    }
+
+    fn begin_shutdown(&self) -> usize {
+        let mut q = self.shared.queue.lock().expect("pool lock");
+        q.shutdown = true;
+        let discarded = q.heap.len();
+        q.heap.clear();
+        drop(q);
+        self.shared.cv.notify_all();
+        discarded
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,10 +470,101 @@ mod tests {
 
     #[test]
     fn config_clamps_and_reports() {
-        assert!(ParConfig::with_threads(0).is_serial());
         assert_eq!(ParConfig::with_threads(4).threads(), 4);
         assert!(ParConfig::serial().is_serial());
         assert!(ParConfig::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn zero_threads_means_auto_detect() {
+        // Regression: `--threads 0` / `DENSEMEM_THREADS=0` must resolve
+        // to the detected parallelism at every construction site, not to
+        // whatever each call site used to clamp to.
+        assert_eq!(ParConfig::with_threads(0).threads(), detected_parallelism());
+        assert!(ParConfig::with_threads(0).threads() >= 1);
+        assert_eq!(ParConfig::with_threads(0), ParConfig::with_threads(detected_parallelism()));
+    }
+
+    #[test]
+    fn pool_runs_submitted_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = WorkerPool::new(&ParConfig::with_threads(3));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            assert!(pool.submit(0, move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.wait_idle();
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(pool.shutdown(), 0);
+    }
+
+    #[test]
+    fn pool_orders_by_priority_then_fifo() {
+        use std::sync::{Arc, Mutex};
+        // One worker held busy while the queue fills, so the drain order
+        // is fully determined by (priority, seq).
+        let pool = WorkerPool::new(&ParConfig::serial());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(Mutex::new(()));
+        let held = gate.lock().unwrap();
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(100, move || {
+                let _wait = gate.lock().unwrap();
+            });
+        }
+        // Give the worker a moment to occupy itself with the gate job.
+        while pool.active() == 0 {
+            std::thread::yield_now();
+        }
+        for (prio, tag) in [(0, "a"), (5, "b"), (0, "c"), (5, "d"), (-1, "e")] {
+            let order = Arc::clone(&order);
+            pool.submit(prio, move || order.lock().unwrap().push(tag));
+        }
+        drop(held);
+        pool.wait_idle();
+        assert_eq!(*order.lock().unwrap(), ["b", "d", "a", "c", "e"]);
+    }
+
+    #[test]
+    fn pool_survives_panicking_jobs() {
+        let pool = WorkerPool::new(&ParConfig::serial());
+        pool.submit(0, || panic!("job panic"));
+        pool.wait_idle();
+        assert_eq!(pool.panicked(), 1);
+        // The worker is still alive and takes new work.
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.submit(0, move || tx.send(7u32).unwrap());
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(7));
+    }
+
+    #[test]
+    fn pool_shutdown_discards_queued_jobs() {
+        let pool = WorkerPool::new(&ParConfig::serial());
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        pool.submit(0, move || {
+            ready_tx.send(()).unwrap();
+            rx.recv().ok();
+        });
+        ready_rx.recv().unwrap();
+        for _ in 0..5 {
+            pool.submit(0, || {});
+        }
+        assert_eq!(pool.queue_depth(), 5);
+        // `shutdown` drains the queue synchronously before joining; the
+        // helper unblocks the one running job well after that point.
+        let unblock = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            tx.send(()).ok();
+        });
+        assert_eq!(pool.shutdown(), 5);
+        unblock.join().unwrap();
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!
 //! [`json`] carries the strict, dependency-free JSON parser all of the
 //! above share — the external-consumer's-eye view of a report artifact.
+//! [`servefault`] adds transport-level damage (truncated frames, mid-job
+//! disconnects, flipped cache bytes) for exercising the serving daemon's
+//! degradation paths.
 //!
 //! The crate is a dev-dependency of the workspace root; depending on it
 //! turns on the `fault-inject` features of `densemem-dram`,
@@ -34,3 +37,4 @@ pub mod fault;
 pub mod golden;
 pub mod json;
 pub mod oracle;
+pub mod servefault;

@@ -1,0 +1,152 @@
+//! Protocol-level fault scenarios for the serving daemon.
+//!
+//! Transport-only helpers: everything here speaks raw TCP bytes and raw
+//! filesystem mutations, deliberately *not* the `densemem-serve` client
+//! types, so the scenarios exercise the server exactly the way a buggy
+//! or dying peer would — half frames, vanished connections, flipped
+//! bits in the on-disk cache. The assertions live in the root
+//! `tests/serve_*.rs` suites; this module only produces the damage.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::time::Duration;
+
+/// Sends `bytes` with **no** trailing newline, half-closes the write
+/// side (EOF mid-frame), and returns the server's response line — the
+/// protocol answers truncation with a typed `bad-frame` error before
+/// closing.
+///
+/// # Errors
+///
+/// Propagates socket failures; an empty response (server closed without
+/// answering) is reported as `UnexpectedEof`.
+pub fn send_truncated(addr: impl ToSocketAddrs, bytes: &[u8]) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(bytes)?;
+    stream.shutdown(Shutdown::Write)?;
+    let mut response = String::new();
+    let n = BufReader::new(stream).read_line(&mut response)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed without a response frame",
+        ));
+    }
+    Ok(response.trim_end_matches(['\r', '\n']).to_owned())
+}
+
+/// Sends one complete frame then drops the connection **without reading
+/// the response** — a client dying mid-job. Returns once the frame is on
+/// the wire; any job it started keeps running server-side.
+///
+/// # Errors
+///
+/// Propagates connect/write failures.
+pub fn fire_and_disconnect(addr: impl ToSocketAddrs, line: &str) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    // Dropping the stream here closes both directions with the response
+    // (possibly) still unsent — the mid-job disconnect.
+    Ok(())
+}
+
+/// Flips the final byte of the file at `path` in place — the smallest
+/// corruption a hash-verified cache entry must catch.
+///
+/// # Errors
+///
+/// Propagates filesystem failures; empty files are reported as
+/// `InvalidData` (nothing to corrupt).
+pub fn flip_last_byte(path: &Path) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    let Some(last) = bytes.last_mut() else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{} is empty", path.display()),
+        ));
+    };
+    *last ^= 0xFF;
+    std::fs::write(path, &bytes)
+}
+
+/// Truncates the file at `path` to `keep` bytes — a partial write that
+/// survived a crash.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn truncate_to(path: &Path, keep: u64) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep)
+}
+
+/// Connects, sends nothing at all, and disconnects — a port scanner or
+/// health checker. The server must shrug it off.
+///
+/// # Errors
+///
+/// Propagates the connect failure.
+pub fn connect_and_vanish(addr: impl ToSocketAddrs) -> std::io::Result<()> {
+    let _stream = TcpStream::connect(addr)?;
+    Ok(())
+}
+
+/// Sends a frame and reads the full response stream until EOF (used
+/// after `shutdown`, when the server closes connections as it drains).
+///
+/// # Errors
+///
+/// Propagates socket failures.
+pub fn send_and_drain(addr: impl ToSocketAddrs, line: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    stream.shutdown(Shutdown::Write)?;
+    let mut out = String::new();
+    let mut reader = BufReader::new(stream);
+    // Read until EOF, tolerating the read timeout ending the drain.
+    let _ = reader.read_to_string(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_and_truncate_mutate_files() {
+        let path = std::env::temp_dir()
+            .join(format!("densemem-servefault-{}.bin", std::process::id()));
+        std::fs::write(&path, b"abcdef").unwrap();
+        flip_last_byte(&path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"abcde\x99");
+        truncate_to(&path, 2).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"ab");
+        std::fs::write(&path, b"").unwrap();
+        assert!(flip_last_byte(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_send_reaches_a_line_server() {
+        // A tiny echo-one-line server stands in for the daemon.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            std::io::Read::read_to_end(&mut stream, &mut buf).unwrap();
+            stream.write_all(b"{\"ok\":false}\n").unwrap();
+            buf
+        });
+        let resp = send_truncated(addr, b"{\"v\":1,\"verb\":\"sub").unwrap();
+        assert_eq!(resp, "{\"ok\":false}");
+        assert_eq!(server.join().unwrap(), b"{\"v\":1,\"verb\":\"sub");
+    }
+}

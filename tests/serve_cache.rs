@@ -1,0 +1,185 @@
+//! Cache-behaviour tests for the serving daemon: LRU recency, on-disk
+//! round-trips across engine restarts, corrupted-entry recovery, and
+//! single-flight dedup of concurrent identical submits. These drive the
+//! [`Engine`] in-process (no sockets) — the protocol layer is covered by
+//! `tests/serve_protocol.rs`.
+
+use densemem_serve::proto::{self, Value};
+use densemem_serve::{DiskRead, DiskStore, Engine, EngineConfig, MemLru};
+use densemem_testkit::servefault;
+use std::path::PathBuf;
+
+/// Seeds unique to this file (no collisions with other parallel suites).
+const SEED_A: u64 = 0x5EC4_0001;
+const SEED_B: u64 = 0x5EC4_0002;
+const SEED_C: u64 = 0x5EC4_0003;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("densemem-serve-cache-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn submit_line(exp: &str, seed: u64) -> String {
+    format!("{{\"v\":1,\"verb\":\"submit\",\"exp\":\"{exp}\",\"seed\":\"{seed:#x}\",\"wait\":true}}")
+}
+
+fn field<'a>(doc: &'a Value, key: &str) -> &'a Value {
+    doc.get(key).unwrap_or_else(|| panic!("response missing {key:?}: {doc:?}"))
+}
+
+fn cache_tier(resp: &str) -> String {
+    let doc = proto::parse(resp).expect("frame parses");
+    assert_eq!(field(&doc, "ok").as_bool(), Some(true), "{resp}");
+    field(&doc, "cache").as_str().expect("cache tier").to_owned()
+}
+
+#[test]
+fn lru_eviction_is_recency_ordered() {
+    let mut lru = MemLru::new(3);
+    for (k, v) in [("k1", "v1"), ("k2", "v2"), ("k3", "v3")] {
+        lru.put(k, v.to_owned());
+    }
+    // Touch k1 and k2, leaving k3 the stalest; two inserts then evict
+    // k3 first and k1 second (k2 and the newcomers are fresher).
+    assert!(lru.get("k1").is_some());
+    assert!(lru.get("k2").is_some());
+    assert!(lru.get("k1").is_some());
+    lru.put("k4", "v4".to_owned());
+    assert!(!lru.contains("k3"), "k3 was least recently used");
+    lru.put("k5", "v5".to_owned());
+    assert!(!lru.contains("k2"), "k2 aged out next");
+    assert!(lru.contains("k1"), "k1 was touched most recently");
+    assert!(lru.contains("k4"));
+    assert!(lru.contains("k5"));
+    assert_eq!(lru.len(), 3);
+}
+
+#[test]
+fn disk_tier_survives_an_engine_restart() {
+    let dir = tmp_dir("restart");
+    let cold_tier = {
+        let eng = Engine::new(EngineConfig {
+            workers: 1,
+            disk_dir: Some(dir.clone()),
+            ..Default::default()
+        })
+        .expect("engine");
+        let tier = cache_tier(&eng.handle(&submit_line("E15", SEED_A)));
+        eng.shutdown();
+        tier
+    };
+    assert_eq!(cold_tier, "miss");
+
+    // A fresh engine (empty memory tier) over the same directory answers
+    // from disk and promotes the entry to memory.
+    let eng = Engine::new(EngineConfig {
+        workers: 1,
+        disk_dir: Some(dir.clone()),
+        ..Default::default()
+    })
+    .expect("engine");
+    assert_eq!(cache_tier(&eng.handle(&submit_line("E15", SEED_A))), "disk");
+    assert_eq!(cache_tier(&eng.handle(&submit_line("E15", SEED_A))), "mem");
+    eng.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_disk_entry_is_recomputed_not_served() {
+    let dir = tmp_dir("corrupt");
+    let store = DiskStore::open(&dir).expect("store");
+
+    // Seed the disk tier with one real report, then flip a payload byte.
+    let eng = Engine::new(EngineConfig {
+        workers: 1,
+        disk_dir: Some(dir.clone()),
+        ..Default::default()
+    })
+    .expect("engine");
+    assert_eq!(cache_tier(&eng.handle(&submit_line("E15", SEED_B))), "miss");
+    eng.shutdown();
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("entry"))
+        .collect();
+    assert_eq!(entries.len(), 1, "one entry expected");
+    servefault::flip_last_byte(&entries[0].path()).expect("corrupt");
+
+    // A fresh engine must detect the damage, recompute, and re-write a
+    // healthy entry — never serve the corrupted payload.
+    let eng = Engine::new(EngineConfig {
+        workers: 1,
+        disk_dir: Some(dir.clone()),
+        ..Default::default()
+    })
+    .expect("engine");
+    let resp = eng.handle(&submit_line("E15", SEED_B));
+    assert_eq!(cache_tier(&resp), "miss", "corrupt entry must force recompute");
+    let stats = eng.handle("{\"v\":1,\"verb\":\"stats\"}");
+    let doc = proto::parse(&stats).expect("stats frame parses");
+    assert_eq!(field(&doc, "corrupt_entries").as_num(), Some(1.0), "{stats}");
+    eng.shutdown();
+
+    // The re-written entry verifies again.
+    assert!(matches!(store.get(key_of(&entries[0].path())), DiskRead::Hit(_)));
+
+    // Truncation (a crash-torn write that somehow reached the final
+    // name) is detected the same way.
+    servefault::truncate_to(&entries[0].path(), 20).expect("truncate");
+    assert!(matches!(store.get(key_of(&entries[0].path())), DiskRead::Corrupt(_)));
+    assert_eq!(store.get(key_of(&entries[0].path())), DiskRead::Miss);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recovers the cache key from an `<key>.entry` path.
+fn key_of(path: &std::path::Path) -> &str {
+    path.file_stem().and_then(|s| s.to_str()).expect("utf8 entry name")
+}
+
+#[test]
+fn concurrent_identical_submits_compute_once() {
+    // One worker, and a decoy job occupying it, so the identical submits
+    // deterministically coalesce while their leader is still queued.
+    let eng = std::sync::Arc::new(
+        Engine::new(EngineConfig { workers: 1, ..Default::default() }).expect("engine"),
+    );
+    let decoy = eng.handle(&format!(
+        "{{\"v\":1,\"verb\":\"submit\",\"exp\":\"E1\",\"seed\":\"{SEED_C:#x}\"}}"
+    ));
+    assert!(decoy.contains("\"cache\":\"miss\""), "{decoy}");
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let eng = std::sync::Arc::clone(&eng);
+            std::thread::spawn(move || eng.handle(&submit_line("E15", SEED_C)))
+        })
+        .collect();
+    let responses: Vec<String> =
+        threads.into_iter().map(|t| t.join().expect("submitter thread")).collect();
+
+    // All four succeeded with identical payloads…
+    let payloads: Vec<String> = responses
+        .iter()
+        .map(|r| {
+            let doc = proto::parse(r).expect("result frame parses");
+            assert_eq!(field(&doc, "ok").as_bool(), Some(true), "{r}");
+            field(&doc, "payload").as_str().expect("payload").to_owned()
+        })
+        .collect();
+    assert!(payloads.windows(2).all(|w| w[0] == w[1]), "payloads must be identical");
+
+    // …and exactly one of them was a cold compute: one leader, three
+    // single-flight followers.
+    let stats = eng.handle("{\"v\":1,\"verb\":\"stats\"}");
+    let doc = proto::parse(&stats).expect("stats frame parses");
+    assert_eq!(field(&doc, "misses").as_num(), Some(2.0), "decoy + one E15 leader: {stats}");
+    assert_eq!(field(&doc, "dedups").as_num(), Some(3.0), "{stats}");
+    let tiers: Vec<String> = responses.iter().map(|r| cache_tier(r)).collect();
+    assert_eq!(tiers.iter().filter(|t| *t == "miss").count(), 1, "{tiers:?}");
+    assert_eq!(tiers.iter().filter(|t| *t == "dedup").count(), 3, "{tiers:?}");
+
+    std::sync::Arc::try_unwrap(eng).ok().expect("sole owner").shutdown();
+}

@@ -94,6 +94,52 @@ rm -rf artifacts-golden
 ./target/release/golden-diff tests/golden artifacts-golden/E*.json
 rm -rf artifacts-golden
 
+echo "== serve smoke: daemon round-trip, warm cache, golden agreement =="
+# Start the serving daemon on an OS-picked port, submit E1+E15 twice,
+# require the second round to be answered from cache, and hold the
+# server-produced reports to the same golden snapshots as the batch path.
+rm -rf artifacts-serve
+mkdir -p artifacts-serve
+./target/release/serve --listen 127.0.0.1:0 --workers 2 \
+    --cache-dir artifacts-serve/cache --port-file artifacts-serve/port &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2> /dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [ -s artifacts-serve/port ] && break
+    kill -0 "$SERVE_PID" 2> /dev/null || { echo "serve daemon died on startup"; exit 1; }
+    sleep 0.1
+done
+[ -s artifacts-serve/port ] || { echo "serve daemon never wrote its port file"; exit 1; }
+SERVE_ADDR=$(cat artifacts-serve/port)
+for round in 1 2; do
+    for id in E1 E15; do
+        ./target/release/serve client --addr "$SERVE_ADDR" \
+            submit "$id" --wait --out "artifacts-serve/${id}-r${round}.json" \
+            2> "artifacts-serve/${id}-r${round}.meta" \
+            || { echo "serve submit $id round $round failed"; cat "artifacts-serve/${id}-r${round}.meta"; exit 1; }
+    done
+done
+# Round 2 must be answered from cache (mem after the round-1 computes).
+for id in E1 E15; do
+    grep -q "cache=miss" "artifacts-serve/${id}-r1.meta" \
+        || { echo "$id round 1 was not a cold compute"; cat "artifacts-serve/${id}-r1.meta"; exit 1; }
+    grep -Eq "cache=(mem|disk)" "artifacts-serve/${id}-r2.meta" \
+        || { echo "$id round 2 was not served from cache"; cat "artifacts-serve/${id}-r2.meta"; exit 1; }
+    cmp "artifacts-serve/${id}-r1.json" "artifacts-serve/${id}-r2.json" \
+        || { echo "$id warm answer differs from cold answer"; exit 1; }
+done
+# Server-produced reports agree with the checked-in golden snapshots
+# (golden-diff matches snapshots by the reports' interior "id" field).
+./target/release/golden-diff tests/golden artifacts-serve/E*-r2.json
+./target/release/serve client --addr "$SERVE_ADDR" shutdown > /dev/null
+wait "$SERVE_PID"
+trap - EXIT
+rm -rf artifacts-serve
+echo "serve smoke OK: cold compute, warm cache hits, golden agreement"
+
+echo "== serve_throughput: warm cache must beat cold compute 10x =="
+./target/release/serve_throughput
+
 echo "== cargo clippy --offline -- -D warnings =="
 # --workspace --all-targets covers densemem-testkit (and every other
 # crate) with warnings denied.
