@@ -1,0 +1,58 @@
+//! Criterion: the word-level flip-scan kernels in isolation — packed
+//! XOR+popcount counting and packed flip enumeration against the old
+//! per-cell (bit-at-a-time) scan, at 1K / 64K / 1M cells. Whole-
+//! experiment timings fold kernel cost into model work; this bench
+//! makes a kernel regression visible on its own.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use densemem_stats::kernels;
+
+/// Deterministic word soup with a sprinkling of flipped bits against a
+/// 0xFF fill, so the enumeration kernels have real (sparse) work.
+fn words(cells: usize) -> Vec<u64> {
+    let fill = u64::MAX;
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    (0..cells / 64)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Roughly 1 word in 16 carries a single flipped bit.
+            if state.is_multiple_of(16) { fill ^ (1u64 << (i % 64)) } else { fill }
+        })
+        .collect()
+}
+
+fn bench_cell_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_kernels");
+    group.sample_size(20);
+
+    for cells in [1_024usize, 65_536, 1_048_576] {
+        let data = words(cells);
+        group.throughput(Throughput::Elements(cells as u64));
+
+        group.bench_with_input(BenchmarkId::new("count_packed", cells), &data, |b, data| {
+            b.iter(|| std::hint::black_box(kernels::count_flips(std::hint::black_box(data), u64::MAX)))
+        });
+        group.bench_with_input(BenchmarkId::new("scan_packed", cells), &data, |b, data| {
+            b.iter(|| {
+                let mut n = 0usize;
+                kernels::for_each_flip(std::hint::black_box(data), u64::MAX, |w, bit| {
+                    n += w + bit as usize;
+                });
+                std::hint::black_box(n)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scan_per_cell", cells), &data, |b, data| {
+            b.iter(|| {
+                let mut n = 0usize;
+                kernels::naive_for_each_flip(std::hint::black_box(data), u64::MAX, |w, bit| {
+                    n += w + bit as usize;
+                });
+                std::hint::black_box(n)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cell_kernels);
+criterion_main!(benches);

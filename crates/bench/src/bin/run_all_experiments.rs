@@ -16,7 +16,12 @@
 //! calibration — is written to `BENCH_harness.json`.
 
 use densemem::experiments::{registry, ExpContext, ExperimentResult, Scale};
+use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_bench::HarnessArgs;
+use densemem_ctrl::controller::MemoryController;
+use densemem_ctrl::TraceReplayer;
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
 use densemem_stats::par::{par_map, Stopwatch};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -30,6 +35,58 @@ fn run_hot_path(ctx: &ExpContext) -> (f64, ExperimentResult, ExperimentResult) {
     let r1 = e1.run(ctx);
     let r2 = e2.run(ctx);
     (start.elapsed().as_secs_f64(), r1, r2)
+}
+
+/// Trace-replay throughput on a fixed workload: the E15 many-sided
+/// request stream (12 aggressors, 96ms deadline, ~2.6M commands) is
+/// recorded once through the controller's request log, then replayed
+/// into fresh same-geometry controllers. Best of three replays, so the
+/// figure tracks the engine's steady-state command rate rather than a
+/// cold allocator. The workload is deliberately scale-independent —
+/// the number is comparable across quick and full harness runs.
+struct ReplayThroughput {
+    events: usize,
+    secs: f64,
+    commands_per_sec: f64,
+}
+
+fn measure_replay_throughput() -> ReplayThroughput {
+    fn prepared() -> MemoryController {
+        let profile = VintageProfile::new(Manufacturer::A, 2013);
+        let mut module =
+            Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 1500);
+        for victim in [301usize, 305, 311, 317] {
+            module
+                .bank_mut(0)
+                .inject_disturb_cell(BitAddr { row: victim, word: 0, bit: 2 }, 190_000.0)
+                .expect("victim row in range");
+        }
+        let mut ctrl = MemoryController::new(module, Default::default());
+        ctrl.fill(0xFF);
+        for &r in HammerPattern::many_sided(0, 300, 12).rows() {
+            ctrl.module_mut().bank_mut(0).fill_row(r, 0, 0).expect("aggressor row in range");
+        }
+        ctrl
+    }
+
+    let kernel = HammerKernel::new(HammerPattern::many_sided(0, 300, 12), AccessMode::Read);
+    let mut ctrl = prepared();
+    ctrl.begin_request_log();
+    kernel.run_until(&mut ctrl, 96_000_000).expect("valid pattern");
+    let trace = ctrl.take_request_log("replay_throughput", 1500);
+
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let mut fresh = prepared();
+        let start = Instant::now();
+        TraceReplayer::new(&trace).replay(&mut fresh).expect("recorded trace replays cleanly");
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    ReplayThroughput {
+        events: trace.len(),
+        secs: best,
+        commands_per_sec: trace.len() as f64 / best.max(1e-12),
+    }
 }
 
 fn main() {
@@ -75,6 +132,14 @@ fn main() {
             if ok { "PASS" } else { "FAIL" }
         );
     }
+    let replay = measure_replay_throughput();
+    sw.lap("replay throughput");
+    println!(
+        "replay throughput: {} commands in {:.3}s = {:.0} commands/sec \
+         (pre-refactor baseline {:.0})",
+        replay.events, replay.secs, replay.commands_per_sec, BASELINE_REPLAY_COMMANDS_PER_SEC
+    );
+
     println!("\nharness stages:\n{}", sw.render());
     println!(
         "population cache: {} build(s), {} hit(s) across the suite",
@@ -82,8 +147,9 @@ fn main() {
         densemem::experiments::popcache::hits()
     );
 
-    let json =
-        render_json(&timed, cfg.threads(), cores, ctx.scale, serial_secs, parallel_secs, identical);
+    let json = render_json(
+        &timed, cfg.threads(), cores, ctx.scale, serial_secs, parallel_secs, identical, &replay,
+    );
     let json_path = "BENCH_harness.json";
     match std::fs::write(json_path, &json) {
         Ok(()) => println!("wrote {json_path}"),
@@ -115,6 +181,20 @@ fn main() {
     }
 }
 
+/// Pre-refactor perf anchors, measured at the seed commit (74e22a3, the
+/// per-cell `Vec<DisturbCell>` engine) on this class of machine:
+/// `exp --quick --threads 1` wall seconds for the three slowest
+/// experiments, and the same best-of-3 replay workload as
+/// [`measure_replay_throughput`] built from a clean worktree of that
+/// commit. Baked in rather than re-measured so every regenerated
+/// `BENCH_harness.json` carries the trajectory anchor the check.sh perf
+/// gate compares against.
+const BASELINE_E15_SECS: f64 = 3.38;
+const BASELINE_E17_SECS: f64 = 3.58;
+const BASELINE_E3_SECS: f64 = 4.63;
+const BASELINE_REPLAY_COMMANDS_PER_SEC: f64 = 17_439_124.0;
+
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     timed: &[(ExperimentResult, f64)],
     threads: usize,
@@ -123,6 +203,7 @@ fn render_json(
     serial_secs: f64,
     parallel_secs: f64,
     identical: bool,
+    replay: &ReplayThroughput,
 ) -> String {
     let total: f64 = timed.iter().map(|(_, s)| s).sum();
     let mut s = String::from("{\n");
@@ -147,6 +228,20 @@ fn render_json(
         densemem::experiments::popcache::builds()
     );
     let _ = writeln!(s, "    \"hits\": {}", densemem::experiments::popcache::hits());
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"replay\": {{");
+    let _ = writeln!(s, "    \"workload\": \"E15 many-sided request stream, best of 3 replays\",");
+    let _ = writeln!(s, "    \"events\": {},", replay.events);
+    let _ = writeln!(s, "    \"secs\": {:.6},", replay.secs);
+    let _ = writeln!(s, "    \"replay_commands_per_sec\": {:.0}", replay.commands_per_sec);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"pre_refactor_baseline\": {{");
+    let _ = writeln!(s, "    \"commit\": \"74e22a3\",");
+    let _ = writeln!(s, "    \"conditions\": \"exp --quick --threads 1, isolated; replay workload identical to this harness\",");
+    let _ = writeln!(s, "    \"e15_secs\": {BASELINE_E15_SECS},");
+    let _ = writeln!(s, "    \"e17_secs\": {BASELINE_E17_SECS},");
+    let _ = writeln!(s, "    \"e3_secs\": {BASELINE_E3_SECS},");
+    let _ = writeln!(s, "    \"replay_commands_per_sec\": {BASELINE_REPLAY_COMMANDS_PER_SEC:.0}");
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"experiments\": [");
     for (i, (r, secs)) in timed.iter().enumerate() {

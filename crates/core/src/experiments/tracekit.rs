@@ -2,15 +2,16 @@
 //!
 //! E4, E5, E8 and E15 follow a record-once-replay-N discipline: the
 //! attack kernel runs exactly once against an unmitigated controller
-//! while a [`TraceRecorder`] captures its request stream, and every
-//! mitigation configuration is then evaluated by replaying that *same*
-//! stream. Identical inputs by construction — any difference in the
-//! outcome is attributable to the mitigation alone. When the context
-//! carries a `trace_dir`, the recorded stream is also persisted as a
-//! bounded JSONL artifact and listed on the experiment result.
+//! while the controller's lock-free request log captures its request
+//! stream, and every mitigation configuration is then evaluated by
+//! replaying that *same* stream. Identical inputs by construction — any
+//! difference in the outcome is attributable to the mitigation alone.
+//! When the context carries a `trace_dir`, the recorded stream is also
+//! persisted as a bounded JSONL artifact and listed on the experiment
+//! result.
 
 use crate::experiments::{ExpContext, ExperimentResult};
-use densemem_ctrl::{MemoryController, Trace, TraceFilter, TraceReplayer};
+use densemem_ctrl::{MemoryController, Trace, TraceReplayer};
 
 /// Cap on events written per JSONL artifact. The in-memory trace used
 /// for replay is complete; the on-disk artifact is truncated to stay
@@ -18,18 +19,20 @@ use densemem_ctrl::{MemoryController, Trace, TraceFilter, TraceReplayer};
 /// so truncation is visible, never silent).
 pub const ARTIFACT_EVENT_CAP: usize = 200_000;
 
-/// Runs `drive` against `ctrl` while recording its request stream, and
-/// returns the snapshot. The recorder stays attached afterwards but the
-/// snapshot is an independent copy.
+/// Runs `drive` against `ctrl` while recording its request stream via
+/// the controller's in-place request log (same event sequence as an
+/// unbounded [`densemem_ctrl::TraceRecorder`] under
+/// [`densemem_ctrl::TraceFilter::Requests`], without the per-event
+/// observer dispatch or the snapshot copy), and returns the recording.
 pub fn record_requests(
     ctrl: &mut MemoryController,
     label: &str,
     seed: u64,
     drive: impl FnOnce(&mut MemoryController),
 ) -> Trace {
-    let handle = ctrl.record_trace(usize::MAX, TraceFilter::Requests);
+    ctrl.begin_request_log();
     drive(ctrl);
-    handle.snapshot(label, seed)
+    ctrl.take_request_log(label, seed)
 }
 
 /// Replays `trace` into `ctrl`, returning the number of commands

@@ -17,7 +17,7 @@ use crate::error::CtrlError;
 use crate::refresh::RefreshEngine;
 use crate::stats::CtrlStats;
 use crate::trace::{
-    CommandObserver, CommandOrigin, MemCommand, ObserverChain, ObserverCtx, TraceEvent,
+    CommandObserver, CommandOrigin, MemCommand, ObserverChain, ObserverCtx, Trace, TraceEvent,
     TraceFilter, TraceHandle, TraceRecorder,
 };
 use densemem_dram::{FlipRecord, Module, Timing};
@@ -84,6 +84,12 @@ pub struct MemoryController {
     stats: CtrlStats,
     now_ns: u64,
     windows_seen: u64,
+    /// In-controller request log (see [`Self::begin_request_log`]):
+    /// `Some` while armed. Unlike a [`TraceRecorder`] in the observer
+    /// chain, appends go straight to this `Vec` — no mutex, no dynamic
+    /// dispatch — and [`Self::take_request_log`] moves the buffer out
+    /// without copying it.
+    req_log: Option<Vec<TraceEvent>>,
 }
 
 impl MemoryController {
@@ -109,6 +115,7 @@ impl MemoryController {
             stats: CtrlStats::default(),
             now_ns: 0,
             windows_seen: 0,
+            req_log: None,
         }
     }
 
@@ -138,6 +145,32 @@ impl MemoryController {
         let handle = recorder.handle();
         self.observers.push(Box::new(recorder));
         handle
+    }
+
+    /// Arms (or re-arms, clearing any previous recording) the lock-free
+    /// in-controller request log. While armed, every
+    /// [`CommandOrigin::Request`] event is appended to an internal
+    /// `Vec` — the exact event sequence a `usize::MAX`-capacity
+    /// [`TraceRecorder`] under [`TraceFilter::Requests`] would keep, but
+    /// with no observer dispatch or locking on the hot path and no
+    /// buffer copy at snapshot time. Use [`Self::take_request_log`] to
+    /// extract the recording.
+    pub fn begin_request_log(&mut self) {
+        self.req_log = Some(Vec::new());
+    }
+
+    /// Disarms the request log and moves the recording out as an owned
+    /// [`Trace`] (filter [`TraceFilter::Requests`], nothing dropped).
+    /// The event buffer is moved, not copied. Returns an empty trace if
+    /// the log was never armed.
+    pub fn take_request_log(&mut self, label: &str, seed: u64) -> Trace {
+        Trace {
+            label: label.to_owned(),
+            seed,
+            filter: TraceFilter::Requests,
+            dropped: 0,
+            events: self.req_log.take().unwrap_or_default(),
+        }
     }
 
     /// The observer chain's names, joined (`"none"` when empty).
@@ -323,6 +356,11 @@ impl MemoryController {
     /// event are executed but not re-announced, which bounds the fan-out.
     fn emit(&mut self, origin: CommandOrigin, cmd: MemCommand) {
         self.stats.commands_emitted += 1;
+        if origin == CommandOrigin::Request {
+            if let Some(log) = &mut self.req_log {
+                log.push(TraceEvent { at_ns: self.now_ns, origin, cmd });
+            }
+        }
         if self.observers.is_empty() {
             return;
         }
@@ -601,6 +639,28 @@ mod tests {
         assert_eq!(report.replayed, 800_000);
         assert_eq!(replayed.scan_flips(), live_flips, "replay must be bit-identical");
         assert_eq!(replayed.now_ns(), live.now_ns(), "replay reproduces timing too");
+    }
+
+    #[test]
+    fn request_log_matches_filtered_recorder() {
+        // The lock-free request log must produce the exact trace an
+        // unbounded Requests-filtered recorder produces — label, seed,
+        // filter, drop count, and every event.
+        let mut c = controller(1.0, None);
+        let handle = c.record_trace(usize::MAX, TraceFilter::Requests);
+        c.begin_request_log();
+        c.fill(0xFF);
+        hammer(&mut c, 100, 102, 5_000);
+        c.write(0, 7, 0, 0xBEEF).unwrap();
+        c.read(0, 7, 0).unwrap();
+        c.issue(MemCommand::Ref { bank: 0, row: 5 }).unwrap();
+        let fast = c.take_request_log("unit", 21);
+        let slow = handle.snapshot("unit", 21);
+        assert!(!fast.is_empty());
+        assert_eq!(fast, slow);
+        // Taking disarms the log: nothing further is recorded.
+        c.touch(0, 100).unwrap();
+        assert!(c.take_request_log("again", 21).events.is_empty());
     }
 
     #[test]

@@ -388,12 +388,18 @@ impl TraceHandle {
     /// Snapshots the recording into an owned [`Trace`] labelled `label`.
     pub fn snapshot(&self, label: &str, seed: u64) -> Trace {
         let buffer = self.shared.lock().expect("recorder lock");
+        // Bulk-copy the ring's two contiguous halves rather than walking
+        // the deque element by element.
+        let (head, tail) = buffer.events.as_slices();
+        let mut events = Vec::with_capacity(head.len() + tail.len());
+        events.extend_from_slice(head);
+        events.extend_from_slice(tail);
         Trace {
             label: label.to_owned(),
             seed,
             filter: self.filter,
             dropped: buffer.dropped,
-            events: buffer.events.iter().copied().collect(),
+            events,
         }
     }
 

@@ -20,13 +20,19 @@ use crate::cell::{
 };
 use crate::error::DramError;
 use crate::geometry::{BankGeometry, BitAddr};
+use crate::soa::{DisturbPlane, RetentionPlane, StuckTable};
 use crate::vintage::VintageProfile;
 use densemem_stats::dist::{Bernoulli, Poisson};
-use densemem_stats::par::{par_map_seeded, ParConfig};
+use densemem_stats::kernels;
+use densemem_stats::par::{par_map, ParConfig};
 use densemem_stats::rng::substream;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::HashMap;
+
+/// Rows per build chunk: the weak-cell generation fans out over row
+/// ranges of this size (each row still draws from its own substream, so
+/// the population is identical for any chunking or thread count).
+const BUILD_CHUNK_ROWS: usize = 256;
 
 /// One DRAM bank: dense data array plus sparse weak-cell state.
 ///
@@ -49,8 +55,8 @@ use std::collections::HashMap;
 pub struct Bank {
     geom: BankGeometry,
     data: Vec<u64>,
-    disturb: HashMap<usize, Vec<DisturbCell>>,
-    ret: HashMap<usize, Vec<RetentionCell>>,
+    disturb: DisturbPlane,
+    ret: RetentionPlane,
     /// Cumulative activation count per row.
     acts: Vec<u64>,
     /// Neighbour activation counts `[r-1, r+1, r-2, r+2]` snapshotted at
@@ -59,12 +65,16 @@ pub struct Bank {
     last_restore_ns: Vec<u64>,
     open_row: Option<usize>,
     fill_word: Option<u64>,
-    /// Stuck-at faults: per (row, word), (mask, value) — bits in `mask`
-    /// always read as the corresponding bits of `value`.
-    stuck: HashMap<(usize, usize), (u64, u64)>,
+    /// Stuck-at faults: bits in an entry's `mask` always read as the
+    /// corresponding bits of its `value`.
+    stuck: StuckTable,
     total_activations: u64,
     min_threshold: f64,
     rng: StdRng,
+    /// Staging buffer for pending flips, reused across commits.
+    flip_scratch: Vec<(usize, u8)>,
+    /// Row-copy buffer for stuck-overlaid scans, reused across rows.
+    row_scratch: Vec<u64>,
 }
 
 impl Bank {
@@ -98,11 +108,18 @@ impl Bank {
             profile.retention_sigma(),
         );
         let vrt_bern = Bernoulli::new(profile.vrt_fraction()).expect("fraction in [0,1]");
-        let per_row = par_map_seeded(
-            par,
-            seed ^ 0xD15B,
-            geom.rows(),
-            |_, mut rng| {
+        // Fan the generation out over row-range chunks rather than single
+        // rows: each row still draws from substream(seed ^ 0xD15B, row),
+        // so the population is bit-identical to the per-row fan-out for
+        // any chunk size or thread count, but the parallel runtime pays
+        // one task per ~256 rows instead of one per row.
+        let rows = geom.rows();
+        let chunks = par_map(par, rows.div_ceil(BUILD_CHUNK_ROWS), |chunk| {
+            let start = chunk * BUILD_CHUNK_ROWS;
+            let end = rows.min(start + BUILD_CHUNK_ROWS);
+            let mut out = Vec::with_capacity(end - start);
+            for row in start..end {
+                let mut rng = substream(seed ^ 0xD15B, row as u64);
                 let nd = disturb_per_row.sample(&mut rng);
                 let dcells: Vec<DisturbCell> = (0..nd)
                     .map(|_| DisturbCell {
@@ -140,33 +157,34 @@ impl Bank {
                         }
                     })
                     .collect();
-                (dcells, rcells)
-            },
-        );
-        let mut disturb: HashMap<usize, Vec<DisturbCell>> = HashMap::new();
-        let mut ret: HashMap<usize, Vec<RetentionCell>> = HashMap::new();
-        for (row, (dcells, rcells)) in per_row.into_iter().enumerate() {
-            if !dcells.is_empty() {
-                disturb.insert(row, dcells);
+                out.push((dcells, rcells));
             }
-            if !rcells.is_empty() {
-                ret.insert(row, rcells);
+            out
+        });
+        let mut drows: Vec<Vec<DisturbCell>> = Vec::with_capacity(rows);
+        let mut rrows: Vec<Vec<RetentionCell>> = Vec::with_capacity(rows);
+        for chunk in chunks {
+            for (dcells, rcells) in chunk {
+                drows.push(dcells);
+                rrows.push(rcells);
             }
         }
         Self {
             geom,
             data: vec![0; geom.rows() * geom.words_per_row()],
-            disturb,
-            ret,
+            disturb: DisturbPlane::from_rows(&drows),
+            ret: RetentionPlane::from_rows(&rrows),
             acts: vec![0; geom.rows()],
             snap: vec![[0; 4]; geom.rows()],
             last_restore_ns: vec![0; geom.rows()],
             open_row: None,
             fill_word: None,
-            stuck: HashMap::new(),
+            stuck: StuckTable::default(),
             total_activations: 0,
             min_threshold: VintageProfile::MIN_THRESHOLD,
             rng: substream(seed, 0x7EB7),
+            flip_scratch: Vec::new(),
+            row_scratch: Vec::new(),
         }
     }
 
@@ -255,8 +273,10 @@ impl Bank {
         self.check_row(row)?;
         self.check_word(word)?;
         let mut v = self.data[row * self.geom.words_per_row() + word];
-        if let Some(&(mask, value)) = self.stuck.get(&(row, word)) {
-            v = (v & !mask) | (value & mask);
+        if !self.stuck.is_empty() {
+            if let Some((mask, value)) = self.stuck.get(row, word) {
+                v = kernels::apply_stuck(v, mask, value);
+            }
         }
         Ok(v)
     }
@@ -286,10 +306,8 @@ impl Bank {
         self.restore(row, now);
         let w = self.geom.words_per_row();
         let mut out = self.data[row * w..(row + 1) * w].to_vec();
-        for (&(r, word), &(mask, value)) in &self.stuck {
-            if r == row {
-                out[word] = (out[word] & !mask) | (value & mask);
-            }
+        for e in self.stuck.row_entries(row) {
+            out[e.word as usize] = kernels::apply_stuck(out[e.word as usize], e.mask, e.value);
         }
         Ok(out)
     }
@@ -302,8 +320,19 @@ impl Bank {
     /// Panics if `fill_rows` was never called or `row` is out of range.
     pub fn count_flips_from_fill(&mut self, row: usize, now: u64) -> usize {
         let fill = self.fill_word.expect("count_flips_from_fill requires a prior fill_rows");
-        let data = self.inspect_row(row, now).expect("row validated by caller");
-        data.iter().map(|w| (w ^ fill).count_ones() as usize).sum()
+        self.check_row(row).expect("row validated by caller");
+        self.commit_pending(row, now);
+        self.restore(row, now);
+        let w = self.geom.words_per_row();
+        let slice = &self.data[row * w..(row + 1) * w];
+        let mut n = kernels::count_flips(slice, fill);
+        // Stuck bits overlay the stored data; re-count the covered words.
+        for e in self.stuck.row_entries(row) {
+            let raw = slice[e.word as usize];
+            n -= (raw ^ fill).count_ones() as usize;
+            n += (kernels::apply_stuck(raw, e.mask, e.value) ^ fill).count_ones() as usize;
+        }
+        n
     }
 
     /// Scans the whole bank against the last fill pattern, returning every
@@ -315,15 +344,31 @@ impl Bank {
     pub fn scan_flips_from_fill(&mut self, now: u64) -> Vec<BitAddr> {
         let fill = self.fill_word.expect("scan_flips_from_fill requires a prior fill_rows");
         let mut out = Vec::new();
+        let words_per_row = self.geom.words_per_row();
         for row in 0..self.geom.rows() {
-            let data = self.inspect_row(row, now).expect("row in range");
-            for (word, w) in data.iter().enumerate() {
-                let mut diff = w ^ fill;
-                while diff != 0 {
-                    let bit = diff.trailing_zeros() as u8;
+            self.commit_pending(row, now);
+            self.restore(row, now);
+            if self.stuck.row_entries(row).is_empty() {
+                // Common case: scan the dense array in place, 64 cells
+                // per XOR, no per-row copy.
+                let slice = &self.data[row * words_per_row..(row + 1) * words_per_row];
+                kernels::for_each_flip(slice, fill, |word, bit| {
                     out.push(BitAddr { row, word, bit });
-                    diff &= diff - 1;
+                });
+            } else {
+                // Stuck overlay: copy into the reused scratch row first.
+                let mut scratch = std::mem::take(&mut self.row_scratch);
+                scratch.clear();
+                scratch
+                    .extend_from_slice(&self.data[row * words_per_row..(row + 1) * words_per_row]);
+                for e in self.stuck.row_entries(row) {
+                    scratch[e.word as usize] =
+                        kernels::apply_stuck(scratch[e.word as usize], e.mask, e.value);
                 }
+                kernels::for_each_flip(&scratch, fill, |word, bit| {
+                    out.push(BitAddr { row, word, bit });
+                });
+                self.row_scratch = scratch;
             }
         }
         out
@@ -350,19 +395,25 @@ impl Bank {
         self.total_activations
     }
 
-    /// The disturbance-candidate cells of `row` (empty slice if none).
-    pub fn disturb_cells(&self, row: usize) -> &[DisturbCell] {
-        self.disturb.get(&row).map_or(&[], Vec::as_slice)
+    /// The disturbance-candidate cells of `row` (empty if none).
+    ///
+    /// Cold accessor: the cells are materialized from the packed planes
+    /// into descriptor structs on each call.
+    pub fn disturb_cells(&self, row: usize) -> Vec<DisturbCell> {
+        self.disturb.cells(row)
     }
 
-    /// The weak-retention cells of `row` (empty slice if none).
-    pub fn retention_cells(&self, row: usize) -> &[RetentionCell] {
-        self.ret.get(&row).map_or(&[], Vec::as_slice)
+    /// The weak-retention cells of `row` (empty if none).
+    ///
+    /// Cold accessor: the cells are materialized from the packed planes
+    /// into descriptor structs on each call.
+    pub fn retention_cells(&self, row: usize) -> Vec<RetentionCell> {
+        self.ret.cells(row)
     }
 
     /// Total number of disturbance-candidate cells in the bank.
     pub fn total_disturb_cells(&self) -> usize {
-        self.disturb.values().map(Vec::len).sum()
+        self.disturb.len()
     }
 
     /// Raw row data without committing physics (for tests/debugging).
@@ -384,11 +435,10 @@ impl Bank {
     ) -> Result<(), DramError> {
         self.check_row(addr.row)?;
         self.check_word(addr.word)?;
-        self.disturb.entry(addr.row).or_default().push(DisturbCell {
-            word: addr.word as u32,
-            bit: addr.bit,
-            threshold,
-        });
+        self.disturb.push(
+            addr.row,
+            DisturbCell { word: addr.word as u32, bit: addr.bit, threshold },
+        );
         Ok(())
     }
 
@@ -402,13 +452,7 @@ impl Bank {
     pub fn inject_stuck_bit(&mut self, addr: BitAddr, value: bool) -> Result<(), DramError> {
         self.check_row(addr.row)?;
         self.check_word(addr.word)?;
-        let e = self.stuck.entry((addr.row, addr.word)).or_insert((0, 0));
-        e.0 |= 1u64 << addr.bit;
-        if value {
-            e.1 |= 1u64 << addr.bit;
-        } else {
-            e.1 &= !(1u64 << addr.bit);
-        }
+        self.stuck.set_bit(addr.row, addr.word, addr.bit, value);
         Ok(())
     }
 
@@ -469,100 +513,115 @@ impl Bank {
 
     /// Evaluates disturbance and retention loss accumulated on `row` since
     /// its last restore and commits the resulting bit flips.
+    ///
+    /// The per-row plane floors make the common no-op case (exposure and
+    /// idle time both below anything that could matter) a handful of
+    /// comparisons with no cell visits — and the skips are exact, not
+    /// approximate: the disturb pass draws no RNG at all, and below the
+    /// retention floor no VRT branch (the only RNG consumer) can be
+    /// taken, so the RNG stream advances identically to the unskipped
+    /// evaluation.
     fn commit_pending(&mut self, row: usize, now: u64) {
         let words_per_row = self.geom.words_per_row();
         let orientation = orientation_of_row(row);
         let charged = orientation.charged_value();
         let exposure = self.exposure(row);
+        let dt_ns = now.saturating_sub(self.last_restore_ns[row]) as f64;
+
+        let disturb_due =
+            exposure >= self.min_threshold && exposure >= self.disturb.floor(row);
+        let ret_due = dt_ns > 0.0 && dt_ns > self.ret.floor(row);
+        if !disturb_due && !ret_due {
+            return;
+        }
 
         // Dominant aggressor for data-pattern dependence: prefer r-1, fall
         // back to r+1 (edge rows).
         let aggressor = if row > 0 { row - 1 } else { row + 1 };
         let aggressor_in_range = aggressor < self.geom.rows() && aggressor != row;
 
-        let mut flips: Vec<(usize, u8)> = Vec::new();
+        let mut flips = std::mem::take(&mut self.flip_scratch);
+        flips.clear();
 
-        if exposure >= self.min_threshold {
-            if let Some(cells) = self.disturb.get(&row) {
-                for c in cells {
-                    let idx = row * words_per_row + c.word as usize;
-                    let stored = (self.data[idx] >> c.bit) & 1 == 1;
-                    if stored != charged {
-                        continue; // already discharged: nothing to lose
-                    }
-                    let stressed = if aggressor_in_range {
-                        let abit = (self.data[aggressor * words_per_row + c.word as usize]
-                            >> c.bit)
-                            & 1
-                            == 1;
-                        abit != stored
-                    } else {
-                        true
-                    };
-                    let th = if stressed {
-                        c.threshold
-                    } else {
-                        c.threshold * VintageProfile::DPD_RESIST_FACTOR
-                    };
-                    if exposure >= th {
-                        flips.push((idx, c.bit));
-                    }
+        if disturb_due {
+            let (words, bits, thresholds) = self.disturb.row(row);
+            for i in 0..words.len() {
+                let (word, bit, threshold) = (words[i], bits[i], thresholds[i]);
+                let idx = row * words_per_row + word as usize;
+                let stored = (self.data[idx] >> bit) & 1 == 1;
+                if stored != charged {
+                    continue; // already discharged: nothing to lose
+                }
+                let stressed = if aggressor_in_range {
+                    let abit =
+                        (self.data[aggressor * words_per_row + word as usize] >> bit) & 1 == 1;
+                    abit != stored
+                } else {
+                    true
+                };
+                let th = if stressed {
+                    threshold
+                } else {
+                    threshold * VintageProfile::DPD_RESIST_FACTOR
+                };
+                if exposure >= th {
+                    flips.push((idx, bit));
                 }
             }
         }
 
         // Retention loss over the elapsed interval.
-        let dt_ns = now.saturating_sub(self.last_restore_ns[row]) as f64;
-        if dt_ns > 0.0 {
-            if let Some(cells) = self.ret.get(&row) {
-                for c in cells {
-                    let idx = row * words_per_row + c.word as usize;
-                    let stored = (self.data[idx] >> c.bit) & 1 == 1;
-                    if stored != charged {
-                        continue;
-                    }
-                    // Data-pattern dependence: a stressing neighbour makes
-                    // the cell leakier.
-                    let dpd = if aggressor_in_range {
-                        let abit = (self.data[aggressor * words_per_row + c.word as usize]
-                            >> c.bit)
-                            & 1
-                            == 1;
-                        if abit != stored {
-                            0.7
-                        } else {
-                            1.0
-                        }
+        if ret_due {
+            let Self { ret, data, rng, .. } = self;
+            let (words, bits, retentions, vrt_shorts, vrt_rates) = ret.row(row);
+            for i in 0..words.len() {
+                let (word, bit) = (words[i], bits[i]);
+                let idx = row * words_per_row + word as usize;
+                let stored = (data[idx] >> bit) & 1 == 1;
+                if stored != charged {
+                    continue;
+                }
+                // Data-pattern dependence: a stressing neighbour makes
+                // the cell leakier.
+                let dpd = if aggressor_in_range {
+                    let abit =
+                        (data[aggressor * words_per_row + word as usize] >> bit) & 1 == 1;
+                    if abit != stored {
+                        0.7
                     } else {
                         1.0
-                    };
-                    let failed = if let Some(vrt) = c.vrt {
-                        // A leaky episode must both occur and outlast the
-                        // cell's short retention within the window.
-                        if dt_ns > vrt.short_retention_ns * dpd {
-                            let p = 1.0 - (-vrt.switch_rate_per_s * dt_ns / 1e9).exp();
-                            self.rng.gen::<f64>() < p
-                        } else {
-                            false
-                        }
-                    } else {
-                        dt_ns > c.retention_ns * dpd
-                    };
-                    if failed {
-                        flips.push((idx, c.bit));
                     }
+                } else {
+                    1.0
+                };
+                let failed = if vrt_shorts[i] > 0.0 {
+                    // A leaky episode must both occur and outlast the
+                    // cell's short retention within the window.
+                    if dt_ns > vrt_shorts[i] * dpd {
+                        let p = 1.0 - (-vrt_rates[i] * dt_ns / 1e9).exp();
+                        rng.gen::<f64>() < p
+                    } else {
+                        false
+                    }
+                } else {
+                    dt_ns > retentions[i] * dpd
+                };
+                if failed {
+                    flips.push((idx, bit));
                 }
             }
         }
 
         let discharged = orientation.discharged_value();
-        for (idx, bit) in flips {
+        for &(idx, bit) in &flips {
             if discharged {
                 self.data[idx] |= 1u64 << bit;
             } else {
                 self.data[idx] &= !(1u64 << bit);
             }
         }
+        flips.clear();
+        self.flip_scratch = flips;
     }
 }
 

@@ -12,6 +12,9 @@
 //!   every activation of a row disturbs its physical neighbours; victims
 //!   commit bit flips when their accumulated exposure since their last
 //!   refresh crosses a per-cell threshold.
+//! * [`soa`] — CSR-packed structure-of-arrays storage for the sparse
+//!   weak-cell state (flat per-field arrays + row offsets + per-row
+//!   skip floors), the layout behind the bank's Monte Carlo hot path.
 //! * [`vintage`] — manufacturer × manufacture-year technology profiles that
 //!   scale weak-cell density and hammer thresholds, modelling technology
 //!   scaling from 2008 to 2014.
@@ -63,6 +66,7 @@ pub mod module;
 pub mod population;
 pub mod profiler;
 pub mod retention;
+pub mod soa;
 pub mod softmc;
 pub mod timing;
 pub mod vintage;

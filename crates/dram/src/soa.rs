@@ -1,0 +1,394 @@
+//! CSR-packed structure-of-arrays storage for sparse weak-cell state.
+//!
+//! The bank's Monte Carlo hot path visits every weak cell of a row on
+//! every activate/refresh/inspect. Storing those cells as
+//! `HashMap<row, Vec<Cell>>` pays a hash lookup per touch plus a pointer
+//! chase per row; storing them CSR-style — one `off` array of `rows + 1`
+//! offsets into flat, parallel per-field arrays — makes the per-row visit
+//! a pair of array reads and a contiguous slice walk, and keeps each
+//! field (thresholds, deadlines) densely packed for the cache.
+//!
+//! Each plane also precomputes a per-row *floor*: the smallest stimulus
+//! that could possibly affect any cell of the row. The bank skips a
+//! row's entire commit pass when the stimulus is below the floor, which
+//! is exact (not approximate) because the skipped loops draw no RNG in
+//! that regime — see the determinism notes on each floor accessor.
+//!
+//! Cell order within a row is the construction/insertion order, matching
+//! the per-row `Vec` push order of the old layout, so iteration order —
+//! and therefore RNG draw order in the retention pass — is unchanged.
+
+use crate::cell::{DisturbCell, RetentionCell, VrtParams};
+use std::ops::Range;
+
+/// Disturbance-candidate cells for a whole bank, CSR-packed by row.
+#[derive(Debug, Clone)]
+pub struct DisturbPlane {
+    /// `off[row]..off[row + 1]` indexes this row's cells in the flat
+    /// arrays below. Length `rows + 1`.
+    off: Vec<u32>,
+    word: Vec<u32>,
+    bit: Vec<u8>,
+    threshold: Vec<f64>,
+    /// Per-row minimum threshold (`f64::INFINITY` for empty rows).
+    floor: Vec<f64>,
+}
+
+impl DisturbPlane {
+    /// Packs per-row cell lists (indexed by row) into CSR form.
+    pub fn from_rows(rows: &[Vec<DisturbCell>]) -> Self {
+        let total = rows.iter().map(Vec::len).sum();
+        let mut off = Vec::with_capacity(rows.len() + 1);
+        let mut word = Vec::with_capacity(total);
+        let mut bit = Vec::with_capacity(total);
+        let mut threshold = Vec::with_capacity(total);
+        let mut floor = Vec::with_capacity(rows.len());
+        off.push(0u32);
+        for cells in rows {
+            let mut row_floor = f64::INFINITY;
+            for c in cells {
+                word.push(c.word);
+                bit.push(c.bit);
+                threshold.push(c.threshold);
+                row_floor = row_floor.min(c.threshold);
+            }
+            off.push(word.len() as u32);
+            floor.push(row_floor);
+        }
+        Self { off, word, bit, threshold, floor }
+    }
+
+    /// Total cells in the plane.
+    pub fn len(&self) -> usize {
+        self.word.len()
+    }
+
+    /// Whether the plane holds no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.word.is_empty()
+    }
+
+    /// The flat-array index range of `row`'s cells.
+    #[inline]
+    pub fn row_range(&self, row: usize) -> Range<usize> {
+        self.off[row] as usize..self.off[row + 1] as usize
+    }
+
+    /// The row's cell fields as parallel slices `(word, bit, threshold)`.
+    #[inline]
+    pub fn row(&self, row: usize) -> (&[u32], &[u8], &[f64]) {
+        let r = self.row_range(row);
+        (&self.word[r.clone()], &self.bit[r.clone()], &self.threshold[r])
+    }
+
+    /// Smallest exposure that can flip any cell of `row`
+    /// (`f64::INFINITY` if the row has none). Exact skip gate: the
+    /// disturb pass draws no RNG, and every effective threshold is
+    /// `>= floor` (the DPD factor only raises it), so `exposure < floor`
+    /// implies the pass is a no-op.
+    #[inline]
+    pub fn floor(&self, row: usize) -> f64 {
+        self.floor[row]
+    }
+
+    /// Appends a cell to `row` (after its existing cells — the same
+    /// position the old per-row `Vec` push used).
+    pub fn push(&mut self, row: usize, cell: DisturbCell) {
+        let at = self.off[row + 1] as usize;
+        self.word.insert(at, cell.word);
+        self.bit.insert(at, cell.bit);
+        self.threshold.insert(at, cell.threshold);
+        for o in &mut self.off[row + 1..] {
+            *o += 1;
+        }
+        self.floor[row] = self.floor[row].min(cell.threshold);
+    }
+
+    /// Materializes `row`'s cells as descriptor structs (cold accessor
+    /// for tests and census tooling).
+    pub fn cells(&self, row: usize) -> Vec<DisturbCell> {
+        self.row_range(row)
+            .map(|i| DisturbCell {
+                word: self.word[i],
+                bit: self.bit[i],
+                threshold: self.threshold[i],
+            })
+            .collect()
+    }
+}
+
+/// Weak-retention cells for a whole bank, CSR-packed by row.
+///
+/// VRT is flattened into two parallel `f64` arrays: `vrt_short` holds the
+/// leaky-state retention time, or `0.0` for a non-VRT cell (real leaky
+/// retention times are clamped to ≥ 1e5 ns at generation, so `0.0` is
+/// unambiguous).
+#[derive(Debug, Clone)]
+pub struct RetentionPlane {
+    off: Vec<u32>,
+    word: Vec<u32>,
+    bit: Vec<u8>,
+    retention_ns: Vec<f64>,
+    vrt_short: Vec<f64>,
+    vrt_rate: Vec<f64>,
+    /// Per-row `0.7 × min` effective deadline (`f64::INFINITY` for empty
+    /// rows).
+    floor: Vec<f64>,
+}
+
+impl RetentionPlane {
+    /// Packs per-row cell lists (indexed by row) into CSR form.
+    pub fn from_rows(rows: &[Vec<RetentionCell>]) -> Self {
+        let total = rows.iter().map(Vec::len).sum();
+        let mut off = Vec::with_capacity(rows.len() + 1);
+        let mut word = Vec::with_capacity(total);
+        let mut bit = Vec::with_capacity(total);
+        let mut retention_ns = Vec::with_capacity(total);
+        let mut vrt_short = Vec::with_capacity(total);
+        let mut vrt_rate = Vec::with_capacity(total);
+        let mut floor = Vec::with_capacity(rows.len());
+        off.push(0u32);
+        for cells in rows {
+            let mut row_floor = f64::INFINITY;
+            for c in cells {
+                word.push(c.word);
+                bit.push(c.bit);
+                retention_ns.push(c.retention_ns);
+                let (short, rate) = match c.vrt {
+                    Some(v) => (v.short_retention_ns, v.switch_rate_per_s),
+                    None => (0.0, 0.0),
+                };
+                vrt_short.push(short);
+                vrt_rate.push(rate);
+                let deadline = if short > 0.0 { short } else { c.retention_ns };
+                row_floor = row_floor.min(0.7 * deadline);
+            }
+            off.push(word.len() as u32);
+            floor.push(row_floor);
+        }
+        Self { off, word, bit, retention_ns, vrt_short, vrt_rate, floor }
+    }
+
+    /// Total cells in the plane.
+    pub fn len(&self) -> usize {
+        self.word.len()
+    }
+
+    /// Whether the plane holds no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.word.is_empty()
+    }
+
+    /// The flat-array index range of `row`'s cells.
+    #[inline]
+    pub fn row_range(&self, row: usize) -> Range<usize> {
+        self.off[row] as usize..self.off[row + 1] as usize
+    }
+
+    /// The row's cell fields as parallel slices
+    /// `(word, bit, retention_ns, vrt_short, vrt_rate)`.
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    pub fn row(&self, row: usize) -> (&[u32], &[u8], &[f64], &[f64], &[f64]) {
+        let r = self.row_range(row);
+        (
+            &self.word[r.clone()],
+            &self.bit[r.clone()],
+            &self.retention_ns[r.clone()],
+            &self.vrt_short[r.clone()],
+            &self.vrt_rate[r],
+        )
+    }
+
+    /// Largest elapsed time guaranteed to leave every cell of `row`
+    /// untouched (`f64::INFINITY` if the row has none). Exact skip gate
+    /// for the retention pass *including its RNG draws*: the DPD factor
+    /// is at least 0.7, so for `dt_ns <= floor` no non-VRT cell passes
+    /// `dt_ns > retention_ns * dpd` and no VRT cell passes
+    /// `dt_ns > short_retention_ns * dpd` — the branch that would have
+    /// consumed a random number. Skipping therefore preserves the RNG
+    /// stream bit-exactly.
+    #[inline]
+    pub fn floor(&self, row: usize) -> f64 {
+        self.floor[row]
+    }
+
+    /// Materializes `row`'s cells as descriptor structs (cold accessor
+    /// for tests, the profiler, and SoftMC address discovery).
+    pub fn cells(&self, row: usize) -> Vec<RetentionCell> {
+        self.row_range(row)
+            .map(|i| RetentionCell {
+                word: self.word[i],
+                bit: self.bit[i],
+                retention_ns: self.retention_ns[i],
+                vrt: if self.vrt_short[i] > 0.0 {
+                    Some(VrtParams {
+                        short_retention_ns: self.vrt_short[i],
+                        switch_rate_per_s: self.vrt_rate[i],
+                    })
+                } else {
+                    None
+                },
+            })
+            .collect()
+    }
+}
+
+/// One stuck-at overlay entry: bits of `mask` in `(row, word)` always
+/// read as the corresponding bits of `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StuckEntry {
+    /// Row index.
+    pub row: u32,
+    /// 64-bit word index within the row.
+    pub word: u32,
+    /// Bits covered by this fault.
+    pub mask: u64,
+    /// Values the covered bits read as.
+    pub value: u64,
+}
+
+/// Stuck-at faults as a sorted flat table with binary-search lookup.
+///
+/// The common case — no faults injected — is a single `is_empty` branch
+/// on the read path, versus the hash-and-probe per read the old
+/// `HashMap<(row, word), _>` paid whether or not any fault existed.
+#[derive(Debug, Clone, Default)]
+pub struct StuckTable {
+    /// Sorted by `(row, word)`; at most one entry per (row, word).
+    entries: Vec<StuckEntry>,
+}
+
+impl StuckTable {
+    /// Whether any fault is installed (the read-path fast-path gate).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(mask, value)` overlay for `(row, word)`, if any.
+    #[inline]
+    pub fn get(&self, row: usize, word: usize) -> Option<(u64, u64)> {
+        self.entries
+            .binary_search_by_key(&(row as u32, word as u32), |e| (e.row, e.word))
+            .ok()
+            .map(|i| (self.entries[i].mask, self.entries[i].value))
+    }
+
+    /// Forces `bit` of `(row, word)` to read as `value`, merging with any
+    /// existing overlay on that word.
+    pub fn set_bit(&mut self, row: usize, word: usize, bit: u8, value: bool) {
+        let key = (row as u32, word as u32);
+        let entry = match self.entries.binary_search_by_key(&key, |e| (e.row, e.word)) {
+            Ok(i) => &mut self.entries[i],
+            Err(i) => {
+                self.entries
+                    .insert(i, StuckEntry { row: key.0, word: key.1, mask: 0, value: 0 });
+                &mut self.entries[i]
+            }
+        };
+        entry.mask |= 1u64 << bit;
+        if value {
+            entry.value |= 1u64 << bit;
+        } else {
+            entry.value &= !(1u64 << bit);
+        }
+    }
+
+    /// All entries overlaying `row`, in word order.
+    pub fn row_entries(&self, row: usize) -> &[StuckEntry] {
+        let start = self.entries.partition_point(|e| e.row < row as u32);
+        let end = self.entries.partition_point(|e| e.row <= row as u32);
+        &self.entries[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dcell(word: u32, bit: u8, threshold: f64) -> DisturbCell {
+        DisturbCell { word, bit, threshold }
+    }
+
+    #[test]
+    fn disturb_plane_round_trips_and_floors() {
+        let rows = vec![
+            vec![dcell(0, 1, 300.0), dcell(2, 5, 150.0)],
+            vec![],
+            vec![dcell(7, 63, 900.0)],
+        ];
+        let p = DisturbPlane::from_rows(&rows);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        for (row, cells) in rows.iter().enumerate() {
+            assert_eq!(&p.cells(row), cells);
+        }
+        assert_eq!(p.floor(0), 150.0);
+        assert_eq!(p.floor(1), f64::INFINITY);
+        assert_eq!(p.floor(2), 900.0);
+    }
+
+    #[test]
+    fn disturb_push_appends_at_row_end() {
+        let rows = vec![vec![dcell(0, 0, 500.0)], vec![dcell(1, 1, 600.0)]];
+        let mut p = DisturbPlane::from_rows(&rows);
+        p.push(0, dcell(9, 9, 100.0));
+        assert_eq!(
+            p.cells(0),
+            vec![dcell(0, 0, 500.0), dcell(9, 9, 100.0)],
+            "insertion goes after the row's existing cells"
+        );
+        assert_eq!(p.cells(1), vec![dcell(1, 1, 600.0)]);
+        assert_eq!(p.floor(0), 100.0);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn retention_plane_preserves_vrt_and_floors() {
+        let vrt = RetentionCell {
+            word: 3,
+            bit: 4,
+            retention_ns: 2e9,
+            vrt: Some(VrtParams { short_retention_ns: 2e5, switch_rate_per_s: 0.01 }),
+        };
+        let plain = RetentionCell { word: 1, bit: 0, retention_ns: 5e8, vrt: None };
+        let p = RetentionPlane::from_rows(&[vec![vrt, plain], vec![]]);
+        assert_eq!(p.cells(0), vec![vrt, plain]);
+        assert_eq!(p.cells(1), vec![]);
+        // Floor = 0.7 × min(VRT short deadline, plain deadline).
+        assert_eq!(p.floor(0), 0.7 * 2e5);
+        assert_eq!(p.floor(1), f64::INFINITY);
+        let (word, bit, ret, short, rate) = p.row(0);
+        assert_eq!((word[0], bit[0]), (3, 4));
+        assert_eq!((ret[1], short[1], rate[1]), (5e8, 0.0, 0.0));
+    }
+
+    #[test]
+    fn stuck_table_sorted_lookup_and_merge() {
+        let mut t = StuckTable::default();
+        assert!(t.is_empty());
+        assert_eq!(t.get(0, 0), None);
+        t.set_bit(5, 2, 0, true);
+        t.set_bit(1, 7, 3, false);
+        t.set_bit(5, 2, 1, false); // merges into the existing (5, 2) word
+        assert_eq!(t.get(5, 2), Some((0b11, 0b01)));
+        assert_eq!(t.get(1, 7), Some((1 << 3, 0)));
+        assert_eq!(t.get(5, 3), None);
+        assert_eq!(t.row_entries(5).len(), 1);
+        assert_eq!(t.row_entries(0).len(), 0);
+        // Overwriting a bit flips its value in place.
+        t.set_bit(5, 2, 0, false);
+        assert_eq!(t.get(5, 2), Some((0b11, 0b00)));
+    }
+
+    #[test]
+    fn row_entries_spans_multiple_words() {
+        let mut t = StuckTable::default();
+        t.set_bit(3, 9, 0, true);
+        t.set_bit(3, 1, 0, true);
+        t.set_bit(4, 0, 0, true);
+        let rows: Vec<(u32, u32)> = t.row_entries(3).iter().map(|e| (e.row, e.word)).collect();
+        assert_eq!(rows, vec![(3, 1), (3, 9)], "entries sorted by word within the row");
+    }
+}

@@ -269,11 +269,12 @@ impl FlashBlock {
             return Err(FlashError::InvalidStage("MSB program requires a prior LSB program"));
         }
         let sigma = self.params.sigma(self.pe);
+        let sense = self.wl_sense(wl);
         let mut deltas = vec![0.0f64; self.cells_per_wl];
         for c in 0..self.cells_per_wl {
             let idx = wl * self.cells_per_wl + c;
             // Internal sense of the (possibly disturbed) intermediate.
-            let lsb_sensed = self.effective_vth(wl, c) < Self::INTERMEDIATE_SENSE_V;
+            let lsb_sensed = self.sense_cell(&sense, c) < Self::INTERMEDIATE_SENSE_V;
             let state = MlcState::from_bits(lsb_sensed, bit_of(msb, c));
             let target = self.params.state_means[state.index()];
             let old = self.vth[idx];
@@ -353,8 +354,9 @@ impl FlashBlock {
         let bytes = self.page_bytes();
         let mut lsb = vec![0u8; bytes];
         let mut msb = vec![0u8; bytes];
+        let sense = self.wl_sense(wl);
         for c in 0..self.cells_per_wl {
-            let state = self.params.state_of(self.effective_vth(wl, c));
+            let state = self.params.state_of(self.sense_cell(&sense, c));
             let (l, m) = state.bits();
             set_bit(&mut lsb, c, l);
             set_bit(&mut msb, c, m);
@@ -389,30 +391,51 @@ impl FlashBlock {
         if resolution <= 0.0 {
             return Err(FlashError::InvalidParam("resolution must be positive"));
         }
+        let sense = self.wl_sense(wl);
         Ok((0..self.cells_per_wl)
-            .map(|c| (self.effective_vth(wl, c) / resolution).round() * resolution)
+            .map(|c| (self.sense_cell(&sense, c) / resolution).round() * resolution)
             .collect())
     }
 
     /// The effective (sensed) Vth of a cell: stored value plus accumulated
     /// read disturb minus retention loss.
     pub fn effective_vth(&self, wl: usize, c: usize) -> f64 {
-        let idx = wl * self.cells_per_wl + c;
-        let stored = self.vth[idx];
+        self.sense_cell(&self.wl_sense(wl), c)
+    }
+
+    /// Hoists the wordline-constant factors of the Vth computation —
+    /// disturb exposure, retention shift (a log evaluation), and the
+    /// charge-span geometry — so whole-wordline passes pay them once
+    /// instead of once per cell. [`Self::sense_cell`] reproduces
+    /// [`Self::effective_vth`] bit-exactly: the per-cell arithmetic keeps
+    /// the original operation order and associativity.
+    fn wl_sense(&self, wl: usize) -> WlSense {
         // Read disturb: every read of *another* wordline since this one
         // was programmed nudges the cell up.
         let exposure =
             (self.total_reads - self.reads[wl]).saturating_sub(self.disturb_base[wl]);
-        let disturb =
-            exposure as f64 * self.params.read_disturb_delta * self.susceptibility[idx];
         // Retention: charge leaks out of programmed cells over time,
         // proportionally to how much charge they hold.
         let age = (self.clock_hours - self.programmed_at[wl]).max(0.0);
         let er = self.params.state_means[0];
-        let span = self.params.state_means[3] - er;
-        let charge_frac = ((stored - er) / span).clamp(0.0, 1.5);
-        let retention =
-            self.params.retention_shift(self.pe, age) * self.leakiness[idx] * charge_frac;
+        WlSense {
+            base: wl * self.cells_per_wl,
+            disturb: exposure as f64 * self.params.read_disturb_delta,
+            shift: self.params.retention_shift(self.pe, age),
+            er,
+            span: self.params.state_means[3] - er,
+        }
+    }
+
+    /// Per-cell half of [`Self::effective_vth`] under hoisted wordline
+    /// factors (`c` is the cell index within the sensed wordline).
+    #[inline]
+    fn sense_cell(&self, s: &WlSense, c: usize) -> f64 {
+        let idx = s.base + c;
+        let stored = self.vth[idx];
+        let disturb = s.disturb * self.susceptibility[idx];
+        let charge_frac = ((stored - s.er) / s.span).clamp(0.0, 1.5);
+        let retention = s.shift * self.leakiness[idx] * charge_frac;
         stored + disturb - retention
     }
 
@@ -503,6 +526,21 @@ impl FlashBlock {
             })
         }
     }
+}
+
+/// Wordline-constant factors of the effective-Vth computation, hoisted
+/// once per whole-wordline pass (see [`FlashBlock::effective_vth`]).
+struct WlSense {
+    /// First flat cell index of the wordline.
+    base: usize,
+    /// Accumulated disturb exposure × per-read delta.
+    disturb: f64,
+    /// Age- and wear-dependent retention shift.
+    shift: f64,
+    /// Erased-state mean voltage.
+    er: f64,
+    /// Er→P3 voltage span (charge-fraction denominator).
+    span: f64,
 }
 
 /// Reads bit `i` of a byte slice (LSB-first within each byte).

@@ -1,0 +1,161 @@
+//! Word-level bit-trick kernels for the packed cell engine.
+//!
+//! The DRAM bank and flash block store cell data bit-packed, 64 cells to
+//! a `u64`. Every whole-array pass over that data — flip scans against a
+//! fill pattern, error counts against expected pages — reduces to the
+//! same three-instruction core: XOR against the reference word, popcount
+//! or bit-iterate the difference, mask out overlays. Housing the kernels
+//! here (next to the FNV hasher, the workspace's other
+//! "dependency-free, fully specified" primitive) keeps them testable in
+//! isolation from the device models that call them: the property suite
+//! checks them against naive per-cell loops, and the `cell_kernels`
+//! micro-bench tracks their throughput independent of whole-experiment
+//! timing.
+//!
+//! All kernels are pure functions of their word inputs. Bit order within
+//! a word is ascending (`trailing_zeros` order), matching the per-cell
+//! loops they replace, so swapping a naive scan for a packed scan is
+//! observation-equivalent — same flips, same order.
+//!
+//! # Examples
+//!
+//! ```
+//! use densemem_stats::kernels::{count_flips, for_each_flip};
+//! let words = [0xFFu64, 0xFF, 0b1011_1111];
+//! assert_eq!(count_flips(&words, 0xFF), 1);
+//! let mut seen = Vec::new();
+//! for_each_flip(&words, 0xFF, |word, bit| seen.push((word, bit)));
+//! assert_eq!(seen, vec![(2, 6)]);
+//! ```
+
+/// Bits that differ between a data word and the reference pattern — the
+/// 64-cells-at-once flip test.
+#[inline]
+pub fn diff_mask(word: u64, fill: u64) -> u64 {
+    word ^ fill
+}
+
+/// Applies a stuck-at overlay: bits set in `mask` read as the
+/// corresponding bits of `value`, all others pass through.
+#[inline]
+pub fn apply_stuck(word: u64, mask: u64, value: u64) -> u64 {
+    (word & !mask) | (value & mask)
+}
+
+/// Counts cells in `words` whose bit differs from `fill` — one XOR and
+/// one popcount per 64 cells.
+#[inline]
+pub fn count_flips(words: &[u64], fill: u64) -> usize {
+    words.iter().map(|&w| (w ^ fill).count_ones() as usize).sum()
+}
+
+/// Iterator over the set bit positions of a word, ascending.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_stats::kernels::set_bits;
+/// assert_eq!(set_bits(0b1010_0001).collect::<Vec<u8>>(), vec![0, 5, 7]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SetBits(u64);
+
+impl Iterator for SetBits {
+    type Item = u8;
+
+    #[inline]
+    fn next(&mut self) -> Option<u8> {
+        if self.0 == 0 {
+            return None;
+        }
+        let bit = self.0.trailing_zeros() as u8;
+        self.0 &= self.0 - 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SetBits {}
+
+/// The set bit positions of `mask`, ascending.
+#[inline]
+pub fn set_bits(mask: u64) -> SetBits {
+    SetBits(mask)
+}
+
+/// Calls `f(word_index, bit)` for every cell in `words` that differs
+/// from `fill`, in ascending (word, bit) order — the packed replacement
+/// for the per-cell scan loop.
+#[inline]
+pub fn for_each_flip(words: &[u64], fill: u64, mut f: impl FnMut(usize, u8)) {
+    for (i, &w) in words.iter().enumerate() {
+        let mut diff = w ^ fill;
+        while diff != 0 {
+            f(i, diff.trailing_zeros() as u8);
+            diff &= diff - 1;
+        }
+    }
+}
+
+/// Reference implementation: the per-cell loop the packed kernels
+/// replace. Kept public so the property suite and the `cell_kernels`
+/// micro-bench compare against the exact historical behaviour rather
+/// than a re-derivation of it.
+pub fn naive_for_each_flip(words: &[u64], fill: u64, mut f: impl FnMut(usize, u8)) {
+    for (i, &w) in words.iter().enumerate() {
+        for bit in 0..64u8 {
+            if (w >> bit) & 1 != (fill >> bit) & 1 {
+                f(i, bit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_and_stuck_compose() {
+        let word = 0b1100u64;
+        assert_eq!(diff_mask(word, 0b1010), 0b0110);
+        // Stuck bit 2 reads as 0: the overlaid word loses that bit.
+        assert_eq!(apply_stuck(word, 0b0100, 0), 0b1000);
+        // Stuck bit 0 reads as 1 even though 0 was stored.
+        assert_eq!(apply_stuck(word, 0b0001, 0b0001), 0b1101);
+    }
+
+    #[test]
+    fn count_matches_popcount_by_hand() {
+        assert_eq!(count_flips(&[], 0xFF), 0);
+        assert_eq!(count_flips(&[0xFF, 0xFF], 0xFF), 0);
+        assert_eq!(count_flips(&[0x00], u64::MAX), 64);
+        assert_eq!(count_flips(&[0b101, 0b111], 0b001), 2 + 1);
+    }
+
+    #[test]
+    fn set_bits_ascending_and_sized() {
+        assert_eq!(set_bits(0).count(), 0);
+        assert_eq!(set_bits(u64::MAX).count(), 64);
+        let v: Vec<u8> = set_bits(1u64 << 63 | 1).collect();
+        assert_eq!(v, vec![0, 63]);
+        assert_eq!(set_bits(0b1011).len(), 3);
+    }
+
+    #[test]
+    fn packed_scan_equals_naive_scan() {
+        let words = [0xDEAD_BEEF_0123_4567u64, 0, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA];
+        for fill in [0u64, u64::MAX, 0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555] {
+            let mut packed = Vec::new();
+            let mut naive = Vec::new();
+            for_each_flip(&words, fill, |w, b| packed.push((w, b)));
+            naive_for_each_flip(&words, fill, |w, b| naive.push((w, b)));
+            assert_eq!(packed, naive, "fill {fill:#x}");
+            assert_eq!(packed.len(), count_flips(&words, fill));
+        }
+    }
+}

@@ -21,6 +21,7 @@
 pub mod dist;
 pub mod hash;
 pub mod hist;
+pub mod kernels;
 pub mod par;
 pub mod rng;
 pub mod series;
@@ -30,6 +31,7 @@ pub mod table;
 pub use dist::{Bernoulli, Exponential, LogNormal, Normal, Poisson};
 pub use hash::{fnv1a64, Fnv1a};
 pub use hist::{Histogram, LogHistogram};
+pub use kernels::{apply_stuck, count_flips, for_each_flip, set_bits};
 pub use par::{par_map, par_map_seeded, ParConfig, Stopwatch, WorkerPool};
 pub use rng::{seeded, substream};
 pub use series::Series;

@@ -1,0 +1,83 @@
+//! Property suite for the word-level kernels: every packed operation
+//! must agree, case for case and in order, with the naive per-cell loop
+//! it replaced. The packed scans are the hot path of the DRAM flip
+//! scans and the flash page counts; these properties are what licenses
+//! swapping them in without re-running every golden.
+
+use densemem_stats::kernels::{
+    apply_stuck, count_flips, for_each_flip, naive_for_each_flip, set_bits,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn naive_count(words: &[u64], fill: u64) -> usize {
+    let mut n = 0;
+    naive_for_each_flip(words, fill, |_, _| n += 1);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packed flip enumeration visits exactly the cells the per-bit loop
+    /// visits, in the same (word, bit) order, for arbitrary data and
+    /// fill patterns — including the empty slice.
+    #[test]
+    fn packed_scan_equals_naive_scan(words in vec(any::<u64>(), 0..65), fill: u64) {
+        let mut packed = Vec::new();
+        let mut naive = Vec::new();
+        for_each_flip(&words, fill, |w, b| packed.push((w, b)));
+        naive_for_each_flip(&words, fill, |w, b| naive.push((w, b)));
+        prop_assert_eq!(&packed, &naive);
+        prop_assert_eq!(packed.len(), count_flips(&words, fill));
+        prop_assert_eq!(count_flips(&words, fill), naive_count(&words, fill));
+    }
+
+    /// A row whose logical cell count ends mid-word: padding bits in the
+    /// partial trailing word are held at the fill pattern, so the packed
+    /// scan must never report a flip at or past the logical end, and
+    /// must still agree with the naive loop on the real cells.
+    #[test]
+    fn partial_trailing_word_reports_no_padding_flips(
+        mut words in vec(any::<u64>(), 1..8),
+        fill: u64,
+        tail in 1usize..64,
+    ) {
+        let last = words.len() - 1;
+        let pad = !((1u64 << tail) - 1);
+        words[last] = (words[last] & !pad) | (fill & pad);
+        let cells = 64 * last + tail;
+
+        let mut packed = Vec::new();
+        let mut naive = Vec::new();
+        for_each_flip(&words, fill, |w, b| packed.push(64 * w + b as usize));
+        naive_for_each_flip(&words, fill, |w, b| naive.push(64 * w + b as usize));
+        prop_assert_eq!(&packed, &naive);
+        for &cell in &packed {
+            prop_assert!(cell < cells, "flip at padding cell {} (row ends at {})", cell, cells);
+        }
+    }
+
+    /// The stuck-at overlay reads masked bits from the fault value and
+    /// everything else from the stored word, and is idempotent.
+    #[test]
+    fn stuck_overlay_reads_mask_bits_from_value(word: u64, mask: u64, value: u64) {
+        let read = apply_stuck(word, mask, value);
+        for bit in 0..64 {
+            let expect =
+                if (mask >> bit) & 1 == 1 { (value >> bit) & 1 } else { (word >> bit) & 1 };
+            prop_assert_eq!((read >> bit) & 1, expect, "bit {}", bit);
+        }
+        prop_assert_eq!(apply_stuck(read, mask, value), read);
+    }
+
+    /// Bit iteration order: `set_bits` yields exactly the set positions,
+    /// ascending, with an exact size hint.
+    #[test]
+    fn set_bits_equals_bit_filter(mask: u64) {
+        let naive: Vec<u8> = (0..64u8).filter(|b| (mask >> b) & 1 == 1).collect();
+        prop_assert_eq!(set_bits(mask).len(), naive.len());
+        let packed: Vec<u8> = set_bits(mask).collect();
+        prop_assert_eq!(packed, naive);
+    }
+}

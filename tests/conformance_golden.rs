@@ -136,6 +136,69 @@ fn perturbed_report_fails_with_field_level_diff() {
     assert!(message.contains("column"), "diff names the column: {message}");
 }
 
+/// A single-bit bug in the packed flip-scan kernels — one set bit
+/// dropped from one XOR'd word — is not absorbed anywhere downstream:
+/// it turns some reported flip count N into N-1, the golden comparison
+/// flags exactly that cell, and the explanation names the table and
+/// the flip-count column a reviewer would need to localize the kernel.
+#[test]
+fn single_bit_kernel_bug_bites_a_golden() {
+    let exp = registry::find("E2").unwrap();
+    let ctx = ExpContext::quick();
+    let result = exp.run(&ctx);
+    let text = json::render(exp, &result, &ctx, 0.0);
+
+    let mut golden_doc = parse(&text).expect("rendered report parses");
+    let mut actual_doc = golden_doc.clone();
+    golden::normalize(&mut golden_doc);
+    golden::normalize(&mut actual_doc);
+
+    // Find a non-zero cell in a flip-count column: the number a packed
+    // scan feeds the report, which a dropped bit turns into N-1.
+    let (ti, ri, ci, old) = {
+        let tables = golden_doc.get("tables").arr();
+        let mut found = None;
+        'outer: for (ti, t) in tables.iter().enumerate() {
+            let flip_cols: Vec<usize> = t
+                .get("headers")
+                .arr()
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| h.brief().contains("flip"))
+                .map(|(ci, _)| ci)
+                .collect();
+            for (ri, row) in t.get("rows").arr().iter().enumerate() {
+                for &ci in &flip_cols {
+                    if let Some(Value::Num(n)) = row.arr().get(ci) {
+                        if *n > 0.0 {
+                            found = Some((ti, ri, ci, *n));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        found.expect("E2 report has a non-zero flip count")
+    };
+    if let Value::Obj(m) = &mut actual_doc {
+        if let Some(Value::Arr(tables)) = m.get_mut("tables") {
+            if let Some(Value::Obj(t)) = tables.get_mut(ti) {
+                if let Some(Value::Arr(rows)) = t.get_mut("rows") {
+                    if let Some(Value::Arr(cells)) = rows.get_mut(ri) {
+                        cells[ci] = Value::Num(old - 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    let diffs = golden::diff(&golden_doc, &actual_doc, 0.0);
+    assert_eq!(diffs.len(), 1, "one missed flip, one diff: {diffs:?}");
+    assert_eq!(diffs[0].path, format!("$.tables[{ti}].rows[{ri}][{ci}]"));
+    let message = golden::explain(&diffs, &golden_doc);
+    assert!(message.contains("flip"), "diff names the flip column: {message}");
+}
+
 /// Normalization really removes the run-variant fields and nothing else:
 /// two renders of the same result with different wall-clock and thread
 /// counts compare clean.

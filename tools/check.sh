@@ -140,6 +140,42 @@ echo "serve smoke OK: cold compute, warm cache hits, golden agreement"
 echo "== serve_throughput: warm cache must beat cold compute 10x =="
 ./target/release/serve_throughput
 
+echo "== perf smoke: packed cell engine vs pre-refactor baseline =="
+# Cold --quick harness run regenerates BENCH_harness.json, including the
+# replay_commands_per_sec metric and the pre-refactor anchors it is
+# gated against (measured at the seed commit; see the harness source).
+# Floors are generous on purpose — they flag order-of-magnitude
+# regressions (per-cell scans, per-event observer dispatch creeping back
+# into a hot path), not machine-load noise:
+#   - replay throughput must hold >= 0.5x the pre-refactor rate (replay
+#     dispatch was already allocation-free before the SoA engine; the
+#     refactor's wins are in the record/scan/commit paths);
+#   - E15 cold wall time must hold <= 0.75x the pre-refactor 3.38s
+#     (the SoA engine measures ~0.4x, so this keeps ~2x headroom).
+# Golden agreement for the same refactored binary is enforced by the
+# conformance stage above.
+./target/release/run_all_experiments --quick > /dev/null
+if command -v python3 > /dev/null; then
+    python3 - <<'EOF'
+import json, sys
+doc = json.load(open("BENCH_harness.json"))
+base = doc["pre_refactor_baseline"]
+replay = doc["replay"]["replay_commands_per_sec"]
+floor = 0.5 * base["replay_commands_per_sec"]
+if replay < floor:
+    sys.exit(f"replay throughput regressed: {replay:.0f} cmds/s < floor {floor:.0f}")
+e15 = next(e["secs"] for e in doc["experiments"] if e["id"] == "E15")
+ceiling = 0.75 * base["e15_secs"]
+if e15 > ceiling:
+    sys.exit(f"E15 cold run regressed: {e15:.2f}s > ceiling {ceiling:.2f}s "
+             f"(pre-refactor {base['e15_secs']}s)")
+print(f"perf smoke OK: replay {replay/1e6:.1f}M cmds/s (floor {floor/1e6:.1f}M), "
+      f"E15 {e15:.2f}s (ceiling {ceiling:.2f}s)")
+EOF
+else
+    echo "perf smoke: harness ran; python3 unavailable, thresholds skipped"
+fi
+
 echo "== cargo clippy --offline -- -D warnings =="
 # --workspace --all-targets covers densemem-testkit (and every other
 # crate) with warnings denied.
