@@ -1,15 +1,21 @@
 //! Criterion: per-access cost of each mitigation — the measured side of
 //! the paper's "PARA has negligible overhead" argument (E4/E5 ablation).
+//! Every defense is built from the mitigation plugin registry, so the
+//! bench rows track the registry's spec grammar one-for-one.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
-use densemem_ctrl::anvil::{AnvilConfig, AnvilDetector};
 use densemem_ctrl::controller::MemoryController;
-use densemem_ctrl::mitigation::{Cra, Mitigation, NoMitigation, Para, TrrSampler};
+use densemem_ctrl::MitigationSpec;
 use densemem_dram::module::RowRemap;
 use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
 
-fn controller(m: Box<dyn Mitigation>) -> MemoryController {
+const MITIGATION_SEED: u64 = 3;
+
+fn controller(spec: &str) -> MemoryController {
+    let m = MitigationSpec::parse(spec)
+        .and_then(|s| s.build(MITIGATION_SEED))
+        .expect("registered mitigation spec");
     let profile = VintageProfile::new(Manufacturer::A, 2013);
     let module = Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, 22);
     MemoryController::new(module, Default::default()).with_mitigation(m)
@@ -19,20 +25,21 @@ fn bench_mitigations(c: &mut Criterion) {
     let mut group = c.benchmark_group("mitigation_overhead");
     group.sample_size(10);
     const ITERS: u64 = 20_000;
-    type Factory = fn() -> Box<dyn Mitigation>;
-    let factories: Vec<(&str, Factory)> = vec![
-        ("none", || Box::new(NoMitigation)),
-        ("para_0.001", || Box::new(Para::new(0.001, 3).expect("valid"))),
-        ("cra_100k", || Box::new(Cra::new(100_000).expect("valid"))),
-        ("trr_sampler", || Box::new(TrrSampler::new(0.01, 64, 3).expect("valid"))),
-        ("anvil", || Box::new(AnvilDetector::new(AnvilConfig::default()))),
+    let specs: Vec<(&str, &str)> = vec![
+        ("none", "none"),
+        ("para_0.001", "para:p=0.001"),
+        ("cra_100k", "cra:threshold=100000"),
+        ("trr_sampler", "trr-sampler:p=0.01,table=64"),
+        ("anvil", "anvil"),
+        ("graphene", "graphene"),
+        ("oracle", "oracle"),
     ];
-    for (name, factory) in factories {
+    for (name, spec) in specs {
         group.throughput(Throughput::Elements(ITERS * 2));
-        group.bench_with_input(BenchmarkId::from_parameter(name), &factory, |b, f| {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, s| {
             b.iter_batched(
                 || {
-                    let mut ctrl = controller(f());
+                    let mut ctrl = controller(s);
                     ctrl.fill(0xFF);
                     ctrl
                 },

@@ -1,13 +1,15 @@
-//! Unified experiment CLI over the E1–E25 registry.
+//! Unified experiment CLI over the E1–E26 registry.
 //!
 //! Replaces the former per-experiment `exp_eNN_*` binaries: one entry
 //! point, selection by id or tag, structured artifacts on demand.
 //!
 //! ```text
 //! exp --list                               # the suite: ids, anchors, tags
+//! exp --list-mitigations                   # the mitigation plugin registry
 //! exp --only e1 --quick                    # Figure 1 at CI scale
 //! exp --tag flash --json-dir artifacts     # all flash experiments + JSON/CSV
 //! exp --skip e23 --threads 4 --seed 0xF161
+//! exp --only e26 --quick --mitigation graphene:threshold=8000
 //! ```
 //!
 //! Exit status: 0 when every selected experiment's claims pass, 1 on any
@@ -19,6 +21,10 @@ fn main() {
     let args = HarnessArgs::from_env();
     if args.list {
         print!("{}", densemem_bench::list_table());
+        return;
+    }
+    if args.list_mitigations {
+        print!("{}", densemem_bench::list_mitigations_table());
         return;
     }
     let selected = match args.select() {

@@ -3,10 +3,12 @@
 //! Two binaries drive the registry (`densemem::experiments::registry`):
 //!
 //! * `exp` — the unified experiment CLI. `--list` enumerates the suite
-//!   with paper anchors and tags; `--only e1,e7`, `--skip e3`, and
-//!   `--tag dram|flash|pcm` select subsets; `--quick` switches to the CI
-//!   scale; `--json-dir DIR` writes per-experiment `DIR/<id>.json` +
-//!   `DIR/<id>.csv` artifacts; `--threads N` and `--seed S` override the
+//!   with paper anchors and tags; `--list-mitigations` enumerates the
+//!   mitigation plugin registry (names, parameter schemas, defaults);
+//!   `--only e1,e7`, `--skip e3`, and `--tag dram|flash|pcm` select
+//!   subsets; `--quick` switches to the CI scale; `--json-dir DIR`
+//!   writes per-experiment `DIR/<id>.json` + `DIR/<id>.csv` artifacts;
+//!   `--threads N`, `--seed S`, and `--mitigation SPEC` override the
 //!   execution context.
 //! * `run_all_experiments` — the full-suite harness: serial-vs-parallel
 //!   calibration of the E1+E2 hot path (explicit [`ExpContext`] thread
@@ -42,14 +44,21 @@ pub struct HarnessArgs {
     /// `--trace-dir DIR`: trace-aware experiments write their recorded
     /// command streams as JSONL artifacts under DIR.
     pub trace_dir: Option<PathBuf>,
+    /// `--mitigation SPEC`: mitigation override, stored in canonical
+    /// registry form (validated at parse time).
+    pub mitigation: Option<String>,
+    /// `--list-mitigations`: print the mitigation plugin registry and
+    /// exit.
+    pub list_mitigations: bool,
     only: Vec<String>,
     skip: Vec<String>,
     tags: Vec<String>,
 }
 
 /// The `exp` binary's usage string.
-pub const USAGE: &str = "usage: exp [--quick] [--list] [--only e1,e7] [--skip e3] \
-[--tag dram|flash|pcm] [--json-dir DIR] [--trace-dir DIR] [--threads N] [--seed S]";
+pub const USAGE: &str = "usage: exp [--quick] [--list] [--list-mitigations] [--only e1,e7] \
+[--skip e3] [--tag dram|flash|pcm] [--json-dir DIR] [--trace-dir DIR] [--threads N] [--seed S] \
+[--mitigation name:key=val,...]";
 
 fn split_csv(v: &str) -> Vec<String> {
     v.split(',').map(|s| s.trim().to_owned()).filter(|s| !s.is_empty()).collect()
@@ -85,6 +94,13 @@ impl HarnessArgs {
             match flag.as_str() {
                 "--quick" => out.quick = true,
                 "--list" => out.list = true,
+                "--list-mitigations" => out.list_mitigations = true,
+                "--mitigation" => {
+                    let raw = value(&mut it)?;
+                    let spec = densemem_ctrl::MitigationSpec::parse(&raw)
+                        .map_err(|e| e.to_string())?;
+                    out.mitigation = Some(spec.canonical());
+                }
                 "--only" => out.only.extend(split_csv(&value(&mut it)?)),
                 "--skip" => out.skip.extend(split_csv(&value(&mut it)?)),
                 "--tag" => out.tags.extend(split_csv(&value(&mut it)?)),
@@ -131,6 +147,9 @@ impl HarnessArgs {
         }
         if let Some(d) = &self.trace_dir {
             ctx = ctx.with_trace_dir(d.clone());
+        }
+        if let Some(m) = &self.mitigation {
+            ctx = ctx.with_mitigation(m).expect("spec validated at parse time");
         }
         ctx
     }
@@ -184,6 +203,25 @@ pub fn list_table() -> String {
         ));
     }
     out.push_str(&format!("\ntag vocabulary: {}\n", registry::tag_vocabulary().join(", ")));
+    out
+}
+
+/// Renders the mitigation plugin registry as the `exp --list-mitigations`
+/// table: name, parameter schema (key, default, inclusive range, help),
+/// and description for every registered plugin. Compose specs with `+`
+/// (e.g. `para+trr`); omitted parameters take the listed defaults.
+pub fn list_mitigations_table() -> String {
+    let mut out = String::new();
+    out.push_str("mitigation plugin registry (spec grammar: name[:key=val,...][+name...])\n\n");
+    for p in densemem_ctrl::mitigation::registry::registry() {
+        out.push_str(&format!("{:<14} {}\n", p.name, p.description));
+        for s in p.params {
+            out.push_str(&format!(
+                "{:<14}   {}={} (range {}..={}) — {}\n",
+                "", s.key, s.default.render(), s.min, s.max, s.help
+            ));
+        }
+    }
     out
 }
 
@@ -265,10 +303,25 @@ mod tests {
     #[test]
     fn default_selection_is_whole_registry() {
         let a = parse(&[]);
-        assert_eq!(a.select().unwrap().len(), 25);
+        assert_eq!(a.select().unwrap().len(), 26);
         let listing = list_table();
-        assert!(listing.contains("E25"));
+        assert!(listing.contains("E26"));
         assert!(listing.contains("Figure 1"));
+    }
+
+    #[test]
+    fn mitigation_flag_canonicalizes_and_rejects_bad_specs() {
+        let a = parse(&["--mitigation", "PARA"]);
+        assert_eq!(a.mitigation.as_deref(), Some("para:p=0.001"));
+        assert_eq!(a.context().mitigation.as_deref(), Some("para:p=0.001"));
+        assert!(HarnessArgs::parse(["--mitigation".to_owned(), "warp-drive".to_owned()]).is_err());
+        assert!(HarnessArgs::parse(["--mitigation".to_owned(), "para:p=2".to_owned()]).is_err());
+
+        let listing = list_mitigations_table();
+        for p in densemem_ctrl::mitigation::registry::registry() {
+            assert!(listing.contains(p.name), "{} missing from listing", p.name);
+        }
+        assert!(listing.contains("p=0.001"));
     }
 
     #[test]

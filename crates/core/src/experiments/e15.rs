@@ -11,13 +11,12 @@
 //! (none, in-DRAM TRR, PARA, ANVIL) — the kernel never re-runs, so the
 //! mitigations face byte-identical inputs.
 
-use crate::experiments::tracekit::{record_requests, replay_into, write_artifact};
+use crate::experiments::tracekit::{record_requests, replay_into, replay_under_spec,
+                                   write_artifact};
 use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::MemoryController;
-use densemem_ctrl::anvil::{AnvilConfig, AnvilDetector};
-use densemem_ctrl::mitigation::{InDramTrr, Para};
-use densemem_ctrl::{CommandObserver, Trace};
+use densemem_ctrl::Trace;
 use densemem_dram::module::RowRemap;
 use densemem_dram::{BankGeometry, BitAddr, FlipRecord, Manufacturer, Module, VintageProfile};
 use densemem_stats::table::{Cell, Table};
@@ -68,19 +67,24 @@ fn record(pattern: &HammerPattern, label: &str, deadline_ns: u64) -> (Trace, Vec
     (trace, victim_flips(&mut ctrl, pattern))
 }
 
-/// Replays `trace` against a fresh controller carrying `mitigation`,
-/// returning the victim flips and the mitigation trigger count.
+/// Replays `trace` against a fresh controller carrying the mitigation
+/// named by the registry spec (`None` keeps the chain empty), returning
+/// the victim flips and the mitigation trigger count.
 fn replay(
     trace: &Trace,
     pattern: &HammerPattern,
-    mitigation: Option<Box<dyn CommandObserver>>,
+    mitigation: Option<(&str, u64)>,
 ) -> (Vec<FlipRecord>, u64) {
     let mut ctrl = controller();
-    if let Some(m) = mitigation {
-        ctrl.set_mitigation(m);
-    }
     arm(&mut ctrl, pattern);
-    replay_into(trace, &mut ctrl);
+    match mitigation {
+        Some((spec, seed)) => {
+            replay_under_spec(trace, &mut ctrl, spec, seed);
+        }
+        None => {
+            replay_into(trace, &mut ctrl);
+        }
+    }
     (victim_flips(&mut ctrl, pattern), ctrl.stats().mitigation_triggers)
 }
 
@@ -100,8 +104,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
     let ds_pattern = HammerPattern::double_sided(0, 301);
     let (ds_trace, ds_none) = record(&ds_pattern, "double_sided", deadline_ns);
     write_artifact(&mut result, ctx, &ds_trace);
-    let (ds_trr, ds_triggers) =
-        replay(&ds_trace, &ds_pattern, Some(Box::new(InDramTrr::ddr4_like())));
+    let (ds_trr, ds_triggers) = replay(&ds_trace, &ds_pattern, Some(("trr", MODULE_SEED)));
     drop(ds_trace);
 
     // Many-sided: record once, replay against the whole matrix.
@@ -110,18 +113,11 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
     write_artifact(&mut result, ctx, &ms_trace);
     let (ms_replay_none, _) = replay(&ms_trace, &ms_pattern, None);
     let replay_identical = ms_replay_none == ms_none;
-    let (ms_trr, ms_triggers) =
-        replay(&ms_trace, &ms_pattern, Some(Box::new(InDramTrr::ddr4_like())));
-    let (ms_para, _) = replay(
-        &ms_trace,
-        &ms_pattern,
-        Some(Box::new(Para::new(0.001, MODULE_SEED + 1).expect("valid p"))),
-    );
-    let (ms_anvil, ms_anvil_triggers) = replay(
-        &ms_trace,
-        &ms_pattern,
-        Some(Box::new(AnvilDetector::new(AnvilConfig::default()))),
-    );
+    let (ms_trr, ms_triggers) = replay(&ms_trace, &ms_pattern, Some(("trr", MODULE_SEED)));
+    let (ms_para, _) =
+        replay(&ms_trace, &ms_pattern, Some(("para:p=0.001", MODULE_SEED + 1)));
+    let (ms_anvil, ms_anvil_triggers) =
+        replay(&ms_trace, &ms_pattern, Some(("anvil", MODULE_SEED)));
 
     let mut t = Table::new(
         "victim flips under a 4-entry in-DRAM TRR (fire threshold 32)",

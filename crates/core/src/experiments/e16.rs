@@ -5,52 +5,10 @@
 
 use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_ctrl::controller::MemoryController;
-use densemem_ctrl::trace::{CommandObserver, CommandOrigin, MemCommand, ObserverCtx, TraceEvent};
-use densemem_ctrl::{Mitigation, Para};
+use densemem_ctrl::MitigationSpec;
 use densemem_dram::module::RowRemap;
 use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
-use densemem_stats::dist::Bernoulli;
-use densemem_stats::rng::substream;
 use densemem_stats::table::{Cell, Table};
-
-/// PARA variant that guesses adjacency as logical ± 1 (ignorant of the
-/// device's internal remapping) — what a controller must do when the
-/// device does not disclose adjacency.
-#[derive(Debug)]
-struct ParaLogicalGuess {
-    bern: Bernoulli,
-    rng: rand::rngs::StdRng,
-}
-
-impl ParaLogicalGuess {
-    fn new(p: f64, seed: u64) -> Self {
-        Self {
-            bern: Bernoulli::new(p).expect("p in range"),
-            rng: substream(seed, 0x16),
-        }
-    }
-}
-
-impl CommandObserver for ParaLogicalGuess {
-    fn name(&self) -> &'static str {
-        "PARA (logical-adjacency guess)"
-    }
-
-    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
-        if event.origin != CommandOrigin::Controller {
-            return;
-        }
-        let MemCommand::Pre { bank, row } = event.cmd else { return };
-        if self.bern.sample(&mut self.rng) {
-            ctx.stats.mitigation_triggers += 1;
-            // Refresh logical neighbours — which are NOT the physical
-            // neighbours on a remapped device.
-            for n in [row.checked_sub(1), Some(row + 1)].into_iter().flatten() {
-                ctx.refresh_row(bank, n);
-            }
-        }
-    }
-}
 
 /// Runs E16.
 pub fn run(ctx: &ExpContext) -> ExperimentResult {
@@ -64,7 +22,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
     let remap = RowRemap::Stride { step: 17 };
     let rows = 1024;
 
-    let attack = |mitigation: Option<Box<dyn Mitigation>>| -> (usize, u64) {
+    let attack = |mitigation: Option<&str>| -> (usize, u64) {
         let profile = VintageProfile::new(Manufacturer::A, 2013);
         let mut module = Module::new(1, BankGeometry::small(), profile, remap, 1600);
         // Weak cell at *physical* row 200.
@@ -73,7 +31,10 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
             .inject_disturb_cell(BitAddr { row: 200, word: 0, bit: 0 }, 230_000.0)
             .expect("address in range");
         let mut ctrl = MemoryController::new(module, Default::default());
-        if let Some(m) = mitigation {
+        if let Some(spec) = mitigation {
+            let m = MitigationSpec::parse(spec)
+                .and_then(|s| s.build(1601))
+                .expect("registered mitigation spec");
             ctrl.set_mitigation(m);
         }
         ctrl.fill(0xFF);
@@ -102,9 +63,8 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
     };
 
     let (flip_none, _) = attack(None);
-    let (flip_guess, r_guess) =
-        attack(Some(Box::new(ParaLogicalGuess::new(0.002, 1601))));
-    let (flip_spd, r_spd) = attack(Some(Box::new(Para::new(0.002, 1601).expect("valid p"))));
+    let (flip_guess, r_guess) = attack(Some("para-logical:p=0.002"));
+    let (flip_spd, r_spd) = attack(Some("para:p=0.002"));
 
     let mut t = Table::new(
         "physical victim flipped? (stride-remapped device, double-sided attack)",

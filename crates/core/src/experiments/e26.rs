@@ -1,0 +1,288 @@
+//! E26 — Threshold-collapse frontier: every registered mitigation's cost
+//! as the hammer threshold falls (§II/§IV of the paper: the minimum
+//! activation count for a flip dropped from ~139K toward tens of
+//! thousands as cells shrank, and is headed lower).
+//!
+//! One double-sided request stream is recorded once; the identical
+//! stream is then replayed against the full mitigation registry at five
+//! hammer thresholds (139K, 32K, 8K, 2K, 512). Fixed-parameter defences
+//! that are airtight at yesterday's threshold (PARA p=0.001, CRA at
+//! 60K, rate-threshold ANVIL) start leaking as the threshold collapses,
+//! while the two adaptive entries — Graphene re-tuned to T/4 and the
+//! exact-counter OracleRH fired at T−2 — stay escape-free. OracleRH is
+//! the cost *lower bound*: no mitigation with zero escapes spends fewer
+//! targeted refreshes, at any threshold.
+//!
+//! When the context carries a `--mitigation` override, the sweep honours
+//! it: only the named spec is replayed (the frontier claims need the
+//! full registry and are replaced by a sweep-shape check).
+
+use crate::experiments::tracekit::{record_requests, replay_under_spec, write_artifact};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
+use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_ctrl::controller::MemoryController;
+use densemem_ctrl::{mitigation_refresh_energy_mj, MitigationSpec};
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, Timing, VintageProfile};
+use densemem_stats::table::{Cell, Table};
+
+const MODULE_SEED: u64 = 2600;
+const VICTIM: usize = 100;
+/// Weak cells injected on the victim row (word 0, bits 0..4); the
+/// escape rate is flipped cells / [`WEAK_CELLS`].
+const WEAK_CELLS: u32 = 4;
+/// The swept hammer thresholds, in paper order: 139K is the weakest
+/// cell Kim et al. measured; the tail projects the density scaling.
+const THRESHOLDS: [u64; 5] = [139_000, 32_000, 8_000, 2_000, 512];
+
+/// A fresh device whose victim row carries [`WEAK_CELLS`] cells at
+/// exactly `threshold`.
+fn controller(threshold: f64) -> MemoryController {
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let mut module =
+        Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, MODULE_SEED);
+    for bit in 0..WEAK_CELLS as u8 {
+        module
+            .bank_mut(0)
+            .inject_disturb_cell(BitAddr { row: VICTIM, word: 0, bit }, threshold)
+            .expect("address in range");
+    }
+    MemoryController::new(module, Default::default())
+}
+
+/// Data pattern: victim all-ones, aggressors all-zeros (the stressed
+/// configuration of the disturb model).
+fn arm(ctrl: &mut MemoryController, pattern: &HammerPattern) {
+    ctrl.fill(0xFF);
+    for &r in pattern.rows() {
+        ctrl.module_mut().bank_mut(0).fill_row(r, 0, 0).expect("row in range");
+    }
+}
+
+/// Flipped weak cells on the victim row (0..=[`WEAK_CELLS`]).
+fn escaped_cells(ctrl: &mut MemoryController) -> u32 {
+    let now = ctrl.now_ns();
+    let row = ctrl
+        .module_mut()
+        .bank_mut(0)
+        .inspect_row(VICTIM, now)
+        .expect("row in range");
+    WEAK_CELLS - (row[0] & ((1 << WEAK_CELLS) - 1)).count_ones()
+}
+
+/// The registry sweep at hammer threshold `t`: every plugin at its
+/// shipped defaults, plus the two threshold-aware entries re-tuned to
+/// the point (Graphene at T/4 so a double-sided split cannot reach T
+/// between fires; OracleRH fired at the exact threshold).
+fn specs_for(t: u64, over: Option<&str>) -> Vec<String> {
+    if let Some(spec) = over {
+        return vec![spec.to_owned()];
+    }
+    vec![
+        "none".to_owned(),
+        "para".to_owned(),
+        "para-logical".to_owned(),
+        "cra".to_owned(),
+        "trr-sampler".to_owned(),
+        "trr".to_owned(),
+        "anvil".to_owned(),
+        format!("graphene:threshold={}", (t / 4).max(1)),
+        format!("oracle:threshold={}", t.max(3)),
+    ]
+}
+
+struct FrontierPoint {
+    threshold: u64,
+    spec: String,
+    escaped: u32,
+    refreshes: u64,
+    overhead: f64,
+    energy_mj: f64,
+}
+
+/// Runs E26.
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
+    let mut result = ExperimentResult::new(
+        "E26",
+        "Threshold-collapse frontier: every mitigation's cost as the hammer threshold falls",
+    );
+    let over = ctx.mitigation.as_deref();
+    let timing = Timing::ddr3_1600();
+
+    // Record once: the attacker's stream does not depend on the cell
+    // threshold (no flip feedback), so one trace serves all 45 points.
+    // The victim's scheduled-refresh phase sits at ~6 ms, so even the
+    // quick deadline leaves a >17 ms uninterrupted exposure window —
+    // comfortably past the 139K threshold at ~20K activations/ms.
+    let deadline_ns = scale.pick(64_000_000, 24_000_000);
+    let pattern = HammerPattern::double_sided(0, VICTIM);
+    let kernel = HammerKernel::new(pattern.clone(), AccessMode::Read);
+    let mut live = controller(THRESHOLDS[0] as f64);
+    arm(&mut live, &pattern);
+    let trace = record_requests(&mut live, "double_sided", MODULE_SEED, |c| {
+        kernel.run_until(c, deadline_ns).expect("valid pattern");
+    });
+    write_artifact(&mut result, ctx, &trace);
+
+    let mut points: Vec<FrontierPoint> = Vec::new();
+    for (ti, &t) in THRESHOLDS.iter().enumerate() {
+        for (mi, spec) in specs_for(t, over).iter().enumerate() {
+            let canonical = MitigationSpec::parse(spec)
+                .map(|s| s.canonical())
+                .expect("registered mitigation spec");
+            let mut ctrl = controller(t as f64);
+            arm(&mut ctrl, &pattern);
+            replay_under_spec(&trace, &mut ctrl, spec, MODULE_SEED + 1 + (ti * 16 + mi) as u64);
+            let escaped = escaped_cells(&mut ctrl);
+            let refreshes = ctrl.stats().mitigation_refreshes;
+            points.push(FrontierPoint {
+                threshold: t,
+                spec: canonical,
+                escaped,
+                refreshes,
+                overhead: ctrl.stats().mitigation_overhead(),
+                energy_mj: mitigation_refresh_energy_mj(&timing, refreshes),
+            });
+        }
+    }
+    drop(trace);
+
+    let mut t = Table::new(
+        "frontier: escape rate and refresh cost per mitigation per threshold",
+        &[
+            "threshold",
+            "mitigation",
+            "escaped_cells",
+            "escape_rate",
+            "mitigation_refreshes",
+            "refreshes_per_act",
+            "energy_mj",
+        ],
+    );
+    for p in &points {
+        t.row(vec![
+            Cell::Uint(p.threshold),
+            Cell::from(p.spec.as_str()),
+            Cell::Uint(p.escaped as u64),
+            Cell::Float(f64::from(p.escaped) / f64::from(WEAK_CELLS)),
+            Cell::Uint(p.refreshes),
+            Cell::Sci(p.overhead),
+            Cell::Sci(p.energy_mj),
+        ]);
+    }
+    result.tables.push(t);
+
+    if over.is_some() {
+        // Override mode: the frontier claims need the whole registry;
+        // assert only that the requested spec swept every threshold.
+        result.claims.push(ClaimCheck::new(
+            "the requested mitigation was replayed at every threshold",
+            "one sweep point per threshold",
+            format!("{} points across {} thresholds", points.len(), THRESHOLDS.len()),
+            points.len() == THRESHOLDS.len(),
+        ));
+        return result;
+    }
+
+    let at = |t: u64, prefix: &str| -> &FrontierPoint {
+        points
+            .iter()
+            .find(|p| p.threshold == t && p.spec.starts_with(prefix))
+            .expect("swept point")
+    };
+    let unmitigated_all_escape =
+        THRESHOLDS.iter().all(|&t| at(t, "none").escaped == WEAK_CELLS);
+    result.claims.push(ClaimCheck::new(
+        "without mitigation the attack flips every weak cell at every threshold",
+        "escape rate 1.0 across the sweep",
+        format!(
+            "escaped cells per threshold: {:?}",
+            THRESHOLDS.iter().map(|&t| at(t, "none").escaped).collect::<Vec<_>>()
+        ),
+        unmitigated_all_escape,
+    ));
+
+    let para_top = at(THRESHOLDS[0], "para:");
+    let para_bottom = at(*THRESHOLDS.last().expect("non-empty sweep"), "para:");
+    result.claims.push(ClaimCheck::new(
+        "fixed-parameter PARA collapses with the threshold",
+        "airtight at 139K, leaking at 512",
+        format!(
+            "escaped {}/{WEAK_CELLS} at {}, {}/{WEAK_CELLS} at {}",
+            para_top.escaped, para_top.threshold, para_bottom.escaped, para_bottom.threshold
+        ),
+        para_top.escaped == 0 && para_bottom.escaped > 0,
+    ));
+
+    let oracle_airtight =
+        THRESHOLDS.iter().all(|&t| at(t, "oracle:").escaped == 0);
+    result.claims.push(ClaimCheck::new(
+        "OracleRH never lets a cell escape, at any threshold",
+        "escape rate 0.0 across the sweep",
+        format!(
+            "escaped cells per threshold: {:?}",
+            THRESHOLDS.iter().map(|&t| at(t, "oracle:").escaped).collect::<Vec<_>>()
+        ),
+        oracle_airtight,
+    ));
+
+    // The dominance check: among the mitigations with zero escapes at a
+    // given threshold, OracleRH issues the fewest targeted refreshes —
+    // exact per-row exposure counters are the cost lower bound every
+    // practical mitigation approximates from above.
+    let mut dominance = Vec::new();
+    let dominated = THRESHOLDS.iter().all(|&t| {
+        let oracle = at(t, "oracle:");
+        let cheapest_rival = points
+            .iter()
+            .filter(|p| p.threshold == t && p.escaped == 0 && !p.spec.starts_with("oracle:"))
+            .map(|p| p.refreshes)
+            .min();
+        dominance.push(format!(
+            "T={t}: oracle {} vs best rival {:?}",
+            oracle.refreshes, cheapest_rival
+        ));
+        oracle.escaped == 0
+            && cheapest_rival.is_none_or(|r| oracle.refreshes <= r)
+    });
+    result.claims.push(ClaimCheck::new(
+        "OracleRH dominates: fewest extra refreshes among escape-free mitigations",
+        "lowest escape rate at lowest overhead, every threshold",
+        dominance.join("; "),
+        dominated,
+    ));
+
+    result.notes.push(format!(
+        "all {} frontier points replayed one identical recorded double-sided \
+         stream; differences are attributable to the mitigation alone",
+        points.len()
+    ));
+    result.notes.push(
+        "OracleRH is a cost bound, not a proposal: exact per-victim exposure \
+         counters need per-row state the paper's §IV rules out for controller \
+         hardware — Graphene at T/4 is the practical frontier entry"
+            .to_owned(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e26_claims_pass() {
+        let r = run(&ExpContext::quick());
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+
+    #[test]
+    fn e26_honours_the_mitigation_override() {
+        let ctx = ExpContext::quick().with_mitigation("oracle:threshold=1000").unwrap();
+        let r = run(&ctx);
+        assert!(r.all_claims_pass(), "{}", r.render());
+        // One row per threshold, all naming the overridden spec.
+        assert_eq!(r.tables[0].rows().len(), THRESHOLDS.len());
+    }
+}

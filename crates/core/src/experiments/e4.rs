@@ -3,7 +3,7 @@
 //! and negligible overhead, giving reliability guarantees far beyond hard
 //! disks.
 
-use crate::experiments::tracekit::{record_requests, replay_into, write_artifact};
+use crate::experiments::tracekit::{record_requests, replay_under_spec, write_artifact};
 use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::MemoryController;
@@ -63,8 +63,7 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
     write_artifact(&mut result, ctx, &trace);
 
     let mut mitigated = make_controller();
-    mitigated.set_mitigation(Box::new(Para::new(0.001, 405).expect("valid p")));
-    replay_into(&trace, &mut mitigated);
+    replay_under_spec(&trace, &mut mitigated, "para:p=0.001", 405);
     let flips_para = k.victim_flips(&mut mitigated);
     let overhead = mitigated.stats().mitigation_overhead();
 

@@ -2,11 +2,12 @@
 //! counters need storage proportional to the number of rows ("very large
 //! hardware area"), while PARA needs none — and both stop the attack.
 
-use crate::experiments::tracekit::{record_requests, replay_into, write_artifact};
+use crate::experiments::tracekit::{record_requests, replay_under_spec, write_artifact};
 use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_ctrl::controller::MemoryController;
-use densemem_ctrl::mitigation::{Cra, Mitigation, NoMitigation, Para, TrrSampler};
+use densemem_ctrl::mitigation::Mitigation;
+use densemem_ctrl::MitigationSpec;
 use densemem_dram::module::RowRemap;
 use densemem_dram::{BankGeometry, Manufacturer, Module, VintageProfile};
 use densemem_stats::table::{Cell, Table};
@@ -26,11 +27,16 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
         "controller storage per mitigation (64K rows x 8 banks)",
         &["mitigation", "storage_bits", "storage_KiB"],
     );
+    let from_registry = |spec: &str| -> Box<dyn Mitigation> {
+        MitigationSpec::parse(spec)
+            .and_then(|s| s.build(1))
+            .expect("registered mitigation spec")
+    };
     let mitigations: Vec<(&str, Box<dyn Mitigation>)> = vec![
-        ("none", Box::new(NoMitigation)),
-        ("PARA p=0.001", Box::new(Para::new(0.001, 1).expect("valid p"))),
-        ("TRR sampler (64 entries)", Box::new(TrrSampler::new(0.01, 64, 1).expect("valid"))),
-        ("CRA threshold=95k", Box::new(Cra::new(95_000).expect("valid"))),
+        ("none", from_registry("none")),
+        ("PARA p=0.001", from_registry("para:p=0.001")),
+        ("TRR sampler (64 entries)", from_registry("trr-sampler:p=0.01,table=64")),
+        ("CRA threshold=95k", from_registry("cra:threshold=95000")),
     ];
     let mut cra_bits = 0u64;
     let mut para_bits = u64::MAX;
@@ -79,14 +85,13 @@ pub fn run(ctx: &ExpContext) -> ExperimentResult {
     let f_none = k.victim_flips(&mut live);
     write_artifact(&mut result, ctx, &trace);
 
-    let replay_under = |m: Box<dyn Mitigation>| -> (usize, u64) {
+    let replay_under = |spec: &str, seed: u64| -> (usize, u64) {
         let mut ctrl = make_controller();
-        ctrl.set_mitigation(m);
-        replay_into(&trace, &mut ctrl);
+        replay_under_spec(&trace, &mut ctrl, spec, seed);
         (k.victim_flips(&mut ctrl), ctrl.stats().mitigation_refreshes)
     };
-    let (f_para, r_para) = replay_under(Box::new(Para::new(0.001, 7).expect("valid")));
-    let (f_cra, r_cra) = replay_under(Box::new(Cra::new(60_000).expect("valid")));
+    let (f_para, r_para) = replay_under("para:p=0.001", 7);
+    let (f_cra, r_cra) = replay_under("cra:threshold=60000", 7);
 
     let mut e = Table::new(
         "efficacy under double-sided attack",

@@ -6,9 +6,9 @@ use crate::experiments::tracekit::{record_requests, replay_into, write_artifact}
 use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
 use densemem_attack::workloads::{random_trace, sequential_trace, zipf_hot_trace};
-use densemem_ctrl::anvil::{AnvilConfig, AnvilDetector};
 use densemem_ctrl::controller::MemoryController;
 use densemem_ctrl::scheduler::FrFcfsScheduler;
+use densemem_ctrl::MitigationSpec;
 use densemem_dram::module::RowRemap;
 use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
 use densemem_stats::table::{Cell, Table};
@@ -24,7 +24,10 @@ fn bare_controller(seed: u64) -> MemoryController {
 }
 
 fn controller_with_anvil(seed: u64) -> MemoryController {
-    bare_controller(seed).with_mitigation(Box::new(AnvilDetector::new(AnvilConfig::default())))
+    let anvil = MitigationSpec::parse("anvil")
+        .and_then(|s| s.build(seed))
+        .expect("registered mitigation spec");
+    bare_controller(seed).with_mitigation(anvil)
 }
 
 /// Runs E8.

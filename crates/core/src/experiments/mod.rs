@@ -1,4 +1,4 @@
-//! The experiment suite E1–E25.
+//! The experiment suite E1–E26.
 //!
 //! One module per experiment; each `run(&ExpContext)` returns an
 //! [`ExperimentResult`] with the tables/series the paper reports and
@@ -37,6 +37,7 @@ pub mod e22;
 pub mod e23;
 pub mod e24;
 pub mod e25;
+pub mod e26;
 
 use densemem_stats::par::ParConfig;
 use densemem_stats::series::Series;
@@ -105,6 +106,13 @@ pub struct ExpContext {
     /// streams as JSONL files under this directory and list the paths in
     /// [`ExperimentResult::trace_artifacts`].
     pub trace_dir: Option<std::path::PathBuf>,
+    /// Optional mitigation override, as a *canonical* registry spec
+    /// (see `densemem_ctrl::mitigation::registry`). `None` means each
+    /// experiment's own defaults; experiments that honour the override
+    /// (E26) restrict their swept mitigation set to it. Folded into
+    /// [`registry::cache_key`], so cached reports never alias across
+    /// defences.
+    pub mitigation: Option<String>,
 }
 
 impl ExpContext {
@@ -117,6 +125,7 @@ impl ExpContext {
             seed: crate::DEFAULT_SEED,
             par: ParConfig::from_env(),
             trace_dir: None,
+            mitigation: None,
         }
     }
 
@@ -153,6 +162,20 @@ impl ExpContext {
     pub fn with_trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.trace_dir = Some(dir.into());
         self
+    }
+
+    /// Sets the mitigation override. The spec is parsed against the
+    /// mitigation registry and stored in canonical form (defaults made
+    /// explicit), so equal configurations hash equally in cache keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the registry's [`densemem_ctrl::CtrlError::BadSpec`]
+    /// for an unknown plugin/parameter or an out-of-range value.
+    pub fn with_mitigation(mut self, spec: &str) -> Result<Self, densemem_ctrl::CtrlError> {
+        let parsed = densemem_ctrl::MitigationSpec::parse(spec)?;
+        self.mitigation = Some(parsed.canonical());
+        Ok(self)
     }
 }
 

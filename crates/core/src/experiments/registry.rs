@@ -12,7 +12,7 @@
 //!
 //! ```
 //! use densemem::experiments::{registry, ExpContext};
-//! assert_eq!(registry::registry().len(), 25);
+//! assert_eq!(registry::registry().len(), 26);
 //! let e1 = registry::find("e1").expect("E1 is registered");
 //! assert_eq!(e1.id, "E1");
 //! let result = e1.run(&ExpContext::quick());
@@ -24,7 +24,7 @@ use crate::experiments::{self, ExpContext, ExperimentResult};
 /// A registered experiment: static metadata plus the runner.
 #[derive(Debug, Clone, Copy)]
 pub struct Experiment {
-    /// Stable id ("E1" … "E25"), unique across the registry.
+    /// Stable id ("E1" … "E26"), unique across the registry.
     pub id: &'static str,
     /// Human title (matches the `ExperimentResult` the runner returns).
     pub title: &'static str,
@@ -55,7 +55,7 @@ impl Experiment {
     }
 }
 
-/// The full suite, in id order E1…E25.
+/// The full suite, in id order E1…E26.
 pub fn registry() -> &'static [Experiment] {
     &REGISTRY
 }
@@ -69,10 +69,12 @@ pub fn find(id: &str) -> Option<&'static Experiment> {
 ///
 /// The key canonically encodes everything a report is a function of:
 /// the registry id, the scale, the master seed, the
-/// [calibration fingerprint](crate::calibration_fingerprint), and the
-/// crate version. Two requests with equal keys are the same computation,
-/// so the serving layer can answer the second from cache; any calibration
-/// or version change rolls every key over at once.
+/// [calibration fingerprint](crate::calibration_fingerprint), the
+/// crate version, and the mitigation override (canonical spec) when one
+/// is set — a cached report can never alias across defences. Two
+/// requests with equal keys are the same computation, so the serving
+/// layer can answer the second from cache; any calibration or version
+/// change rolls every key over at once.
 ///
 /// Thread policy and trace directory are deliberately excluded: thread
 /// count never changes report content (it is a volatile key under golden
@@ -92,6 +94,11 @@ pub fn cache_key(exp: &Experiment, ctx: &ExpContext) -> String {
     h.write_u64(ctx.seed);
     h.write_u64(crate::calibration_fingerprint());
     h.write(crate::CRATE_VERSION.as_bytes());
+    if let Some(spec) = &ctx.mitigation {
+        // Marker byte string keeps None distinguishable from any spec.
+        h.write(b"mitigation:");
+        h.write(spec.as_bytes());
+    }
     format!("{}-{}-s{:x}-{:016x}", exp.id, scale, ctx.seed, h.finish())
 }
 
@@ -104,7 +111,7 @@ pub fn tag_vocabulary() -> Vec<&'static str> {
     tags
 }
 
-static REGISTRY: [Experiment; 25] = [
+static REGISTRY: [Experiment; 26] = [
     Experiment {
         id: "E1",
         title: "Figure 1: errors per 10^9 cells vs manufacture date (129 modules)",
@@ -280,6 +287,13 @@ static REGISTRY: [Experiment; 25] = [
         tags: &["flash", "controller", "mitigation"],
         run: experiments::e25::run,
     },
+    Experiment {
+        id: "E26",
+        title: "Threshold-collapse frontier: every mitigation's cost as the hammer threshold falls",
+        paper_anchor: "§II/§IV (threshold scaling)",
+        tags: &["dram", "rowhammer", "mitigation", "frontier"],
+        run: experiments::e26::run,
+    },
 ];
 
 #[cfg(test)]
@@ -296,8 +310,8 @@ mod tests {
     #[test]
     fn find_is_case_insensitive() {
         assert_eq!(find("e7").unwrap().id, "E7");
-        assert_eq!(find(" E25 ").unwrap().id, "E25");
-        assert!(find("E26").is_none());
+        assert_eq!(find(" E26 ").unwrap().id, "E26");
+        assert!(find("E27").is_none());
         assert!(find("").is_none());
     }
 
@@ -333,6 +347,9 @@ mod tests {
             cache_key(e2, &ctx),
             cache_key(e1, &ExpContext::full()),
             cache_key(e1, &ctx.clone().with_seed(1)),
+            cache_key(e1, &ctx.clone().with_mitigation("para").unwrap()),
+            cache_key(e1, &ctx.clone().with_mitigation("para:p=0.01").unwrap()),
+            cache_key(e1, &ctx.clone().with_mitigation("none").unwrap()),
         ];
         for (i, a) in distinct.iter().enumerate() {
             for b in &distinct[i + 1..] {
@@ -344,6 +361,17 @@ mod tests {
         assert!(
             key.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
             "key not filename-safe: {key}"
+        );
+        // Equivalent spellings of one configuration share a key (the
+        // context stores the canonical spec).
+        assert_eq!(
+            cache_key(e1, &ctx.clone().with_mitigation("para").unwrap()),
+            cache_key(e1, &ctx.clone().with_mitigation("PARA:p=0.001").unwrap()),
+        );
+        let with_spec = cache_key(e1, &ctx.clone().with_mitigation("graphene").unwrap());
+        assert!(
+            with_spec.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+            "key not filename-safe: {with_spec}"
         );
     }
 }

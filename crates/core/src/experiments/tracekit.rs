@@ -11,7 +11,7 @@
 //! result.
 
 use crate::experiments::{ExpContext, ExperimentResult};
-use densemem_ctrl::{MemoryController, Trace, TraceReplayer};
+use densemem_ctrl::{MemoryController, MitigationSpec, Trace, TraceReplayer};
 
 /// Cap on events written per JSONL artifact. The in-memory trace used
 /// for replay is complete; the on-disk artifact is truncated to stay
@@ -47,6 +47,33 @@ pub fn replay_into(trace: &Trace, ctrl: &mut MemoryController) -> u64 {
         .replay(ctrl)
         .expect("recorded trace replays cleanly")
         .replayed
+}
+
+/// Builds the mitigation described by `spec` (mitigation-registry
+/// grammar, e.g. `"para:p=0.001"` or `"trr"`) seeded with `seed`,
+/// installs it as `ctrl`'s observer chain, and replays `trace` into it.
+/// This is how the replay arms of E4/E5/E15 name their defences: one
+/// spec string in place of a hand-called constructor, so the experiment
+/// table and the `--mitigation` CLI share one vocabulary.
+///
+/// Returns the number of commands re-issued.
+///
+/// # Panics
+///
+/// Panics on an unregistered or malformed spec (experiment code passes
+/// literals; user-supplied specs are validated at the CLI/serve layer)
+/// and on replay failure.
+pub fn replay_under_spec(
+    trace: &Trace,
+    ctrl: &mut MemoryController,
+    spec: &str,
+    seed: u64,
+) -> u64 {
+    let mitigation = MitigationSpec::parse(spec)
+        .and_then(|s| s.build(seed))
+        .unwrap_or_else(|e| panic!("mitigation spec {spec:?}: {e}"));
+    ctrl.set_mitigation(mitigation);
+    replay_into(trace, ctrl)
 }
 
 /// Persists `trace` under the context's `trace_dir` (if set) as
@@ -94,6 +121,24 @@ mod tests {
         assert_eq!(replay_into(&trace, &mut replayed), 200);
         assert_eq!(replayed.now_ns(), live.now_ns());
         assert_eq!(replayed.read(0, 7, 0).unwrap(), live.read(0, 7, 0).unwrap());
+    }
+
+    #[test]
+    fn replay_under_spec_installs_the_named_mitigation() {
+        let mut live = controller(13);
+        live.fill(0xFF);
+        let trace = record_requests(&mut live, "spec", 13, |c| {
+            // Alternate rows so the open-page policy issues a PRE per
+            // touch — PARA samples PREs, not ACTs.
+            for i in 0..50 {
+                c.touch(0, 5 + (i % 2)).unwrap();
+            }
+        });
+        let mut replayed = controller(13);
+        replayed.fill(0xFF);
+        assert_eq!(replay_under_spec(&trace, &mut replayed, "para:p=1", 13), 50);
+        assert_eq!(replayed.mitigation_name(), "PARA");
+        assert!(replayed.stats().mitigation_refreshes > 0, "p=1 PARA fires on every PRE");
     }
 
     #[test]

@@ -30,7 +30,11 @@
 //!
 //! Numeric cells serialize as JSON numbers (non-finite floats as `null`),
 //! string cells as JSON strings; the seed is a hex string so it survives
-//! parsers that read all numbers as `f64`.
+//! parsers that read all numbers as `f64`. When the run carries a
+//! `--mitigation` override, a `"mitigation"` key with the canonical
+//! registry spec appears after `"seed"`; default runs omit the key
+//! entirely, keeping their reports byte-identical to earlier schema
+//! emissions.
 
 use crate::experiments::{ExpContext, Experiment, ExperimentResult, Scale};
 use densemem_stats::table::{Cell, Table};
@@ -124,6 +128,12 @@ pub fn render(exp: &Experiment, result: &ExperimentResult, ctx: &ExpContext, wal
         if ctx.scale == Scale::Quick { "quick" } else { "full" }
     );
     let _ = writeln!(s, "  \"seed\": \"{:#x}\",", ctx.seed);
+    if let Some(spec) = &ctx.mitigation {
+        // Only present under a --mitigation override, so reports from
+        // default runs (and their goldens) are byte-identical to before
+        // the key existed.
+        let _ = writeln!(s, "  \"mitigation\": \"{}\",", escape(spec));
+    }
     let _ = writeln!(s, "  \"threads\": {},", ctx.par.threads());
     let _ = writeln!(s, "  \"wall_secs\": {},", number(wall_secs));
     let _ = writeln!(s, "  \"all_claims_pass\": {},", result.all_claims_pass());
@@ -229,5 +239,16 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+        assert!(
+            !json.contains("\"mitigation\""),
+            "no mitigation key without an override"
+        );
+
+        let ctx = ctx.with_mitigation("para").unwrap();
+        let json = render(exp, &r, &ctx, 0.5);
+        assert!(
+            json.contains("\"mitigation\": \"para:p=0.001\""),
+            "override renders canonical spec:\n{json}"
+        );
     }
 }

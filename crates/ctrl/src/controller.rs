@@ -189,6 +189,13 @@ impl MemoryController {
         self.observers.storage_bits(rows, self.module.bank_count())
     }
 
+    /// Mitigation-issued row refreshes attributed per observer name, in
+    /// chain order (sums to `stats().mitigation_refreshes`). Feed into
+    /// [`crate::energy::mitigation_energy_by_name`] for the energy split.
+    pub fn mitigation_refreshes_by_name(&self) -> Vec<(&'static str, u64)> {
+        self.observers.refreshes_by_observer()
+    }
+
     /// Current simulated time (ns).
     pub fn now_ns(&self) -> u64 {
         self.now_ns

@@ -82,6 +82,44 @@ impl EnergyReport {
     pub const ROWS_PER_REF: usize = 8;
 }
 
+/// Energy attributed to one mitigation's targeted row refreshes,
+/// separate from the scheduled REF stream of [`EnergyReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MitigationEnergy {
+    /// The observer's name (one entry per chain observer).
+    pub name: &'static str,
+    /// Single-row refreshes the mitigation issued.
+    pub row_refreshes: u64,
+    /// Energy spent on them, millijoule.
+    pub energy_mj: f64,
+}
+
+/// Energy of `row_refreshes` mitigation-issued single-row refreshes.
+///
+/// A scheduled REF burst amortizes `e_ref_nj` over
+/// [`EnergyReport::ROWS_PER_REF`] rows; a targeted refresh pays the
+/// per-row share for exactly one row.
+pub fn mitigation_refresh_energy_mj(timing: &Timing, row_refreshes: u64) -> f64 {
+    row_refreshes as f64 * timing.e_ref_nj / EnergyReport::ROWS_PER_REF as f64 * 1e-6
+}
+
+/// Per-plugin mitigation refresh energy, from the controller's
+/// per-observer attribution
+/// ([`crate::MemoryController::mitigation_refreshes_by_name`]).
+pub fn mitigation_energy_by_name(
+    timing: &Timing,
+    by_name: &[(&'static str, u64)],
+) -> Vec<MitigationEnergy> {
+    by_name
+        .iter()
+        .map(|&(name, row_refreshes)| MitigationEnergy {
+            name,
+            row_refreshes,
+            energy_mj: mitigation_refresh_energy_mj(timing, row_refreshes),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +159,17 @@ mod tests {
         let r = EnergyReport::for_refresh_config(&t, 1024, 1, 1.0, 0.0);
         assert_eq!(r.refresh_rows, 0);
         assert_eq!(r.refresh_busy_fraction, 0.0);
+    }
+
+    #[test]
+    fn mitigation_refreshes_cost_the_per_row_share() {
+        let t = Timing::ddr3_1600();
+        let per_row = mitigation_refresh_energy_mj(&t, 1);
+        assert!((per_row * EnergyReport::ROWS_PER_REF as f64 - t.e_ref_nj * 1e-6).abs() < 1e-15);
+        let split = mitigation_energy_by_name(&t, &[("PARA", 8), ("CRA", 0)]);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].row_refreshes, 8);
+        assert!((split[0].energy_mj - t.e_ref_nj * 1e-6).abs() < 1e-15);
+        assert_eq!(split[1].energy_mj, 0.0);
     }
 }

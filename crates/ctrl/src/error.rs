@@ -17,6 +17,9 @@ pub enum CtrlError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A malformed mitigation spec string (see
+    /// [`crate::mitigation::registry`]).
+    BadSpec(String),
 }
 
 impl fmt::Display for CtrlError {
@@ -27,6 +30,7 @@ impl fmt::Display for CtrlError {
             CtrlError::TraceParse { line, reason } => {
                 write!(f, "trace parse error at line {line}: {reason}")
             }
+            CtrlError::BadSpec(reason) => write!(f, "bad mitigation spec: {reason}"),
         }
     }
 }
@@ -35,7 +39,9 @@ impl std::error::Error for CtrlError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CtrlError::Device(e) => Some(e),
-            CtrlError::InvalidConfig(_) | CtrlError::TraceParse { .. } => None,
+            CtrlError::InvalidConfig(_) | CtrlError::TraceParse { .. } | CtrlError::BadSpec(_) => {
+                None
+            }
         }
     }
 }

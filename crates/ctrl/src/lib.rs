@@ -54,9 +54,12 @@ pub mod trace;
 pub use addrmap::AddressMapping;
 pub use anvil::{AnvilConfig, AnvilDetector};
 pub use controller::{ControllerConfig, MemoryController, PagePolicy};
-pub use energy::EnergyReport;
+pub use energy::{mitigation_energy_by_name, mitigation_refresh_energy_mj, EnergyReport,
+                 MitigationEnergy};
 pub use error::CtrlError;
-pub use mitigation::{Cra, InDramTrr, Mitigation, NoMitigation, Para, Stack, TrrSampler};
+pub use mitigation::registry::{MitigationPlugin, MitigationSpec, ParamSpec, ParamValue};
+pub use mitigation::{Cra, Graphene, InDramTrr, MisraGries, Mitigation, NoMitigation, OracleRh,
+                     Para, ParaLogicalGuess, Stack, TrrSampler};
 pub use refresh::RefreshEngine;
 pub use scheduler::{FrFcfsScheduler, MemRequest, RequestKind, SchedulerReport};
 pub use stats::CtrlStats;

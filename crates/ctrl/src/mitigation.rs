@@ -21,7 +21,19 @@
 //!   be incomplete).
 //! * [`InDramTrr`] — a DDR4-style Misra–Gries heavy-hitter tracker,
 //!   evadable by many-sided patterns (experiment E15).
+//! * [`ParaLogicalGuess`] — PARA guessing logical ±1 adjacency, the
+//!   failure mode on remapped devices (experiment E16).
+//! * [`Graphene`] — a [`MisraGries`] frequent-row summary checked on
+//!   every activation, with a provable protection bound.
+//! * [`OracleRh`] — exact per-row exposure tracking with victim refresh
+//!   just below the threshold: the cost lower bound every real defence
+//!   is measured against (experiment E26).
 //! * [`Stack`] — fans every event out to several children.
+//!
+//! Every mitigation is also registered by name in [`registry`], the
+//! string-keyed plugin registry (`name:key=val,...` specs with typed
+//! parameter schemas) that the experiment CLI, the trace-replay kit and
+//! the serving layer construct mitigations through.
 //!
 //! The old bespoke `Mitigation` hook trait is gone; `Mitigation` is
 //! re-exported as an alias of [`CommandObserver`] so existing
@@ -31,10 +43,13 @@
 //! [`crate::trace::CommandLog`] records full [`TraceEvent`]s).
 
 use crate::trace::{CommandObserver, CommandOrigin, MemCommand, ObserverCtx, TraceEvent};
+use densemem_dram::VintageProfile;
 use densemem_stats::dist::Bernoulli;
 use densemem_stats::rng::substream;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
+
+pub mod registry;
 
 /// Mitigations are command observers; the old trait name remains as an
 /// alias for readability at call sites (`Box<dyn Mitigation>`).
@@ -334,6 +349,303 @@ impl CommandObserver for InDramTrr {
     }
 }
 
+/// PARA variant that guesses adjacency as logical ± 1 (ignorant of the
+/// device's internal remapping) — what a controller must do when the
+/// device does not disclose adjacency through the SPD ROM. On a
+/// remapped device it refreshes the wrong rows (experiment E16).
+#[derive(Debug)]
+pub struct ParaLogicalGuess {
+    bern: Bernoulli,
+    rng: StdRng,
+}
+
+impl ParaLogicalGuess {
+    /// Creates the guesser with per-precharge refresh probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CtrlError::InvalidConfig`] unless `0 <= p <= 1`.
+    pub fn new(p: f64, seed: u64) -> Result<Self, crate::CtrlError> {
+        let bern =
+            Bernoulli::new(p).map_err(|_| crate::CtrlError::InvalidConfig("p must be in [0,1]"))?;
+        Ok(Self { bern, rng: substream(seed, 0x16) })
+    }
+}
+
+impl CommandObserver for ParaLogicalGuess {
+    fn name(&self) -> &'static str {
+        "PARA (logical-adjacency guess)"
+    }
+
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+        if event.origin != CommandOrigin::Controller {
+            return;
+        }
+        let MemCommand::Pre { bank, row } = event.cmd else { return };
+        if self.bern.sample(&mut self.rng) {
+            ctx.stats.mitigation_triggers += 1;
+            // Refresh logical neighbours — which are NOT the physical
+            // neighbours on a remapped device.
+            for n in [row.checked_sub(1), Some(row + 1)].into_iter().flatten() {
+                ctx.refresh_row(bank, n);
+            }
+        }
+    }
+}
+
+/// OracleRH: the cost lower bound on RowHammer defence (modelled after
+/// ramulator2's `oracle_rh` controller plugin).
+///
+/// The oracle tracks the *exact* disturbance exposure of every row —
+/// the same nearest-neighbour (weight 1) plus second-nearest
+/// ([`VintageProfile::DISTANCE2_COUPLING`]) accumulation the device
+/// model integrates — and refreshes a victim row the moment its
+/// accumulated exposure reaches `threshold - 2`. Because the device
+/// resets a row's exposure at every refresh of that row (scheduled or
+/// targeted) while the oracle only resets its accumulator on its own
+/// fires, the accumulator is a per-row *upper bound* on the device's
+/// true exposure; firing two activations early therefore guarantees no
+/// cell with the nominal threshold ever flips, at the minimum possible
+/// number of targeted refreshes (no refresh is spent on a row that was
+/// not actually approaching its threshold).
+///
+/// The oracle assumes disclosed adjacency (it indexes by row number, so
+/// remapped devices would need the SPD map the paper proposes — the
+/// frontier experiment runs on identity-mapped modules).
+#[derive(Debug)]
+pub struct OracleRh {
+    threshold: u64,
+    fire_at: f64,
+    exposure: HashMap<(usize, usize), f64>,
+}
+
+impl OracleRh {
+    /// Creates the oracle for a device whose weakest cells flip at
+    /// `threshold` accumulated aggressor activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CtrlError::InvalidConfig`] if `threshold < 3`
+    /// (the oracle fires at `threshold - 2`, which must stay positive).
+    pub fn new(threshold: u64) -> Result<Self, crate::CtrlError> {
+        if threshold < 3 {
+            return Err(crate::CtrlError::InvalidConfig("threshold must be >= 3"));
+        }
+        Ok(Self { threshold, fire_at: threshold as f64 - 2.0, exposure: HashMap::new() })
+    }
+
+    /// The device hammer threshold the oracle protects against.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+impl CommandObserver for OracleRh {
+    fn name(&self) -> &'static str {
+        "OracleRH"
+    }
+
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+        if event.origin != CommandOrigin::Controller {
+            return;
+        }
+        let MemCommand::Act { bank, row } = event.cmd else { return };
+        let doses = [
+            (row.checked_sub(1), 1.0),
+            (row.checked_add(1), 1.0),
+            (row.checked_sub(2), VintageProfile::DISTANCE2_COUPLING),
+            (row.checked_add(2), VintageProfile::DISTANCE2_COUPLING),
+        ];
+        for (victim, dose) in doses {
+            let Some(victim) = victim else { continue };
+            let e = self.exposure.entry((bank, victim)).or_insert(0.0);
+            *e += dose;
+            if *e >= self.fire_at {
+                *e = 0.0;
+                ctx.stats.mitigation_triggers += 1;
+                // Exactly the endangered row — not its neighbourhood.
+                ctx.refresh_row(bank, victim);
+            }
+        }
+    }
+
+    // No on_window_reset: the device resets per-row exposure at each
+    // row's own refresh slot, not at window completion, so clearing here
+    // would *underestimate* exposure and break the safety bound. Keeping
+    // the accumulator monotone between fires only errs conservative.
+
+    fn storage_bits(&self, rows: usize, banks: usize) -> u64 {
+        // An exact per-row counter — even costlier than CRA's, which is
+        // why the oracle is a cost bound rather than a proposal.
+        rows as u64 * banks as u64 * 32
+    }
+}
+
+/// A Misra–Gries frequent-item summary over `(bank, row)` keys.
+///
+/// With capacity `k`, after observing `n` keys any key whose true
+/// occurrence count exceeds `n / (k + 1)` is guaranteed to be present
+/// in the summary, and a present key's stored count undercounts its
+/// true count by at most `n / (k + 1)` — the classic heavy-hitter
+/// guarantee Graphene builds on.
+///
+/// # Examples
+///
+/// ```
+/// use densemem_ctrl::mitigation::MisraGries;
+/// let mut mg = MisraGries::new(2).unwrap();
+/// for _ in 0..10 {
+///     mg.observe((0, 7));
+/// }
+/// assert!(mg.contains((0, 7)));
+/// assert!(mg.count((0, 7)) <= 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    capacity: usize,
+    counts: HashMap<(usize, usize), u64>,
+}
+
+impl MisraGries {
+    /// Creates a summary tracking at most `capacity` keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CtrlError::InvalidConfig`] if `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self, crate::CtrlError> {
+        if capacity == 0 {
+            return Err(crate::CtrlError::InvalidConfig("capacity must be > 0"));
+        }
+        Ok(Self { capacity, counts: HashMap::new() })
+    }
+
+    /// Feeds one key occurrence into the summary.
+    pub fn observe(&mut self, key: (usize, usize)) {
+        if let Some(c) = self.counts.get_mut(&key) {
+            *c += 1;
+        } else if self.counts.len() < self.capacity {
+            self.counts.insert(key, 1);
+        } else {
+            // Full and unseen: decrement every counter, dropping zeros
+            // (the new key itself is not admitted).
+            self.counts.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
+    }
+
+    /// The stored count for `key` (0 when absent; a lower bound on the
+    /// true count).
+    pub fn count(&self, key: (usize, usize)) -> u64 {
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Whether `key` is currently tracked.
+    pub fn contains(&self, key: (usize, usize)) -> bool {
+        self.counts.contains_key(&key)
+    }
+
+    /// Resets a tracked key's count to 1 (no-op when absent).
+    pub fn reset(&mut self, key: (usize, usize)) {
+        if let Some(c) = self.counts.get_mut(&key) {
+            *c = 1;
+        }
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the summary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every tracked key.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+}
+
+/// Graphene (Park et al., MICRO 2020): a Misra–Gries frequent-row
+/// summary at the controller; any row whose summary count reaches the
+/// firing threshold gets its neighbours refreshed and its counter reset.
+///
+/// Unlike [`InDramTrr`] (which only acts on auto-refresh ticks from a
+/// tiny table), Graphene checks on every activation, and the
+/// Misra–Gries guarantee turns the table size into an explicit
+/// protection bound: with table size `k` and firing threshold `t`, any
+/// row activated more than `n/(k+1) + t` times in a window is refreshed.
+#[derive(Debug)]
+pub struct Graphene {
+    tracker: MisraGries,
+    threshold: u64,
+}
+
+impl Graphene {
+    /// Creates Graphene with `table_size` tracked rows, firing a
+    /// neighbour refresh when a row's summary count reaches `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CtrlError::InvalidConfig`] if either parameter
+    /// is zero.
+    pub fn new(table_size: usize, threshold: u64) -> Result<Self, crate::CtrlError> {
+        if threshold == 0 {
+            return Err(crate::CtrlError::InvalidConfig("threshold must be > 0"));
+        }
+        Ok(Self { tracker: MisraGries::new(table_size)?, threshold })
+    }
+
+    /// The firing threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// The underlying frequent-row summary (read-only).
+    pub fn tracker(&self) -> &MisraGries {
+        &self.tracker
+    }
+}
+
+impl CommandObserver for Graphene {
+    fn name(&self) -> &'static str {
+        "Graphene"
+    }
+
+    fn observe(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
+        if event.origin != CommandOrigin::Controller {
+            return;
+        }
+        let MemCommand::Act { bank, row } = event.cmd else { return };
+        self.tracker.observe((bank, row));
+        if self.tracker.count((bank, row)) >= self.threshold {
+            self.tracker.reset((bank, row));
+            ctx.stats.mitigation_triggers += 1;
+            ctx.refresh_neighbors(bank, row);
+        }
+    }
+
+    fn on_window_reset(&mut self) {
+        self.tracker.clear();
+    }
+
+    fn storage_bits(&self, rows: usize, banks: usize) -> u64 {
+        let row_bits = (usize::BITS - rows.leading_zeros()) as u64;
+        let bank_bits = (usize::BITS - banks.leading_zeros()) as u64;
+        // Key plus a 32-bit counter per entry (counts up to the hammer
+        // threshold, beyond InDramTrr's 16-bit confidence counters).
+        self.tracker.capacity() as u64 * (row_bits + bank_bits + 32)
+    }
+}
+
 /// Composes several mitigations/observers: every event fans out to every
 /// child in order. Lets a deployment run e.g. PARA *and* an ANVIL
 /// detector, or stack a [`crate::trace::CommandLog`] onto any
@@ -506,5 +818,75 @@ mod tests {
         let t = InDramTrr::ddr4_like();
         assert_eq!(t.tracked(), 0);
         assert!(t.storage_bits(65536, 8) < 512, "tiny table is the point");
+    }
+
+    #[test]
+    fn misra_gries_validates_and_tracks() {
+        assert!(MisraGries::new(0).is_err());
+        let mut mg = MisraGries::new(2).unwrap();
+        assert!(mg.is_empty());
+        for _ in 0..5 {
+            mg.observe((0, 1));
+        }
+        mg.observe((0, 2));
+        // Table full: a third distinct key decrements everyone instead.
+        mg.observe((0, 3));
+        assert_eq!(mg.count((0, 1)), 4);
+        assert!(!mg.contains((0, 2)), "count-1 entry decremented out");
+        assert!(!mg.contains((0, 3)), "miss on a full table is not admitted");
+        mg.reset((0, 1));
+        assert_eq!(mg.count((0, 1)), 1);
+        mg.clear();
+        assert_eq!(mg.len(), 0);
+    }
+
+    #[test]
+    fn graphene_fires_at_threshold_and_resets() {
+        let mut g = Graphene::new(8, 3).unwrap();
+        let mut module = test_module();
+        let mut stats = CtrlStats::default();
+        for _ in 0..3 {
+            let mut ctx = ObserverCtx::new(&mut module, &mut stats, 1);
+            g.observe(&controller_event(MemCommand::Act { bank: 0, row: 10 }), &mut ctx);
+        }
+        assert_eq!(stats.mitigation_triggers, 1);
+        assert_eq!(stats.mitigation_refreshes, 2, "both neighbours refreshed");
+        assert_eq!(g.tracker().count((0, 10)), 1, "fired entry reset to 1");
+        g.on_window_reset();
+        assert!(g.tracker().is_empty());
+        assert!(Graphene::new(0, 3).is_err());
+        assert!(Graphene::new(8, 0).is_err());
+    }
+
+    #[test]
+    fn oracle_fires_just_below_threshold_on_the_victim_only() {
+        // threshold 5 → fires when a row's accumulated exposure reaches 3.
+        let mut o = OracleRh::new(5).unwrap();
+        assert_eq!(o.threshold(), 5);
+        let mut module = test_module();
+        let mut stats = CtrlStats::default();
+        // Double-sided hammer of row 10: aggressors 9 and 11 each add 1.0
+        // per activation pair, so the second pair's second ACT crosses 3.
+        for _ in 0..2 {
+            for agg in [9, 11] {
+                let mut ctx = ObserverCtx::new(&mut module, &mut stats, 1);
+                o.observe(&controller_event(MemCommand::Act { bank: 0, row: agg }), &mut ctx);
+            }
+        }
+        assert_eq!(stats.mitigation_triggers, 1);
+        assert_eq!(stats.mitigation_refreshes, 1, "exactly the victim row, not neighbours");
+        assert!(OracleRh::new(2).is_err());
+    }
+
+    #[test]
+    fn para_logical_guess_refreshes_logical_neighbors() {
+        let mut p = ParaLogicalGuess::new(1.0, 1).unwrap();
+        let mut module = test_module();
+        let mut stats = CtrlStats::default();
+        let mut ctx = ObserverCtx::new(&mut module, &mut stats, 1);
+        p.observe(&controller_event(MemCommand::Pre { bank: 0, row: 10 }), &mut ctx);
+        assert_eq!(stats.mitigation_triggers, 1);
+        assert_eq!(stats.mitigation_refreshes, 2);
+        assert!(ParaLogicalGuess::new(1.5, 1).is_err());
     }
 }

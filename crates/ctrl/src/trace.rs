@@ -240,6 +240,10 @@ pub trait CommandObserver: std::fmt::Debug + Send {
 #[derive(Debug, Default)]
 pub struct ObserverChain {
     observers: Vec<Box<dyn CommandObserver>>,
+    /// Row refreshes issued from inside each observer's `observe` call
+    /// (parallel to `observers`) — the per-plugin attribution the energy
+    /// accounting reports.
+    refreshes: Vec<u64>,
 }
 
 impl ObserverChain {
@@ -251,11 +255,13 @@ impl ObserverChain {
     /// Appends an observer.
     pub fn push(&mut self, observer: Box<dyn CommandObserver>) {
         self.observers.push(observer);
+        self.refreshes.push(0);
     }
 
     /// Removes every observer.
     pub fn clear(&mut self) {
         self.observers.clear();
+        self.refreshes.clear();
     }
 
     /// Whether the chain is empty.
@@ -285,11 +291,22 @@ impl ObserverChain {
         }
     }
 
-    /// Fans one event out to every observer.
+    /// Fans one event out to every observer, attributing any refreshes
+    /// an observer issues to that observer.
     pub fn dispatch(&mut self, event: &TraceEvent, ctx: &mut ObserverCtx<'_>) {
-        for o in &mut self.observers {
+        for (o, issued) in self.observers.iter_mut().zip(&mut self.refreshes) {
+            let before = ctx.stats.mitigation_refreshes;
             o.observe(event, ctx);
+            *issued += ctx.stats.mitigation_refreshes - before;
         }
+    }
+
+    /// Mitigation-issued row refreshes attributed per observer, in chain
+    /// order. The counts sum to [`crate::CtrlStats::mitigation_refreshes`]
+    /// (a [`crate::mitigation::Stack`] is one observer; its children are
+    /// attributed to the stack as a whole).
+    pub fn refreshes_by_observer(&self) -> Vec<(&'static str, u64)> {
+        self.observers.iter().zip(&self.refreshes).map(|(o, &n)| (o.name(), n)).collect()
     }
 }
 

@@ -422,8 +422,11 @@ impl Bank {
         &self.data[row * w..(row + 1) * w]
     }
 
-    /// Injects a disturbance-candidate cell (used by tests and the ECC
-    /// experiment to place multi-bit clusters deterministically).
+    /// Injects a disturbance-candidate cell (used by tests, the ECC
+    /// experiment, and the E26 threshold-collapse sweep to place cells
+    /// deterministically — including below today's
+    /// [`VintageProfile::MIN_THRESHOLD`], modelling denser future
+    /// devices).
     ///
     /// # Errors
     ///
@@ -439,6 +442,11 @@ impl Bank {
             addr.row,
             DisturbCell { word: addr.word as u32, bit: addr.bit, threshold },
         );
+        // Keep the bank-wide commit fast-path gate consistent: a cell
+        // injected below the vintage floor must still be able to flip.
+        if threshold < self.min_threshold {
+            self.min_threshold = threshold;
+        }
         Ok(())
     }
 
@@ -702,6 +710,26 @@ mod tests {
             }
         }
         assert_eq!(b.count_flips_from_fill(101, now), 0);
+    }
+
+    #[test]
+    fn injected_cell_below_vintage_floor_can_flip() {
+        // A cell modelling a denser future device: threshold far below
+        // MIN_THRESHOLD. The commit gate must honour it.
+        let mut b = bank_2013(9);
+        b.fill_rows(0xFF);
+        b.inject_disturb_cell(BitAddr { row: 101, word: 0, bit: 0 }, 500.0).unwrap();
+        b.fill_row(100, 0, 0).unwrap();
+        b.fill_row(102, 0, 0).unwrap();
+        let mut now = 0u64;
+        for _ in 0..300 {
+            b.activate(100, now);
+            now += 49;
+            b.activate(102, now);
+            now += 49;
+        }
+        // Exposure ~600 >= 500, way below the 190K vintage floor.
+        assert_eq!(b.count_flips_from_fill(101, now), 1);
     }
 
     #[test]

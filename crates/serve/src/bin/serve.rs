@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! serve client --addr 127.0.0.1:7070 submit E1 --seed 0xf161 --wait --out E1.json
+//! serve client --addr 127.0.0.1:7070 submit E26 --mitigation graphene:table=128 --wait
 //! serve client --addr 127.0.0.1:7070 stats
 //! serve client --addr 127.0.0.1:7070 shutdown
 //! ```
@@ -28,7 +29,7 @@ USAGE:
   serve [--listen ADDR] [--workers N] [--mem-entries N]
         [--cache-dir DIR] [--port-file FILE]
   serve client --addr ADDR submit EXP [--full] [--seed SEED]
-        [--priority P] [--wait] [--out FILE]
+        [--priority P] [--mitigation SPEC] [--wait] [--out FILE]
   serve client --addr ADDR (status|result|cancel) JOB
   serve client --addr ADDR (stats|shutdown)
 
@@ -44,6 +45,8 @@ CLIENT OPTIONS:
   --full             full scale (default: quick)
   --seed SEED        master seed, decimal or 0x-hex (default: suite default)
   --priority P       scheduling priority, higher first (default 0)
+  --mitigation SPEC  mitigation plugin spec, name[:key=val,...][+name...]
+                     (see `exp --list-mitigations`; folded into cache key)
   --wait             block for the result frame
   --out FILE         write the report payload here (default: stdout)
 ";
@@ -152,6 +155,7 @@ fn run_client(args: &[String]) -> i32 {
     let mut priority = 0i32;
     let mut wait = false;
     let mut out: Option<String> = None;
+    let mut mitigation: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -169,6 +173,10 @@ fn run_client(args: &[String]) -> i32 {
             "--priority" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => priority = v,
                 None => return usage_error("--priority needs an integer"),
+            },
+            "--mitigation" => match it.next() {
+                Some(v) => mitigation = Some(v.clone()),
+                None => return usage_error("--mitigation needs a plugin spec"),
             },
             "--wait" => wait = true,
             "--out" => match it.next() {
@@ -220,7 +228,16 @@ fn run_client(args: &[String]) -> i32 {
             let Some(exp) = exp else {
                 return usage_error("submit needs an experiment id");
             };
-            Request { verb: Verb::Submit, exp: Some(exp), scale, seed, priority, wait, job: None }
+            Request {
+                verb: Verb::Submit,
+                exp: Some(exp),
+                scale,
+                seed,
+                priority,
+                wait,
+                job: None,
+                mitigation,
+            }
         }
         "status" | "result" | "cancel" => {
             let Some(job) = job else {
@@ -239,6 +256,7 @@ fn run_client(args: &[String]) -> i32 {
                 priority: 0,
                 wait: false,
                 job: Some(job),
+                mitigation: None,
             }
         }
         "stats" => Request {
@@ -249,6 +267,7 @@ fn run_client(args: &[String]) -> i32 {
             priority: 0,
             wait: false,
             job: None,
+            mitigation: None,
         },
         _ => Request {
             verb: Verb::Shutdown,
@@ -258,6 +277,7 @@ fn run_client(args: &[String]) -> i32 {
             priority: 0,
             wait: false,
             job: None,
+            mitigation: None,
         },
     };
 

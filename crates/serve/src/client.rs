@@ -69,6 +69,10 @@ impl TcpClient {
 
     /// Submits an experiment and blocks for its result frame.
     ///
+    /// `mitigation` is an optional plugin-registry spec
+    /// (`name[:key=val,...][+name...]`) applied as the run's defense and
+    /// folded into the server-side cache key.
+    ///
     /// # Errors
     ///
     /// See [`TcpClient::roundtrip`].
@@ -78,6 +82,7 @@ impl TcpClient {
         scale: ScaleArg,
         seed: Option<u64>,
         priority: i32,
+        mitigation: Option<&str>,
     ) -> std::io::Result<String> {
         self.request(&Request {
             verb: Verb::Submit,
@@ -87,6 +92,7 @@ impl TcpClient {
             priority,
             wait: true,
             job: None,
+            mitigation: mitigation.map(str::to_owned),
         })
     }
 

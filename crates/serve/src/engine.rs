@@ -217,17 +217,18 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// `unknown-experiment` for ids outside the registry and
-    /// `shutting-down` once draining has begun.
+    /// `unknown-experiment` for ids outside the registry, `bad-field` for
+    /// a mitigation spec the plugin registry rejects, and `shutting-down`
+    /// once draining has begun.
     pub fn submit(&self, req: &Request) -> Result<(u64, CacheTier), ProtoError> {
         let exp_arg = req.exp.as_deref().unwrap_or("");
         let Some(exp) = registry::find(exp_arg) else {
             return Err(ProtoError::new(
                 ErrorCode::UnknownExperiment,
-                format!("{exp_arg:?} (the registry spans E1–E25)"),
+                format!("{exp_arg:?} (the registry spans E1–E26)"),
             ));
         };
-        let ctx = self.context_for(req);
+        let ctx = self.context_for(req)?;
         let key = registry::cache_key(exp, &ctx);
 
         let (lock, cv) = &*self.state;
@@ -313,14 +314,22 @@ impl Engine {
         Ok((job, CacheTier::Miss))
     }
 
-    fn context_for(&self, req: &Request) -> ExpContext {
+    fn context_for(&self, req: &Request) -> Result<ExpContext, ProtoError> {
         let scale = match req.scale {
             ScaleArg::Quick => Scale::Quick,
             ScaleArg::Full => Scale::Full,
         };
-        ExpContext::new(scale)
+        let mut ctx = ExpContext::new(scale)
             .with_seed(req.seed.unwrap_or(densemem::DEFAULT_SEED))
-            .with_par(self.job_par)
+            .with_par(self.job_par);
+        if let Some(spec) = &req.mitigation {
+            // Canonicalised here so that `para` and `para:p=0.001` share a
+            // cache key while genuinely different defenses never alias.
+            ctx = ctx.with_mitigation(spec).map_err(|e| {
+                ProtoError::new(ErrorCode::BadField, format!("\"mitigation\": {e}"))
+            })?;
+        }
+        Ok(ctx)
     }
 
     /// The worker-side job body. Runs the experiment under `catch_unwind`,
@@ -662,6 +671,40 @@ mod tests {
             cold_doc.get("payload_fnv").and_then(Value::as_str),
             warm_doc.get("payload_fnv").and_then(Value::as_str)
         );
+        eng.shutdown();
+    }
+
+    #[test]
+    fn mitigation_spec_changes_the_cache_key() {
+        let eng = engine();
+        let base = eng.handle(&submit_line("E15", 7));
+        assert_eq!(
+            proto::parse(&base).unwrap().get("cache").and_then(Value::as_str),
+            Some("miss")
+        );
+        // Same experiment, same seed, different defense: must not alias
+        // onto the cached plain run.
+        let para = eng.handle(
+            "{\"v\":1,\"verb\":\"submit\",\"exp\":\"E15\",\"seed\":\"0x7\",\"mitigation\":\"para\",\"wait\":true}",
+        );
+        let para_doc = proto::parse(&para).unwrap();
+        assert_eq!(para_doc.get("ok").and_then(Value::as_bool), Some(true), "{para}");
+        assert_eq!(para_doc.get("cache").and_then(Value::as_str), Some("miss"));
+        // Canonicalisation: the fully-explicit spelling IS the same key.
+        let canon = eng.handle(
+            "{\"v\":1,\"verb\":\"submit\",\"exp\":\"E15\",\"seed\":\"0x7\",\"mitigation\":\"para:p=0.001\",\"wait\":true}",
+        );
+        assert_eq!(
+            proto::parse(&canon).unwrap().get("cache").and_then(Value::as_str),
+            Some("mem")
+        );
+        // A spec the plugin registry rejects is a typed bad-field error.
+        let bad = eng.handle(
+            "{\"v\":1,\"verb\":\"submit\",\"exp\":\"E15\",\"mitigation\":\"warp-drive\"}",
+        );
+        let bad_doc = proto::parse(&bad).unwrap();
+        assert_eq!(bad_doc.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(bad_doc.get("code").and_then(Value::as_str), Some("bad-field"));
         eng.shutdown();
     }
 

@@ -148,6 +148,10 @@ pub struct Request {
     pub priority: i32,
     /// `submit`: when true the response is the blocking `result` frame.
     pub wait: bool,
+    /// `submit`: optional mitigation override as a registry spec string
+    /// (e.g. `"para:p=0.01"`). Validated and canonicalized by the
+    /// engine, and folded into the report cache key.
+    pub mitigation: Option<String>,
     /// `status` / `result` / `cancel`: the job id.
     pub job: Option<u64>,
 }
@@ -206,6 +210,7 @@ impl Request {
             seed: None,
             priority: 0,
             wait: false,
+            mitigation: None,
             job: None,
         };
         if let Some(v) = obj.get("exp") {
@@ -246,6 +251,17 @@ impl Request {
             match v {
                 Value::Bool(b) => req.wait = *b,
                 _ => return Err(ProtoError::new(ErrorCode::BadField, "\"wait\" must be a bool")),
+            }
+        }
+        if let Some(v) = obj.get("mitigation") {
+            match v {
+                Value::Str(s) => req.mitigation = Some(s.clone()),
+                _ => {
+                    return Err(ProtoError::new(
+                        ErrorCode::BadField,
+                        "\"mitigation\" must be a registry spec string",
+                    ))
+                }
             }
         }
         if let Some(v) = obj.get("job") {
@@ -292,6 +308,9 @@ impl Request {
             }
             if self.wait {
                 s.push_str(",\"wait\":true");
+            }
+            if let Some(m) = &self.mitigation {
+                let _ = write!(s, ",\"mitigation\":\"{}\"", escape(m));
             }
         }
         if let Some(job) = self.job {
@@ -627,6 +646,18 @@ mod tests {
         assert!(req.wait);
         let rendered = req.to_line();
         assert_eq!(Request::from_line(&rendered).unwrap(), req);
+    }
+
+    #[test]
+    fn submit_mitigation_round_trip() {
+        let line = r#"{"v":1,"verb":"submit","exp":"E26","mitigation":"para:p=0.01","wait":true}"#;
+        let req = Request::from_line(line).unwrap();
+        assert_eq!(req.mitigation.as_deref(), Some("para:p=0.01"));
+        let rendered = req.to_line();
+        assert_eq!(Request::from_line(&rendered).unwrap(), req);
+
+        let bad = r#"{"v":1,"verb":"submit","exp":"E26","mitigation":7}"#;
+        assert_eq!(Request::from_line(bad).unwrap_err().code, ErrorCode::BadField);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Conformance: golden-report snapshots for every experiment.
 //!
-//! Each E1–E25 runs at `--quick` scale with the default seed, renders to
+//! Each E1–E26 runs at `--quick` scale with the default seed, renders to
 //! the schema-v1 JSON report, and must match the checked-in snapshot
 //! under `tests/golden/` after normalization (run metadata stripped,
 //! artifact paths reduced to basenames). Any drift in a paper number
@@ -66,6 +66,7 @@ golden! {
     golden_e23 => "E23",
     golden_e24 => "E24",
     golden_e25 => "E25",
+    golden_e26 => "E26",
 }
 
 /// Every experiment has a committed snapshot — a new experiment cannot

@@ -120,6 +120,37 @@ proptest! {
         let b = d.sample(&mut seeded(seed));
         prop_assert_eq!(a, b);
     }
+
+    /// The Misra–Gries heavy-hitter guarantee Graphene's protection bound
+    /// rests on: with capacity k over n observations, any key occurring
+    /// more than n/(k+1) times is tracked, counts never overcount, and
+    /// undercount is at most n/(k+1).
+    #[test]
+    fn misra_gries_heavy_hitter_guarantee(
+        keys in proptest::collection::vec(0usize..16, 1..512),
+        k in 1usize..8,
+    ) {
+        use densemem_ctrl::mitigation::MisraGries;
+        let mut mg = MisraGries::new(k).unwrap();
+        for &key in &keys {
+            mg.observe((0, key));
+        }
+        let n = keys.len() as u64;
+        let slack = n / (k as u64 + 1);
+        for key in 0..16usize {
+            let truth = keys.iter().filter(|&&x| x == key).count() as u64;
+            let stored = mg.count((0, key));
+            prop_assert!(stored <= truth, "key {} overcounted: {} > {}", key, stored, truth);
+            prop_assert!(
+                truth - stored <= slack,
+                "key {} undercounted past n/(k+1): {} - {} > {}",
+                key, truth, stored, slack
+            );
+            if truth > slack {
+                prop_assert!(mg.contains((0, key)), "heavy hitter {} evicted", key);
+            }
+        }
+    }
 }
 
 proptest! {

@@ -50,7 +50,7 @@ if command -v python3 > /dev/null; then
 import json, pathlib, sys
 
 artifacts = pathlib.Path("artifacts")
-ids = {f"E{i}" for i in range(1, 26)}
+ids = {f"E{i}" for i in range(1, 27)}
 seen = set()
 for path in sorted(artifacts.glob("*.json")):
     doc = json.loads(path.read_text())  # dies here if malformed
@@ -69,18 +69,28 @@ for path in sorted(artifacts.glob("*.json")):
         sys.exit(f"{path}: missing CSV sibling")
     seen.add(doc["id"])
 if seen != ids:
-    sys.exit(f"artifact ids {sorted(seen)} != expected E1..E25")
+    sys.exit(f"artifact ids {sorted(seen)} != expected E1..E26")
 print(f"artifacts OK: {len(seen)} experiments, all claims pass")
 EOF
 else
     # Fallback without python3: every id present and no claim failures.
-    for i in $(seq 1 25); do
+    for i in $(seq 1 26); do
         [ -f "artifacts/E$i.json" ] || { echo "missing artifacts/E$i.json"; exit 1; }
         grep -q '"all_claims_pass": true' "artifacts/E$i.json" \
             || { echo "artifacts/E$i.json: claims failed"; exit 1; }
     done
     echo "artifacts OK (python3 unavailable: structural checks skipped)"
 fi
+
+echo "== mitigation registry: --list-mitigations golden =="
+# The registry listing (names, defaults, ranges, help) is part of the
+# public surface; drift must be deliberate. To update:
+#   ./target/release/exp --list-mitigations > tests/golden/list_mitigations.txt
+./target/release/exp --list-mitigations > artifacts-list-mitigations.txt
+diff -u tests/golden/list_mitigations.txt artifacts-list-mitigations.txt \
+    || { echo "mitigation registry listing drifted from tests/golden/list_mitigations.txt"; exit 1; }
+rm -f artifacts-list-mitigations.txt
+echo "mitigation registry listing matches its golden"
 
 echo "== conformance: golden snapshot drift =="
 # Compare a trace-free --quick artifact run (the configuration the
@@ -131,6 +141,25 @@ done
 # Server-produced reports agree with the checked-in golden snapshots
 # (golden-diff matches snapshots by the reports' interior "id" field).
 ./target/release/golden-diff tests/golden artifacts-serve/E*-r2.json
+# Mitigation specs key the cache: with plain E15 already warm, the same
+# submit plus a mitigation spec must be a cold compute (distinct key),
+# and repeating the explicit-default spelling of that spec must hit the
+# warm entry (canonicalization, not raw-string keying).
+./target/release/serve client --addr "$SERVE_ADDR" \
+    submit E15 --mitigation para --wait --out artifacts-serve/E15-mit.json \
+    2> artifacts-serve/E15-mit.meta \
+    || { echo "serve submit E15 --mitigation para failed"; cat artifacts-serve/E15-mit.meta; exit 1; }
+grep -q "cache=miss" artifacts-serve/E15-mit.meta \
+    || { echo "mitigation spec did not change the cache key"; cat artifacts-serve/E15-mit.meta; exit 1; }
+./target/release/serve client --addr "$SERVE_ADDR" \
+    submit E15 --mitigation para:p=0.001 --wait --out artifacts-serve/E15-mit2.json \
+    2> artifacts-serve/E15-mit2.meta \
+    || { echo "serve submit E15 --mitigation para:p=0.001 failed"; cat artifacts-serve/E15-mit2.meta; exit 1; }
+grep -Eq "cache=(mem|disk)" artifacts-serve/E15-mit2.meta \
+    || { echo "canonicalized mitigation spec missed the warm cache"; cat artifacts-serve/E15-mit2.meta; exit 1; }
+cmp artifacts-serve/E15-mit.json artifacts-serve/E15-mit2.json \
+    || { echo "mitigated warm answer differs from its cold answer"; exit 1; }
+echo "mitigation cache keying OK: spec forks the key, canonical spellings share it"
 ./target/release/serve client --addr "$SERVE_ADDR" shutdown > /dev/null
 wait "$SERVE_PID"
 trap - EXIT
