@@ -14,6 +14,7 @@
 //! cold compute at full scale is a batch-harness job, not a latency
 //! benchmark).
 
+use densemem_bench::merge_bench_json;
 use densemem_serve::{Engine, EngineConfig};
 use densemem_stats::Summary;
 use std::fmt::Write as _;
@@ -113,10 +114,13 @@ fn main() {
         );
     }
 
-    let json_path = "BENCH_serve.json";
-    match std::fs::write(json_path, render_json(&rows)) {
-        Ok(()) => println!("wrote {json_path}"),
-        Err(e) => eprintln!("could not write {json_path}: {e}"),
+    // `BENCH_serve.json` is shared with `serve_load`: replace only our
+    // own section and carry that one through untouched.
+    let json_path = std::path::Path::new("BENCH_serve.json");
+    let doc = merge_bench_json(json_path, "serve_throughput", &render_section(&rows));
+    match std::fs::write(json_path, doc) {
+        Ok(()) => println!("wrote {}", json_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", json_path.display()),
     }
 
     let slow: Vec<&Row> = rows.iter().filter(|r| r.speedup < MIN_SPEEDUP).collect();
@@ -134,24 +138,24 @@ fn main() {
     }
 }
 
-fn render_json(rows: &[Row]) -> String {
+fn render_section(rows: &[Row]) -> String {
     let mut s = String::from("{\n");
-    let _ = writeln!(s, "  \"warm_rounds\": {WARM_ROUNDS},");
-    let _ = writeln!(s, "  \"min_speedup\": {MIN_SPEEDUP},");
-    let _ = writeln!(s, "  \"experiments\": [");
+    let _ = writeln!(s, "    \"warm_rounds\": {WARM_ROUNDS},");
+    let _ = writeln!(s, "    \"min_speedup\": {MIN_SPEEDUP},");
+    let _ = writeln!(s, "    \"experiments\": [");
     for (i, r) in rows.iter().enumerate() {
-        let _ = writeln!(s, "    {{");
-        let _ = writeln!(s, "      \"id\": \"{}\",", r.id);
-        let _ = writeln!(s, "      \"cold_ms\": {:.6},", r.cold_ms);
-        let _ = writeln!(s, "      \"disk_ms\": {:.6},", r.disk_ms);
-        let _ = writeln!(s, "      \"warm_p50_ms\": {:.6},", r.warm.percentile(50.0));
-        let _ = writeln!(s, "      \"warm_p99_ms\": {:.6},", r.warm.percentile(99.0));
-        let _ = writeln!(s, "      \"warm_mean_ms\": {:.6},", r.warm.mean());
-        let _ = writeln!(s, "      \"speedup_p50\": {:.4},", r.speedup);
-        let _ = writeln!(s, "      \"pass\": {}", r.speedup >= MIN_SPEEDUP);
-        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(s, "        \"id\": \"{}\",", r.id);
+        let _ = writeln!(s, "        \"cold_ms\": {:.6},", r.cold_ms);
+        let _ = writeln!(s, "        \"disk_ms\": {:.6},", r.disk_ms);
+        let _ = writeln!(s, "        \"warm_p50_ms\": {:.6},", r.warm.percentile(50.0));
+        let _ = writeln!(s, "        \"warm_p99_ms\": {:.6},", r.warm.percentile(99.0));
+        let _ = writeln!(s, "        \"warm_mean_ms\": {:.6},", r.warm.mean());
+        let _ = writeln!(s, "        \"speedup_p50\": {:.4},", r.speedup);
+        let _ = writeln!(s, "        \"pass\": {}", r.speedup >= MIN_SPEEDUP);
+        let _ = writeln!(s, "      }}{}", if i + 1 < rows.len() { "," } else { "" });
     }
-    let _ = writeln!(s, "  ]");
-    s.push_str("}\n");
+    let _ = writeln!(s, "    ]");
+    s.push_str("  }");
     s
 }

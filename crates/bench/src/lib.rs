@@ -27,6 +27,39 @@ use densemem::experiments::{registry, ExpContext, Experiment, ExperimentResult, 
 use densemem::report::{json, render_csv};
 use std::path::PathBuf;
 
+/// Read-modify-write for a benchmark JSON artifact shared by several
+/// binaries (`BENCH_serve.json` holds both `serve_throughput` and
+/// `serve_load` sections). Returns the full document with `section`
+/// replaced by `body` (a complete JSON value) and every other top-level
+/// section preserved byte-equivalently (reparsed and re-rendered in
+/// canonical key order). A pre-section legacy document — a bare object
+/// with no `serve_*` keys — is adopted wholesale as `serve_throughput`.
+/// Unreadable or unparseable files are treated as absent: benchmarks
+/// must be able to regenerate their artifacts from scratch.
+pub fn merge_bench_json(path: &std::path::Path, section: &str, body: &str) -> String {
+    use densemem_serve::proto::{self, Value};
+    let mut sections: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(Value::Obj(map)) = proto::parse(&text) {
+            if map.keys().any(|k| k.starts_with("serve_")) {
+                for (k, v) in &map {
+                    sections.insert(k.clone(), v.render_json());
+                }
+            } else if !map.is_empty() {
+                sections.insert("serve_throughput".to_owned(), Value::Obj(map).render_json());
+            }
+        }
+    }
+    sections.insert(section.to_owned(), body.trim().to_owned());
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        out.push_str(&format!("  \"{k}\": {v}{comma}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
 /// Parsed command-line options shared by the experiment harness binaries.
 #[derive(Debug, Clone, Default)]
 pub struct HarnessArgs {
@@ -322,6 +355,49 @@ mod tests {
             assert!(listing.contains(p.name), "{} missing from listing", p.name);
         }
         assert!(listing.contains("p=0.001"));
+    }
+
+    #[test]
+    fn merge_bench_json_preserves_other_sections_and_migrates_legacy() {
+        let dir = std::env::temp_dir().join(format!("densemem_merge_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+
+        // Missing file: the document is just the new section.
+        let doc = merge_bench_json(&path, "serve_load", r#"{"clients": 200}"#);
+        assert_eq!(doc, "{\n  \"serve_load\": {\"clients\": 200}\n}\n");
+
+        // A legacy flat document is adopted as serve_throughput, then a
+        // serve_load write must not disturb it.
+        std::fs::write(&path, r#"{"warm_rounds": 50, "experiments": [{"id": "E1"}]}"#).unwrap();
+        let doc = merge_bench_json(&path, "serve_load", r#"{"clients": 200}"#);
+        std::fs::write(&path, &doc).unwrap();
+        let parsed = densemem_serve::proto::parse(&doc).expect("merged doc parses");
+        assert_eq!(
+            parsed.get("serve_throughput").and_then(|v| v.get("warm_rounds")).and_then(
+                densemem_serve::proto::Value::as_num
+            ),
+            Some(50.0)
+        );
+        assert!(parsed.get("serve_load").is_some());
+
+        // And the reverse: a serve_throughput rewrite keeps serve_load.
+        let doc = merge_bench_json(&path, "serve_throughput", r#"{"warm_rounds": 60}"#);
+        let parsed = densemem_serve::proto::parse(&doc).expect("re-merged doc parses");
+        assert_eq!(
+            parsed.get("serve_load").and_then(|v| v.get("clients")).and_then(
+                densemem_serve::proto::Value::as_num
+            ),
+            Some(200.0)
+        );
+        assert_eq!(
+            parsed.get("serve_throughput").and_then(|v| v.get("warm_rounds")).and_then(
+                densemem_serve::proto::Value::as_num
+            ),
+            Some(60.0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

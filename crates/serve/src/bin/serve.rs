@@ -19,7 +19,9 @@
 //! 2 on usage errors, and I/O failures report themselves.
 
 use densemem_serve::proto::{self, Value};
-use densemem_serve::{Engine, EngineConfig, Request, ScaleArg, Server, TcpClient, Verb};
+use densemem_serve::{
+    Engine, EngineConfig, FleetConfig, Request, ScaleArg, Server, TcpClient, Verb,
+};
 use std::io::Write as _;
 
 const USAGE: &str = "\
@@ -28,6 +30,7 @@ serve — long-running densemem experiment service
 USAGE:
   serve [--listen ADDR] [--workers N] [--mem-entries N]
         [--cache-dir DIR] [--port-file FILE]
+        [--shard-id I --peers ADDR,ADDR,...]
   serve client --addr ADDR submit EXP [--full] [--seed SEED]
         [--priority P] [--mitigation SPEC] [--wait] [--out FILE]
   serve client --addr ADDR (status|result|cancel) JOB
@@ -39,6 +42,10 @@ DAEMON OPTIONS:
   --mem-entries N    in-memory report cache capacity (default 64)
   --cache-dir DIR    on-disk report cache root (default: disk tier off)
   --port-file FILE   write the bound ADDR here once listening
+  --shard-id I       this process's index in a sharded fleet
+  --peers A,B,...    every fleet member's dial address, by shard id
+                     (both flags together turn on fleet mode; this
+                     shard's own slot is never dialed)
 
 CLIENT OPTIONS:
   --addr ADDR        server address (required)
@@ -70,12 +77,24 @@ fn run_daemon(args: &[String]) -> i32 {
     let mut listen = "127.0.0.1:0".to_owned();
     let mut cfg = EngineConfig::default();
     let mut port_file: Option<String> = None;
+    let mut shard_id: Option<u32> = None;
+    let mut peers: Option<Vec<String>> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--listen" => match it.next() {
                 Some(v) => listen = v.clone(),
                 None => return usage_error("--listen needs an address"),
+            },
+            "--shard-id" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => shard_id = Some(v),
+                None => return usage_error("--shard-id needs an integer"),
+            },
+            "--peers" => match it.next() {
+                Some(v) => {
+                    peers = Some(v.split(',').map(str::trim).map(str::to_owned).collect());
+                }
+                None => return usage_error("--peers needs a comma-separated address list"),
             },
             "--workers" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => cfg.workers = v,
@@ -99,6 +118,11 @@ fn run_daemon(args: &[String]) -> i32 {
             }
             other => return usage_error(&format!("unknown argument {other:?}")),
         }
+    }
+    match (shard_id, peers) {
+        (Some(id), Some(list)) => cfg.fleet = Some(FleetConfig { shard_id: id, peers: list }),
+        (None, None) => {}
+        _ => return usage_error("fleet mode needs both --shard-id and --peers"),
     }
 
     let engine = match Engine::new(cfg) {
@@ -237,6 +261,8 @@ fn run_client(args: &[String]) -> i32 {
                 wait,
                 job: None,
                 mitigation,
+                fwd: false,
+                epoch: None,
             }
         }
         "status" | "result" | "cancel" => {
@@ -257,6 +283,8 @@ fn run_client(args: &[String]) -> i32 {
                 wait: false,
                 job: Some(job),
                 mitigation: None,
+                fwd: false,
+                epoch: None,
             }
         }
         "stats" => Request {
@@ -268,6 +296,8 @@ fn run_client(args: &[String]) -> i32 {
             wait: false,
             job: None,
             mitigation: None,
+            fwd: false,
+            epoch: None,
         },
         _ => Request {
             verb: Verb::Shutdown,
@@ -278,6 +308,8 @@ fn run_client(args: &[String]) -> i32 {
             wait: false,
             job: None,
             mitigation: None,
+            fwd: false,
+            epoch: None,
         },
     };
 

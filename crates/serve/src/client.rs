@@ -4,11 +4,45 @@
 //! request line and reads one response line. The convenience helpers
 //! build well-formed frames so callers (the `serve client` CLI, the
 //! smoke gate, the throughput bench) never hand-assemble JSON.
+//!
+//! Dialing is tolerant by default: connects carry a timeout and one
+//! bounded retry with backoff ([`ConnectOpts`]), because the fleet's
+//! peer cache-fill and the shard smoke both dial daemons that may be a
+//! few hundred milliseconds from finishing their bind. A genuinely dead
+//! peer still fails fast — one timeout, one backoff, one retry, done —
+//! which is the budget the engine's compute-locally degradation is
+//! sized for.
 
 use crate::proto::{self, Request, ScaleArg, Verb};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Dialing policy: timeout per attempt, bounded retries, linear backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectOpts {
+    /// Per-attempt connect timeout.
+    pub timeout: Duration,
+    /// Re-dial attempts after the first failure (0 = dial exactly once).
+    pub retries: u32,
+    /// Sleep before retry `n` is `backoff * n` (linear, bounded).
+    pub backoff: Duration,
+}
+
+impl Default for ConnectOpts {
+    /// One bounded retry with a short backoff — tolerant of a daemon
+    /// mid-startup, fast to report a genuinely dead peer.
+    fn default() -> Self {
+        Self { timeout: Duration::from_secs(2), retries: 1, backoff: Duration::from_millis(100) }
+    }
+}
+
+impl ConnectOpts {
+    /// A single attempt with no retry — for callers probing liveness.
+    pub fn one_shot(timeout: Duration) -> Self {
+        Self { timeout, retries: 0, backoff: Duration::ZERO }
+    }
+}
 
 /// One protocol connection.
 pub struct TcpClient {
@@ -17,16 +51,50 @@ pub struct TcpClient {
 }
 
 impl TcpClient {
-    /// Connects to a serving daemon.
+    /// Connects to a serving daemon with the default tolerant dialing
+    /// policy (see [`ConnectOpts::default`]).
     ///
     /// # Errors
     ///
-    /// Propagates connect/configure failures.
+    /// Propagates the last connect failure once the retry budget is
+    /// spent, or configure failures.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        Ok(Self { reader: BufReader::new(stream), writer })
+        Self::connect_opts(addr, &ConnectOpts::default())
+    }
+
+    /// Connects with an explicit dialing policy: each attempt tries
+    /// every resolved address under `opts.timeout`, and failed attempts
+    /// are retried `opts.retries` times with linear backoff.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's failure (or `AddrNotAvailable` if `addr`
+    /// resolves to nothing).
+    pub fn connect_opts(addr: impl ToSocketAddrs, opts: &ConnectOpts) -> std::io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "address resolved to no socket addresses",
+            ));
+        }
+        let mut last_err = None;
+        for attempt in 0..=opts.retries {
+            if attempt > 0 {
+                std::thread::sleep(opts.backoff * attempt);
+            }
+            for a in &addrs {
+                match TcpStream::connect_timeout(a, opts.timeout) {
+                    Ok(stream) => {
+                        stream.set_nodelay(true)?;
+                        let writer = stream.try_clone()?;
+                        return Ok(Self { reader: BufReader::new(stream), writer });
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+        }
+        Err(last_err.expect("at least one attempt ran"))
     }
 
     /// Sets how long reads may block before erroring (None = forever).
@@ -93,6 +161,8 @@ impl TcpClient {
             wait: true,
             job: None,
             mitigation: mitigation.map(str::to_owned),
+            fwd: false,
+            epoch: None,
         })
     }
 

@@ -20,12 +20,14 @@
 //! `job-failed` frames; the pool thread survives.
 
 use crate::cache::{DiskRead, DiskStore, MemLru};
-use crate::proto::{self, ErrorCode, ProtoError, Request, ScaleArg, Verb};
+use crate::client::{ConnectOpts, TcpClient};
+use crate::proto::{self, ErrorCode, ProtoError, Request, ScaleArg, Value, Verb};
 use densemem::experiments::registry::{self, Experiment};
 use densemem::experiments::{ExpContext, Scale};
 use densemem_stats::hash::fnv1a64;
 use densemem_stats::hist::Histogram;
 use densemem_stats::par::{ParConfig, WorkerPool};
+use densemem_stats::ring::HashRing;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -47,6 +49,8 @@ pub enum CacheTier {
     Disk,
     /// Coalesced onto an identical in-flight computation.
     Dedup,
+    /// Filled from the fleet peer that owns the key on the hash ring.
+    Peer,
 }
 
 impl CacheTier {
@@ -57,8 +61,71 @@ impl CacheTier {
             CacheTier::Mem => "mem",
             CacheTier::Disk => "disk",
             CacheTier::Dedup => "dedup",
+            CacheTier::Peer => "peer",
         }
     }
+}
+
+/// Membership of a consistent-hash sharded fleet.
+///
+/// Every shard runs the full engine; the ring over `peers.len()` shards
+/// decides, per cache key, which one *owns* the computation. A shard
+/// asked for a key it does not own forwards the submit to the owner
+/// (once — see [`crate::proto::Request::fwd`]) and degrades to computing
+/// locally if the owner is unreachable: a dead peer costs warm-cache
+/// locality, never a client error.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// This shard's index into `peers`.
+    pub shard_id: u32,
+    /// Dial addresses of every fleet member, indexed by shard id.
+    /// `peers[shard_id]` is this shard's own address (never dialed).
+    pub peers: Vec<String>,
+}
+
+struct FleetState {
+    shard_id: u32,
+    peers: Vec<String>,
+    ring: HashRing,
+}
+
+/// Transport-side gauges surfaced in the stats frame. The engine owns
+/// the storage (so `stats` can always render the keys); the server
+/// updates them as connections come and go.
+#[derive(Default)]
+pub struct TransportGauges {
+    /// Connections currently held open by the transport.
+    pub open_connections: AtomicU64,
+    /// Connections accepted since startup (monotone).
+    pub accepted_total: AtomicU64,
+}
+
+/// A completion callback: invoked with each job id that reaches a
+/// terminal state (done, failed, or cancelled).
+pub type CompletionHook = Box<dyn Fn(u64) + Send + Sync>;
+
+type HookCell = Arc<Mutex<Option<CompletionHook>>>;
+
+fn fire_hook(hook: &HookCell, jobs: &[u64]) {
+    if jobs.is_empty() {
+        return;
+    }
+    let guard = hook.lock().expect("completion hook lock");
+    if let Some(f) = guard.as_ref() {
+        for &j in jobs {
+            f(j);
+        }
+    }
+}
+
+/// One step of request handling, for transports that must never block.
+#[derive(Debug)]
+pub enum Step {
+    /// The response frame is ready now.
+    Reply(String),
+    /// The response is a result frame for this job, not yet terminal.
+    /// Poll [`Engine::try_result_frame`] after a completion-hook wake.
+    Pending(u64),
 }
 
 /// A job's lifecycle state.
@@ -79,6 +146,15 @@ struct JobRecord {
 
 struct Inflight {
     followers: Vec<u64>,
+}
+
+/// How a tier-4 job produces its payload.
+enum Origin {
+    /// Run the experiment on this shard.
+    Compute,
+    /// Ask the owning shard (pre-rendered forwarded submit line), then
+    /// fall back to a local compute if the peer cannot answer.
+    Forward { addr: String, line: String },
 }
 
 struct EngineState {
@@ -106,6 +182,10 @@ struct Counters {
     corrupt_entries: AtomicU64,
     failures: AtomicU64,
     bad_frames: AtomicU64,
+    forwarded: AtomicU64,
+    peer_fills: AtomicU64,
+    peer_failures: AtomicU64,
+    wrong_shard: AtomicU64,
 }
 
 /// Engine construction knobs.
@@ -120,6 +200,8 @@ pub struct EngineConfig {
     /// Thread policy *inside* one experiment job. Serial by default:
     /// the pool provides the parallelism across jobs.
     pub job_threads: ParConfig,
+    /// Fleet membership; `None` runs the engine as a standalone shard.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for EngineConfig {
@@ -129,6 +211,7 @@ impl Default for EngineConfig {
             mem_entries: 64,
             disk_dir: None,
             job_threads: ParConfig::serial(),
+            fleet: None,
         }
     }
 }
@@ -141,6 +224,9 @@ pub struct Engine {
     job_par: ParConfig,
     pool: WorkerPool,
     started: Instant,
+    fleet: Option<Arc<FleetState>>,
+    transport: Arc<TransportGauges>,
+    hook: HookCell,
 }
 
 impl Engine {
@@ -148,10 +234,32 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Fails only if the disk-store directory cannot be created.
+    /// Fails if the disk-store directory cannot be created, or if the
+    /// fleet config is inconsistent (`shard_id` outside `peers`).
     pub fn new(cfg: EngineConfig) -> std::io::Result<Self> {
         let disk = match &cfg.disk_dir {
             Some(dir) => Some(DiskStore::open(dir)?),
+            None => None,
+        };
+        let fleet = match cfg.fleet {
+            Some(f) => {
+                let shards = u32::try_from(f.peers.len()).unwrap_or(0);
+                if shards == 0 || f.shard_id >= shards {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!(
+                            "fleet shard_id {} outside peer list of {} members",
+                            f.shard_id,
+                            f.peers.len()
+                        ),
+                    ));
+                }
+                Some(Arc::new(FleetState {
+                    shard_id: f.shard_id,
+                    peers: f.peers,
+                    ring: HashRing::new(shards, HashRing::DEFAULT_VNODES),
+                }))
+            }
             None => None,
         };
         Ok(Self {
@@ -171,44 +279,98 @@ impl Engine {
             job_par: cfg.job_threads,
             pool: WorkerPool::new(&ParConfig::with_threads(cfg.workers)),
             started: Instant::now(),
+            fleet,
+            transport: Arc::new(TransportGauges::default()),
+            hook: Arc::new(Mutex::new(None)),
         })
     }
 
-    /// Maps one request frame to one response frame. Never panics; every
-    /// failure is a typed error frame.
+    /// The transport gauges this engine renders in its stats frame. The
+    /// server updates them; an engine without a transport reports zeros.
+    pub fn transport_gauges(&self) -> Arc<TransportGauges> {
+        Arc::clone(&self.transport)
+    }
+
+    /// Registers the completion hook: called once per job id reaching a
+    /// terminal state. The event-loop transport uses this to wake its
+    /// poll and flush pending result frames; at most one hook is live.
+    pub fn set_completion_hook(&self, f: CompletionHook) {
+        *self.hook.lock().expect("completion hook lock") = Some(f);
+    }
+
+    /// Counts a transport-detected malformed frame (e.g. a truncated
+    /// line at EOF) in the same counter as parse-layer rejections.
+    pub fn note_bad_frame(&self) {
+        self.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Maps one request frame to one response frame, blocking as needed
+    /// (a `wait`ing submit or a `result` verb parks on the condvar until
+    /// the job is terminal). Never panics; every failure is a typed
+    /// error frame.
     pub fn handle(&self, line: &str) -> String {
+        match self.handle_step(line) {
+            Step::Reply(frame) => frame,
+            Step::Pending(job) => self.result_frame(job, RESULT_WAIT),
+        }
+    }
+
+    /// The non-blocking variant of [`Engine::handle`], for the
+    /// event-loop transport: a request whose answer is not ready yet
+    /// comes back as [`Step::Pending`] instead of parking the caller.
+    /// The caller polls [`Engine::try_result_frame`] when the
+    /// completion hook fires (or on its own timeout policy).
+    pub fn handle_step(&self, line: &str) -> Step {
         let req = match Request::from_line(line) {
             Ok(r) => r,
             Err(e) => {
                 self.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
-                return proto::error_frame(&e);
+                return Step::Reply(proto::error_frame(&e));
             }
         };
         match req.verb {
             Verb::Submit => {
                 self.counters.submits.fetch_add(1, Ordering::Relaxed);
-                self.submit_frame(&req)
+                match self.submit(&req) {
+                    Ok((job, _)) if req.wait => match self.try_result_frame(job) {
+                        Some(frame) => Step::Reply(frame),
+                        None => Step::Pending(job),
+                    },
+                    Ok((job, tier)) => Step::Reply(format!(
+                        "{{\"v\":{},\"ok\":true,\"type\":\"submitted\",\"job\":{job},\"cache\":\"{}\"}}",
+                        proto::PROTO_VERSION,
+                        tier.as_str()
+                    )),
+                    Err(e) => Step::Reply(proto::error_frame(&e)),
+                }
             }
             Verb::Status => {
                 self.counters.statuses.fetch_add(1, Ordering::Relaxed);
-                self.status_frame(req.job.expect("parser enforces job"))
+                Step::Reply(self.status_frame(req.job.expect("parser enforces job")))
             }
             Verb::Result => {
                 self.counters.results.fetch_add(1, Ordering::Relaxed);
-                self.result_frame(req.job.expect("parser enforces job"), RESULT_WAIT)
+                let job = req.job.expect("parser enforces job");
+                match self.try_result_frame(job) {
+                    Some(frame) => Step::Reply(frame),
+                    None => Step::Pending(job),
+                }
             }
             Verb::Cancel => {
                 self.counters.cancels.fetch_add(1, Ordering::Relaxed);
-                self.cancel_frame(req.job.expect("parser enforces job"))
+                Step::Reply(self.cancel_frame(req.job.expect("parser enforces job")))
             }
             Verb::Stats => {
                 self.counters.stats.fetch_add(1, Ordering::Relaxed);
-                self.stats_frame()
+                Step::Reply(self.stats_frame())
             }
             Verb::Shutdown => {
                 self.counters.shutdowns.fetch_add(1, Ordering::Relaxed);
                 self.begin_drain();
-                format!("{{\"v\":{},\"ok\":true,\"type\":\"bye\"}}", proto::PROTO_VERSION)
+                Step::Reply(format!(
+                    "{{\"v\":{},\"ok\":true,\"type\":\"bye\"}}",
+                    proto::PROTO_VERSION
+                ))
             }
         }
     }
@@ -230,6 +392,54 @@ impl Engine {
         };
         let ctx = self.context_for(req)?;
         let key = registry::cache_key(exp, &ctx);
+
+        // Fleet routing. A forwarded frame must land on the key's owner
+        // with a matching ring epoch — anything else is a typed
+        // `wrong-shard` refusal (single-hop rule: never re-forward). A
+        // first-hand frame for a key someone else owns falls through the
+        // local cache tiers (peer fills live in our LRU) and, on a true
+        // miss, becomes a forward job instead of a compute job.
+        let forward_to: Option<u32> = match &self.fleet {
+            Some(fleet) => {
+                let owner = fleet.ring.owner_of(&key);
+                if req.fwd {
+                    if req.epoch != Some(fleet.ring.epoch()) {
+                        self.counters.wrong_shard.fetch_add(1, Ordering::Relaxed);
+                        return Err(ProtoError::new(
+                            ErrorCode::WrongShard,
+                            format!(
+                                "ring epoch mismatch (ours {:#x}, frame {:?})",
+                                fleet.ring.epoch(),
+                                req.epoch
+                            ),
+                        ));
+                    }
+                    if owner != fleet.shard_id {
+                        self.counters.wrong_shard.fetch_add(1, Ordering::Relaxed);
+                        return Err(ProtoError::new(
+                            ErrorCode::WrongShard,
+                            format!(
+                                "key {key:?} is owned by shard {owner}, not shard {}",
+                                fleet.shard_id
+                            ),
+                        ));
+                    }
+                    None
+                } else if owner == fleet.shard_id {
+                    None
+                } else {
+                    Some(owner)
+                }
+            }
+            None if req.fwd => {
+                self.counters.wrong_shard.fetch_add(1, Ordering::Relaxed);
+                return Err(ProtoError::new(
+                    ErrorCode::WrongShard,
+                    "forwarded submit to a server not in fleet mode",
+                ));
+            }
+            None => None,
+        };
 
         let (lock, cv) = &*self.state;
         let mut st = lock.lock().expect("engine state lock");
@@ -289,8 +499,37 @@ impl Engine {
             return Ok((job, CacheTier::Dedup));
         }
 
-        // Tier 4: compute.
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        // Tier 4: produce — compute here, or forward to the ring owner.
+        // Both shapes run on the worker pool (a forward blocks on the
+        // peer's compute), keeping the transport thread non-blocking.
+        let origin = match forward_to {
+            Some(owner) => {
+                self.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                let fleet = self.fleet.as_ref().expect("forward implies fleet");
+                let fwd_req = Request {
+                    verb: Verb::Submit,
+                    exp: Some(exp.id.to_owned()),
+                    scale: req.scale,
+                    // Pin the effective seed: the owner must derive the
+                    // exact same cache key we routed on.
+                    seed: Some(req.seed.unwrap_or(densemem::DEFAULT_SEED)),
+                    priority: req.priority,
+                    wait: true,
+                    mitigation: req.mitigation.clone(),
+                    fwd: true,
+                    epoch: Some(fleet.ring.epoch()),
+                    job: None,
+                };
+                Origin::Forward {
+                    addr: fleet.peers[owner as usize].clone(),
+                    line: fwd_req.to_line(),
+                }
+            }
+            None => {
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                Origin::Compute
+            }
+        };
         st.inflight.insert(key.clone(), Inflight { followers: Vec::new() });
         st.jobs
             .insert(job, JobRecord { exp_id: exp.id, tier: CacheTier::Miss, state: JobState::Queued });
@@ -298,10 +537,11 @@ impl Engine {
 
         let state = Arc::clone(&self.state);
         let counters = Arc::clone(&self.counters);
+        let hook = Arc::clone(&self.hook);
         let disk = self.disk.clone();
         let ctx = ctx.clone();
         let accepted = self.pool.submit(req.priority, move || {
-            Self::run_job(&state, &counters, disk.as_ref(), exp, &ctx, job, &key);
+            Self::run_job(&state, &counters, &hook, disk.as_ref(), exp, &ctx, job, &key, &origin);
         });
         if !accepted {
             // The pool began draining between our check and the submit.
@@ -309,6 +549,7 @@ impl Engine {
             let mut st = lock.lock().expect("engine state lock");
             Self::resolve(&mut st, job, JobState::Failed { msg: "pool shut down".into() });
             cv.notify_all();
+            fire_hook(&self.hook, &[job]);
             return Err(ProtoError::new(ErrorCode::ShuttingDown, "worker pool is draining"));
         }
         Ok((job, CacheTier::Miss))
@@ -332,17 +573,24 @@ impl Engine {
         Ok(ctx)
     }
 
-    /// The worker-side job body. Runs the experiment under `catch_unwind`,
-    /// renders the canonical JSON report, populates both cache tiers, and
-    /// resolves the leader plus every coalesced follower.
+    /// The worker-side job body. For a [`Origin::Forward`] job, asks the
+    /// owning shard first (hash-verifying the payload) and degrades to a
+    /// local compute when the peer cannot answer. The compute path runs
+    /// the experiment under `catch_unwind`, renders the canonical JSON
+    /// report, and populates both cache tiers. Either way the leader
+    /// plus every coalesced follower is resolved and the completion
+    /// hook fired.
+    #[allow(clippy::too_many_arguments)]
     fn run_job(
         state: &Arc<(Mutex<EngineState>, Condvar)>,
         counters: &Arc<Counters>,
+        hook: &HookCell,
         disk: Option<&DiskStore>,
         exp: &'static Experiment,
         ctx: &ExpContext,
         job: u64,
         key: &str,
+        origin: &Origin,
     ) {
         let (lock, cv) = &**state;
         let cancelled_without_followers = {
@@ -365,7 +613,54 @@ impl Engine {
         };
         if cancelled_without_followers {
             cv.notify_all();
+            fire_hook(hook, &[job]);
             return;
+        }
+
+        // Peer cache-fill: ask the ring owner before computing. Any
+        // failure in the exchange — connect, roundtrip, an error frame,
+        // a payload failing hash verification — degrades to the local
+        // compute below. A dead peer costs latency, never a client
+        // error.
+        if let Origin::Forward { addr, line } = origin {
+            match Self::peer_fill(addr, line) {
+                Ok((payload, wall_ms)) => {
+                    counters.peer_fills.fetch_add(1, Ordering::Relaxed);
+                    let payload = Arc::new(payload);
+                    let mut st = lock.lock().expect("engine state lock");
+                    st.mem.put(key, (*payload).clone());
+                    let followers =
+                        st.inflight.remove(key).map(|f| f.followers).unwrap_or_default();
+                    let done = JobState::Done { payload, wall_ms };
+                    let mut resolved = Vec::with_capacity(1 + followers.len());
+                    if !matches!(
+                        st.jobs.get(&job).map(|r| &r.state),
+                        Some(JobState::Cancelled)
+                    ) {
+                        if let Some(r) = st.jobs.get_mut(&job) {
+                            r.tier = CacheTier::Peer;
+                        }
+                        Self::resolve(&mut st, job, done.clone());
+                        resolved.push(job);
+                    }
+                    for f in followers {
+                        Self::resolve(&mut st, f, done.clone());
+                        resolved.push(f);
+                    }
+                    drop(st);
+                    cv.notify_all();
+                    fire_hook(hook, &resolved);
+                    return;
+                }
+                Err(why) => {
+                    // `peer-unreachable` class of failure: counted, then
+                    // degraded to a local compute (which is also why the
+                    // code never reaches a first-hand client).
+                    counters.peer_failures.fetch_add(1, Ordering::Relaxed);
+                    counters.misses.fetch_add(1, Ordering::Relaxed);
+                    let _ = why;
+                }
+            }
         }
 
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -394,15 +689,20 @@ impl Engine {
                 let followers =
                     st.inflight.remove(key).map(|f| f.followers).unwrap_or_default();
                 let done = JobState::Done { payload, wall_ms };
+                let mut resolved = Vec::with_capacity(1 + followers.len());
                 // A cancelled leader keeps its Cancelled state; the
                 // computation still feeds its followers and the caches.
                 if !matches!(st.jobs.get(&job).map(|r| &r.state), Some(JobState::Cancelled)) {
                     Self::resolve(&mut st, job, done.clone());
+                    resolved.push(job);
                 }
                 for f in followers {
                     Self::resolve(&mut st, f, done.clone());
+                    resolved.push(f);
                 }
+                drop(st);
                 cv.notify_all();
+                fire_hook(hook, &resolved);
             }
             Err(panic) => {
                 counters.failures.fetch_add(1, Ordering::Relaxed);
@@ -415,13 +715,44 @@ impl Engine {
                 let followers =
                     st.inflight.remove(key).map(|f| f.followers).unwrap_or_default();
                 let failed = JobState::Failed { msg };
+                let mut resolved = vec![job];
                 Self::resolve(&mut st, job, failed.clone());
                 for f in followers {
                     Self::resolve(&mut st, f, failed.clone());
+                    resolved.push(f);
                 }
+                drop(st);
                 cv.notify_all();
+                fire_hook(hook, &resolved);
             }
         }
+    }
+
+    /// One peer exchange: dial the owner (tolerantly — see
+    /// [`ConnectOpts::default`]), send the forwarded submit, verify the
+    /// answer's payload hash. Returns `(payload, wall_ms)` or a reason
+    /// string the caller counts as a peer failure.
+    fn peer_fill(addr: &str, line: &str) -> Result<(String, f64), String> {
+        let mut peer = TcpClient::connect_opts(addr, &ConnectOpts::default())
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        peer.set_read_timeout(Some(RESULT_WAIT)).map_err(|e| e.to_string())?;
+        let resp = peer.roundtrip(line).map_err(|e| format!("roundtrip {addr}: {e}"))?;
+        let doc = proto::parse(&resp).map_err(|e| format!("unparseable peer frame: {e}"))?;
+        if doc.get("ok").and_then(Value::as_bool) != Some(true) {
+            let code = doc.get("code").and_then(Value::as_str).unwrap_or("?");
+            return Err(format!("peer {addr} answered error frame {code}"));
+        }
+        let payload = doc
+            .get("payload")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("peer {addr} result frame carries no payload"))?
+            .to_owned();
+        let fnv = doc.get("payload_fnv").and_then(Value::as_str).unwrap_or("");
+        if format!("{:016x}", fnv1a64(payload.as_bytes())) != fnv {
+            return Err(format!("peer {addr} payload failed hash verification"));
+        }
+        let wall_ms = doc.get("wall_ms").and_then(Value::as_num).unwrap_or(0.0);
+        Ok((payload, wall_ms))
     }
 
     fn resolve(st: &mut EngineState, job: u64, state: JobState) {
@@ -432,15 +763,62 @@ impl Engine {
         }
     }
 
-    fn submit_frame(&self, req: &Request) -> String {
-        match self.submit(req) {
-            Ok((job, _)) if req.wait => self.result_frame(job, RESULT_WAIT),
-            Ok((job, tier)) => format!(
-                "{{\"v\":{},\"ok\":true,\"type\":\"submitted\",\"job\":{job},\"cache\":\"{}\"}}",
-                proto::PROTO_VERSION,
-                tier.as_str()
-            ),
-            Err(e) => proto::error_frame(&e),
+    /// Renders `job`'s result frame if the job is terminal — done,
+    /// failed, cancelled, or unknown (that last is terminal too: an
+    /// `unknown-job` error frame). Returns `None` while the job is
+    /// still queued or running; the event-loop transport re-polls after
+    /// a completion-hook wake instead of blocking here.
+    pub fn try_result_frame(&self, job: u64) -> Option<String> {
+        let (lock, _) = &*self.state;
+        let st = lock.lock().expect("engine state lock");
+        Self::terminal_frame(&st, job)
+    }
+
+    /// Renders the timeout error frame the blocking path and the event
+    /// loop both use when their patience for `job` runs out.
+    pub fn timeout_frame(&self, job: u64, patience: Duration) -> String {
+        let (lock, _) = &*self.state;
+        let st = lock.lock().expect("engine state lock");
+        let state = st.jobs.get(&job).map_or("unknown", |r| state_str(&r.state));
+        proto::error_frame(&ProtoError::new(
+            ErrorCode::Timeout,
+            format!("job {job} still {state} after {patience:?}"),
+        ))
+    }
+
+    fn terminal_frame(st: &EngineState, job: u64) -> Option<String> {
+        match st.jobs.get(&job) {
+            None => Some(proto::error_frame(&ProtoError::new(
+                ErrorCode::UnknownJob,
+                format!("job {job}"),
+            ))),
+            Some(r) => match &r.state {
+                JobState::Done { payload, wall_ms } => {
+                    let mut s = format!(
+                        "{{\"v\":{},\"ok\":true,\"type\":\"result\",\"job\":{job},\"exp\":\"{}\",\"cache\":\"{}\"",
+                        proto::PROTO_VERSION,
+                        r.exp_id,
+                        r.tier.as_str()
+                    );
+                    let _ = write!(s, ",\"wall_ms\":{wall_ms:.3}");
+                    let _ = write!(
+                        s,
+                        ",\"payload_fnv\":\"{:016x}\",\"payload\":\"{}\"}}",
+                        fnv1a64(payload.as_bytes()),
+                        proto::escape(payload)
+                    );
+                    Some(s)
+                }
+                JobState::Failed { msg } => Some(proto::error_frame(&ProtoError::new(
+                    ErrorCode::JobFailed,
+                    format!("job {job}: {msg}"),
+                ))),
+                JobState::Cancelled => Some(proto::error_frame(&ProtoError::new(
+                    ErrorCode::JobCancelled,
+                    format!("job {job}"),
+                ))),
+                JobState::Queued | JobState::Running => None,
+            },
         }
     }
 
@@ -451,57 +829,19 @@ impl Engine {
         let (lock, cv) = &*self.state;
         let mut st = lock.lock().expect("engine state lock");
         loop {
-            match st.jobs.get(&job) {
-                None => {
-                    return proto::error_frame(&ProtoError::new(
-                        ErrorCode::UnknownJob,
-                        format!("job {job}"),
-                    ))
-                }
-                Some(r) => match &r.state {
-                    JobState::Done { payload, wall_ms } => {
-                        let mut s = format!(
-                            "{{\"v\":{},\"ok\":true,\"type\":\"result\",\"job\":{job},\"exp\":\"{}\",\"cache\":\"{}\"",
-                            proto::PROTO_VERSION,
-                            r.exp_id,
-                            r.tier.as_str()
-                        );
-                        let _ = write!(s, ",\"wall_ms\":{wall_ms:.3}");
-                        let _ = write!(
-                            s,
-                            ",\"payload_fnv\":\"{:016x}\",\"payload\":\"{}\"}}",
-                            fnv1a64(payload.as_bytes()),
-                            proto::escape(payload)
-                        );
-                        return s;
-                    }
-                    JobState::Failed { msg } => {
-                        return proto::error_frame(&ProtoError::new(
-                            ErrorCode::JobFailed,
-                            format!("job {job}: {msg}"),
-                        ))
-                    }
-                    JobState::Cancelled => {
-                        return proto::error_frame(&ProtoError::new(
-                            ErrorCode::JobCancelled,
-                            format!("job {job}"),
-                        ))
-                    }
-                    JobState::Queued | JobState::Running => {
-                        let now = Instant::now();
-                        if now >= deadline {
-                            return proto::error_frame(&ProtoError::new(
-                                ErrorCode::Timeout,
-                                format!("job {job} still {} after {patience:?}", state_str(&r.state)),
-                            ));
-                        }
-                        let (next, _) = cv
-                            .wait_timeout(st, deadline - now)
-                            .expect("engine state lock");
-                        st = next;
-                    }
-                },
+            if let Some(frame) = Self::terminal_frame(&st, job) {
+                return frame;
             }
+            let now = Instant::now();
+            if now >= deadline {
+                let state = st.jobs.get(&job).map_or("unknown", |r| state_str(&r.state));
+                return proto::error_frame(&ProtoError::new(
+                    ErrorCode::Timeout,
+                    format!("job {job} still {state} after {patience:?}"),
+                ));
+            }
+            let (next, _) = cv.wait_timeout(st, deadline - now).expect("engine state lock");
+            st = next;
         }
     }
 
@@ -540,8 +880,19 @@ impl Engine {
                     }
                     _ => false,
                 };
+                if cancelled {
+                    // Cancellation is a terminal transition: wake any
+                    // event-loop waiter parked on this job.
+                    drop(st);
+                    cv.notify_all();
+                    fire_hook(&self.hook, &[job]);
+                    return format!(
+                        "{{\"v\":{},\"ok\":true,\"type\":\"cancelled\",\"job\":{job},\"did_cancel\":true}}",
+                        proto::PROTO_VERSION
+                    );
+                }
                 format!(
-                    "{{\"v\":{},\"ok\":true,\"type\":\"cancelled\",\"job\":{job},\"did_cancel\":{cancelled}}}",
+                    "{{\"v\":{},\"ok\":true,\"type\":\"cancelled\",\"job\":{job},\"did_cancel\":false}}",
                     proto::PROTO_VERSION
                 )
             }
@@ -568,6 +919,23 @@ impl Engine {
         if let Some(disk) = &self.disk {
             let _ = write!(s, ",\"disk_entries\":{}", disk.len());
         }
+        // Transport gauges: zero for an engine driven in-process, live
+        // values when the event-loop server updates them.
+        let _ = write!(
+            s,
+            ",\"open_connections\":{}",
+            self.transport.open_connections.load(Ordering::Relaxed)
+        );
+        let _ = write!(
+            s,
+            ",\"accepted_total\":{}",
+            self.transport.accepted_total.load(Ordering::Relaxed)
+        );
+        if let Some(fleet) = &self.fleet {
+            let _ = write!(s, ",\"shard_id\":{}", fleet.shard_id);
+            let _ = write!(s, ",\"shards\":{}", fleet.peers.len());
+            let _ = write!(s, ",\"ring_epoch\":\"{:#x}\"", fleet.ring.epoch());
+        }
         for (name, counter) in [
             ("submits", &c.submits),
             ("statuses", &c.statuses),
@@ -582,6 +950,10 @@ impl Engine {
             ("dedups", &c.dedups),
             ("corrupt_entries", &c.corrupt_entries),
             ("job_failures", &c.failures),
+            ("forwarded", &c.forwarded),
+            ("peer_fills", &c.peer_fills),
+            ("peer_failures", &c.peer_failures),
+            ("wrong_shard", &c.wrong_shard),
         ] {
             let _ = write!(s, ",\"{name}\":{}", counter.load(Ordering::Relaxed));
         }

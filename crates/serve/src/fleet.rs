@@ -1,0 +1,73 @@
+//! In-process fleet bootstrapping for tests, benches, and examples.
+//!
+//! Standing up a consistent-hash fleet has a chicken-and-egg step: every
+//! engine needs the complete peer address list, but OS-assigned ports
+//! are only known after binding. [`LocalFleet::spawn`] does the dance in
+//! the right order — bind every listener first, collect the addresses,
+//! then build each engine with the full list and wrap it via
+//! [`Server::from_listener`] — and hands back the addresses plus a
+//! handle that can drain the whole fleet.
+
+use crate::client::TcpClient;
+use crate::engine::{Engine, EngineConfig, FleetConfig};
+use crate::server::Server;
+use std::net::{SocketAddr, TcpListener};
+
+/// A running fleet of shard servers inside this process, one event-loop
+/// thread per shard.
+pub struct LocalFleet {
+    addrs: Vec<SocketAddr>,
+    handles: Vec<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl LocalFleet {
+    /// Spawns `shards` servers on OS-assigned loopback ports, each
+    /// running the given engine config plus the fleet membership wiring.
+    /// `base.fleet` is overwritten per shard; give each shard its own
+    /// `disk_dir` (or none) — they are separate processes in spirit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/engine-construction failures.
+    pub fn spawn(shards: u32, base: &EngineConfig) -> std::io::Result<Self> {
+        let listeners: Vec<TcpListener> = (0..shards)
+            .map(|_| TcpListener::bind("127.0.0.1:0"))
+            .collect::<std::io::Result<_>>()?;
+        let addrs: Vec<SocketAddr> =
+            listeners.iter().map(TcpListener::local_addr).collect::<std::io::Result<_>>()?;
+        let peers: Vec<String> = addrs.iter().map(ToString::to_string).collect();
+
+        let mut handles = Vec::with_capacity(listeners.len());
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let mut cfg = base.clone();
+            cfg.fleet = Some(FleetConfig {
+                shard_id: u32::try_from(i).expect("shard count fits u32"),
+                peers: peers.clone(),
+            });
+            let server = Server::from_listener(Engine::new(cfg)?, listener)?;
+            handles.push(std::thread::spawn(move || server.run()));
+        }
+        Ok(Self { addrs, handles })
+    }
+
+    /// The shard addresses, indexed by shard id.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Drains every shard (a `shutdown` verb each) and joins the server
+    /// threads. Shards already stopped — e.g. a test killed one to
+    /// exercise degradation — are skipped without complaint.
+    pub fn shutdown(self) {
+        for addr in &self.addrs {
+            if let Ok(mut c) = TcpClient::connect(*addr) {
+                let _ = c.shutdown();
+            }
+        }
+        for h in self.handles {
+            // A shard's run() result only matters to tests that already
+            // asserted on its behaviour; drain must not panic.
+            let _ = h.join();
+        }
+    }
+}

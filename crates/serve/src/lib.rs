@@ -21,8 +21,16 @@
 //! * [`cache`] — in-memory LRU over hash-verified on-disk entries;
 //!   corruption is detected, deleted, and recomputed, never served.
 //! * [`engine`] — job lifecycle, single-flight dedup of identical
-//!   in-flight requests, per-verb counters and latency histograms.
-//! * [`server`] / [`client`] — the TCP transport and its counterpart.
+//!   in-flight requests, per-verb counters and latency histograms, and
+//!   fleet routing: in sharded mode a consistent-hash ring
+//!   ([`densemem_stats::ring::HashRing`]) over the cache key decides
+//!   which shard owns a computation, non-owned keys are forwarded one
+//!   hop to the owner (peer cache-fill), and an unreachable owner
+//!   degrades to a local compute — never a client error.
+//! * [`server`] / [`client`] — the TCP transport (a `poll(2)` readiness
+//!   event loop holding every connection in one thread) and its
+//!   counterpart (tolerant dialing: connect timeout plus one bounded
+//!   retry).
 //!
 //! The `serve` binary wires these together; `tools/check.sh` smoke-tests
 //! the daemon end-to-end against the golden snapshots.
@@ -33,11 +41,13 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod fleet;
 pub mod proto;
 pub mod server;
 
 pub use cache::{DiskRead, DiskStore, MemLru};
-pub use client::TcpClient;
-pub use engine::{CacheTier, Engine, EngineConfig};
+pub use client::{ConnectOpts, TcpClient};
+pub use engine::{CacheTier, Engine, EngineConfig, FleetConfig, Step, TransportGauges};
+pub use fleet::LocalFleet;
 pub use proto::{ErrorCode, ProtoError, Request, ScaleArg, Verb, PROTO_VERSION};
 pub use server::Server;

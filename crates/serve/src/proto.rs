@@ -51,6 +51,15 @@ pub enum ErrorCode {
     Timeout,
     /// The server is draining and accepts no new work.
     ShuttingDown,
+    /// A forwarded request landed on a shard that does not own the key
+    /// (ring-epoch mismatch or stale routing). Single-hop rule: the
+    /// receiving shard refuses instead of re-forwarding, and the
+    /// originator computes locally.
+    WrongShard,
+    /// The owning shard could not be reached (connect/roundtrip
+    /// failure). Surfaced in stats counters; clients never see it — the
+    /// asked shard degrades to computing locally.
+    PeerUnreachable,
 }
 
 impl ErrorCode {
@@ -68,6 +77,8 @@ impl ErrorCode {
             ErrorCode::JobFailed => "job-failed",
             ErrorCode::Timeout => "timeout",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::WrongShard => "wrong-shard",
+            ErrorCode::PeerUnreachable => "peer-unreachable",
         }
     }
 }
@@ -152,6 +163,16 @@ pub struct Request {
     /// (e.g. `"para:p=0.01"`). Validated and canonicalized by the
     /// engine, and folded into the report cache key.
     pub mitigation: Option<String>,
+    /// `submit`: true when this request was forwarded by a fleet peer.
+    /// Single-hop rule: a forwarded request is never forwarded again —
+    /// a receiving shard that does not own the key answers with a typed
+    /// `wrong-shard` error instead.
+    pub fwd: bool,
+    /// `submit`: the sender's ring epoch on forwarded requests. The
+    /// receiving shard refuses (`wrong-shard`) when it disagrees, so two
+    /// shards with mismatched ring configurations never trust each
+    /// other's ownership math.
+    pub epoch: Option<u64>,
     /// `status` / `result` / `cancel`: the job id.
     pub job: Option<u64>,
 }
@@ -211,6 +232,8 @@ impl Request {
             priority: 0,
             wait: false,
             mitigation: None,
+            fwd: false,
+            epoch: None,
             job: None,
         };
         if let Some(v) = obj.get("exp") {
@@ -264,6 +287,43 @@ impl Request {
                 }
             }
         }
+        if let Some(v) = obj.get("fwd") {
+            match v {
+                Value::Bool(b) => req.fwd = *b,
+                _ => return Err(ProtoError::new(ErrorCode::BadField, "\"fwd\" must be a bool")),
+            }
+        }
+        if let Some(v) = obj.get("epoch") {
+            match v {
+                // Epochs are FNV digests; the hex-string spelling covers
+                // the full u64 range (JSON numbers stop at 2^53).
+                Value::Str(s) => {
+                    let t = s.trim();
+                    let parsed = t
+                        .strip_prefix("0x")
+                        .or_else(|| t.strip_prefix("0X"))
+                        .map_or_else(|| t.parse(), |hex| u64::from_str_radix(hex, 16));
+                    match parsed {
+                        Ok(e) => req.epoch = Some(e),
+                        Err(e) => {
+                            return Err(ProtoError::new(
+                                ErrorCode::BadField,
+                                format!("\"epoch\" {t:?}: {e}"),
+                            ))
+                        }
+                    }
+                }
+                Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => {
+                    req.epoch = Some(*n as u64);
+                }
+                _ => {
+                    return Err(ProtoError::new(
+                        ErrorCode::BadField,
+                        "\"epoch\" must be a non-negative integer or a \"0x…\" string",
+                    ))
+                }
+            }
+        }
         if let Some(v) = obj.get("job") {
             match v {
                 Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => req.job = Some(*n as u64),
@@ -311,6 +371,12 @@ impl Request {
             }
             if let Some(m) = &self.mitigation {
                 let _ = write!(s, ",\"mitigation\":\"{}\"", escape(m));
+            }
+            if self.fwd {
+                s.push_str(",\"fwd\":true");
+            }
+            if let Some(epoch) = self.epoch {
+                let _ = write!(s, ",\"epoch\":\"{epoch:#x}\"");
             }
         }
         if let Some(job) = self.job {
@@ -421,6 +487,59 @@ impl Value {
         match self {
             Value::Bool(b) => Some(*b),
             _ => None,
+        }
+    }
+
+    /// Renders the value back to compact JSON (object keys in sorted
+    /// order — the parse representation is a `BTreeMap`). `parse` ∘
+    /// `render_json` is the identity on the value, which is what the
+    /// benchmark harnesses need to read-modify-write their JSON
+    /// artifacts without a serializer dependency.
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s);
+        s
+    }
+
+    fn render_into(&self, s: &mut String) {
+        match self {
+            Value::Null => s.push_str("null"),
+            Value::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(s, "{}", *n as i64);
+                } else {
+                    let _ = write!(s, "{n}");
+                }
+            }
+            Value::Str(t) => {
+                s.push('"');
+                s.push_str(&escape(t));
+                s.push('"');
+            }
+            Value::Arr(items) => {
+                s.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    v.render_into(s);
+                }
+                s.push(']');
+            }
+            Value::Obj(map) => {
+                s.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('"');
+                    s.push_str(&escape(k));
+                    s.push_str("\":");
+                    v.render_into(s);
+                }
+                s.push('}');
+            }
         }
     }
 }
@@ -726,6 +845,49 @@ mod tests {
         assert_eq!(a[1].as_num(), Some(2.5));
         assert_eq!(a[2].get("b").and_then(Value::as_str), Some("x\ny"));
         assert_eq!(doc.get("d").and_then(Value::as_str), Some("é😀"));
+    }
+
+    #[test]
+    fn forwarded_submit_round_trip() {
+        let line = r#"{"v":1,"verb":"submit","exp":"E15","seed":"0x7","fwd":true,"epoch":"0xdeadbeefcafef00d"}"#;
+        let req = Request::from_line(line).unwrap();
+        assert!(req.fwd);
+        assert_eq!(req.epoch, Some(0xDEAD_BEEF_CAFE_F00D));
+        let rendered = req.to_line();
+        assert_eq!(Request::from_line(&rendered).unwrap(), req);
+
+        // Plain submits carry neither field and default them off.
+        let plain = Request::from_line(r#"{"v":1,"verb":"submit","exp":"E1"}"#).unwrap();
+        assert!(!plain.fwd);
+        assert_eq!(plain.epoch, None);
+
+        for bad in [
+            r#"{"v":1,"verb":"submit","exp":"E1","fwd":"yes"}"#,
+            r#"{"v":1,"verb":"submit","exp":"E1","epoch":-3}"#,
+            r#"{"v":1,"verb":"submit","exp":"E1","epoch":"0xzz"}"#,
+        ] {
+            assert_eq!(Request::from_line(bad).unwrap_err().code, ErrorCode::BadField, "{bad}");
+        }
+    }
+
+    #[test]
+    fn fleet_error_codes_have_stable_spellings() {
+        assert_eq!(ErrorCode::WrongShard.as_str(), "wrong-shard");
+        assert_eq!(ErrorCode::PeerUnreachable.as_str(), "peer-unreachable");
+    }
+
+    #[test]
+    fn render_json_round_trips() {
+        for text in [
+            r#"{"a":[1,2.5,{"b":"x\ny"}],"c":null,"d":true}"#,
+            r#"{"serve_load":[{"fleet":1,"req_per_sec":12345.6}]}"#,
+            "[]",
+            r#""plain \"string\"""#,
+        ] {
+            let doc = parse(text).unwrap();
+            let rendered = doc.render_json();
+            assert_eq!(parse(&rendered).unwrap(), doc, "{text} → {rendered}");
+        }
     }
 
     #[test]

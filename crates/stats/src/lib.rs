@@ -23,6 +23,9 @@ pub mod hash;
 pub mod hist;
 pub mod kernels;
 pub mod par;
+#[cfg(unix)]
+pub mod readiness;
+pub mod ring;
 pub mod rng;
 pub mod series;
 pub mod summary;
@@ -33,6 +36,7 @@ pub use hash::{fnv1a64, Fnv1a};
 pub use hist::{Histogram, LogHistogram};
 pub use kernels::{apply_stuck, count_flips, for_each_flip, set_bits};
 pub use par::{par_map, par_map_seeded, ParConfig, Stopwatch, WorkerPool};
+pub use ring::HashRing;
 pub use rng::{seeded, substream};
 pub use series::Series;
 pub use summary::Summary;

