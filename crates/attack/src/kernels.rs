@@ -5,6 +5,13 @@
 //! activations. Alternating between rows of the same bank defeats the row
 //! buffer (every access is a row conflict), exactly as the real code's
 //! `clflush` + access pairs do.
+//!
+//! All kernels here are *uniform*: every aggressor fires once per pass in
+//! a flat round-robin. The non-uniform, refresh-synchronized
+//! generalization (per-row phase/frequency/amplitude, Blacksmith-class)
+//! lives in [`crate::pattern`]; its `period == 1` degenerate case lowers
+//! to exactly the command stream these kernels produce (see
+//! `ShapedPattern::from_kernel`).
 
 use densemem_ctrl::{CtrlError, MemCommand, MemoryController};
 use densemem_stats::rng::substream;

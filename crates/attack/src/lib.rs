@@ -11,6 +11,11 @@
 //!   *in* the simulated DRAM, address translation.
 //! * [`exploit`] — the Project-Zero-style PTE-spray privilege-escalation
 //!   Monte Carlo built on [`vm`].
+//! * [`pattern`] — Blacksmith/ZenHammer-class shaped patterns: ordered
+//!   aggressor slots with per-row phase/frequency/amplitude over the
+//!   refresh window, serializable to JSONL with a canonical form, a
+//!   seeded fuzzing sampler, and a scheduler lowering them to the same
+//!   command stream the uniform kernels use.
 //! * [`scenarios`] — higher-level attack scenarios: the dedup-merge
 //!   (Flip-Feng-Shui / Dedup-Est-Machina) class.
 //! * [`timing_channel`] — the row-conflict timing side channel attackers
@@ -44,6 +49,7 @@ pub mod evasion;
 pub mod exploit;
 pub mod invariants;
 pub mod kernels;
+pub mod pattern;
 pub mod scenarios;
 pub mod templating;
 pub mod timing_channel;
@@ -54,6 +60,7 @@ pub use evasion::{min_evading_k, sweep_many_sided, EvasionPoint};
 pub use exploit::{ExploitConfig, ExploitOutcome, PteSprayExploit};
 pub use invariants::{InvariantChecker, InvariantReport};
 pub use kernels::{AccessMode, HammerKernel, HammerPattern, KernelReport};
+pub use pattern::{PatternBuilder, PatternError, PatternSlot, ShapedKernel, ShapedPattern};
 pub use scenarios::{DedupAttack, DedupAttackConfig, DedupOutcome};
 pub use templating::{pfn_templates, scan_templates, FlipTemplate};
 pub use timing_channel::{discover_conflict_pairs, TimingProbe};

@@ -8,6 +8,7 @@
 //! targets.
 
 use crate::kernels::{AccessMode, HammerKernel, HammerPattern};
+use crate::pattern::{ShapedKernel, ShapedPattern};
 use densemem_ctrl::{CtrlError, MemoryController};
 
 /// One profiled flip: hammering `(victim−1, victim+1)` reproducibly flips
@@ -88,6 +89,63 @@ pub fn scan_templates(
     Ok(templates)
 }
 
+/// Profiles one *shaped* pattern (see [`crate::pattern`]) the same way
+/// `scan_templates` profiles double-sided sites: every victim row is
+/// armed worst-case (victim charged, aggressors inverted), the pattern
+/// runs for `cycles` full scheduling cycles, and every reproduced flip
+/// comes back as a [`FlipTemplate`]. This is how a fuzzer-found bypass
+/// pattern graduates into exploit targeting material.
+///
+/// # Errors
+///
+/// Returns [`CtrlError`] if the pattern addresses an invalid location.
+pub fn shaped_templates(
+    ctrl: &mut MemoryController,
+    pattern: &ShapedPattern,
+    cycles: u64,
+) -> Result<Vec<FlipTemplate>, CtrlError> {
+    let bank = pattern.bank();
+    let victims = pattern.victim_rows();
+    let now = ctrl.now_ns();
+    let mut charged_fill = Vec::with_capacity(victims.len());
+    for &victim in &victims {
+        let charged = densemem_dram::cell::orientation_of_row(victim).charged_value();
+        let victim_fill = if charged { u64::MAX } else { 0 };
+        ctrl.module_mut()
+            .bank_mut(bank)
+            .fill_row(victim, victim_fill, now)
+            .map_err(CtrlError::from)?;
+        charged_fill.push((charged, victim_fill));
+    }
+    for &aggressor in &pattern.aggressor_rows() {
+        let charged = densemem_dram::cell::orientation_of_row(aggressor).charged_value();
+        let inverted = if charged { 0 } else { u64::MAX };
+        ctrl.module_mut()
+            .bank_mut(bank)
+            .fill_row(aggressor, inverted, now)
+            .map_err(CtrlError::from)?;
+    }
+    ShapedKernel::new(pattern.clone()).run_cycles(ctrl, cycles)?;
+    let mut templates = Vec::new();
+    let now = ctrl.now_ns();
+    for (&victim, &(charged, victim_fill)) in victims.iter().zip(&charged_fill) {
+        let data = ctrl
+            .module_mut()
+            .bank_mut(bank)
+            .inspect_row(victim, now)
+            .map_err(CtrlError::from)?;
+        for (word, &w) in data.iter().enumerate() {
+            let mut diff = w ^ victim_fill;
+            while diff != 0 {
+                let bit = diff.trailing_zeros() as u8;
+                templates.push(FlipTemplate { bank, victim, word, bit, flips_to: !charged });
+                diff &= diff - 1;
+            }
+        }
+    }
+    Ok(templates)
+}
+
 /// Filters templates to those useful for a page-table attack: flips in
 /// the PFN bit range that move the mapping to a *lower* or *higher* frame
 /// the attacker can occupy. (For the dedup/key-corruption attack any
@@ -153,6 +211,21 @@ mod tests {
         let useful = pfn_templates(&ts);
         assert_eq!(useful.len(), 1);
         assert_eq!(useful[0].bit, 20);
+    }
+
+    #[test]
+    fn shaped_pattern_reproduces_the_double_sided_template() {
+        let mut ctrl = controller_with_cells();
+        ctrl.fill(0xFF);
+        // The uniform shaped equivalent of double-sided(101) must find
+        // the same planted template the classic scan finds.
+        let shaped =
+            ShapedPattern::from_kernel(&HammerPattern::double_sided(0, 101)).unwrap();
+        let found = shaped_templates(&mut ctrl, &shaped, 700_000).unwrap();
+        assert!(
+            found.iter().any(|t| t.victim == 101 && t.word == 3 && t.bit == 17),
+            "{found:?}"
+        );
     }
 
     #[test]

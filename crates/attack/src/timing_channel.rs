@@ -9,6 +9,7 @@
 //! which picks same-bank pairs the same way).
 
 use crate::kernels::HammerPattern;
+use crate::pattern::PatternBuilder;
 use densemem_ctrl::addrmap::AddressMapping;
 use densemem_ctrl::{CtrlError, MemoryController};
 
@@ -104,6 +105,34 @@ pub fn pattern_from_pair(probe: &TimingProbe, a: u64, b: u64) -> HammerPattern {
     HammerPattern::single_sided(bank, row_a, row_b)
 }
 
+/// Builds a shaped-pattern fuzzing sampler whose row pool is the rows of
+/// the timing-discovered conflict pairs landing in `bank` — how a real
+/// Blacksmith-style attacker seeds its fuzzer without knowing the
+/// address mapping: the side channel supplies same-bank rows, the
+/// [`PatternBuilder`] supplies the phase/frequency/amplitude shapes.
+///
+/// Returns `None` when fewer than two discovered rows land in `bank`
+/// (the builder samples double-sided pairs, so it needs at least two).
+pub fn builder_from_pairs(
+    probe: &TimingProbe,
+    pairs: &[(u64, u64)],
+    bank: usize,
+    period: u32,
+) -> Option<PatternBuilder> {
+    let mut pool: Vec<usize> = pairs
+        .iter()
+        .flat_map(|&(a, b)| [probe.decode(a), probe.decode(b)])
+        .filter(|&(b, _, _)| b == bank)
+        .map(|(_, row, _)| row)
+        .collect();
+    pool.sort_unstable();
+    pool.dedup();
+    if pool.len() < 2 {
+        return None;
+    }
+    Some(PatternBuilder::new(bank, pool, period))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +200,20 @@ mod tests {
         let pattern = pattern_from_pair(&p, a, b);
         assert_eq!(pattern.rows(), &[10, 500]);
         assert_eq!(pattern.bank(), 0);
+    }
+
+    #[test]
+    fn discovered_pairs_seed_a_shaped_fuzzer_pool() {
+        let p = probe();
+        let m = AddressMapping::small_two_banks();
+        let pairs = vec![
+            (m.encode(0, 10, 0), m.encode(0, 500, 0)),
+            (m.encode(0, 10, 0), m.encode(0, 12, 0)),
+            (m.encode(1, 77, 0), m.encode(1, 400, 0)),
+        ];
+        let b = builder_from_pairs(&p, &pairs, 0, 64).expect("bank 0 has pairs");
+        assert_eq!(b.pool(), &[10, 12, 500], "sorted, deduped, bank-0 rows only");
+        assert_eq!(b.period(), 64);
+        assert!(builder_from_pairs(&p, &pairs, 7, 64).is_none(), "no pairs in bank 7");
     }
 }

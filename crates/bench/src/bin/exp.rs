@@ -1,4 +1,4 @@
-//! Unified experiment CLI over the E1–E26 registry.
+//! Unified experiment CLI over the E1–E27 registry.
 //!
 //! Replaces the former per-experiment `exp_eNN_*` binaries: one entry
 //! point, selection by id or tag, structured artifacts on demand.

@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E26) and prints a one-line verdict per
+//! Runs every experiment (E1–E27) and prints a one-line verdict per
 //! claim, followed by the full reports. Pass `--quick` for CI scale.
 //!
 //! This is the single command that regenerates the paper: every figure

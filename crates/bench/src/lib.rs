@@ -336,7 +336,7 @@ mod tests {
     #[test]
     fn default_selection_is_whole_registry() {
         let a = parse(&[]);
-        assert_eq!(a.select().unwrap().len(), 26);
+        assert_eq!(a.select().unwrap().len(), 27);
         let listing = list_table();
         assert!(listing.contains("E26"));
         assert!(listing.contains("Figure 1"));

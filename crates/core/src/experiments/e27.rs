@@ -1,0 +1,425 @@
+//! E27 — Blacksmith-class pattern fuzzing: seeded non-uniform,
+//! refresh-synchronized patterns bypass the sampling TRR that fully
+//! blocks uniform many-sided hammering.
+//!
+//! The paper's §II-B/§II-C arms race escalates once more: E15 shows a
+//! deterministic tracking TRR evaded by *uniform* many-sided patterns;
+//! the natural hardening is a sampling TRR (`trr-sampler`), which
+//! round-robin aggressors cannot starve. This experiment reproduces the
+//! next escalation (systematised publicly by Blacksmith): fuzz the
+//! *shape* of the pattern — per-aggressor phase, frequency and amplitude
+//! over a tREFI-scale period ([`densemem_attack::pattern`]) — and let a
+//! seeded sampler discover shapes whose victims the defence never
+//! refreshes.
+//!
+//! Why shapes win here: the sampler pops its *newest* captured
+//! activation at each refresh tick. A pattern whose cycle fits inside
+//! one tick and is re-synchronized to the REF cadence every cycle
+//! (`ShapedKernel::run_synced`) pins which band of the pattern sits
+//! just before each tick — so the popped row comes from that late-phase
+//! "shield" band, while an early-phase victim engine accumulates
+//! disturbance unrefreshed. Free-running kernels drift across the
+//! refresh phase and lose the structure, which is exactly why the
+//! uniform baseline — same time budget, same aggressor rows — stays
+//! fully blocked.
+//!
+//! Discipline: every fuzzed pattern is lowered to plain `Rd` requests,
+//! so the winning pattern is recorded once unmitigated and replayed
+//! byte-identically under the sampler (record-once-replay-N, as in
+//! E4/E5/E15); the live defended run and the replayed one must agree
+//! flip-for-flip.
+
+use crate::experiments::tracekit::{record_requests, replay_under_spec, write_artifact,
+                                   write_text_artifact};
+use crate::experiments::{ClaimCheck, ExpContext, ExperimentResult};
+use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_attack::pattern::{PatternBuilder, ShapedKernel, ShapedPattern};
+use densemem_ctrl::controller::{ControllerConfig, MemoryController};
+use densemem_ctrl::MitigationSpec;
+use densemem_dram::module::RowRemap;
+use densemem_dram::{BankGeometry, BitAddr, Manufacturer, Module, VintageProfile};
+use densemem_stats::par::par_map_seeded;
+use densemem_stats::series::Series;
+use densemem_stats::table::{Cell, Table};
+
+const MODULE_SEED: u64 = 2700;
+/// Refresh stretched 8x: one row tick every ~7.8 us, so a fuzzed cycle
+/// (period 160 steps, ~49 ns per row switch) can fit inside one tick.
+const REFRESH_MULT: f64 = 8.0;
+/// Injected weak-cell threshold: low enough that ~100 unrefreshed ticks
+/// of double-sided exposure flip, far above anything the blocked
+/// uniform baseline accumulates between sampler pops.
+const THRESHOLD: f64 = 6_000.0;
+const DEADLINE_NS: u64 = 12_000_000;
+/// The defence under attack: sample each activation with p=0.05 into a
+/// 64-entry table; pop the newest entry per refresh tick. Public so the
+/// mitigation-matrix integration tests pin their shaped rows to the
+/// exact configuration this experiment defeats.
+pub const SAMPLER_SPEC: &str = "trr-sampler:p=0.05,table=64";
+/// Spin-read target for REF synchronization — far from the pool, so its
+/// one activation per cycle disturbs nothing the experiment measures.
+const SYNC_ROW: usize = 700;
+const POOL_BASE: usize = 300;
+const POOL_ROWS: usize = 16;
+const PERIOD: u32 = 160;
+
+fn pool() -> Vec<usize> {
+    (0..POOL_ROWS).map(|i| POOL_BASE + 2 * i).collect()
+}
+
+/// The fuzzing space every rank/coverage number in this experiment is a
+/// function of: double-sided pairs plus decoy slots over the 16-row
+/// pool, 2–6 slots, 120–170 firings per 160-step cycle, amplitude <= 3.
+pub fn builder() -> PatternBuilder {
+    PatternBuilder::new(0, pool(), PERIOD)
+        .with_slots(2, 6)
+        .with_act_budget(120, 170)
+        .with_max_amplitude(3)
+}
+
+/// Digest of the fuzzing space (pool, period, slot/budget/amplitude
+/// ranges). Folded into [`crate::experiments::registry::cache_key`] for
+/// this experiment, so cached E27 reports roll over whenever the space
+/// changes shape.
+pub fn pattern_space_digest() -> u64 {
+    builder().space_digest()
+}
+
+/// The shared device: the fuzzing pool's 15 enclosed odd rows each
+/// carry one deterministic weak cell at [`THRESHOLD`].
+fn controller() -> MemoryController {
+    let profile = VintageProfile::new(Manufacturer::A, 2013);
+    let mut module =
+        Module::new(1, BankGeometry::small(), profile, RowRemap::Identity, MODULE_SEED);
+    for i in 0..POOL_ROWS - 1 {
+        let victim = POOL_BASE + 1 + 2 * i;
+        module
+            .bank_mut(0)
+            .inject_disturb_cell(BitAddr { row: victim, word: 0, bit: 3 }, THRESHOLD)
+            .expect("address in range");
+    }
+    let cfg = ControllerConfig { refresh_multiplier: REFRESH_MULT, ..Default::default() };
+    MemoryController::new(module, cfg)
+}
+
+fn arm(ctrl: &mut MemoryController, aggressors: &[usize]) {
+    ctrl.fill(0xFF);
+    for &r in aggressors {
+        ctrl.module_mut().bank_mut(0).fill_row(r, 0, 0).expect("row in range");
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Eval {
+    flips: usize,
+    activations: u64,
+    triggers: u64,
+}
+
+fn install(ctrl: &mut MemoryController, spec: &str, seed: u64) {
+    let mitigation = MitigationSpec::parse(spec)
+        .and_then(|s| s.build(seed))
+        .unwrap_or_else(|e| panic!("mitigation spec {spec:?}: {e}"));
+    ctrl.set_mitigation(mitigation);
+}
+
+/// One synced run of `pattern` against a fresh armed device, optionally
+/// defended. The per-index mitigation seed keeps fuzz evaluations
+/// independent and thread-order free.
+fn eval_shaped(pattern: &ShapedPattern, spec: Option<&str>, mit_seed: u64) -> Eval {
+    let mut ctrl = controller();
+    arm(&mut ctrl, &pattern.aggressor_rows());
+    if let Some(s) = spec {
+        install(&mut ctrl, s, mit_seed);
+    }
+    let kernel = ShapedKernel::new(pattern.clone());
+    let interval = ctrl.refresh_interval_ns();
+    let report = kernel
+        .run_synced(&mut ctrl, DEADLINE_NS, interval, SYNC_ROW)
+        .expect("pool rows are valid");
+    Eval {
+        flips: kernel.victim_flips(&mut ctrl),
+        activations: report.activations,
+        triggers: ctrl.stats().mitigation_triggers,
+    }
+}
+
+/// The uniform control arm: classic many-sided round-robin over the
+/// same 16 pool rows, same time budget (free-running; synchronization
+/// is pointless without phase structure to protect).
+fn eval_uniform(spec: Option<&str>, mit_seed: u64) -> Eval {
+    let pattern = HammerPattern::many_sided(0, POOL_BASE, POOL_ROWS);
+    let kernel = HammerKernel::new(pattern.clone(), AccessMode::Read);
+    let mut ctrl = controller();
+    arm(&mut ctrl, pattern.rows());
+    if let Some(s) = spec {
+        install(&mut ctrl, s, mit_seed);
+    }
+    let report = kernel.run_until(&mut ctrl, DEADLINE_NS).expect("pool rows are valid");
+    Eval {
+        flips: kernel.victim_flips(&mut ctrl),
+        activations: report.activations,
+        triggers: ctrl.stats().mitigation_triggers,
+    }
+}
+
+/// The deterministic pattern for fuzz index `i` under master seed
+/// `seed`: sampled from [`builder`] on `substream(seed, i)` — the same
+/// derivation [`par_map_seeded`] uses, so identities hold across thread
+/// counts. Shared with the integration tests.
+pub fn fuzzed_pattern(seed: u64, i: usize) -> ShapedPattern {
+    let mut rng = densemem_stats::rng::substream(seed, i as u64);
+    builder().sample(format!("fuzz-{i:04}"), &mut rng)
+}
+
+fn mit_seed(master: u64, i: usize) -> u64 {
+    master.wrapping_add(1000).wrapping_add(i as u64)
+}
+
+/// Flips induced by fuzz pattern `i` (under master seed `seed`) in one
+/// synced run against this experiment's device, defended by `spec` when
+/// given — the exact evaluation the E27 sweep performs for that index,
+/// per-index mitigation seed included. Shared with the integration
+/// tests.
+pub fn fuzz_eval_flips(seed: u64, i: usize, spec: Option<&str>) -> usize {
+    eval_shaped(&fuzzed_pattern(seed, i), spec, mit_seed(seed, i)).flips
+}
+
+/// Flips induced by the uniform many-sided control arm over the same
+/// pool and time budget. Shared with the integration tests.
+pub fn uniform_eval_flips(spec: Option<&str>, seed: u64) -> usize {
+    eval_uniform(spec, seed).flips
+}
+
+/// Runs E27.
+pub fn run(ctx: &ExpContext) -> ExperimentResult {
+    let scale = ctx.scale;
+    let mut result = ExperimentResult::new(
+        "E27",
+        "Fuzzed refresh-synchronized patterns bypass the sampling TRR uniform hammering cannot",
+    );
+    let spec = ctx.mitigation.as_deref().unwrap_or(SAMPLER_SPEC);
+    let overridden = ctx.mitigation.is_some();
+
+    // --- Fuzz sweep: n seeded patterns, each evaluated under the
+    // defence on its own substream-derived device run. -----------------
+    let n = scale.pick(1024, 48);
+    let seed = ctx.seed;
+    let evals: Vec<(ShapedPattern, Eval)> = par_map_seeded(&ctx.par, seed, n, |i, mut rng| {
+        let pattern = builder().sample(format!("fuzz-{i:04}"), &mut rng);
+        let eval = eval_shaped(&pattern, Some(spec), mit_seed(seed, i));
+        (pattern, eval)
+    });
+    let bypass: usize = evals.iter().filter(|(_, e)| e.flips > 0).count();
+
+    // Rank by induced flips (descending), index-stable.
+    let mut ranked: Vec<usize> = (0..n).collect();
+    ranked.sort_by_key(|&i| (usize::MAX - evals[i].1.flips, i));
+    let top = ranked[0];
+
+    // Uniform control arm, defended and not.
+    let uniform_open = eval_uniform(None, 0);
+    let uniform_def = eval_uniform(Some(spec), mit_seed(seed, n));
+
+    let mut headline = Table::new(
+        "uniform vs fuzzed shaped patterns under the sampling TRR (equal 12 ms budget)",
+        &["arm", "activations", "victim_flips", "sampler_pops"],
+    );
+    headline.row(vec![
+        Cell::from("uniform 16-sided, unmitigated"),
+        Cell::Uint(uniform_open.activations),
+        Cell::Uint(uniform_open.flips as u64),
+        Cell::Uint(uniform_open.triggers),
+    ]);
+    headline.row(vec![
+        Cell::from("uniform 16-sided, defended"),
+        Cell::Uint(uniform_def.activations),
+        Cell::Uint(uniform_def.flips as u64),
+        Cell::Uint(uniform_def.triggers),
+    ]);
+    headline.row(vec![
+        Cell::from(format!("best fuzzed ({}), defended", evals[top].0.name())),
+        Cell::Uint(evals[top].1.activations),
+        Cell::Uint(evals[top].1.flips as u64),
+        Cell::Uint(evals[top].1.triggers),
+    ]);
+    headline.row(vec![
+        Cell::from(format!("fuzz aggregate ({n} patterns)")),
+        Cell::from("-"),
+        Cell::from(format!("{bypass} bypass")),
+        Cell::from("-"),
+    ]);
+    result.tables.push(headline);
+
+    // --- Ranking: the top patterns, with their unmitigated potency. ---
+    let mut rank_table = Table::new(
+        "top fuzzed patterns by flips induced under the defence",
+        &["rank", "pattern", "digest", "slots", "firings/cycle", "switches/cycle",
+          "flips_defended", "flips_open"],
+    );
+    let shown = ranked.iter().take(8).copied().collect::<Vec<_>>();
+    let open_flips: Vec<Eval> = par_map_seeded(&ctx.par, seed, shown.len(), |j, _| {
+        eval_shaped(&evals[shown[j]].0, None, 0)
+    });
+    for (rank, (&i, open)) in shown.iter().zip(&open_flips).enumerate() {
+        let (p, e) = &evals[i];
+        rank_table.row(vec![
+            Cell::Uint(rank as u64 + 1),
+            Cell::from(p.name()),
+            Cell::from(format!("{:#018x}", p.digest())),
+            Cell::Uint(p.slots().len() as u64),
+            Cell::Uint(p.firings_per_cycle()),
+            Cell::Uint(p.switches_per_cycle()),
+            Cell::Uint(e.flips as u64),
+            Cell::Uint(open.flips as u64),
+        ]);
+    }
+    result.tables.push(rank_table);
+
+    // --- Coverage as a function of fuzzing budget (prefix counts). ----
+    let mut budget_series = Series::new("bypass patterns found vs patterns fuzzed");
+    let mut k = 16;
+    while k <= n {
+        let found = evals[..k].iter().filter(|(_, e)| e.flips > 0).count();
+        budget_series.push(k as f64, found as f64);
+        k *= 2;
+    }
+    result.series.push(budget_series);
+
+    // --- Coverage as a function of sampler size/strength. -------------
+    // Re-evaluate a fixed prefix of the fuzz set against stronger and
+    // weaker samplers (table depth and sampling probability), with the
+    // uniform arm as control at each point.
+    if !overridden {
+        let m = scale.pick(128, 32);
+        let sweep: &[(f64, u32)] =
+            &[(0.05, 16), (0.05, 64), (0.05, 256), (0.01, 64), (0.2, 64)];
+        let mut size_table = Table::new(
+            &format!("TRR-bypass coverage vs sampler size (first {m} fuzzed patterns)"),
+            &["sample_p", "table_size", "fuzzed_bypass", "fuzzed_total", "uniform_flips"],
+        );
+        let mut size_series = Series::new("bypass fraction vs sampler table size (p=0.05)");
+        for &(p, table) in sweep {
+            let sw_spec = format!("trr-sampler:p={p},table={table}");
+            let sw: Vec<Eval> = par_map_seeded(&ctx.par, seed, m, |i, mut rng| {
+                let pattern = builder().sample(format!("fuzz-{i:04}"), &mut rng);
+                eval_shaped(&pattern, Some(&sw_spec), mit_seed(seed, i))
+            });
+            let sw_bypass = sw.iter().filter(|e| e.flips > 0).count();
+            let sw_uniform = eval_uniform(Some(&sw_spec), mit_seed(seed, n));
+            size_table.row(vec![
+                Cell::from(format!("{p}")),
+                Cell::Uint(u64::from(table)),
+                Cell::Uint(sw_bypass as u64),
+                Cell::Uint(m as u64),
+                Cell::Uint(sw_uniform.flips as u64),
+            ]);
+            if (p - 0.05).abs() < f64::EPSILON {
+                size_series.push(f64::from(table), sw_bypass as f64 / m as f64);
+            }
+        }
+        result.tables.push(size_table);
+        result.series.push(size_series);
+    }
+
+    // --- Record once, replay under the defence: the winning pattern's
+    // request stream (sync spins included) must reproduce the live
+    // defended run flip-for-flip. ---------------------------------------
+    let top_pattern = evals[top].0.clone();
+    let top_kernel = ShapedKernel::new(top_pattern.clone());
+    let mut rec_ctrl = controller();
+    arm(&mut rec_ctrl, &top_pattern.aggressor_rows());
+    let interval = rec_ctrl.refresh_interval_ns();
+    let trace = record_requests(&mut rec_ctrl, "top_pattern", seed, |c| {
+        top_kernel
+            .run_synced(c, DEADLINE_NS, interval, SYNC_ROW)
+            .expect("pool rows are valid");
+    });
+    write_artifact(&mut result, ctx, &trace);
+    let mut rep_ctrl = controller();
+    arm(&mut rep_ctrl, &top_pattern.aggressor_rows());
+    replay_under_spec(&trace, &mut rep_ctrl, spec, mit_seed(seed, top));
+    let replay_flips = top_kernel.victim_flips(&mut rep_ctrl);
+    let replay_identical = replay_flips == evals[top].1.flips;
+
+    // The winning shapes themselves, as self-checking JSONL blocks.
+    let shapes: String = shown.iter().map(|&i| evals[i].0.to_jsonl()).collect();
+    write_text_artifact(&mut result, ctx, "top_patterns.jsonl", &shapes);
+
+    // --- Claims. -------------------------------------------------------
+    if overridden {
+        result.claims.push(ClaimCheck::new(
+            "mitigation override honoured: fuzz sweep ran against the requested defence",
+            "override replaces the default sampler",
+            format!("{spec}: {bypass}/{n} fuzzed patterns flip"),
+            true,
+        ));
+    } else {
+        result.claims.push(ClaimCheck::new(
+            "a sampling TRR fully blocks uniform many-sided hammering",
+            "0 flips for known-uniform patterns",
+            format!(
+                "{} flips open -> {} defended ({} pops)",
+                uniform_open.flips, uniform_def.flips, uniform_def.triggers
+            ),
+            uniform_open.flips > 0 && uniform_def.flips == 0 && uniform_def.triggers > 0,
+        ));
+        result.claims.push(ClaimCheck::new(
+            "seeded shape fuzzing finds patterns that bypass the sampler at equal budget",
+            "Blacksmith-class non-uniform patterns defeat TRR",
+            format!("{bypass}/{n} patterns flip; best {} flips", evals[top].1.flips),
+            bypass > 0,
+        ));
+    }
+    result.claims.push(ClaimCheck::new(
+        "the recorded pattern stream replayed under the defence reproduces the live run",
+        "identical victim flips",
+        format!("live {} flips, replay {replay_flips} flips", evals[top].1.flips),
+        replay_identical,
+    ));
+
+    result.notes.push(format!(
+        "fuzzing space digest {:#018x}; period {PERIOD} steps over a {:.1} us refresh tick, \
+         pool rows {}..={} step 2",
+        pattern_space_digest(),
+        interval as f64 / 1000.0,
+        POOL_BASE,
+        POOL_BASE + 2 * (POOL_ROWS - 1),
+    ));
+    result.notes.push(
+        "mechanism: the sampler pops its newest captured activation per refresh tick; a \
+         REF-synchronized cycle that fits inside one tick pins a late-phase shield band \
+         in front of every tick, so pops keep refreshing shield victims while an \
+         early-phase engine hammers unrefreshed — free-running (uniform) kernels drift \
+         across the refresh phase and enjoy no such structure"
+            .to_owned(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e27_claims_pass() {
+        let r = run(&ExpContext::quick());
+        assert!(r.all_claims_pass(), "{}", r.render());
+    }
+
+    #[test]
+    fn e27_honours_mitigation_override() {
+        let ctx = ExpContext::quick().with_mitigation("para:p=0.01").unwrap();
+        let r = run(&ctx);
+        assert!(r.all_claims_pass(), "{}", r.render());
+        assert!(r.claims.iter().any(|c| c.claim.contains("override")));
+    }
+
+    #[test]
+    fn fuzzed_pattern_matches_the_sweep_derivation() {
+        let p = fuzzed_pattern(crate::DEFAULT_SEED, 3);
+        assert_eq!(p.name(), "fuzz-0003");
+        assert_eq!(p, fuzzed_pattern(crate::DEFAULT_SEED, 3));
+        assert_ne!(p.digest(), fuzzed_pattern(crate::DEFAULT_SEED, 4).digest());
+    }
+}

@@ -1,4 +1,4 @@
-//! The experiment suite E1–E26.
+//! The experiment suite E1–E27.
 //!
 //! One module per experiment; each `run(&ExpContext)` returns an
 //! [`ExperimentResult`] with the tables/series the paper reports and
@@ -38,6 +38,7 @@ pub mod e23;
 pub mod e24;
 pub mod e25;
 pub mod e26;
+pub mod e27;
 
 use densemem_stats::par::ParConfig;
 use densemem_stats::series::Series;

@@ -76,6 +76,26 @@ pub fn replay_under_spec(
     replay_into(trace, ctrl)
 }
 
+/// Persists arbitrary text under the context's `trace_dir` (if set) as
+/// `<id>_<name>`, recording the path (or the write failure) on the
+/// result — the non-trace sibling of [`write_artifact`] for JSONL side
+/// artifacts (e.g. E27's fuzzer-found pattern shapes).
+pub fn write_text_artifact(
+    result: &mut ExperimentResult,
+    ctx: &ExpContext,
+    name: &str,
+    text: &str,
+) {
+    let Some(dir) = &ctx.trace_dir else { return };
+    let path = dir.join(format!("{}_{}", result.id, name));
+    let written =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, text));
+    match written {
+        Ok(()) => result.trace_artifacts.push(path.display().to_string()),
+        Err(e) => result.notes.push(format!("artifact {} not written: {e}", path.display())),
+    }
+}
+
 /// Persists `trace` under the context's `trace_dir` (if set) as
 /// `<id>_<label>.trace.jsonl`, bounded to [`ARTIFACT_EVENT_CAP`] events,
 /// and records the path (or the write failure) on the result.
@@ -139,6 +159,21 @@ mod tests {
         assert_eq!(replay_under_spec(&trace, &mut replayed, "para:p=1", 13), 50);
         assert_eq!(replayed.mitigation_name(), "PARA");
         assert!(replayed.stats().mitigation_refreshes > 0, "p=1 PARA fires on every PRE");
+    }
+
+    #[test]
+    fn text_artifact_written_only_when_dir_set() {
+        let mut result = ExperimentResult::new("EX", "t");
+        write_text_artifact(&mut result, &ExpContext::quick(), "notes.jsonl", "{}\n");
+        assert!(result.trace_artifacts.is_empty(), "no dir, no artifact");
+
+        let dir = std::env::temp_dir().join(format!("densemem-textkit-{}", std::process::id()));
+        let ctx = ExpContext::quick().with_trace_dir(&dir);
+        write_text_artifact(&mut result, &ctx, "notes.jsonl", "{}\n");
+        assert_eq!(result.trace_artifacts.len(), 1);
+        assert!(result.trace_artifacts[0].ends_with("EX_notes.jsonl"));
+        assert_eq!(std::fs::read_to_string(&result.trace_artifacts[0]).unwrap(), "{}\n");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! | attacks (kernels, invariants, PTE-spray exploit) | [`densemem_attack`] |
 //! | MLC NAND flash channel + mitigations (FCR, RFR, NAC, two-step) | [`densemem_flash`] |
 //!
-//! This crate ties them together as the experiment suite E1–E26 (see
+//! This crate ties them together as the experiment suite E1–E27 (see
 //! `DESIGN.md` for the experiment-to-claim index). The suite is
 //! data-driven: [`experiments::registry`] holds one [`Experiment`]
 //! descriptor per experiment (id, title, paper anchor, tags, runner);

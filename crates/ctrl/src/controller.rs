@@ -201,6 +201,14 @@ impl MemoryController {
         self.now_ns
     }
 
+    /// The auto-refresh engine's per-row tick interval (ns): one row of
+    /// every bank comes due each time simulated time crosses a multiple
+    /// of this value. Refresh-synchronized attack kernels (Blacksmith
+    /// discipline) align their pattern cycles to this cadence.
+    pub fn refresh_interval_ns(&self) -> u64 {
+        self.refresh.per_row_interval_ns()
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &CtrlStats {
         &self.stats

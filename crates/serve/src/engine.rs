@@ -387,7 +387,7 @@ impl Engine {
         let Some(exp) = registry::find(exp_arg) else {
             return Err(ProtoError::new(
                 ErrorCode::UnknownExperiment,
-                format!("{exp_arg:?} (the registry spans E1–E26)"),
+                format!("{exp_arg:?} (the registry spans E1–E27)"),
             ));
         };
         let ctx = self.context_for(req)?;

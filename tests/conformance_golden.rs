@@ -1,6 +1,6 @@
 //! Conformance: golden-report snapshots for every experiment.
 //!
-//! Each E1–E26 runs at `--quick` scale with the default seed, renders to
+//! Each E1–E27 runs at `--quick` scale with the default seed, renders to
 //! the schema-v1 JSON report, and must match the checked-in snapshot
 //! under `tests/golden/` after normalization (run metadata stripped,
 //! artifact paths reduced to basenames). Any drift in a paper number
@@ -67,6 +67,7 @@ golden! {
     golden_e24 => "E24",
     golden_e25 => "E25",
     golden_e26 => "E26",
+    golden_e27 => "E27",
 }
 
 /// Every experiment has a committed snapshot — a new experiment cannot

@@ -53,6 +53,25 @@ fn e2_report_identical_across_thread_counts() {
     assert_eq!(serial, parallel, "E2 diverged between 1 and 8 threads");
 }
 
+/// E27 fans its pattern-fuzzing sweep out with `par_map_seeded` and then
+/// *ranks* the results; both the byte-level report and the ranking order
+/// (the top-patterns table) must be identical at 1, 2 and 8 threads.
+#[test]
+fn e27_report_and_ranking_identical_across_thread_counts() {
+    let e27 = registry::find("E27").expect("registered");
+    let serial = e27.run(&ExpContext::quick().with_threads(1));
+    for threads in [2, 8] {
+        let parallel = e27.run(&ExpContext::quick().with_threads(threads));
+        assert_eq!(serial, parallel, "E27 diverged between 1 and {threads} threads");
+    }
+    let ranking = serial
+        .tables
+        .iter()
+        .find(|t| t.title().contains("top fuzzed patterns"))
+        .expect("E27 reports a ranking table");
+    assert!(!ranking.rows().is_empty(), "ranking table is empty");
+}
+
 #[test]
 fn seed_override_changes_population_results() {
     let e1 = registry::find("E1").expect("registered");

@@ -1,4 +1,4 @@
-//! Integration: every experiment E1–E26 runs at quick scale through the
+//! Integration: every experiment E1–E27 runs at quick scale through the
 //! registry and all of its paper-claim checks pass, plus structural
 //! integrity checks on the registry itself.
 
@@ -56,16 +56,17 @@ smoke! {
     e24_memory_tests => "E24",
     e25_intelligent_controller => "E25",
     e26_threshold_frontier => "E26",
+    e27_pattern_fuzzing => "E27",
 }
 
-/// The registry is the single source of truth for the suite: exactly 26
-/// experiments, positional ids E1..E26 (so `registry()[i]` is E(i+1)),
+/// The registry is the single source of truth for the suite: exactly 27
+/// experiments, positional ids E1..E27 (so `registry()[i]` is E(i+1)),
 /// unique ids, non-empty metadata, and every entry carries at least one
 /// claim check when run at quick scale.
 #[test]
 fn registry_integrity() {
     let exps = registry::registry();
-    assert_eq!(exps.len(), 26, "suite must stay E1..E26");
+    assert_eq!(exps.len(), 27, "suite must stay E1..E27");
     let mut seen = std::collections::HashSet::new();
     for (i, exp) in exps.iter().enumerate() {
         assert_eq!(exp.id, format!("E{}", i + 1), "registry order broken at index {i}");
@@ -84,7 +85,7 @@ fn registry_integrity() {
     // Every experiment is reachable by case-insensitive lookup.
     assert!(registry::find("e13").is_some());
     assert!(registry::find(" E13 ").is_some());
-    assert!(registry::find("E27").is_none());
+    assert!(registry::find("E28").is_none());
 }
 
 /// Claim coverage: run the whole suite once at quick scale and require at

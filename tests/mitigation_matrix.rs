@@ -2,9 +2,12 @@
 //! double-sided attack, with every defense built from the mitigation
 //! plugin registry — the unmitigated controller flips bits; PARA, CRA,
 //! TRR-at-sufficient-rate, ANVIL, Graphene, OracleRH and 7× refresh all
-//! prevent them. The matrix closes with the differential oracle check:
-//! on one replayed trace, OracleRH's escape count is a lower bound on
-//! every other registered defense's.
+//! prevent them. Shaped-pattern rows then show the arms race's next
+//! step: the sampler configuration that blocks the uniform arm is
+//! escaped by a fuzzed refresh-synchronized shape (E27). The matrix
+//! closes with the differential oracle check: on one replayed trace,
+//! OracleRH's escape count is a lower bound on every other registered
+//! defense's.
 
 use densemem::experiments::tracekit;
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
@@ -134,6 +137,30 @@ fn stacked_para_plus_command_log_protects_and_records() {
     );
     assert_eq!(flips, 0);
     assert!(refreshes > 0);
+}
+
+/// Shaped-pattern rows of the matrix: the sampler configuration that
+/// fully blocks uniform many-sided hammering (p=0.05, 64-entry table —
+/// the same class `aggressive_trr_sampling_prevents_all_flips` pins
+/// above) is escaped by at least one seeded fuzzed shape at the same
+/// 12 ms budget and aggressor pool. This is E27's headline claim,
+/// asserted here at the matrix level through the experiment's own
+/// evaluation primitive so the row can never drift from the sweep.
+#[test]
+fn fuzzed_shaped_pattern_escapes_the_sampler_that_blocks_uniform() {
+    use densemem::experiments::e27;
+    assert!(
+        e27::uniform_eval_flips(None, 0) > 0,
+        "the open uniform baseline must flip for the row to mean anything"
+    );
+    assert_eq!(
+        e27::uniform_eval_flips(Some(e27::SAMPLER_SPEC), 0),
+        0,
+        "the sampler must fully block the uniform arm"
+    );
+    let bypass = (0..48)
+        .find(|&i| e27::fuzz_eval_flips(densemem::DEFAULT_SEED, i, Some(e27::SAMPLER_SPEC)) > 0);
+    assert!(bypass.is_some(), "no fuzzed shape escaped the sampler in the first 48");
 }
 
 #[test]

@@ -1,10 +1,12 @@
 //! Property-based tests over the core data structures and invariants,
 //! spanning the workspace crates.
 
+use densemem_attack::pattern::{PatternBuilder, PatternSlot, ShapedPattern, MAX_AMPLITUDE};
 use densemem_dram::module::RowRemap;
 use densemem_ecc::hamming::{DecodeOutcome, Secded7264};
 use densemem_flash::block::{bit_of, set_bit, FlashBlock};
 use densemem_flash::FlashParams;
+use densemem_stats::rng::seeded;
 use densemem_stats::summary::Summary;
 use densemem_stats::table::format_sig;
 use proptest::prelude::*;
@@ -196,6 +198,99 @@ proptest! {
         // Invariant: a full wordline always reads back *something* and the
         // block survives any op ordering.
         let _ = b.read_wordline(1).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shaped hammering patterns survive the JSONL round-trip exactly —
+    /// slots, period, bank, and (escaped) name — for arbitrary valid
+    /// slot vectors, not just sampler output.
+    #[test]
+    fn shaped_pattern_jsonl_roundtrip(
+        // Printable ASCII, quotes and backslashes included, so the name
+        // exercises the JSON string escaping.
+        name_bytes in proptest::collection::vec(0x20u8..0x7f, 0..24),
+        bank in 0usize..8,
+        period in 1u32..256,
+        raw in proptest::collection::vec(
+            (0usize..1024, any::<u32>(), any::<u32>(), any::<u32>()),
+            1..16,
+        ),
+    ) {
+        let slots: Vec<PatternSlot> = raw
+            .iter()
+            .map(|&(row, phase, freq, amplitude)| PatternSlot {
+                row,
+                phase: phase % period,
+                freq: 1 + freq % period,
+                amplitude: 1 + amplitude % MAX_AMPLITUDE,
+            })
+            .collect();
+        let name = String::from_utf8(name_bytes).expect("printable ASCII");
+        let p = ShapedPattern::new(name, bank, period, slots).expect("valid by construction");
+        let parsed = ShapedPattern::from_jsonl(&p.to_jsonl()).expect("round-trip parses");
+        prop_assert_eq!(parsed, p);
+    }
+
+    /// Canonicalization is idempotent, never grows the slot list, its
+    /// output self-reports as canonical, and the content digest — defined
+    /// over the canonical form — is unchanged by it.
+    #[test]
+    fn shaped_pattern_canonicalization_idempotent(
+        period in 1u32..8,
+        raw in proptest::collection::vec(
+            (0usize..3, 0u32..4, 0u32..4, 1u32..5),
+            1..24,
+        ),
+    ) {
+        // A deliberately tiny slot space so adjacent duplicates (the
+        // merge case) occur often.
+        let slots: Vec<PatternSlot> = raw
+            .iter()
+            .map(|&(row, phase, freq, amplitude)| PatternSlot {
+                row,
+                phase: phase % period,
+                freq: 1 + freq % period,
+                amplitude,
+            })
+            .collect();
+        let p = ShapedPattern::new("canon", 0, period, slots).expect("valid by construction");
+        let c1 = p.canonical();
+        prop_assert!(c1.is_canonical());
+        prop_assert!(c1.slots().len() <= p.slots().len());
+        prop_assert_eq!(c1.canonical(), c1.clone());
+        prop_assert_eq!(c1.digest(), p.digest());
+    }
+
+    /// Every sampled pattern satisfies the invariants the fuzzer space
+    /// promises — slot count within the configured range, phases inside
+    /// the period, frequencies within `1..=period`, amplitudes within
+    /// `1..=max`, rows drawn from the pool — and the sampler is a pure
+    /// function of its RNG state.
+    #[test]
+    fn sampled_patterns_satisfy_the_space_invariants(
+        sample_seed: u64,
+        period in 8u32..256,
+        pool_n in 2usize..16,
+        base in 0usize..512,
+        max_amp in 1u32..8,
+    ) {
+        let pool: Vec<usize> = (0..pool_n).map(|i| base + 2 * i).collect();
+        let builder = PatternBuilder::new(0, pool.clone(), period)
+            .with_slots(2, 6)
+            .with_max_amplitude(max_amp);
+        let p = builder.sample("prop", &mut seeded(sample_seed));
+        prop_assert!((2..=6).contains(&p.slots().len()));
+        for s in p.slots() {
+            prop_assert!(pool.contains(&s.row));
+            prop_assert!(s.phase < period);
+            prop_assert!(s.freq >= 1 && s.freq <= period);
+            prop_assert!(s.amplitude >= 1 && s.amplitude <= max_amp);
+        }
+        prop_assert_eq!(p.clone(), builder.sample("prop", &mut seeded(sample_seed)));
+        prop_assert_eq!(p.digest(), p.canonical().digest());
     }
 }
 

@@ -2,13 +2,15 @@
 //!
 //! Recording the same seeded attack twice yields byte-identical traces;
 //! a trace survives the JSONL round-trip through disk; replaying it
-//! reproduces the live run's flip set exactly; and the trace-aware
-//! experiments (E4, E15) produce identical reports across repeated runs
-//! and across thread counts.
+//! reproduces the live run's flip set exactly; the shaped-pattern layer
+//! lowers its uniform degenerate case to the very same command stream as
+//! the classic kernels; and the trace-aware experiments (E4, E15, E27)
+//! produce identical reports across repeated runs and thread counts.
 
-use densemem::experiments::{e15, e4, ExpContext};
+use densemem::experiments::{e15, e27, e4, ExpContext};
 use densemem::report::json;
 use densemem_attack::kernels::{AccessMode, HammerKernel, HammerPattern};
+use densemem_attack::pattern::{ShapedKernel, ShapedPattern};
 use densemem_ctrl::controller::MemoryController;
 use densemem_ctrl::{Trace, TraceFilter, TraceReplayer};
 use densemem_dram::module::RowRemap;
@@ -69,6 +71,32 @@ fn replay_reproduces_the_live_flip_set() {
     assert_eq!(replayed.stats().activations, live.stats().activations);
 }
 
+/// Differential: a uniform-shape [`ShapedPattern`] (period 1, phase 0,
+/// frequency 1, amplitude 1 — the degenerate Blacksmith shape) must
+/// lower to the *bit-identical* request stream the classic many-sided
+/// kernel produces, so everything proven about the trace layer under
+/// uniform kernels transfers to the shaped scheduler for free.
+#[test]
+fn uniform_shaped_pattern_lowers_to_the_many_sided_stream() {
+    let uniform = HammerPattern::many_sided(0, 96, 6);
+    let shaped = ShapedPattern::from_kernel(&uniform).expect("read-mode kernels convert");
+
+    let mut a = controller(45);
+    let ha = a.record_trace(usize::MAX, TraceFilter::Requests);
+    HammerKernel::new(uniform, AccessMode::Read).run(&mut a, 5_000).unwrap();
+    let ta = ha.snapshot("kernel", 45);
+
+    let mut b = controller(45);
+    let hb = b.record_trace(usize::MAX, TraceFilter::Requests);
+    ShapedKernel::new(shaped).run_cycles(&mut b, 5_000).unwrap();
+    let tb = hb.snapshot("shaped", 45);
+
+    assert_eq!(ta.len(), tb.len(), "same command count");
+    assert_eq!(ta.events, tb.events, "bit-identical request streams");
+    assert_eq!(a.now_ns(), b.now_ns(), "identical timing");
+    assert_eq!(a.scan_flips(), b.scan_flips(), "identical device outcome");
+}
+
 #[test]
 fn e4_report_is_identical_across_runs_and_thread_counts() {
     let exp = densemem::experiments::registry::find("E4").unwrap();
@@ -104,5 +132,51 @@ fn e15_trace_artifacts_are_bit_identical_across_runs() {
         let text = String::from_utf8(t1).unwrap();
         assert!(text.starts_with("{\"trace_version\":1"), "header line present");
     }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// E27's record-once-replay-under-defence discipline and its artifacts
+/// (the winning pattern's trace *and* the top-pattern JSONL shapes) are
+/// bit-identical across repeated runs and thread counts, and the shape
+/// artifact round-trips through the pattern parser.
+#[test]
+fn e27_artifacts_are_bit_identical_across_runs() {
+    let base = std::env::temp_dir().join(format!("densemem-e27-traces-{}", std::process::id()));
+    let dir1 = base.join("run1");
+    let dir2 = base.join("run2");
+    let r1 = e27::run(&ExpContext::quick().with_trace_dir(&dir1));
+    let r2 = e27::run(&ExpContext::quick().with_trace_dir(&dir2).with_threads(1));
+    assert!(r1.all_claims_pass(), "{}", r1.render());
+    assert_eq!(r1.tables, r2.tables, "fuzz rankings identical across runs/threads");
+    assert_eq!(r1.claims, r2.claims);
+    assert_eq!(r1.trace_artifacts.len(), 2, "top-pattern trace + shape JSONL");
+    for (p1, p2) in r1.trace_artifacts.iter().zip(&r2.trace_artifacts) {
+        let t1 = std::fs::read(p1).unwrap();
+        let t2 = std::fs::read(p2).unwrap();
+        assert_eq!(t1, t2, "artifact bytes identical: {p1} vs {p2}");
+    }
+    let shapes_path = r1
+        .trace_artifacts
+        .iter()
+        .find(|p| p.ends_with("top_patterns.jsonl"))
+        .expect("shape artifact listed");
+    let shapes = std::fs::read_to_string(shapes_path).unwrap();
+    let first_block: String = {
+        // Each block is one header line plus its slot lines; the next
+        // header (a "pattern_version" line) starts the next block.
+        let mut lines = shapes.lines();
+        let header = lines.next().expect("non-empty shapes artifact");
+        let mut block = format!("{header}\n");
+        for line in lines {
+            if line.contains("pattern_version") {
+                break;
+            }
+            block.push_str(line);
+            block.push('\n');
+        }
+        block
+    };
+    let parsed = ShapedPattern::from_jsonl(&first_block).expect("artifact block parses");
+    assert!(parsed.name().starts_with("fuzz-"), "fuzzer-named pattern: {}", parsed.name());
     std::fs::remove_dir_all(&base).ok();
 }

@@ -16,11 +16,16 @@ rm -rf artifacts
 ./target/release/exp --quick --json-dir artifacts --trace-dir artifacts/traces > /dev/null
 
 echo "== trace determinism: re-record with --threads 1 and diff =="
+# E15 (record/replay mitigations) and E27 (pattern fuzzing fan-out) are
+# the trace-writing experiments; both must produce byte-identical
+# artifacts whatever the thread count. E27's artifacts include the
+# fuzzer's top-pattern shapes (E27_top_patterns.jsonl), so ranking
+# stability is gated here too.
 rm -rf artifacts-replay
-./target/release/exp --quick --only e15 --threads 1 \
+./target/release/exp --quick --only e15,e27 --threads 1 \
     --json-dir artifacts-replay --trace-dir artifacts-replay/traces > /dev/null
-for trace in artifacts/traces/E15_*.trace.jsonl; do
-    [ -f "$trace" ] || { echo "no E15 trace artifacts recorded"; exit 1; }
+for trace in artifacts/traces/E15_*.trace.jsonl artifacts/traces/E27_*; do
+    [ -f "$trace" ] || { echo "no E15/E27 trace artifacts recorded"; exit 1; }
     cmp "$trace" "artifacts-replay/traces/$(basename "$trace")" \
         || { echo "trace diverged across runs/threads: $trace"; exit 1; }
 done
@@ -28,16 +33,17 @@ done
 if command -v python3 > /dev/null; then
     python3 - <<'EOF'
 import json, sys
-a = json.load(open("artifacts/E15.json"))
-b = json.load(open("artifacts-replay/E15.json"))
-for doc in (a, b):
-    doc.pop("wall_secs", None)
-    doc.pop("threads", None)
-    # Artifact paths differ by directory on purpose; compare basenames.
-    doc["trace_artifacts"] = [p.rsplit("/", 1)[-1] for p in doc["trace_artifacts"]]
-if a != b:
-    sys.exit("E15 reports diverged between default-thread and --threads 1 runs")
-print("trace determinism OK: E15 traces and reports identical across thread counts")
+for exp in ("E15", "E27"):
+    a = json.load(open(f"artifacts/{exp}.json"))
+    b = json.load(open(f"artifacts-replay/{exp}.json"))
+    for doc in (a, b):
+        doc.pop("wall_secs", None)
+        doc.pop("threads", None)
+        # Artifact paths differ by directory on purpose; compare basenames.
+        doc["trace_artifacts"] = [p.rsplit("/", 1)[-1] for p in doc["trace_artifacts"]]
+    if a != b:
+        sys.exit(f"{exp} reports diverged between default-thread and --threads 1 runs")
+print("trace determinism OK: E15/E27 traces and reports identical across thread counts")
 EOF
 else
     echo "trace determinism OK (python3 unavailable: report diff skipped)"
@@ -50,7 +56,7 @@ if command -v python3 > /dev/null; then
 import json, pathlib, sys
 
 artifacts = pathlib.Path("artifacts")
-ids = {f"E{i}" for i in range(1, 27)}
+ids = {f"E{i}" for i in range(1, 28)}
 seen = set()
 for path in sorted(artifacts.glob("*.json")):
     doc = json.loads(path.read_text())  # dies here if malformed
@@ -69,12 +75,12 @@ for path in sorted(artifacts.glob("*.json")):
         sys.exit(f"{path}: missing CSV sibling")
     seen.add(doc["id"])
 if seen != ids:
-    sys.exit(f"artifact ids {sorted(seen)} != expected E1..E26")
+    sys.exit(f"artifact ids {sorted(seen)} != expected E1..E27")
 print(f"artifacts OK: {len(seen)} experiments, all claims pass")
 EOF
 else
     # Fallback without python3: every id present and no claim failures.
-    for i in $(seq 1 26); do
+    for i in $(seq 1 27); do
         [ -f "artifacts/E$i.json" ] || { echo "missing artifacts/E$i.json"; exit 1; }
         grep -q '"all_claims_pass": true' "artifacts/E$i.json" \
             || { echo "artifacts/E$i.json: claims failed"; exit 1; }
